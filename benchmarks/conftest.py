@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures with a reduced
+budget (the full budget lives in ``python -m repro.experiments``).  The
+``bench_settings`` fixture controls that budget; raise it via the
+``REPRO_BENCH_UOPS`` environment variable for slower, smoother numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    n_uops = int(os.environ.get("REPRO_BENCH_UOPS", "12000"))
+    return ExperimentSettings(n_uops=n_uops, traces_per_group=2)
+
+
+@pytest.fixture(scope="session")
+def quick_settings():
+    """For the heavyweight sweeps (Figure 8): fewer uops, one trace."""
+    n_uops = int(os.environ.get("REPRO_BENCH_UOPS", "12000")) // 2
+    return ExperimentSettings(n_uops=n_uops, traces_per_group=1)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,65 @@
+"""Benchmark: CHT vs. the prior-art mechanisms it claims to beat.
+
+The paper positions the CHT as "in a sense similar to [Hess95] yet more
+refined, since it deals with specific loads, and to [Chry98] but much
+more cost effective".  This benchmark runs the store barrier, store
+sets, and the CHT schemes on the same traces and compares speedup *and*
+storage budget.
+"""
+
+from benchmarks.conftest import run_once
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.experiments.harness import get_trace
+
+SCHEMES = ("barrier", "storesets", "inclusive", "exclusive", "perfect")
+
+
+def test_prior_art_comparison(benchmark, bench_settings):
+    def run():
+        out = {}
+        for name in ("cd", "gcc"):
+            trace = get_trace(name, bench_settings.n_uops)
+            baseline = Machine(
+                scheme=make_scheme("traditional")).run(trace)
+            speedups = {}
+            storage = {}
+            for scheme_name in SCHEMES:
+                scheme = make_scheme(scheme_name)
+                result = Machine(scheme=scheme).run(trace)
+                speedups[scheme_name] = result.speedup_over(baseline)
+                if scheme_name == "storesets":
+                    storage[scheme_name] = \
+                        scheme.predictor.storage_bits
+                elif scheme_name == "barrier":
+                    storage[scheme_name] = scheme.cache.storage_bits
+                elif scheme.uses_cht:
+                    storage[scheme_name] = scheme.cht.storage_bits
+                else:
+                    storage[scheme_name] = 0
+            out[name] = (speedups, storage)
+        return out
+
+    results = run_once(benchmark, run)
+    print()
+    for name, (speedups, storage) in results.items():
+        print(f"{name}:")
+        for scheme in SCHEMES:
+            bits = storage[scheme]
+            print(f"  {scheme:10s} speedup {speedups[scheme]:6.3f}   "
+                  f"storage {bits // 8:6d} bytes")
+
+    for name, (speedups, storage) in results.items():
+        # The refinement ladder of the related-work section: the barrier
+        # (coarse fences) trails the load-specific predictors.
+        assert speedups["barrier"] <= speedups["storesets"] + 0.02, name
+        assert speedups["inclusive"] > 1.0, name
+        # Cost-effectiveness: the CHT reaches comparable speedup with a
+        # smaller table budget than store sets.
+        assert storage["inclusive"] < storage["storesets"], name
+        assert speedups["inclusive"] > \
+               0.9 * speedups["storesets"], name
+        # Everything stays under the oracle.
+        for scheme in ("barrier", "storesets", "inclusive", "exclusive"):
+            assert speedups[scheme] <= speedups["perfect"] + 0.01, \
+                (name, scheme)

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 11 — speedup of hit-miss prediction.
+
+Paper series (perfect disambiguation, 4 EU / 2 MEM, speedup over the
+always-predict-hit machine): perfect HMP ~6 %; the local predictor with
+timing information achieves a large share of that; timing information
+beats the same predictor without it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.hitmiss_speedup import render_fig11, run_fig11
+
+
+def test_fig11_hitmiss_speedup(benchmark, bench_settings):
+    data = run_once(benchmark, run_fig11, bench_settings)
+    print()
+    print(render_fig11(data))
+
+    avg = data["average"]
+    # A perfect predictor yields a real speedup over always-hit.
+    assert avg["perfect"] > 1.005
+    # Timing information helps the local predictor (the paper's best).
+    assert avg["local+timing"] > avg["local"]
+    # The realisable predictors stay at or below the perfect bound
+    # (small tolerance: the oracle cannot anticipate conflicting
+    # accesses it has not yet seen).
+    assert avg["local+timing"] <= avg["perfect"] + 0.01
+    # Everything beats or matches the no-HMP baseline.
+    for kind, speedup in avg.items():
+        assert speedup > 0.99, kind

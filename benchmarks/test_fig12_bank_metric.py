@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 12 — bank predictor metric vs. penalty.
+
+Paper series (SpecINT95 / SpecFP95): history predictors A and B predict
+about half the loads, C and the address predictor ~70 %; the address
+predictor is the most accurate (flattest slope) and dominates at high
+misprediction penalties — making it and C the sliced-pipe candidates.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.bank_metric import render_fig12, run_fig12
+
+
+def test_fig12_bank_metric(benchmark, bench_settings):
+    data = run_once(benchmark, run_fig12, bench_settings)
+    print()
+    print(render_fig12(data))
+
+    for group_name, group in data["groups"].items():
+        rows = {r["predictor"]: r for r in group["rows"]}
+
+        # The address predictor is the most accurate.
+        assert rows["Addr"]["accuracy"] >= max(
+            rows[p]["accuracy"] for p in "ABC") - 0.02, group_name
+
+        # Metric curves decrease with penalty; intercept equals P.
+        for r in group["rows"]:
+            curve = r["curve"]
+            assert curve[0] == r["prediction_rate"]
+            assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+        # At the highest penalty the address predictor dominates.
+        last = len(data["penalties"]) - 1
+        assert rows["Addr"]["curve"][last] >= max(
+            rows[p]["curve"][last] for p in "ABC") - 1e-9, group_name
+
+    # On the integer traces C predicts more loads than A (rate vs
+    # accuracy trade-off).
+    int_rows = {r["predictor"]: r
+                for r in data["groups"]["SpecInt95"]["rows"]}
+    assert int_rows["C"]["prediction_rate"] > \
+           int_rows["A"]["prediction_rate"]

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 5 — load scheduling classification.
+
+Paper series (32-entry window): ~10 % of loads actually collide, ~60 %
+are conflicting-but-not-colliding, ~30 % have no ordering conflict —
+"between 60 %-70 % of the loads can benefit from a collision predictor".
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.classification import render_fig5, run_fig5
+
+
+def test_fig5_classification(benchmark, bench_settings):
+    data = run_once(benchmark, run_fig5, bench_settings)
+    print()
+    print(render_fig5(data))
+
+    for group, mix in data["groups"].items():
+        # Fractions are a valid partition.
+        assert abs(mix["ac"] + mix["anc"] + mix["no_conflict"] - 1.0) < 1e-9
+        # AC is the smallest class everywhere (the paper's ~10 %).
+        assert mix["ac"] < 0.35, group
+    nt = data["groups"]["SysmarkNT"]
+    # The headline: a majority of loads benefit from a collision predictor.
+    assert nt["ac"] + nt["anc"] > 0.40

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 6 — classification vs. window size.
+
+Paper series (SysmarkNT, 8..128-entry windows): the actually-colliding
+share rises steadily with window size while the no-conflict share
+shrinks — "as the window size is increased, the potential performance
+gain of superior memory ordering schemes increases as well".
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.classification import render_fig6, run_fig6
+
+
+def test_fig6_window_sweep(benchmark, bench_settings):
+    data = run_once(benchmark, run_fig6, bench_settings)
+    print()
+    print(render_fig6(data))
+
+    sweep = {s["window"]: s for s in data["sweep"]}
+    windows = sorted(sweep)
+    # AC monotone up / no-conflict monotone down across the sweep ends.
+    assert sweep[windows[-1]]["ac"] > sweep[windows[0]]["ac"]
+    assert sweep[windows[-1]]["no_conflict"] < \
+           sweep[windows[0]]["no_conflict"]
+    # Interior trend: at least 3 of 4 steps increase AC.
+    increases = sum(sweep[b]["ac"] >= sweep[a]["ac"]
+                    for a, b in zip(windows, windows[1:]))
+    assert increases >= len(windows) - 2

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 8 — speedup vs. machine configuration.
+
+Paper claim: "wider machines gain more performance when using a better
+memory ordering mechanism" — the Perfect/Exclusive speedups grow from
+EU2/MEM1 through EU2/MEM2 to EU4/MEM2.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.machine_sweep import (
+    render_fig8,
+    run_fig8,
+    widening_gain,
+)
+
+
+def test_fig8_machine_sweep(benchmark, quick_settings):
+    data = run_once(benchmark, run_fig8, quick_settings)
+    print()
+    print(render_fig8(data))
+
+    # The widening trend for the oracle (no predictor noise involved).
+    perfect_by_config = widening_gain(data, scheme="perfect")
+    narrow = perfect_by_config["EU2/MEM1"]
+    wide = perfect_by_config["EU4/MEM2"]
+    assert wide > narrow
+
+    # Every configuration preserves the basic scheme ordering.
+    for config_label, per_group in data["configs"].items():
+        for group_label, speedups in per_group.items():
+            assert speedups["perfect"] >= speedups["inclusive"] - 0.02, \
+                (config_label, group_label)

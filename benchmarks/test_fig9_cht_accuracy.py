@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 9 — CHT accuracy vs. organisation/size.
+
+Paper series (fractions of conflicting loads):
+
+* the sticky tagged-only table minimises AC-PNC but accumulates ANC-PC;
+* the Full CHT (counters) limits ANC-PC by unlearning;
+* the Combined organisation is the safest (lowest AC-PNC);
+* accuracy improves (AC-PNC falls) as tables grow.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.cht_accuracy import render_fig9, run_fig9
+
+
+def test_fig9_cht_accuracy(benchmark, bench_settings):
+    data = run_once(benchmark, run_fig9, bench_settings)
+    print()
+    print(render_fig9(data))
+
+    rows = {(r["kind"], r["entries"]): r for r in data["rows"]}
+
+    # Sticky tables trade ANC-PC for AC-PNC safety at equal size.
+    assert rows[("tagged-only", 2048)]["AC-PNC"] <= \
+           rows[("full", 2048)]["AC-PNC"] + 0.005
+    assert rows[("tagged-only", 2048)]["ANC-PC"] >= \
+           rows[("full", 2048)]["ANC-PC"] - 0.005
+
+    # Combined is at least as safe as tagged-only.
+    assert rows[("combined", 2048)]["AC-PNC"] <= \
+           rows[("tagged-only", 2048)]["AC-PNC"] + 0.005
+
+    # Capacity helps: the smallest full table mispredicts more AC loads
+    # than the largest.
+    assert rows[("full", 128)]["AC-PNC"] >= rows[("full", 2048)]["AC-PNC"]
+
+    # Every row is a valid partition of conflicting loads.
+    for row in data["rows"]:
+        total = sum(row[c] for c in ("AC-PC", "AC-PNC", "ANC-PC",
+                                     "ANC-PNC"))
+        assert abs(total - 1.0) < 1e-9

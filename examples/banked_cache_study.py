@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Multi-banked cache study (section 2.3 / 4.3).
+
+1. evaluates the four Figure 12 bank predictors on a load stream;
+2. plots (as text) the paper's metric against the misprediction
+   penalty, showing the accuracy/rate crossover;
+3. replays the stream through the sliced-pipeline simulator under
+   different duplication policies;
+4. compares the four memory-pipeline organisations of Figure 4.
+
+Run:  python examples/banked_cache_study.py
+"""
+
+from repro.bank import (
+    AddressBankPredictor,
+    DuplicationPolicy,
+    SlicedPipeSimulator,
+    make_predictor_a,
+    make_predictor_b,
+    make_predictor_c,
+    metric,
+)
+from repro.bank.base import BankStats
+from repro.experiments.bank_metric import evaluate, _load_stream
+from repro.experiments.harness import ExperimentSettings
+from repro.memory.pipelines import ALL_PIPELINES
+
+SETTINGS = ExperimentSettings(n_uops=15_000)
+
+PREDICTORS = (("A (local+gshare+gskew)", make_predictor_a),
+              ("B (local+gshare+bimodal)", make_predictor_b),
+              ("C (local+2*gshare+gskew)", make_predictor_c),
+              ("Addr (stride predictor)", AddressBankPredictor))
+
+
+def predictor_profiles():
+    print("=" * 70)
+    print("1. Bank predictor profiles (SpecInt95 'gcc' + 'compress')")
+    print("=" * 70)
+    streams = [_load_stream(n, SETTINGS.n_uops)
+               for n in ("gcc", "compress")]
+    profiles = {}
+    print(f"\n{'predictor':26s} {'P':>6s} {'accuracy':>9s} {'R':>8s}")
+    for label, factory in PREDICTORS:
+        total = BankStats()
+        for stream in streams:
+            total.merge(evaluate(factory(), stream))
+        profiles[label] = total
+        ratio = "inf" if total.ratio == float("inf") \
+            else f"{total.ratio:.1f}"
+        print(f"{label:26s} {total.prediction_rate:6.2f} "
+              f"{total.accuracy:9.3f} {ratio:>8s}")
+    return profiles
+
+
+def metric_curves(profiles):
+    print()
+    print("=" * 70)
+    print("2. Metric vs. misprediction penalty (1.0 = ideal dual port)")
+    print("=" * 70)
+    penalties = range(0, 9, 2)
+    header = f"\n{'predictor':26s}" + "".join(f" pen={p:<4d}"
+                                              for p in penalties)
+    print(header)
+    for label, stats in profiles.items():
+        ratio = min(stats.ratio, 1e9)
+        row = f"{label:26s}"
+        for p in penalties:
+            row += f" {metric(stats.prediction_rate, ratio, p, approximate=True):8.3f}"
+        print(row)
+    print("\nreading: intercept = prediction rate; slope = accuracy.")
+    print("High penalties favour the accurate address predictor.")
+
+
+def sliced_pipe():
+    print()
+    print("=" * 70)
+    print("3. Sliced-pipeline replay under duplication policies")
+    print("=" * 70)
+    stream = list(_load_stream("gcc", SETTINGS.n_uops))
+    policies = {
+        "always trust prediction": DuplicationPolicy(
+            confidence_floor=0.0, duplicate_when_uncontended=False),
+        "duplicate low-confidence": DuplicationPolicy(
+            confidence_floor=0.8, duplicate_when_uncontended=False),
+        "also duplicate when idle": DuplicationPolicy(
+            confidence_floor=0.8, duplicate_when_uncontended=True),
+    }
+    print()
+    for label, policy in policies.items():
+        sim = SlicedPipeSimulator(AddressBankPredictor(), policy,
+                                  contention_rate=0.6,
+                                  mispredict_penalty=4.0)
+        result = sim.run(stream)
+        print(f"  {label:26s} metric {result.metric:6.3f}   "
+              f"duplicated {result.duplicated:5d}   "
+              f"flushes {result.mispredicted:4d}")
+
+
+def pipeline_comparison():
+    print()
+    print("=" * 70)
+    print("4. Figure 4 pipeline organisations (expected load time)")
+    print("=" * 70)
+    print(f"\n{'organisation':24s} {'no conflicts':>13s} "
+          f"{'20% conflicts':>14s} {'5% mispredict':>14s}")
+    for model in ALL_PIPELINES:
+        clean = model.expected_load_time(5, 0.0)
+        conflicted = model.expected_load_time(5, 0.2)
+        mispredicted = model.expected_load_time(5, 0.0,
+                                                mispredict_rate=0.05)
+        print(f"{model.kind.value:24s} {clean:13.2f} {conflicted:14.2f} "
+              f"{mispredicted:14.2f}")
+    print("\nthe sliced pipe matches the ideal latency and dodges "
+          "conflicts,\npaying only for bank mispredictions.")
+
+
+def empirical_pipelines():
+    print()
+    print("=" * 70)
+    print("5. Empirical drain of the same load stream (Figure 4, measured)")
+    print("=" * 70)
+    from repro.bank.pipeline_sim import compare_pipelines
+    stream = list(_load_stream("gcc", SETTINGS.n_uops))
+    results = compare_pipelines(stream, AddressBankPredictor)
+    print(f"\n{'organisation':24s} {'loads/cycle':>12s} {'avg latency':>12s}"
+          f" {'conflicts':>10s} {'flushes':>8s} {'dup':>6s}")
+    for kind, r in results.items():
+        print(f"{kind:24s} {r.loads_per_cycle:12.2f} "
+              f"{r.average_latency:12.2f} {r.conflicts:10d} "
+              f"{r.flushes:8d} {r.duplicated:6d}")
+    print("\nthe sliced pipe keeps the ideal latency; its throughput "
+          "tracks the\npredictor's rate (duplications occupy both pipes "
+          "— the paper's own caveat\nabout low-confidence loads wasting "
+          "scheduling slots).")
+
+
+if __name__ == "__main__":
+    profiles = predictor_profiles()
+    metric_curves(profiles)
+    sliced_pipe()
+    pipeline_comparison()
+    empirical_pipelines()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Hit-miss prediction study (section 2.2 / 4.2).
+
+1. statistical accuracy of the local and hybrid predictors per trace
+   group, replaying a recorded outcome stream (Figure 10 methodology);
+2. the timing refinement: how often the MSHR / serviced-line buffer
+   decides the prediction before the pattern tables are consulted;
+3. performance effect on the Figure 11 machine (perfect disambiguation,
+   4 integer / 2 memory units).
+
+Run:  python examples/hitmiss_study.py
+"""
+
+from repro import Machine, make_scheme
+from repro.common.config import BASELINE_MACHINE
+from repro.experiments.harness import ExperimentSettings, get_trace
+from repro.experiments.hitmiss_stats import hitmiss_events, replay
+from repro.hitmiss import HybridHMP, LocalHMP, TimingHMP
+from repro.memory.hierarchy import MemoryHierarchy
+
+SETTINGS = ExperimentSettings(n_uops=15_000, traces_per_group=2)
+
+
+def statistical_accuracy() -> None:
+    print("=" * 66)
+    print("1. Statistical accuracy (replayed outcome streams)")
+    print("=" * 66)
+    groups = {"SpecFP": ["applu", "apsi"], "SysmarkNT": ["cd", "ex"],
+              "SpecINT": ["compress", "gcc"]}
+    print(f"\n{'group':10s} {'predictor':9s} {'misses':>7s} "
+          f"{'caught':>7s} {'false':>7s} {'coverage':>9s}")
+    for group, names in groups.items():
+        streams = hitmiss_events(names, SETTINGS)
+        for label, factory in (("local", LocalHMP), ("hybrid", HybridHMP)):
+            from repro.hitmiss.base import HitMissStats
+            total = HitMissStats()
+            for _, events in streams:
+                total.merge(replay(events, factory()))
+            print(f"{group:10s} {label:9s} {total.miss_rate:7.3f} "
+                  f"{total.am_pm_fraction:7.3f} "
+                  f"{total.ah_pm_fraction:7.3f} "
+                  f"{total.miss_coverage:9.1%}")
+
+
+def timing_information() -> None:
+    print()
+    print("=" * 66)
+    print("2. Timing information (dynamic misses / serviced lines)")
+    print("=" * 66)
+    trace = get_trace("cd", SETTINGS.n_uops)
+    hierarchy = MemoryHierarchy(BASELINE_MACHINE.memory)
+    hmp = TimingHMP(LocalHMP(), mshr=hierarchy.mshr,
+                    serviced=hierarchy.serviced)
+    result = Machine(scheme=make_scheme("perfect"), hmp=hmp,
+                     hierarchy=hierarchy).run(trace)
+    print(f"\n  loads executed          : {result.retired_loads}")
+    print(f"  decided by timing alone : {hmp.timing_hits} "
+          f"({hmp.timing_hits / result.retired_loads:.1%})")
+    print(f"  hit-miss accuracy       : {result.hitmiss.accuracy:.1%}")
+
+
+def performance() -> None:
+    print()
+    print("=" * 66)
+    print("3. Speedup on the Figure 11 machine")
+    print("=" * 66)
+    config = BASELINE_MACHINE.with_units(4, 2)
+    trace = get_trace("cd", SETTINGS.n_uops)
+
+    def machine(hmp_factory=None):
+        hierarchy = MemoryHierarchy(config.memory)
+        hmp = hmp_factory(hierarchy) if hmp_factory else None
+        return Machine(config=config, scheme=make_scheme("perfect"),
+                       hmp=hmp, hierarchy=hierarchy)
+
+    baseline = machine().run(trace)
+    print(f"\n  always-predict-hit baseline: {baseline.cycles} cycles, "
+          f"{baseline.squashed_issues} squashed issues")
+    candidates = {
+        "local": lambda h: LocalHMP(),
+        "hybrid": lambda h: HybridHMP(),
+        "local+timing": lambda h: TimingHMP(LocalHMP(), h.mshr,
+                                            h.serviced),
+    }
+    for label, factory in candidates.items():
+        result = machine(factory).run(trace)
+        print(f"  {label:13s}: {result.cycles} cycles "
+              f"(speedup {result.speedup_over(baseline):.3f}, "
+              f"squashes {result.squashed_issues})")
+
+
+if __name__ == "__main__":
+    statistical_accuracy()
+    timing_information()
+    performance()

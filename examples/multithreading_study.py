@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Hit-miss prediction as a thread-switch governor (section 2.2).
+
+The paper: "the prediction may be used to govern a thread switch if a
+load is predicted to miss the L2 cache, and suffer the large latency of
+accessing main memory."  This study runs two memory-bound threads on a
+coarse-grained multithreaded core under four switch policies and shows
+the prediction's value: switching at *schedule* time instead of waiting
+for the L2 lookup to reveal the miss.
+
+Run:  python examples/multithreading_study.py
+"""
+
+from repro.hitmiss.multilevel import MemoryLevel, MultiLevelHMP
+from repro.smt import CoarseGrainedMT, SwitchPolicy
+from repro.trace.builder import build_trace
+from repro.trace.workloads import profile_for, trace_seed
+
+N_UOPS = 10_000
+THREADS = ("tpcc", "jack")  # memory-bound database + pointer-chasing
+
+
+def main() -> None:
+    traces = [build_trace(profile_for(name), n_uops=N_UOPS,
+                          seed=trace_seed(name), name=name)
+              for name in THREADS]
+    print(f"threads: {', '.join(THREADS)} ({N_UOPS} uops each)\n")
+
+    results = {}
+    print(f"{'policy':11s} {'cycles':>8s} {'throughput':>11s} "
+          f"{'switches':>9s} {'wasted':>7s} {'stall':>7s}")
+    for policy in (SwitchPolicy.NONE, SwitchPolicy.REACTIVE,
+                   SwitchPolicy.PREDICTED, SwitchPolicy.ORACLE):
+        result = CoarseGrainedMT(policy=policy).run(traces)
+        results[policy] = result
+        print(f"{policy.value:11s} {result.cycles:8d} "
+              f"{result.throughput:11.2f} {result.switches:9d} "
+              f"{result.wasted_switches:7d} {result.stall_cycles:7d}")
+
+    from repro.smt import FineGrainedMT
+    fine = FineGrainedMT().run(traces)
+    print(f"{'fine-grained':11s} {fine.cycles:8d} "
+          f"{fine.throughput:11.2f} {fine.switches:9d} "
+          f"{fine.wasted_switches:7d} {fine.stall_cycles:7d}")
+
+    none = results[SwitchPolicy.NONE]
+    predicted = results[SwitchPolicy.PREDICTED]
+    reactive = results[SwitchPolicy.REACTIVE]
+    print(f"\nswitch-on-miss throughput gain : "
+          f"{predicted.speedup_over(none) - 1:+.1%}")
+    print(f"prediction vs. reactive switch : "
+          f"{predicted.speedup_over(reactive) - 1:+.1%} "
+          f"(switching at schedule time instead of after the L2 lookup)")
+
+    # How predictable are the levels themselves?
+    hmp = MultiLevelHMP()
+    mt = CoarseGrainedMT(policy=SwitchPolicy.PREDICTED,
+                         hmp_factory=lambda: hmp)
+    mt.run([build_trace(profile_for(name), n_uops=N_UOPS,
+                        seed=trace_seed(name), name=name)
+            for name in THREADS])
+    print(f"\nlevel-prediction accuracy      : {hmp.stats.accuracy:.1%}")
+    print(f"memory-level loads caught      : "
+          f"{hmp.stats.caught(MemoryLevel.MEMORY):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Cache-bank prediction (section 2.3).
+
+Predicting which bank a load will access lets the scheduler avoid
+co-issuing bank-conflicting loads (conventional multi-banked cache) or
+steer loads into hard-wired single-bank pipes (the proposed *sliced*
+pipeline).  With two banks, any binary predictor adapts to the task;
+the strongest variant derives the bank bit from a predicted effective
+address.
+
+The predictors of Figure 12:
+
+* Predictor A — local + gshare + gskew, majority vote;
+* Predictor B — local + gshare + bimodal, majority vote;
+* Predictor C — local + 2·gshare + gskew (gshare double-weighted);
+* Addr — the address-predictor-based bank predictor.
+
+:mod:`repro.bank.metric` implements the section 4.3 analytic metric
+relating prediction rate, accuracy and misprediction penalty to the
+fraction of ideal dual-ported gain achieved.
+"""
+
+from repro.bank.base import BankPredictor, BankPrediction, BankStats
+from repro.bank.history import (
+    HistoryBankPredictor,
+    make_predictor_a,
+    make_predictor_b,
+    make_predictor_c,
+)
+from repro.bank.address_based import AddressBankPredictor
+from repro.bank.multibit import BitwiseBankPredictor, expected_pipes_occupied
+from repro.bank.policy import DuplicationPolicy, SlicedPipeSimulator
+from repro.bank.pipeline_sim import PipeSimResult, compare_pipelines, simulate_pipeline
+from repro.bank.metric import (
+    gain_per_load,
+    load_execution_time,
+    metric,
+    metric_curve,
+)
+
+__all__ = [
+    "BankPredictor",
+    "BankPrediction",
+    "BankStats",
+    "HistoryBankPredictor",
+    "make_predictor_a",
+    "make_predictor_b",
+    "make_predictor_c",
+    "AddressBankPredictor",
+    "BitwiseBankPredictor",
+    "expected_pipes_occupied",
+    "DuplicationPolicy",
+    "SlicedPipeSimulator",
+    "PipeSimResult",
+    "compare_pipelines",
+    "simulate_pipeline",
+    "gain_per_load",
+    "load_execution_time",
+    "metric",
+    "metric_curve",
+]

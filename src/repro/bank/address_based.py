@@ -1,0 +1,57 @@
+"""Address-predictor-based bank prediction.
+
+"An address predictor is obviously extremely well suited to be adapted
+for bank prediction, since the bank is based solely on the load's
+effective address (one bit is required to choose between two banks)"
+(section 2.3).  The paper cites the correlated load-address predictor of
+[Beke99]; here the stand-in is the stride/last-address predictor of
+:mod:`repro.predictors.address` — same accuracy class on strided and
+stack traffic, abstains on stride-unstable loads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bank.base import ABSTAIN, BankPredictor, BankPrediction
+from repro.predictors.address import StrideAddressPredictor
+
+
+class AddressBankPredictor(BankPredictor):
+    """Derive the bank bit from a predicted effective address."""
+
+    def __init__(self, n_banks: int = 2, line_bytes: int = 64,
+                 address_predictor: Optional[StrideAddressPredictor] = None
+                 ) -> None:
+        if n_banks < 2 or n_banks & (n_banks - 1):
+            raise ValueError("n_banks must be a power of two >= 2")
+        self.n_banks = n_banks
+        self.line_bytes = line_bytes
+        self.inner = (address_predictor if address_predictor is not None
+                      else StrideAddressPredictor())
+
+    def _bank_of(self, address: int) -> int:
+        return (address // self.line_bytes) % self.n_banks
+
+    def predict(self, pc: int) -> BankPrediction:
+        address = self.inner.predict(pc)
+        if address is None:
+            return ABSTAIN
+        return BankPrediction(bank=self._bank_of(address),
+                              confidence=self.inner.confidence(pc))
+
+    def update(self, pc: int, bank: int,
+               address: Optional[int] = None) -> None:
+        if address is None:
+            raise ValueError("address-based predictor trains on addresses")
+        self.inner.update(pc, address)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self.inner.storage_bits
+
+    def __repr__(self) -> str:
+        return f"AddressBankPredictor(banks={self.n_banks})"

@@ -1,0 +1,103 @@
+"""Bank predictor protocol and evaluation accounting.
+
+A bank predictor may *abstain* (no prediction) — section 2.3's policies
+explicitly trade prediction rate against accuracy, and Figure 12's
+metric is parameterised by both.  Abstention maps onto "duplicate the
+load to all pipes" in the sliced design.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BankPrediction:
+    """A predicted bank with a confidence level, or an abstention."""
+
+    bank: Optional[int]
+    confidence: float = 1.0
+
+    @property
+    def predicted(self) -> bool:
+        return self.bank is not None
+
+
+ABSTAIN = BankPrediction(bank=None, confidence=0.0)
+
+
+class BankPredictor(abc.ABC):
+    """Per-load bank prediction for an ``n_banks``-way banked cache."""
+
+    n_banks: int = 2
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> BankPrediction:
+        """Predict the bank of the next access by the load at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, bank: int, address: Optional[int] = None) -> None:
+        """Train with the resolved bank (and address, if available)."""
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def storage_bits(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class BankStats:
+    """Prediction-rate / accuracy accounting for Figure 12.
+
+    ``prediction_rate`` is the fraction of loads for which a prediction
+    was made (P in the metric); ``accuracy`` is the fraction of made
+    predictions that were correct, and ``ratio`` is R = correct/wrong.
+    """
+
+    loads: int = 0
+    predicted: int = 0
+    correct: int = 0
+
+    def record(self, prediction: BankPrediction, actual_bank: int) -> None:
+        self.loads += 1
+        if not prediction.predicted:
+            return
+        self.predicted += 1
+        if prediction.bank == actual_bank:
+            self.correct += 1
+
+    @property
+    def prediction_rate(self) -> float:
+        return self.predicted / self.loads if self.loads else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predicted if self.predicted else 0.0
+
+    @property
+    def wrong(self) -> int:
+        return self.predicted - self.correct
+
+    @property
+    def ratio(self) -> float:
+        """R = correct predictions / wrong predictions (section 4.3)."""
+        if not self.wrong:
+            return float("inf")
+        return self.correct / self.wrong
+
+    def merge(self, other: "BankStats") -> None:
+        self.loads += other.loads
+        self.predicted += other.predicted
+        self.correct += other.correct
+
+    def as_dict(self) -> dict:
+        return {
+            "loads": self.loads,
+            "prediction_rate": self.prediction_rate,
+            "accuracy": self.accuracy,
+            "ratio": self.ratio if self.wrong else None,
+        }

@@ -1,0 +1,98 @@
+"""The section 4.3 analytic performance metric.
+
+With each load taking one unit on a single-ported cache, a perfect
+two-bank schedule halves the time per load (ideal gain 0.5).  For a real
+predictor with prediction rate ``P``, correct:wrong ratio ``R`` and a
+per-misprediction penalty, the paper derives::
+
+    LoadExecutionTime = (1 - P) + P * (0.5 * R + Penalty) / (R + 1)
+    GainPerLoad       = 1 - LoadExecutionTime
+                      = P * (0.5 * R + 1 - Penalty) / (R + 1)
+                      ~ P * (0.5 - Penalty / R)
+    Metric            = GainPerLoad / 0.5
+                      ~ P * (1 - 2 * Penalty / R)
+
+Unpredicted loads execute at the single-ported rate (time 1); correctly
+predicted loads pair up (time 0.5); mispredicted loads pay the penalty.
+Figure 12 plots Metric against Penalty for each predictor; the
+prediction rate is the metric at penalty 0 and the accuracy sets the
+slope.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+IDEAL_GAIN = 0.5
+
+
+def load_execution_time(prediction_rate: float, ratio: float,
+                        penalty: float) -> float:
+    """Average per-load time under the paper's exact expression."""
+    _validate(prediction_rate, ratio)
+    p = prediction_rate
+    return (1.0 - p) + p * (0.5 * ratio + penalty) / (ratio + 1.0)
+
+
+def gain_per_load(prediction_rate: float, ratio: float,
+                  penalty: float) -> float:
+    """GainPerLoad = 1 - LoadExecutionTime (exact form)."""
+    return 1.0 - load_execution_time(prediction_rate, ratio, penalty)
+
+
+def metric(prediction_rate: float, ratio: float, penalty: float,
+           approximate: bool = False) -> float:
+    """Fraction of the ideal dual-porting gain achieved.
+
+    ``approximate=True`` uses the paper's simplified form
+    ``P * (1 - 2*Penalty/R)``, valid when R >> 1.
+    """
+    _validate(prediction_rate, ratio)
+    if approximate:
+        return prediction_rate * (1.0 - 2.0 * penalty / ratio)
+    return gain_per_load(prediction_rate, ratio, penalty) / IDEAL_GAIN
+
+
+def metric_curve(prediction_rate: float, ratio: float,
+                 penalties: Sequence[float],
+                 approximate: bool = False) -> List[Tuple[float, float]]:
+    """(penalty, metric) pairs for one predictor — one Figure 12 line."""
+    return [(penalty, metric(prediction_rate, ratio, penalty, approximate))
+            for penalty in penalties]
+
+
+def ratio_from_accuracy(accuracy: float) -> float:
+    """Convert an accuracy fraction into the paper's R ratio."""
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValueError("accuracy must be a probability")
+    if accuracy == 1.0:
+        return float("inf")
+    return accuracy / (1.0 - accuracy)
+
+
+def accuracy_from_ratio(ratio: float) -> float:
+    """Inverse of :func:`ratio_from_accuracy`."""
+    if ratio < 0:
+        raise ValueError("ratio must be non-negative")
+    if ratio == float("inf"):
+        return 1.0
+    return ratio / (1.0 + ratio)
+
+
+def break_even_penalty(ratio: float) -> float:
+    """Penalty at which the predictor stops paying (metric = 0).
+
+    From the approximate form: ``Penalty* = R / 2``.  Above it, a
+    misprediction costs more than pairing saves — choose a more accurate
+    predictor (the section 4.3 design conclusion).
+    """
+    if ratio == float("inf"):
+        return float("inf")
+    return ratio / 2.0
+
+
+def _validate(prediction_rate: float, ratio: float) -> None:
+    if not 0.0 <= prediction_rate <= 1.0:
+        raise ValueError("prediction_rate must be a probability")
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")

@@ -1,0 +1,96 @@
+"""Scaling bank prediction beyond two banks.
+
+Section 2.3: "Scaling to more than two banks may either be done using a
+non-binary predictor (such as an address predictor) or by extending
+binary prediction.  Each bit of the bank ID can be independently
+predicted and assigned a confidence rating.  If the confidence level of
+a particular bit is low, the load will be sent to both banks."
+
+:class:`BitwiseBankPredictor` implements the latter: one binary
+predictor per bank-ID bit.  Its prediction is a *set* of candidate
+banks — the cross product of the confident bits' values with both
+values of every unconfident bit — which the sliced pipe duplicates
+across.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.bank.base import BankPredictor, BankPrediction
+from repro.common import bits
+from repro.predictors.base import BinaryPredictor
+from repro.predictors.local import LocalPredictor
+
+
+class BitwiseBankPredictor(BankPredictor):
+    """Independent per-bit prediction with confidence-gated expansion."""
+
+    def __init__(self, n_banks: int = 4,
+                 component_factory: Optional[
+                     Callable[[], BinaryPredictor]] = None,
+                 confidence_floor: float = 0.5) -> None:
+        self.n_bits = bits.ilog2(n_banks)
+        if self.n_bits < 1:
+            raise ValueError("need at least two banks")
+        self.n_banks = n_banks
+        if component_factory is None:
+            component_factory = lambda: LocalPredictor(n_entries=512,
+                                                       history_bits=6)
+        self._bit_predictors: List[BinaryPredictor] = [
+            component_factory() for _ in range(self.n_bits)
+        ]
+        self.confidence_floor = confidence_floor
+
+    def predict_banks(self, pc: int) -> List[int]:
+        """All candidate banks (1 = a full prediction; n_banks = none).
+
+        Unconfident bits expand the candidate set: the load is
+        duplicated across every bank consistent with the confident bits.
+        """
+        candidates = [0]
+        for bit, predictor in enumerate(self._bit_predictors):
+            p = predictor.predict(pc)
+            if p.confidence >= self.confidence_floor:
+                candidates = [c | (int(p.outcome) << bit)
+                              for c in candidates]
+            else:
+                candidates = ([c for c in candidates]
+                              + [c | (1 << bit) for c in candidates])
+        return sorted(candidates)
+
+    def predict(self, pc: int) -> BankPrediction:
+        """BankPredictor protocol: predict only when a single candidate
+        survives; otherwise abstain (duplicate)."""
+        candidates = self.predict_banks(pc)
+        if len(candidates) == 1:
+            return BankPrediction(bank=candidates[0], confidence=1.0)
+        return BankPrediction(bank=None,
+                              confidence=1.0 / len(candidates))
+
+    def update(self, pc: int, bank: int,
+               address: Optional[int] = None) -> None:
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank {bank} out of range")
+        for bit, predictor in enumerate(self._bit_predictors):
+            predictor.update(pc, bool((bank >> bit) & 1))
+
+    def reset(self) -> None:
+        for predictor in self._bit_predictors:
+            predictor.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return sum(p.storage_bits for p in self._bit_predictors)
+
+    def __repr__(self) -> str:
+        return f"BitwiseBankPredictor(banks={self.n_banks})"
+
+
+def expected_pipes_occupied(predictor: BitwiseBankPredictor,
+                            pcs: Sequence[int]) -> float:
+    """Average candidate-set size — the duplication cost measure."""
+    if not pcs:
+        return 0.0
+    total = sum(len(predictor.predict_banks(pc)) for pc in pcs)
+    return total / len(pcs)

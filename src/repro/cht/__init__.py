@@ -1,0 +1,54 @@
+"""Collision History Tables — the paper's memory dependence predictor.
+
+Section 2.1: instead of predicting load-store *pairs* (Moshovos/Sohi) or
+store *sets* (Chrysos/Emer), the CHT predicts a single bit per load —
+will this load collide with *any* older, not-yet-executed store in the
+scheduling window?  The exclusive variant adds a minimal collision
+distance so a colliding load can still bypass the stores nearer than its
+colliding store.
+
+Four practical organisations (Figure 2 / Figure 9):
+
+* :class:`FullCHT` — tagged, set-associative, n-bit counters, optional
+  distance; allocate-on-first-collision.
+* :class:`TaglessCHT` — direct-mapped 1-bit counters, no tags; many
+  entries, suffers aliasing.
+* :class:`TaggedOnlyCHT` — tags only; presence in the table *is* the
+  (sticky) colliding prediction — a 0-bit predictor.
+* :class:`CombinedCHT` — tagged-only + tagless; predicts non-colliding
+  only when both agree (minimises AC-PNC).
+
+All share the :class:`CollisionPredictor` protocol the ordering schemes
+consume, and all can be wrapped in :class:`PeriodicClearing` ([Chry98]'s
+cyclic clearing) to let sticky predictions age out.
+"""
+
+from repro.cht.base import (
+    CollisionPredictor,
+    CollisionPrediction,
+    NeverCollides,
+    AlwaysCollides,
+)
+from repro.cht.full import FullCHT
+from repro.cht.tagless import TaglessCHT
+from repro.cht.tagged import TaggedOnlyCHT
+from repro.cht.combined import CombinedCHT
+from repro.cht.clearing import PeriodicClearing
+from repro.cht.storesets import StoreSetPredictor
+from repro.cht.barrier import StoreBarrierCache
+from repro.cht.annotated import AnnotatedCHT
+
+__all__ = [
+    "CollisionPredictor",
+    "CollisionPrediction",
+    "NeverCollides",
+    "AlwaysCollides",
+    "FullCHT",
+    "TaglessCHT",
+    "TaggedOnlyCHT",
+    "CombinedCHT",
+    "PeriodicClearing",
+    "StoreSetPredictor",
+    "StoreBarrierCache",
+    "AnnotatedCHT",
+]

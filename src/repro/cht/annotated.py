@@ -1,0 +1,121 @@
+"""Opcode-annotated collision hints (trace-cache storage).
+
+Section 2.1's alternative to dedicated tables: "include the run-time
+disambiguation information along with the load instruction op-code
+(annotated in the instruction or trace cache) saving the area and
+complexity of separate tables.  Storing disambiguation hints within the
+trace cache may also improve the disambiguation quality by allowing
+different behaviors for the same load instruction based on execution
+path."
+
+:class:`AnnotatedCHT` models that storage: capacity follows the
+instruction/trace cache (entries are evicted with their cache lines,
+approximated by an LRU bound on distinct static loads), and an optional
+*path hash* folds recent branch history into the key so one static load
+can hold different hints on different paths.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.common import bits
+from repro.cht.base import (
+    CollisionPrediction,
+    CollisionPredictor,
+    NOT_COLLIDING,
+)
+from repro.predictors.counters import SaturatingCounter
+
+
+class AnnotatedCHT(CollisionPredictor):
+    """Per-(load, path) collision hints stored with the instruction.
+
+    Parameters
+    ----------
+    capacity:
+        Distinct (pc, path) entries the instruction/trace cache can
+        annotate (LRU beyond it — the hint is lost with the line).
+    path_bits:
+        Width of the path signature mixed into the key; 0 disables path
+        sensitivity (plain instruction-cache annotation).
+    counter_bits:
+        Per-annotation predictor state (1 = the paper's single bit).
+    """
+
+    def __init__(self, capacity: int = 4096, path_bits: int = 0,
+                 counter_bits: int = 1,
+                 track_distance: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.path_bits = path_bits
+        self.counter_bits = counter_bits
+        self.track_distance = track_distance
+        self._path_history = 0
+        self._entries: "OrderedDict[Tuple[int, int], SaturatingCounter]" = \
+            OrderedDict()
+        self._distances: dict = {}
+
+    # -- path signature --------------------------------------------------------
+
+    def observe_branch(self, taken: bool) -> None:
+        """Fold a branch outcome into the path signature (trace cache
+        path sensitivity).  No-op when ``path_bits`` is 0."""
+        if self.path_bits:
+            self._path_history = bits.shift_history(
+                self._path_history, taken, self.path_bits)
+
+    def _key(self, pc: int) -> Tuple[int, int]:
+        return (pc, self._path_history if self.path_bits else 0)
+
+    # -- CollisionPredictor protocol -------------------------------------------
+
+    def lookup(self, pc: int) -> CollisionPrediction:
+        key = self._key(pc)
+        cell = self._entries.get(key)
+        if cell is None or not cell.prediction:
+            return NOT_COLLIDING
+        distance = self._distances.get(key) if self.track_distance else None
+        return CollisionPrediction(colliding=True, distance=distance)
+
+    def train(self, pc: int, collided: bool,
+              distance: Optional[int] = None) -> None:
+        key = self._key(pc)
+        cell = self._entries.get(key)
+        if cell is None:
+            if not collided:
+                return  # annotate only loads that collide
+            cell = SaturatingCounter(self.counter_bits)
+            self._entries[key] = cell
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self._distances.pop(evicted, None)
+        else:
+            self._entries.move_to_end(key)
+        cell.train(collided)
+        if collided and distance is not None:
+            current = self._distances.get(key)
+            if current is None or distance < current:
+                self._distances[key] = distance
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._distances.clear()
+        self._path_history = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def storage_bits(self) -> int:
+        # The hint bits ride in existing cache lines; cost is the
+        # per-line annotation, not a separate table.
+        distance_bits = 6 if self.track_distance else 0
+        return self.capacity * (self.counter_bits + distance_bits)
+
+    def __repr__(self) -> str:
+        return (f"AnnotatedCHT(capacity={self.capacity}, "
+                f"path_bits={self.path_bits})")

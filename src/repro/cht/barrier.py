@@ -1,0 +1,54 @@
+"""Store Barrier Cache (Hesson, LeBlanc & Ciavaglia, 1995).
+
+The other industrial baseline the paper discusses: "each store that
+caused an ordering violation increments a saturating counter in the
+barrier cache.  At fetch time of a store, the barrier cache is queried
+and if the counter is set all following loads are delayed until after
+the store is executed.  If the store did not cause a violation the
+counter is decremented."
+
+Note the granularity contrast the paper draws: the barrier is keyed by
+*store* PC and blocks *all* younger loads, whereas the CHT is keyed by
+load PC and delays only the predicted-colliding loads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common import bits
+from repro.predictors.counters import SaturatingCounter
+
+
+class StoreBarrierCache:
+    """PC-indexed saturating counters over store violation history."""
+
+    def __init__(self, n_entries: int = 2048, counter_bits: int = 2) -> None:
+        bits.ilog2(n_entries)
+        self.n_entries = n_entries
+        self.counter_bits = counter_bits
+        self._table: List[SaturatingCounter] = [
+            SaturatingCounter(counter_bits) for _ in range(n_entries)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return bits.pc_index(pc, self.n_entries)
+
+    def is_barrier(self, store_pc: int) -> bool:
+        """Queried at store fetch: should younger loads be fenced?"""
+        return self._table[self._index(store_pc)].prediction
+
+    def train(self, store_pc: int, caused_violation: bool) -> None:
+        """Increment on violation, decrement on clean completion."""
+        self._table[self._index(store_pc)].train(caused_violation)
+
+    def clear(self) -> None:
+        for counter in self._table:
+            counter.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self.n_entries * self.counter_bits
+
+    def __repr__(self) -> str:
+        return f"StoreBarrierCache(entries={self.n_entries})"

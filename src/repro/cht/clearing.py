@@ -1,0 +1,49 @@
+"""Cyclic clearing wrapper.
+
+Sticky predictors cannot unlearn; section 2.1 notes (after [Chry98])
+that "the table may be cleared occasionally to provide for behaviour
+changes".  This wrapper clears the wrapped predictor every
+``interval`` training events — the model's proxy for "once every
+several million instructions".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cht.base import CollisionPrediction, CollisionPredictor
+
+
+class PeriodicClearing(CollisionPredictor):
+    """Clear the wrapped predictor every ``interval`` retirements."""
+
+    def __init__(self, inner: CollisionPredictor, interval: int) -> None:
+        if interval < 1:
+            raise ValueError("interval must be positive")
+        self.inner = inner
+        self.interval = interval
+        self._since_clear = 0
+        self.clear_count = 0
+
+    def lookup(self, pc: int) -> CollisionPrediction:
+        return self.inner.lookup(pc)
+
+    def train(self, pc: int, collided: bool,
+              distance: Optional[int] = None) -> None:
+        self.inner.train(pc, collided, distance)
+        self._since_clear += 1
+        if self._since_clear >= self.interval:
+            self.inner.clear()
+            self._since_clear = 0
+            self.clear_count += 1
+
+    def clear(self) -> None:
+        self.inner.clear()
+        self._since_clear = 0
+
+    @property
+    def storage_bits(self) -> int:
+        return self.inner.storage_bits
+
+    def __repr__(self) -> str:
+        return f"PeriodicClearing({self.inner!r}, every={self.interval})"

@@ -1,0 +1,84 @@
+"""Combined implicit-predictor + tagless CHT.
+
+Section 2.1: "uses the Implicit-predictor outcome when the tag matches
+and the Tagless result otherwise (predict a load as non-colliding only
+when there is no tag match in the Tag-only CHT and the Tagless state is
+non-colliding).  This configuration tries to maximize the number of
+AC-PC."  An alternative composition mode ("either") predicts colliding
+only when *both* tables agree, for machines where maximising ANC-PNC
+matters more.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cht.base import CollisionPrediction, CollisionPredictor
+from repro.cht.tagged import TaggedOnlyCHT
+from repro.cht.tagless import TaglessCHT
+
+
+class CombinedCHT(CollisionPredictor):
+    """Tag-only table backed by a larger tagless table.
+
+    Parameters
+    ----------
+    tagged_entries / ways:
+        Geometry of the tag-only component (sized like the paper's
+        128..2K sweep).
+    tagless_entries:
+        Geometry of the tagless component (the paper pairs a 4K tagless
+        table with the swept tag-only table).
+    mode:
+        ``"safe"`` — predict non-colliding only when both components
+        say non-colliding (maximise AC-PC; the default, matching the
+        Figure 9 configuration).
+        ``"aggressive"`` — predict colliding only when both components
+        say colliding (maximise ANC-PNC).
+    """
+
+    MODES = ("safe", "aggressive")
+
+    def __init__(self, tagged_entries: int = 2048, ways: int = 4,
+                 tagless_entries: int = 4096, mode: str = "safe",
+                 track_distance: bool = False) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.track_distance = track_distance
+        self.tagged = TaggedOnlyCHT(tagged_entries, ways,
+                                    track_distance=track_distance)
+        self.tagless = TaglessCHT(tagless_entries,
+                                  track_distance=track_distance)
+
+    def lookup(self, pc: int) -> CollisionPrediction:
+        tagged_p = self.tagged.lookup(pc)
+        tagless_p = self.tagless.lookup(pc)
+        if self.mode == "safe":
+            colliding = tagged_p.colliding or tagless_p.colliding
+        else:
+            colliding = tagged_p.colliding and tagless_p.colliding
+        if not colliding:
+            return CollisionPrediction(colliding=False)
+        distance: Optional[int] = None
+        if self.track_distance:
+            candidates = [p.distance for p in (tagged_p, tagless_p)
+                          if p.colliding and p.distance is not None]
+            distance = min(candidates) if candidates else None
+        return CollisionPrediction(colliding=True, distance=distance)
+
+    def train(self, pc: int, collided: bool,
+              distance: Optional[int] = None) -> None:
+        self.tagged.train(pc, collided, distance)
+        self.tagless.train(pc, collided, distance)
+
+    def clear(self) -> None:
+        self.tagged.clear()
+        self.tagless.clear()
+
+    @property
+    def storage_bits(self) -> int:
+        return self.tagged.storage_bits + self.tagless.storage_bits
+
+    def __repr__(self) -> str:
+        return f"CombinedCHT(mode={self.mode})"

@@ -1,0 +1,50 @@
+"""Shared substrate: uop types, machine configuration, statistics, RNG, bits.
+
+Everything in this package is dependency-free (standard library only) so the
+rest of the system can import it without cycles.
+"""
+
+from repro.common.types import (
+    Uop,
+    UopClass,
+    MemAccess,
+    LoadCollisionClass,
+    HitMissClass,
+    is_load,
+    is_store_address,
+    is_store_data,
+)
+from repro.common.config import (
+    CacheConfig,
+    MemoryConfig,
+    ExecUnitConfig,
+    LatencyConfig,
+    MachineConfig,
+    BASELINE_MACHINE,
+)
+from repro.common.stats import Counter, Histogram, RatioStat, StatGroup
+from repro.common.rng import DeterministicRng
+from repro.common import bits
+
+__all__ = [
+    "Uop",
+    "UopClass",
+    "MemAccess",
+    "LoadCollisionClass",
+    "HitMissClass",
+    "is_load",
+    "is_store_address",
+    "is_store_data",
+    "CacheConfig",
+    "MemoryConfig",
+    "ExecUnitConfig",
+    "LatencyConfig",
+    "MachineConfig",
+    "BASELINE_MACHINE",
+    "Counter",
+    "Histogram",
+    "RatioStat",
+    "StatGroup",
+    "DeterministicRng",
+    "bits",
+]

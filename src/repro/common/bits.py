@@ -1,0 +1,112 @@
+"""Bit-manipulation helpers shared by the predictor tables.
+
+All predictor tables in the paper index with subsets of the linear
+instruction pointer, fold longer histories onto shorter indices, and use
+skewed hash functions (gskew).  These helpers centralise that arithmetic.
+"""
+
+from __future__ import annotations
+
+
+def mask(n_bits: int) -> int:
+    """An ``n_bits``-wide all-ones mask."""
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    return (1 << n_bits) - 1
+
+
+def extract(value: int, lo: int, n_bits: int) -> int:
+    """Bits ``[lo, lo+n_bits)`` of ``value``."""
+    return (value >> lo) & mask(n_bits)
+
+
+def fold(value: int, n_bits: int) -> int:
+    """XOR-fold an arbitrarily wide value down to ``n_bits`` bits."""
+    if n_bits <= 0:
+        raise ValueError("n_bits must be positive")
+    folded = 0
+    m = mask(n_bits)
+    while value:
+        folded ^= value & m
+        value >>= n_bits
+    return folded
+
+
+def ilog2(value: int) -> int:
+    """Exact integer log2; raises if ``value`` is not a power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+#: Knuth's multiplicative-hash constant (golden ratio of 2^32).
+_MIX = 2654435761
+
+
+def pc_index(pc: int, n_entries: int, shift: int = 2) -> int:
+    """Direct-mapped table index from an instruction pointer.
+
+    The low ``shift`` bits are dropped (instruction alignment), then the
+    pointer is mixed multiplicatively before folding onto the index
+    width.  A plain XOR-fold of "a subset of the linear instruction
+    pointer bits" (section 2.1) produces *systematic* aliasing when code
+    is laid out at regular strides; the multiplicative mix keeps the
+    aliasing that remains capacity-shaped rather than layout-shaped.
+    """
+    if n_entries <= 1:
+        return 0
+    mixed = ((pc >> shift) * _MIX) & 0xFFFFFFFF
+    return fold(mixed >> 8, ilog2(n_entries))
+
+
+def gshare_index(pc: int, history: int, n_entries: int, shift: int = 2) -> int:
+    """Classic gshare index: PC xor global history, folded to table width."""
+    n_bits = ilog2(n_entries)
+    return (fold(pc >> shift, n_bits) ^ fold(history, n_bits)) & mask(n_bits)
+
+
+# --- Skewing functions (gskew) --------------------------------------------
+#
+# The e-gskew predictor of Michaud & Seznec indexes each of its banks with
+# a different skewing function built from a simple invertible bit mixer H
+# and its inverse.  We implement the standard H/H^-1 on n-bit values.
+
+
+def _h(value: int, n_bits: int) -> int:
+    """The Michaud/Seznec H function: one step of an LFSR-like mix."""
+    msb = (value >> (n_bits - 1)) & 1
+    second = (value >> (n_bits - 2)) & 1 if n_bits >= 2 else 0
+    new_msb = msb ^ second
+    return ((value << 1) & mask(n_bits)) | new_msb
+
+
+def _h_inv(value: int, n_bits: int) -> int:
+    """Inverse of :func:`_h`."""
+    lsb = value & 1
+    msb = (value >> (n_bits - 1)) & 1
+    return (value >> 1) | ((lsb ^ msb) << (n_bits - 1))
+
+
+def skew_index(pc: int, history: int, bank: int, n_entries: int,
+               shift: int = 2) -> int:
+    """Index for gskew bank ``bank`` (0, 1 or 2).
+
+    Each bank mixes the same (pc, history) pair through a different
+    composition of H and H^-1 so that two addresses aliasing in one bank
+    rarely alias in the others (the skewing property).
+    """
+    n_bits = ilog2(n_entries)
+    v1 = fold(pc >> shift, n_bits)
+    v2 = fold(history, n_bits)
+    if bank == 0:
+        return _h(v1, n_bits) ^ _h_inv(v2, n_bits) ^ v2
+    if bank == 1:
+        return _h(v1, n_bits) ^ _h_inv(v2, n_bits) ^ v1
+    if bank == 2:
+        return _h(v2, n_bits) ^ _h_inv(v1, n_bits) ^ v2
+    raise ValueError("gskew has exactly three banks")
+
+
+def shift_history(history: int, outcome: bool, length: int) -> int:
+    """Shift a binary outcome into an ``length``-bit history register."""
+    return ((history << 1) | int(outcome)) & mask(length)

@@ -1,0 +1,146 @@
+"""Machine configuration dataclasses.
+
+The default values reproduce the baseline machine of section 3.1:
+
+* 6 uops fetched and renamed per clock, retire up to 6 uops per clock;
+* 128-entry renamer register pool (bounds in-flight uops);
+* 32-entry scheduling window (swept 8..128 in Figure 6);
+* 2 integer, 2 memory, 1 FP, 2 complex execution units (Figure 8 sweeps
+  the integer/memory counts);
+* 16K L1 D-cache and 256K unified L2, both 4-way with 64-byte lines;
+* 8-cycle load-store collision penalty.
+
+Latencies follow the deep-pipe example of Figure 3: 5-cycle L1 access and
+a hit/miss indication that arrives 5 cycles after dependents could have
+started scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.common.types import UopClass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    ways: int = 4
+    n_banks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ValueError("cache size must be a multiple of line*ways")
+        if self.n_banks < 1 or self.n_banks & (self.n_banks - 1):
+            raise ValueError("n_banks must be a positive power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """The two-level hierarchy of section 3.1."""
+
+    l1d: CacheConfig = CacheConfig(size_bytes=16 * 1024)
+    l2: CacheConfig = CacheConfig(size_bytes=256 * 1024)
+    l1_latency: int = 5  #: cache-access cycles (Fig 3: 8-cycle load = 3 AGU + 5)
+    l2_latency: int = 12
+    memory_latency: int = 80
+    mshr_entries: int = 8  #: outstanding-miss queue depth
+
+
+@dataclass(frozen=True)
+class ExecUnitConfig:
+    """Number of execution units per class (Figure 8 sweeps int/mem)."""
+
+    n_int: int = 2
+    n_mem: int = 2
+    n_fp: int = 1
+    n_complex: int = 2
+
+    def capacity(self, uclass: UopClass) -> int:
+        """Issue slots per cycle available to a uop class."""
+        if uclass in (UopClass.INT, UopClass.BRANCH):
+            return self.n_int
+        if uclass in (UopClass.LOAD, UopClass.STA, UopClass.STD):
+            return self.n_mem
+        if uclass == UopClass.FP:
+            return self.n_fp
+        if uclass == UopClass.COMPLEX:
+            return self.n_complex
+        return 0  # NOP never issues
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Fixed execution latencies (cycles) for non-load classes."""
+
+    int_latency: int = 1
+    fp_latency: int = 3
+    complex_latency: int = 4
+    branch_latency: int = 1
+    agu_latency: int = 3  #: sched-to-address-known: RF read + AGU (Fig 3)
+    collision_penalty: int = 8  #: section 3.1 load-store collision penalty
+    hit_indication_delay: int = 5  #: Figure 3: cycles until hit/miss known
+    reschedule_delay: int = 6  #: recovery gap after a squashed issue (re-schedule + re-pipeline)
+    branch_mispredict_penalty: int = 10
+    #: Store-to-load forwarding latency: when set, a load whose nearest
+    #: older overlapping store has completed receives its data from the
+    #: store queue in this many cycles instead of accessing the cache.
+    #: ``None`` disables forwarding (data comes through the cache, which
+    #: the store has already warmed).  Section 2.1 notes the exclusive
+    #: predictor's pairing "may also provide a simple way of performing
+    #: load-store pairing, enabling data value forwarding".
+    forward_latency: Optional[int] = None
+
+    def of(self, uclass: UopClass) -> int:
+        table: Dict[UopClass, int] = {
+            UopClass.INT: self.int_latency,
+            UopClass.FP: self.fp_latency,
+            UopClass.COMPLEX: self.complex_latency,
+            UopClass.BRANCH: self.branch_latency,
+            UopClass.STA: self.agu_latency,
+            UopClass.STD: self.agu_latency,
+            UopClass.NOP: 0,
+        }
+        if uclass == UopClass.LOAD:
+            raise ValueError("load latency is dynamic; query the hierarchy")
+        return table[uclass]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete machine description consumed by :class:`repro.engine.Machine`."""
+
+    fetch_width: int = 6
+    retire_width: int = 6
+    register_pool: int = 128
+    window_size: int = 32
+    units: ExecUnitConfig = ExecUnitConfig()
+    memory: MemoryConfig = MemoryConfig()
+    latency: LatencyConfig = LatencyConfig()
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError("window_size must be positive")
+        if self.window_size > self.register_pool:
+            raise ValueError("scheduling window cannot exceed register pool")
+
+    def with_window(self, window_size: int) -> "MachineConfig":
+        """Copy with a different scheduling window (Figure 6 sweep)."""
+        return replace(self, window_size=window_size)
+
+    def with_units(self, n_int: int, n_mem: int) -> "MachineConfig":
+        """Copy with different integer/memory unit counts (Figure 8)."""
+        units = replace(self.units, n_int=n_int, n_mem=n_mem)
+        return replace(self, units=units)
+
+
+#: The section 3.1 baseline configuration.
+BASELINE_MACHINE = MachineConfig()

@@ -1,0 +1,202 @@
+"""Light-weight statistics plumbing used across the simulator.
+
+Every subsystem exposes a :class:`StatGroup` so experiment harnesses can
+collect named counters uniformly and render them into the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class RatioStat:
+    """A numerator/denominator pair with a safe ratio accessor."""
+
+    __slots__ = ("name", "num", "den")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.num = 0
+        self.den = 0
+
+    def record(self, success: bool) -> None:
+        self.den += 1
+        if success:
+            self.num += 1
+
+    def add(self, num: int, den: int) -> None:
+        self.num += num
+        self.den += den
+
+    @property
+    def ratio(self) -> float:
+        return self.num / self.den if self.den else 0.0
+
+    def reset(self) -> None:
+        self.num = 0
+        self.den = 0
+
+    def __repr__(self) -> str:
+        return f"RatioStat({self.name}={self.num}/{self.den}={self.ratio:.4f})"
+
+
+class Histogram:
+    """Integer-keyed histogram (e.g. collision distances, latencies)."""
+
+    __slots__ = ("name", "_bins")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._bins: Dict[int, int] = {}
+
+    def add(self, key: int, amount: int = 1) -> None:
+        self._bins[key] = self._bins.get(key, 0) + amount
+
+    def count(self, key: int) -> int:
+        return self._bins.get(key, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._bins.values())
+
+    def items(self) -> List[Tuple[int, int]]:
+        return sorted(self._bins.items())
+
+    def mean(self) -> float:
+        total = self.total
+        if not total:
+            return 0.0
+        return sum(k * v for k, v in self._bins.items()) / total
+
+    def percentile(self, q: float) -> int:
+        """Smallest key whose cumulative count reaches fraction ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        total = self.total
+        if not total:
+            return 0
+        threshold = q * total
+        running = 0
+        for key, count in self.items():
+            running += count
+            if running >= threshold:
+                return key
+        return self.items()[-1][0]
+
+    def reset(self) -> None:
+        self._bins.clear()
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.total})"
+
+
+StatValue = Union[Counter, RatioStat, Histogram]
+
+
+class StatGroup:
+    """A named, ordered collection of statistics.
+
+    Acts as a small registry: subsystems create their stats through the
+    group so reports can walk everything without knowing the internals.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._stats: "OrderedDict[str, StatValue]" = OrderedDict()
+        self._children: "OrderedDict[str, StatGroup]" = OrderedDict()
+
+    def counter(self, name: str) -> Counter:
+        return self._register(name, Counter(name))
+
+    def ratio(self, name: str) -> RatioStat:
+        return self._register(name, RatioStat(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._register(name, Histogram(name))
+
+    def child(self, name: str) -> "StatGroup":
+        if name in self._children:
+            return self._children[name]
+        group = StatGroup(name)
+        self._children[name] = group
+        return group
+
+    def _register(self, name: str, stat: StatValue) -> StatValue:
+        if name in self._stats:
+            existing = self._stats[name]
+            if type(existing) is not type(stat):
+                raise TypeError(f"stat {name!r} already exists as {type(existing)}")
+            return existing  # type: ignore[return-value]
+        self._stats[name] = stat
+        return stat
+
+    def get(self, name: str) -> Optional[StatValue]:
+        return self._stats.get(name)
+
+    def __iter__(self) -> Iterator[Tuple[str, StatValue]]:
+        return iter(self._stats.items())
+
+    def reset(self) -> None:
+        for stat in self._stats.values():
+            stat.reset()
+        for child in self._children.values():
+            child.reset()
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten into plain numbers for reporting / JSON."""
+        out: Dict[str, object] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Counter):
+                out[name] = stat.value
+            elif isinstance(stat, RatioStat):
+                out[name] = {"num": stat.num, "den": stat.den, "ratio": stat.ratio}
+            else:
+                out[name] = dict(stat.items())
+        for child_name, child in self._children.items():
+            out[child_name] = child.as_dict()
+        return out
+
+
+def weighted_mean(pairs: Mapping[str, Tuple[float, float]]) -> float:
+    """Weighted mean of ``{label: (value, weight)}`` pairs."""
+    total_weight = sum(w for _, w in pairs.values())
+    if not total_weight:
+        return 0.0
+    return sum(v * w for v, w in pairs.values()) / total_weight
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean, the conventional aggregate for speedups."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,59 @@
+"""Trace-driven out-of-order core model (section 3 machine).
+
+The engine reproduces the simulation methodology of section 3.1: a
+6-wide fetch/rename front end, a 128-entry register pool (bounding the
+in-flight instruction window), a scheduling window of reservation
+stations (32 entries baseline, swept 8-128), per-class execution units
+(2 INT / 2 MEM / 1 FP / 2 COMPLEX baseline), in-order retirement, a
+two-level memory hierarchy, and the paper's penalty model: "whenever a
+load uop is wrongly scheduled with respect to a STA or STD uop, a
+collision penalty is added to delay the data retrieved by this load"
+(8 cycles).
+
+Six memory ordering schemes (section 3.1 I-VI) plug into the scheduler
+through :class:`OrderingScheme`; hit-miss predictors plug in through the
+``hmp`` machine parameter and change when load-dependent uops wake up.
+"""
+
+from repro.engine.inflight import InflightUop, LoadInfo
+from repro.engine.mob import MemoryOrderBuffer, StoreRecord
+from repro.engine.ordering import (
+    OrderingScheme,
+    TraditionalOrdering,
+    OpportunisticOrdering,
+    PostponingOrdering,
+    InclusiveOrdering,
+    ExclusiveOrdering,
+    PerfectOrdering,
+    make_scheme,
+    SCHEME_NAMES,
+    ALTERNATIVE_SCHEMES,
+)
+from repro.engine.alternatives import StoreSetOrdering, StoreBarrierOrdering
+from repro.engine.machine import Machine
+from repro.engine.pipeview import UopTimeline, render_timeline, summarize_timeline
+from repro.engine.results import SimResult
+
+__all__ = [
+    "InflightUop",
+    "LoadInfo",
+    "MemoryOrderBuffer",
+    "StoreRecord",
+    "OrderingScheme",
+    "TraditionalOrdering",
+    "OpportunisticOrdering",
+    "PostponingOrdering",
+    "InclusiveOrdering",
+    "ExclusiveOrdering",
+    "PerfectOrdering",
+    "make_scheme",
+    "SCHEME_NAMES",
+    "ALTERNATIVE_SCHEMES",
+    "StoreSetOrdering",
+    "StoreBarrierOrdering",
+    "Machine",
+    "SimResult",
+    "UopTimeline",
+    "render_timeline",
+    "summarize_timeline",
+]

@@ -1,0 +1,126 @@
+"""Prior-art memory ordering schemes: store sets and the store barrier.
+
+The paper's related-work section positions the CHT against two earlier
+mechanisms; implementing both lets the benchmarks test its
+cost-effectiveness claim directly:
+
+* :class:`StoreSetOrdering` — Chrysos & Emer's store sets: a load whose
+  PC belongs to a store set waits for that set's last fetched store.
+  Per-pair precision, but needs the SSIT+LFST tables.
+* :class:`StoreBarrierOrdering` — Hesson et al.'s store barrier cache:
+  a store with a violation history fences *all* younger loads.  Cheap
+  but coarse — the paper's CHT is the refinement "since it deals with
+  specific loads".
+
+Both plug into the engine through the same :class:`OrderingScheme`
+protocol as the paper's schemes, using the store-side hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.cht.barrier import StoreBarrierCache
+from repro.cht.storesets import StoreSetPredictor
+from repro.engine.inflight import InflightUop
+from repro.engine.mob import MemoryOrderBuffer
+from repro.engine.ordering import OrderingScheme
+
+
+class StoreSetOrdering(OrderingScheme):
+    """[Chry98] store sets as an ordering scheme."""
+
+    name = "storesets"
+    uses_cht = False
+
+    def __init__(self, predictor: Optional[StoreSetPredictor] = None,
+                 clear_interval: int = 50_000) -> None:
+        self.predictor = (predictor if predictor is not None
+                          else StoreSetPredictor())
+        self.clear_interval = clear_interval
+        self._wait_for: Dict[int, int] = {}  # load seq -> store seq
+        self._store_pcs: Dict[int, int] = {}  # store seq -> pc
+        self._events = 0
+
+    # -- engine hooks ---------------------------------------------------------
+
+    def on_rename_load(self, load: InflightUop) -> None:
+        wait_seq = self.predictor.on_load_rename(load.uop.pc)
+        if wait_seq is not None:
+            self._wait_for[load.uop.seq] = wait_seq
+
+    def on_rename_store(self, sta: InflightUop) -> None:
+        self._store_pcs[sta.uop.seq] = sta.uop.pc
+        self.predictor.on_store_rename(sta.uop.pc, sta.uop.seq)
+
+    def on_store_data_done(self, sta_seq: int) -> None:
+        pc = self._store_pcs.pop(sta_seq, None)
+        if pc is not None:
+            self.predictor.on_store_complete(pc, sta_seq)
+
+    def may_dispatch(self, load: InflightUop, mob: MemoryOrderBuffer,
+                     now: int) -> bool:
+        wait_seq = self._wait_for.get(load.uop.seq)
+        if wait_seq is None:
+            return True
+        record = mob.store_by_seq(wait_seq)
+        if record is None:
+            return True  # the store retired long ago
+        return record.complete(now)
+
+    def on_retire_load(self, load: InflightUop) -> None:
+        info = load.load
+        assert info is not None
+        self._wait_for.pop(load.uop.seq, None)
+        if info.would_collide and info.collide_store_pc is not None:
+            self.predictor.on_violation(load.uop.pc,
+                                        info.collide_store_pc)
+        self._events += 1
+        if self._events >= self.clear_interval:
+            self.predictor.cyclic_clear()
+            self._events = 0
+
+
+class StoreBarrierOrdering(OrderingScheme):
+    """[Hess95] store barrier cache as an ordering scheme."""
+
+    name = "barrier"
+    uses_cht = False
+
+    def __init__(self, cache: Optional[StoreBarrierCache] = None) -> None:
+        self.cache = cache if cache is not None else StoreBarrierCache()
+        self._fences: Set[int] = set()  # seqs of in-flight barrier stores
+        self._store_pcs: Dict[int, int] = {}
+        self._violators: Set[int] = set()  # store seqs that collided
+
+    def on_rename_store(self, sta: InflightUop) -> None:
+        self._store_pcs[sta.uop.seq] = sta.uop.pc
+        if self.cache.is_barrier(sta.uop.pc):
+            self._fences.add(sta.uop.seq)
+
+    def on_store_data_done(self, sta_seq: int) -> None:
+        self._fences.discard(sta_seq)
+        pc = self._store_pcs.pop(sta_seq, None)
+        if pc is not None:
+            # "If the store did not cause a violation the counter is
+            # decremented."
+            self.cache.train(pc, sta_seq in self._violators)
+            self._violators.discard(sta_seq)
+
+    def may_dispatch(self, load: InflightUop, mob: MemoryOrderBuffer,
+                     now: int) -> bool:
+        for seq in self._fences:
+            if seq >= load.uop.seq:
+                continue
+            record = mob.store_by_seq(seq)
+            if record is not None and not record.complete(now):
+                return False
+        return True
+
+    def on_retire_load(self, load: InflightUop) -> None:
+        info = load.load
+        assert info is not None
+        if info.would_collide and info.collide_store_seq is not None:
+            self._violators.add(info.collide_store_seq)
+            if info.collide_store_pc is not None:
+                self.cache.train(info.collide_store_pc, True)

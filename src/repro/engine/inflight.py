@@ -1,0 +1,111 @@
+"""In-flight uop bookkeeping.
+
+An :class:`InflightUop` wraps a trace uop with the dynamic state the
+scheduler needs: source producers, issue/completion cycles, and — for
+loads — the collision and hit-miss annotations the three prediction
+techniques read and write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.common.types import LoadCollisionClass, Uop
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.mob import StoreRecord
+
+#: Sentinel cycle for "not yet known".
+UNKNOWN = -1
+
+
+@dataclass
+class LoadInfo:
+    """Per-load annotations for disambiguation and hit-miss prediction."""
+
+    predicted_colliding: bool = False
+    predicted_distance: Optional[int] = None
+    #: Recorded at the load's first dispatch opportunity.
+    conflicting: Optional[bool] = None
+    would_collide: Optional[bool] = None
+    collide_distance: Optional[int] = None
+    #: Identity of the store the load would collide with (for training
+    #: pair-based predictors like store sets / the barrier cache).
+    collide_store_pc: Optional[int] = None
+    collide_store_seq: Optional[int] = None
+    #: True once the load has been dispatched while an overlapping
+    #: older store was incomplete (it will retry and pay the penalty).
+    collided: bool = False
+    classification: Optional[LoadCollisionClass] = None
+    #: Hit-miss bookkeeping.
+    predicted_hit: Optional[bool] = None
+    actual_hit: Optional[bool] = None
+    line: Optional[int] = None
+
+
+class InflightUop:
+    """Dynamic state of one uop between rename and retire."""
+
+    __slots__ = ("uop", "producers", "issued", "issue_cycle", "data_ready",
+                 "announce_ready", "ready_floor", "squashes", "load",
+                 "pending_collision", "rename_cycle")
+
+    def __init__(self, uop: Uop, producers: List["InflightUop"]) -> None:
+        self.uop = uop
+        #: Producing in-flight uops for each register source (resolved at
+        #: rename; architecturally-ready sources are simply absent).
+        self.producers = producers
+        self.issued = False
+        self.issue_cycle = UNKNOWN
+        #: Cycle at which the uop's result value actually exists.
+        self.data_ready = UNKNOWN
+        #: Cycle dependents use for wakeup (differs from ``data_ready``
+        #: under hit-miss speculation: optimistic for predicted hits,
+        #: pessimistic +indication for AH-PM loads).
+        self.announce_ready = UNKNOWN
+        #: Earliest re-issue cycle after a squash (re-schedule delay).
+        self.ready_floor = 0
+        self.squashes = 0
+        #: Cycle the uop was renamed (set by the machine).
+        self.rename_cycle = 0
+        self.load: Optional[LoadInfo] = LoadInfo() if uop.is_load else None
+        #: True while the load waits for a colliding STD of unknown timing.
+        self.pending_collision = False
+
+    # -- wakeup -------------------------------------------------------------
+
+    def sources_announced(self, now: int) -> bool:
+        """Scheduler's view: all producers claim data by ``now``."""
+        if now < self.ready_floor:
+            return False
+        for producer in self.producers:
+            if producer.announce_ready == UNKNOWN \
+                    or producer.announce_ready > now:
+                return False
+        return True
+
+    def sources_actually_ready(self, now: int) -> int:
+        """Latest actual readiness among producers; UNKNOWN if any pending.
+
+        Returns the max ``data_ready`` over producers, or ``UNKNOWN`` if
+        some producer has not resolved yet.  Used at execute to verify
+        speculatively woken dependents.
+        """
+        latest = 0
+        for producer in self.producers:
+            if producer.data_ready == UNKNOWN:
+                return UNKNOWN
+            latest = max(latest, producer.data_ready)
+        return latest
+
+    @property
+    def done(self) -> bool:
+        return self.data_ready != UNKNOWN and not self.pending_collision
+
+    def retirable(self, now: int) -> bool:
+        return self.done and self.data_ready <= now
+
+    def __repr__(self) -> str:
+        return (f"InflightUop(seq={self.uop.seq}, "
+                f"{self.uop.uclass.name}, issued={self.issued})")

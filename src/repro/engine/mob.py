@@ -1,0 +1,176 @@
+"""Memory Ordering Buffer.
+
+The MOB tracks every in-flight store (STA/STD pair) in program order and
+answers the queries the ordering schemes and the collision checker need:
+
+* does an older STA with a still-unknown address exist? (the load is
+  *conflicting*);
+* which older store, if any, overlaps this load's address and has not
+  delivered its data? (the load *would collide*; its *distance* is the
+  count of stores between them, 1 = nearest);
+* have all older stores at distance >= d completed? (exclusive scheme).
+
+The simulator knows every address from the trace (oracle); "unknown" is
+a matter of *timing* — an STA's address becomes architecturally known at
+its completion cycle, exactly as in the machine being modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.types import MemAccess
+from repro.engine.inflight import UNKNOWN, InflightUop
+
+
+@dataclass
+class StoreRecord:
+    """One store's STA/STD pair and its timing."""
+
+    sta: InflightUop
+    mem: MemAccess
+    std: Optional[InflightUop] = None
+
+    @property
+    def seq(self) -> int:
+        return self.sta.uop.seq
+
+    def address_known(self, now: int) -> bool:
+        return (self.sta.data_ready != UNKNOWN
+                and self.sta.data_ready <= now)
+
+    def data_done(self, now: int) -> bool:
+        if self.std is None:
+            # STD not yet renamed: data certainly not available.
+            return False
+        return (self.std.data_ready != UNKNOWN
+                and self.std.data_ready <= now)
+
+    def std_ready_cycle(self) -> Optional[int]:
+        """The STD's completion cycle, if resolved."""
+        if self.std is None or self.std.data_ready == UNKNOWN:
+            return None
+        return self.std.data_ready
+
+    def complete(self, now: int) -> bool:
+        return self.address_known(now) and self.data_done(now)
+
+
+class MemoryOrderBuffer:
+    """Program-ordered store records with the scheme queries."""
+
+    def __init__(self) -> None:
+        self._stores: List[StoreRecord] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def insert_sta(self, sta: InflightUop) -> StoreRecord:
+        if sta.uop.mem is None:
+            raise ValueError("STA uop must carry its memory access")
+        record = StoreRecord(sta=sta, mem=sta.uop.mem)
+        self._stores.append(record)
+        return record
+
+    def attach_std(self, std: InflightUop) -> None:
+        """Link an STD to its STA's record (searched newest-first)."""
+        target = std.uop.sta_seq
+        for record in reversed(self._stores):
+            if record.seq == target:
+                record.std = std
+                return
+        raise KeyError(f"no STA with seq {target} in the MOB")
+
+    def remove_retired(self, seq: int) -> None:
+        """Drop stores fully retired before the oldest in-flight uop.
+
+        A record must survive until its STD retires: the STA may retire
+        a cycle earlier while the data is still outstanding, and younger
+        loads must keep seeing that store.
+        """
+        self._stores = [r for r in self._stores
+                        if r.std is None or r.std.uop.seq >= seq]
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    # -- queries ------------------------------------------------------------
+
+    def store_by_seq(self, seq: int) -> Optional[StoreRecord]:
+        """The record whose STA has the given seq, if still tracked."""
+        for record in self._stores:
+            if record.seq == seq:
+                return record
+        return None
+
+    def older_stores(self, load_seq: int) -> List[StoreRecord]:
+        """Stores older than the load, nearest (youngest) first."""
+        older = [r for r in self._stores if r.seq < load_seq]
+        older.reverse()
+        return older
+
+    def has_unknown_sta(self, load_seq: int, now: int) -> bool:
+        """Any older store whose address is not yet known? (conflicting)"""
+        return any(not r.address_known(now)
+                   for r in self._stores if r.seq < load_seq)
+
+    def all_older_complete(self, load_seq: int, now: int) -> bool:
+        """Every older store fully done (STA + STD)?"""
+        return all(r.complete(now)
+                   for r in self._stores if r.seq < load_seq)
+
+    def all_older_stds_done(self, load_seq: int, now: int) -> bool:
+        return all(r.data_done(now)
+                   for r in self._stores if r.seq < load_seq)
+
+    def complete_beyond_distance(self, load_seq: int, now: int,
+                                 distance: int) -> bool:
+        """All older stores at distance >= ``distance`` complete?
+
+        Distance counts older stores starting from the nearest (1); the
+        exclusive scheme lets a load bypass the ``distance - 1`` nearest
+        stores but wait for everything at or beyond its minimal
+        collision distance.
+        """
+        for d, record in enumerate(self.older_stores(load_seq), start=1):
+            if d >= distance and not record.complete(now):
+                return False
+        return True
+
+    def colliding_store(self, load_seq: int, mem: MemAccess,
+                        now: int) -> Tuple[Optional[StoreRecord], Optional[int]]:
+        """Nearest older overlapping store whose data is not done.
+
+        Returns ``(record, distance)`` or ``(None, None)``.  This is the
+        oracle "would this load collide if dispatched now?" query used
+        for ground truth, classification, and the Perfect scheme.
+        """
+        for distance, record in enumerate(self.older_stores(load_seq),
+                                          start=1):
+            if record.mem.overlaps(mem) and not record.complete(now):
+                return record, distance
+        return None, None
+
+    def forwarding_store(self, load_seq: int, mem: MemAccess,
+                         now: int) -> Optional[StoreRecord]:
+        """Nearest older overlapping store that has fully completed.
+
+        Only meaningful when :meth:`colliding_store` returned nothing
+        (no incomplete overlapping store closer to the load): the
+        returned store's data can be forwarded to the load.
+        """
+        for record in self.older_stores(load_seq):
+            if record.mem.overlaps(mem) and record.complete(now):
+                return record
+        return None
+
+    def matching_unknown_sta(self, load_seq: int, mem: MemAccess,
+                             now: int) -> bool:
+        """Does an older *unknown-address* STA actually overlap the load?
+
+        This is Figure 1's colliding-among-conflicting test: of the
+        stores whose addresses the scheduler cannot see, does one in
+        fact match?
+        """
+        return any(not r.address_known(now) and r.mem.overlaps(mem)
+                   for r in self._stores if r.seq < load_seq)

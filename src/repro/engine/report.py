@@ -1,0 +1,115 @@
+"""Human-readable performance reports from simulation results.
+
+``performance_report`` turns a :class:`~repro.engine.results.SimResult`
+(optionally with stall breakdown, occupancy and timeline enabled) into
+the kind of summary an architect reads first: throughput, where the
+cycles went, what the loads did, and what the predictors saw.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.types import LoadCollisionClass
+from repro.engine.results import SimResult
+from repro.experiments.reporting import bar_chart
+
+
+def performance_report(result: SimResult,
+                       baseline: Optional[SimResult] = None) -> str:
+    """Render a multi-section text report for one run.
+
+    ``baseline`` (same trace, different scheme) adds a speedup line.
+    """
+    lines: List[str] = []
+    lines.append(f"=== {result.trace_name} under '{result.scheme}' "
+                 f"ordering ===")
+    lines.append(f"cycles {result.cycles}   retired {result.retired_uops} "
+                 f"uops ({result.retired_loads} loads)   "
+                 f"IPC {result.ipc:.2f}")
+    if baseline is not None:
+        lines.append(f"speedup over '{baseline.scheme}': "
+                     f"{result.speedup_over(baseline):.3f}")
+
+    # -- loads ---------------------------------------------------------
+    lines.append("")
+    lines.append("loads (Figure 1 classification):")
+    lines.append(bar_chart(
+        [("no conflict", result.frac_not_conflicting),
+         ("ANC (advanceable)", result.frac_anc),
+         ("AC (colliding)", result.frac_actually_colliding)],
+        width=30, max_value=1.0, value_format="{:.1%}"))
+    lines.append(f"collision penalties {result.collision_penalties}   "
+                 f"forwarded {result.forwarded_loads}   "
+                 f"L1 miss rate {result.l1_miss_rate:.1%}")
+
+    # -- hit-miss -------------------------------------------------------
+    hm = result.hitmiss
+    if hm.total:
+        lines.append("")
+        lines.append(f"hit-miss prediction: accuracy {hm.accuracy:.1%}, "
+                     f"misses caught {hm.miss_coverage:.1%}, "
+                     f"false misses {hm.ah_pm_fraction:.2%} of loads")
+
+    # -- where the waiting happened --------------------------------------
+    if result.stall_breakdown:
+        lines.append("")
+        total = sum(result.stall_breakdown.values())
+        lines.append(f"stalled uop-cycles ({total} total):")
+        lines.append(bar_chart(
+            sorted(result.stall_breakdown.items(),
+                   key=lambda kv: -kv[1]),
+            width=30, value_format="{:.0f}"))
+
+    # -- front end --------------------------------------------------------
+    if result.branches:
+        lines.append("")
+        lines.append(f"branches {result.branches}   "
+                     f"mispredicts {result.branch_mispredicts} "
+                     f"(accuracy {result.branch_accuracy:.1%})")
+    if result.bank_conflicts:
+        lines.append(f"bank conflicts {result.bank_conflicts}")
+
+    # -- squash economy -----------------------------------------------------
+    lines.append("")
+    lines.append(f"squashed issues {result.squashed_issues} "
+                 f"({result.squashed_issues / max(1, result.cycles):.2f} "
+                 f"per cycle)")
+
+    # -- pipeline stage times (timeline runs only) --------------------------
+    if result.timeline:
+        from repro.engine.pipeview import summarize_timeline
+        summary = summarize_timeline(result.timeline)
+        lines.append("")
+        lines.append(
+            f"average stage times: window-wait "
+            f"{summary['avg_window_wait']:.1f}  execute "
+            f"{summary['avg_execute']:.1f}  retire-wait "
+            f"{summary['avg_retire_wait']:.1f} cycles")
+
+    if result.window_occupancy.total:
+        lines.append(f"window occupancy: mean "
+                     f"{result.window_occupancy.mean():.1f}, p90 "
+                     f"{result.window_occupancy.percentile(0.9)}")
+    return "\n".join(lines)
+
+
+def compare_report(results: List[SimResult]) -> str:
+    """Side-by-side comparison of several runs of the same trace."""
+    if not results:
+        return "(no results)"
+    trace = results[0].trace_name
+    if any(r.trace_name != trace for r in results):
+        raise ValueError("compare_report expects runs of one trace")
+    baseline = results[0]
+    lines = [f"=== {trace}: {len(results)} schemes ==="]
+    header = (f"{'scheme':14s} {'cycles':>8s} {'IPC':>6s} "
+              f"{'speedup':>8s} {'collisions':>11s} {'squashes':>9s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in results:
+        lines.append(f"{r.scheme:14s} {r.cycles:8d} {r.ipc:6.2f} "
+                     f"{r.speedup_over(baseline):8.3f} "
+                     f"{r.collision_penalties:11d} "
+                     f"{r.squashed_issues:9d}")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Simulation result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.stats import Histogram
+from repro.common.types import HitMissClass, LoadCollisionClass
+from repro.hitmiss.base import HitMissStats
+
+
+@dataclass
+class SimResult:
+    """Everything a run of :class:`repro.engine.Machine` measured.
+
+    The per-figure experiment harnesses consume these; nothing here is
+    paper-specific beyond the taxonomies of Figure 1 and section 2.2.
+    """
+
+    trace_name: str
+    scheme: str
+    cycles: int = 0
+    retired_uops: int = 0
+    retired_loads: int = 0
+    #: Figure 1 taxonomy counts over all classified loads.
+    load_classes: Dict[LoadCollisionClass, int] = field(
+        default_factory=lambda: {c: 0 for c in LoadCollisionClass})
+    #: Loads that paid the wrong-ordering collision penalty.
+    collision_penalties: int = 0
+    #: Dependent-uop squashes (issued before producer data existed).
+    squashed_issues: int = 0
+    #: Loads served by store-to-load forwarding (when enabled).
+    forwarded_loads: int = 0
+    #: Same-cycle accesses to one L1 bank (bank-policy runs only).
+    bank_conflicts: int = 0
+    #: Front-end branch accounting (mispredicts are annotation-derived
+    #: unless a live branch predictor is attached).
+    branches: int = 0
+    branch_mispredicts: int = 0
+    #: Per-cycle scheduling-window occupancy (collect_occupancy only).
+    window_occupancy: Histogram = field(
+        default_factory=lambda: Histogram("window_occupancy"))
+    #: Per-cycle issue slots consumed (collect_occupancy only).
+    issue_width_used: Histogram = field(
+        default_factory=lambda: Histogram("issue_width_used"))
+    #: Per-uop lifecycle records (record_timeline only); see
+    #: :mod:`repro.engine.pipeview`.
+    timeline: list = field(default_factory=list)
+    #: uop-cycles spent waiting, by cause (collect_stall_breakdown
+    #: only): "port", "operands", "ordering", "bank".
+    stall_breakdown: Dict[str, int] = field(default_factory=dict)
+    #: Hit-miss outcome classes (populated when an HMP is attached).
+    hitmiss: HitMissStats = field(default_factory=HitMissStats)
+    l1_miss_rate: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.retired_uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.branch_mispredicts / self.branches
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same trace)."""
+        if baseline.trace_name != self.trace_name:
+            raise ValueError("speedups compare runs of the same trace")
+        if not self.cycles:
+            return 0.0
+        # Equal retired work by construction (same trace), so the cycle
+        # ratio is the speedup.
+        return baseline.cycles / self.cycles
+
+    # -- Figure 1 taxonomy fractions ----------------------------------------
+
+    @property
+    def classified_loads(self) -> int:
+        return sum(self.load_classes.values())
+
+    def class_fraction(self, cls: LoadCollisionClass) -> float:
+        total = self.classified_loads
+        return self.load_classes[cls] / total if total else 0.0
+
+    @property
+    def frac_not_conflicting(self) -> float:
+        return self.class_fraction(LoadCollisionClass.NOT_CONFLICTING)
+
+    @property
+    def frac_actually_colliding(self) -> float:
+        return (self.class_fraction(LoadCollisionClass.AC_PC)
+                + self.class_fraction(LoadCollisionClass.AC_PNC))
+
+    @property
+    def frac_anc(self) -> float:
+        """Conflicting but not colliding (the advanceable majority)."""
+        return (self.class_fraction(LoadCollisionClass.ANC_PC)
+                + self.class_fraction(LoadCollisionClass.ANC_PNC))
+
+    def conflicting_fraction(self, cls: LoadCollisionClass) -> float:
+        """Fraction of *conflicting* loads in ``cls`` (Figure 9's axis)."""
+        conflicting = (self.classified_loads
+                       - self.load_classes[LoadCollisionClass.NOT_CONFLICTING])
+        return self.load_classes[cls] / conflicting if conflicting else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace": self.trace_name,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "retired_uops": self.retired_uops,
+            "retired_loads": self.retired_loads,
+            "collision_penalties": self.collision_penalties,
+            "squashed_issues": self.squashed_issues,
+            "forwarded_loads": self.forwarded_loads,
+            "bank_conflicts": self.bank_conflicts,
+            "branches": self.branches,
+            "branch_mispredicts": self.branch_mispredicts,
+            "l1_miss_rate": self.l1_miss_rate,
+            "classes": {c.value: n for c, n in self.load_classes.items()},
+            "hitmiss": self.hitmiss.as_dict(),
+        }

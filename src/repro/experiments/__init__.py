@@ -1,0 +1,68 @@
+"""Experiment harnesses — one per figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning plain data plus a
+``render(...)`` helper producing the text table/series the paper's
+figure reports.  ``python -m repro.experiments <fig>`` runs one from the
+command line; ``python -m repro.experiments all`` regenerates everything
+(this is how EXPERIMENTS.md is produced).
+
+==========  ==========================================================
+fig5        load scheduling classification per trace group
+fig6        classification vs. scheduling window size (SysmarkNT)
+fig7        speedup vs. memory ordering scheme (SysmarkNT traces)
+fig8        speedup vs. machine configuration (EU/MEM sweep)
+fig9        CHT organisation/size accuracy sweep
+fig10       hit-miss predictor statistical accuracy per group
+fig11       hit-miss prediction speedup
+fig12       bank predictor metric vs. misprediction penalty
+==========  ==========================================================
+"""
+
+from repro.experiments.harness import (
+    ExperimentSettings,
+    get_trace,
+    group_traces,
+    format_table,
+)
+from repro.experiments import (
+    classification,
+    ordering_speedup,
+    machine_sweep,
+    cht_accuracy,
+    hitmiss_stats,
+    hitmiss_speedup,
+    bank_metric,
+    extensions,
+)
+
+EXPERIMENTS = {
+    "fig5": classification.run_fig5,
+    "fig6": classification.run_fig6,
+    "fig7": ordering_speedup.run_fig7,
+    "fig8": machine_sweep.run_fig8,
+    "fig9": cht_accuracy.run_fig9,
+    "fig10": hitmiss_stats.run_fig10,
+    "fig11": hitmiss_speedup.run_fig11,
+    "fig12": bank_metric.run_fig12,
+    "ext-penalty": extensions.run_penalty_sweep,
+    "ext-prior-art": extensions.run_prior_art,
+    "ext-smt": extensions.run_smt,
+    "ext-bank-perf": extensions.run_bank_perf,
+    "ext-prefetch": extensions.run_prefetch,
+}
+
+__all__ = [
+    "ExperimentSettings",
+    "get_trace",
+    "group_traces",
+    "format_table",
+    "EXPERIMENTS",
+    "classification",
+    "ordering_speedup",
+    "machine_sweep",
+    "cht_accuracy",
+    "hitmiss_stats",
+    "hitmiss_speedup",
+    "bank_metric",
+    "extensions",
+]

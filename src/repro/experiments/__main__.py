@@ -1,0 +1,92 @@
+"""Command-line entry point: ``python -m repro.experiments <figure>``.
+
+Examples::
+
+    python -m repro.experiments fig7
+    python -m repro.experiments all --uops 50000 --traces-per-group 3
+    python -m repro.experiments fig9 --json fig9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments import (
+    bank_metric,
+    classification,
+    cht_accuracy,
+    extensions,
+    hitmiss_speedup,
+    hitmiss_stats,
+    machine_sweep,
+    ordering_speedup,
+)
+
+RENDERERS: Dict[str, Callable] = {
+    "fig5": classification.render_fig5,
+    "fig6": classification.render_fig6,
+    "fig7": ordering_speedup.render_fig7,
+    "fig8": machine_sweep.render_fig8,
+    "fig9": cht_accuracy.render_fig9,
+    "fig10": hitmiss_stats.render_fig10,
+    "fig11": hitmiss_speedup.render_fig11,
+    "fig12": bank_metric.render_fig12,
+    "ext-penalty": extensions.render_penalty_sweep,
+    "ext-prior-art": extensions.render_prior_art,
+    "ext-smt": extensions.render_smt,
+    "ext-bank-perf": extensions.render_bank_perf,
+    "ext-prefetch": extensions.render_prefetch,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.")
+    parser.add_argument("figure",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which figure to regenerate")
+    parser.add_argument("--uops", type=int, default=30_000,
+                        help="dynamic uops per trace (default 30000)")
+    parser.add_argument("--traces-per-group", type=int, default=2,
+                        help="traces per group; 0 = the full roster")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the raw result data as JSON "
+                             "(a dict keyed by figure name)")
+    args = parser.parse_args(argv)
+
+    settings = ExperimentSettings(
+        n_uops=args.uops,
+        traces_per_group=(None if args.traces_per_group == 0
+                          else args.traces_per_group))
+
+    if args.figure == "all":
+        # Paper figures first, extension studies after.
+        figures = sorted(n for n in EXPERIMENTS if n.startswith("fig"))
+        figures += sorted(n for n in EXPERIMENTS if n.startswith("ext"))
+    else:
+        figures = [args.figure]
+    collected: Dict[str, object] = {}
+    for figure in figures:
+        start = time.time()
+        data = EXPERIMENTS[figure](settings)
+        elapsed = time.time() - start
+        collected[figure] = data
+        print(RENDERERS[figure](data))
+        print(f"[{figure} done in {elapsed:.1f}s]")
+        print()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(collected, handle, indent=2, default=str)
+        print(f"wrote raw data to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

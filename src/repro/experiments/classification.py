@@ -1,0 +1,116 @@
+"""Figures 5 and 6: load scheduling classification.
+
+Figure 5 splits the dynamic loads of each trace group (32-entry window)
+into actually-colliding (AC), conflicting-but-not-colliding (ANC), and
+no-conflict.  The paper's headline: ~10 % AC, ~60 % ANC, ~30 %
+no-conflict — "between 60 %-70 % of the loads can benefit from a
+collision predictor".
+
+Figure 6 repeats the classification for the SysmarkNT traces across
+scheduling windows of 8..128 entries: AC grows with the window while
+the no-conflict share shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.config import BASELINE_MACHINE
+from repro.engine.machine import Machine
+from repro.engine.ordering import TraditionalOrdering
+from repro.experiments.harness import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    format_table,
+    get_trace,
+    group_traces,
+)
+
+#: Figure 5's trace groups (SpecFP95 is not shown in the paper's figure).
+FIG5_GROUPS = ("SysmarkNT", "SpecInt95", "Sysmark95", "Games", "TPC", "Java")
+
+WINDOW_SWEEP = (8, 16, 32, 64, 128)
+
+
+def classify_trace(name: str, window: int = 32,
+                   settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Run one trace under Traditional ordering and return its mix."""
+    trace = get_trace(name, settings.n_uops)
+    machine = Machine(config=BASELINE_MACHINE.with_window(window),
+                      scheme=TraditionalOrdering())
+    result = machine.run(trace)
+    return {
+        "trace": name,
+        "window": window,
+        "ac": result.frac_actually_colliding,
+        "anc": result.frac_anc,
+        "no_conflict": result.frac_not_conflicting,
+    }
+
+
+def run_fig5(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Per-group classification mix at the 32-entry baseline window."""
+    groups: Dict[str, Dict[str, float]] = {}
+    for group in FIG5_GROUPS:
+        rows = [classify_trace(n, 32, settings)
+                for n in group_traces(group, settings)]
+        n = len(rows)
+        groups[group] = {
+            "ac": sum(r["ac"] for r in rows) / n,
+            "anc": sum(r["anc"] for r in rows) / n,
+            "no_conflict": sum(r["no_conflict"] for r in rows) / n,
+        }
+    return {"figure": "fig5", "groups": groups}
+
+
+def render_fig5(data: Dict) -> str:
+    """Render the Figure 5 table plus a stacked bar chart."""
+    from repro.experiments.reporting import stacked_bar_chart
+    rows = [[g, v["ac"], v["anc"], v["no_conflict"],
+             v["ac"] + v["anc"]]
+            for g, v in data["groups"].items()]
+    table = format_table(
+        ["group", "AC", "ANC", "no-conflict", "predictor-helps"],
+        rows,
+        title="Figure 5 — load classification (fractions of all loads, "
+              "32-entry window)")
+    chart = stacked_bar_chart(
+        [(g, {"AC": v["ac"], "ANC": v["anc"],
+              "none": v["no_conflict"]})
+         for g, v in data["groups"].items()],
+        segment_chars={"AC": "#", "ANC": "=", "none": "."})
+    return table + "\n\n" + chart
+
+
+def run_fig6(settings: ExperimentSettings = DEFAULT_SETTINGS,
+             windows: Sequence[int] = WINDOW_SWEEP) -> Dict:
+    """SysmarkNT classification across scheduling-window sizes."""
+    names = group_traces("SysmarkNT", settings)
+    sweep: List[Dict] = []
+    for window in windows:
+        rows = [classify_trace(n, window, settings) for n in names]
+        n = len(rows)
+        sweep.append({
+            "window": window,
+            "ac": sum(r["ac"] for r in rows) / n,
+            "anc": sum(r["anc"] for r in rows) / n,
+            "no_conflict": sum(r["no_conflict"] for r in rows) / n,
+        })
+    return {"figure": "fig6", "sweep": sweep}
+
+
+def render_fig6(data: Dict) -> str:
+    """Render the Figure 6 table plus a stacked bar chart."""
+    from repro.experiments.reporting import stacked_bar_chart
+    rows = [[s["window"], s["ac"], s["anc"], s["no_conflict"]]
+            for s in data["sweep"]]
+    table = format_table(
+        ["window", "AC", "ANC", "no-conflict"], rows,
+        title="Figure 6 — classification vs. scheduling window "
+              "(SysmarkNT)")
+    chart = stacked_bar_chart(
+        [(str(s["window"]), {"AC": s["ac"], "ANC": s["anc"],
+                             "none": s["no_conflict"]})
+         for s in data["sweep"]],
+        segment_chars={"AC": "#", "ANC": "=", "none": "."})
+    return table + "\n\n" + chart

@@ -1,0 +1,290 @@
+"""Extension experiments beyond the paper's figures.
+
+Registered in the CLI alongside fig5..fig12:
+
+* ``ext-penalty`` — sensitivity of the Figure 7 scheme ordering to the
+  collision penalty (the paper fixes it at 8 cycles; section 4.3's
+  lesson that "the misprediction penalty is crucial" applies to the
+  disambiguation side too).
+* ``ext-prior-art`` — the CHT against the store barrier [Hess95] and
+  store sets [Chry98], in speedup *and* storage.
+* ``ext-smt`` — the section 2.2 multithreading application: throughput
+  under the four switch policies.
+* ``ext-bank-perf`` — a *performance* evaluation of bank prediction
+  (the paper only evaluated it statistically, §3.2): the engine issues
+  loads onto a 2-banked L1 under oblivious / predicted / oracle
+  steering.
+* ``ext-prefetch`` — the §2.2 closing remark ("we can of course fetch
+  the data ahead of time"): a stride prefetcher versus the hit-miss
+  predictor, per trace group — the two mechanisms compete for the same
+  regularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from repro.common.config import BASELINE_MACHINE
+from repro.common.stats import geometric_mean
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.experiments.harness import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    format_table,
+    get_trace,
+    group_traces,
+)
+
+
+# --------------------------------------------------------------------------
+# ext-penalty: collision-penalty sensitivity
+# --------------------------------------------------------------------------
+
+PENALTY_SWEEP = (2, 8, 16)
+PENALTY_SCHEMES = ("opportunistic", "inclusive", "perfect")
+
+
+def run_penalty_sweep(settings: ExperimentSettings = DEFAULT_SETTINGS,
+                      penalties: Sequence[int] = PENALTY_SWEEP) -> Dict:
+    """Scheme speedups under different collision penalties.
+
+    The prediction-based scheme's edge over blind speculation
+    (opportunistic) should widen as collisions get more expensive.
+    """
+    names = group_traces("SysmarkNT", settings)
+    rows: List[Dict] = []
+    for penalty in penalties:
+        config = replace(BASELINE_MACHINE,
+                         latency=replace(BASELINE_MACHINE.latency,
+                                         collision_penalty=penalty))
+        acc: Dict[str, List[float]] = {s: [] for s in PENALTY_SCHEMES}
+        for name in names:
+            trace = get_trace(name, settings.n_uops)
+            baseline = Machine(config=config,
+                               scheme=make_scheme("traditional")
+                               ).run(trace)
+            for scheme in PENALTY_SCHEMES:
+                result = Machine(config=config,
+                                 scheme=make_scheme(scheme)).run(trace)
+                acc[scheme].append(result.speedup_over(baseline))
+        rows.append({"penalty": penalty,
+                     **{s: geometric_mean(v) for s, v in acc.items()}})
+    return {"figure": "ext-penalty", "rows": rows}
+
+
+def render_penalty_sweep(data: Dict) -> str:
+    """Render the penalty-sensitivity table."""
+    rows = [[r["penalty"]] + [r[s] for s in PENALTY_SCHEMES]
+            for r in data["rows"]]
+    table = format_table(["penalty"] + list(PENALTY_SCHEMES), rows,
+                         title="Extension — scheme speedup vs. collision "
+                               "penalty (SysmarkNT)")
+    note = ("\nreading: the inclusive-vs-opportunistic gap widens as "
+            "wrong ordering\ngets more expensive — prediction matters "
+            "most when speculation is risky.")
+    return table + note
+
+
+# --------------------------------------------------------------------------
+# ext-prior-art: CHT vs store sets vs store barrier
+# --------------------------------------------------------------------------
+
+PRIOR_ART_SCHEMES = ("barrier", "storesets", "inclusive", "exclusive",
+                     "perfect")
+
+
+def _scheme_storage(scheme) -> int:
+    if scheme.name == "storesets":
+        return scheme.predictor.storage_bits
+    if scheme.name == "barrier":
+        return scheme.cache.storage_bits
+    if getattr(scheme, "uses_cht", False):
+        return scheme.cht.storage_bits
+    return 0
+
+
+def run_prior_art(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Compare the CHT schemes with store sets and the barrier."""
+    names = (group_traces("SysmarkNT", settings)
+             + group_traces("SpecInt95", settings))
+    acc: Dict[str, List[float]] = {s: [] for s in PRIOR_ART_SCHEMES}
+    storage: Dict[str, int] = {}
+    for name in names:
+        trace = get_trace(name, settings.n_uops)
+        baseline = Machine(scheme=make_scheme("traditional")).run(trace)
+        for scheme_name in PRIOR_ART_SCHEMES:
+            scheme = make_scheme(scheme_name)
+            result = Machine(scheme=scheme).run(trace)
+            acc[scheme_name].append(result.speedup_over(baseline))
+            storage[scheme_name] = _scheme_storage(scheme)
+    rows = [{"scheme": s, "speedup": geometric_mean(v),
+             "storage_bytes": storage[s] // 8}
+            for s, v in acc.items()]
+    return {"figure": "ext-prior-art", "rows": rows}
+
+
+def render_prior_art(data: Dict) -> str:
+    """Render the prior-art speedup/storage table."""
+    rows = [[r["scheme"], r["speedup"], r["storage_bytes"]]
+            for r in data["rows"]]
+    table = format_table(["mechanism", "speedup", "storage (bytes)"],
+                         rows,
+                         title="Extension — CHT vs. prior art "
+                               "(speedup over Traditional)")
+    note = ("\nreading: the paper's cost-effectiveness claim — the CHT "
+            "approaches\nstore-set speedups with a fraction of the "
+            "table budget; the coarse\nstore barrier trails both.")
+    return table + note
+
+
+# --------------------------------------------------------------------------
+# ext-bank-perf: bank-aware scheduling in the engine
+# --------------------------------------------------------------------------
+
+BANK_POLICIES = ("oblivious", "predicted", "oracle")
+
+
+def run_bank_perf(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Run the engine-level bank-steering comparison."""
+    from repro.bank.address_based import AddressBankPredictor
+    from repro.common.config import CacheConfig
+
+    mem = replace(BASELINE_MACHINE.memory,
+                  l1d=CacheConfig(size_bytes=16 * 1024, n_banks=2))
+    config = replace(BASELINE_MACHINE, memory=mem)
+    names = group_traces("SysmarkNT", settings)
+    rows: List[Dict] = []
+    per_policy: Dict[str, List[float]] = {p: [] for p in BANK_POLICIES}
+    conflicts: Dict[str, int] = {p: 0 for p in BANK_POLICIES}
+    for name in names:
+        trace = get_trace(name, settings.n_uops)
+        cycles: Dict[str, int] = {}
+        for policy in BANK_POLICIES:
+            predictor = (AddressBankPredictor()
+                         if policy == "predicted" else None)
+            machine = Machine(config=config,
+                              scheme=make_scheme("perfect"),
+                              bank_policy=policy,
+                              bank_predictor=predictor)
+            result = machine.run(trace)
+            cycles[policy] = result.cycles
+            conflicts[policy] += result.bank_conflicts
+        for policy in BANK_POLICIES:
+            per_policy[policy].append(cycles["oblivious"]
+                                      / cycles[policy])
+    for policy in BANK_POLICIES:
+        rows.append({"policy": policy,
+                     "speedup_vs_oblivious":
+                         geometric_mean(per_policy[policy]),
+                     "bank_conflicts": conflicts[policy]})
+    return {"figure": "ext-bank-perf", "rows": rows}
+
+
+def render_bank_perf(data: Dict) -> str:
+    """Render the bank-steering table."""
+    rows = [[r["policy"], r["speedup_vs_oblivious"], r["bank_conflicts"]]
+            for r in data["rows"]]
+    table = format_table(
+        ["policy", "speedup vs oblivious", "bank conflicts"], rows,
+        title="Extension — bank-aware load scheduling on a 2-banked L1 "
+              "(SysmarkNT, perfect disambiguation)")
+    note = ("\nreading: predicted steering removes most same-cycle bank "
+            "conflicts and\nrecovers most of the oracle's (modest, at "
+            "2 memory ports) cycle gain —\nthe performance face of the "
+            "paper's statistical Figure 12.")
+    return table + note
+
+
+# --------------------------------------------------------------------------
+# ext-prefetch: stride prefetching vs hit-miss prediction
+# --------------------------------------------------------------------------
+
+PREFETCH_GROUPS = ("SpecFP95", "SysmarkNT")
+
+
+def run_prefetch(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Per-group miss rate and HMP coverage with/without prefetching."""
+    from repro.hitmiss.local import LocalHMP
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.memory.prefetch import StridePrefetcher
+
+    rows: List[Dict] = []
+    for group in PREFETCH_GROUPS:
+        for with_pf in (False, True):
+            miss_n = load_n = caught = missed = 0
+            cycles_ratio: List[float] = []
+            for name in group_traces(group, settings):
+                trace = get_trace(name, settings.n_uops)
+                hierarchy = MemoryHierarchy(BASELINE_MACHINE.memory)
+                machine = Machine(scheme=make_scheme("perfect"),
+                                  hmp=LocalHMP(), hierarchy=hierarchy)
+                if with_pf:
+                    machine.prefetcher = StridePrefetcher(hierarchy,
+                                                          degree=2)
+                result = machine.run(trace)
+                load_n += result.hitmiss.total
+                miss_n += round(result.hitmiss.miss_rate
+                                * result.hitmiss.total)
+                caught += round(result.hitmiss.am_pm_fraction
+                                * result.hitmiss.total)
+                cycles_ratio.append(result.cycles)
+            rows.append({
+                "group": group,
+                "prefetch": "on" if with_pf else "off",
+                "miss_rate": miss_n / load_n if load_n else 0.0,
+                "hmp_coverage": caught / miss_n if miss_n else 0.0,
+                "cycles": sum(cycles_ratio),
+            })
+    return {"figure": "ext-prefetch", "rows": rows}
+
+
+def render_prefetch(data: Dict) -> str:
+    """Render the prefetch-vs-HMP interaction table."""
+    rows = [[r["group"], r["prefetch"], r["miss_rate"],
+             r["hmp_coverage"], r["cycles"]] for r in data["rows"]]
+    table = format_table(
+        ["group", "prefetch", "miss rate", "HMP coverage", "cycles"],
+        rows,
+        title="Extension — stride prefetching vs. hit-miss prediction")
+    note = ("\nreading: prefetching removes exactly the regular misses "
+            "the HMP catches\nbest — miss rates fall, and the misses "
+            "that remain are harder to predict.")
+    return table + note
+
+
+# --------------------------------------------------------------------------
+# ext-smt: switch-on-miss multithreading
+# --------------------------------------------------------------------------
+
+def run_smt(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Run the switch-on-miss multithreading comparison."""
+    from repro.smt import CoarseGrainedMT, SwitchPolicy
+    traces = [get_trace(name, settings.n_uops)
+              for name in ("tpcc", "jack")]
+    rows: List[Dict] = []
+    for policy in SwitchPolicy:
+        result = CoarseGrainedMT(policy=policy).run(traces)
+        rows.append({
+            "policy": policy.value,
+            "cycles": result.cycles,
+            "throughput": result.throughput,
+            "switches": result.switches,
+            "wasted": result.wasted_switches,
+        })
+    return {"figure": "ext-smt", "rows": rows}
+
+
+def render_smt(data: Dict) -> str:
+    """Render the multithreading policy table."""
+    rows = [[r["policy"], r["cycles"], r["throughput"], r["switches"],
+             r["wasted"]] for r in data["rows"]]
+    table = format_table(
+        ["policy", "cycles", "throughput", "switches", "wasted"], rows,
+        title="Extension — switch-on-miss multithreading "
+              "(tpcc + jack, section 2.2)")
+    note = ("\nreading: predicting the memory-bound loads at schedule "
+            "time switches\nearlier than reactive discovery and tracks "
+            "the oracle.")
+    return table + note

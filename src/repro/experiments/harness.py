@@ -1,0 +1,88 @@
+"""Shared experiment plumbing: trace caching, run helpers, tables.
+
+The paper's traces are 30M instructions; a pure-Python cycle simulator
+cannot afford that, so experiments default to reduced traces
+(:attr:`ExperimentSettings.n_uops` uops each).  All trends reported in
+EXPERIMENTS.md are stable in this regime; crank the knob for slower,
+smoother numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.builder import build_trace
+from repro.trace.trace import Trace
+from repro.trace.workloads import TRACE_GROUPS, profile_for, trace_seed
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment harness.
+
+    Attributes
+    ----------
+    n_uops:
+        Dynamic uops per trace (the paper used 30M; the default here is
+        laptop-scale).
+    traces_per_group:
+        Cap on traces per group (None = the paper's full roster).
+    """
+
+    n_uops: int = 30_000
+    traces_per_group: Optional[int] = 2
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+
+@lru_cache(maxsize=128)
+def get_trace(name: str, n_uops: int) -> Trace:
+    """Build (and memoise) the canonical trace for ``name``.
+
+    The seed is derived from the trace name, so every experiment and
+    benchmark sees the identical uop stream.
+    """
+    return build_trace(profile_for(name), n_uops=n_uops,
+                       seed=trace_seed(name), name=name)
+
+
+def group_traces(group: str,
+                 settings: ExperimentSettings = DEFAULT_SETTINGS) -> List[str]:
+    """The trace names of ``group``, truncated per the settings."""
+    names = TRACE_GROUPS[group]
+    if settings.traces_per_group is not None:
+        names = names[:settings.traces_per_group]
+    return list(names)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned text table (the experiments' output format)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,108 @@
+"""Figure 11: speedup of hit-miss prediction.
+
+Performance simulations "on top of our highest performing configuration
+(4 gen. / 2 mem. EUs and perfect disambiguation)": speedup over the
+no-HMP (always-predict-hit) machine for the local predictor, the hybrid
+chooser, the local predictor with timing information, and a perfect
+predictor.  The paper's headlines: perfect ≈ 6 %, local+timing ≈ 45 %
+of that potential (~2.5 %), and a positive with-timing vs. no-timing
+gap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import BASELINE_MACHINE, MachineConfig
+from repro.common.stats import geometric_mean
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.experiments.harness import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    format_table,
+    get_trace,
+    group_traces,
+)
+from repro.hitmiss.base import HitMissPredictor
+from repro.hitmiss.hybrid import HybridHMP
+from repro.hitmiss.local import LocalHMP
+from repro.hitmiss.oracle import AlwaysHitHMP, OracleHMP
+from repro.hitmiss.timing import TimingHMP
+from repro.memory.hierarchy import MemoryHierarchy
+
+#: The paper's Figure 11 machine: 4 integer / 2 memory units.
+FIG11_CONFIG = BASELINE_MACHINE.with_units(4, 2)
+
+HMP_KINDS = ("local", "chooser", "local+timing", "perfect")
+
+
+def _build_machine(kind: Optional[str],
+                   config: MachineConfig) -> Machine:
+    """A perfect-disambiguation machine with the requested HMP."""
+    hierarchy = MemoryHierarchy(config.memory)
+    hmp: HitMissPredictor
+    if kind is None:
+        hmp = AlwaysHitHMP()
+    elif kind == "local":
+        hmp = LocalHMP(n_entries=2048, history_bits=8)
+    elif kind == "chooser":
+        hmp = HybridHMP()
+    elif kind == "local+timing":
+        hmp = TimingHMP(LocalHMP(n_entries=2048, history_bits=8),
+                        mshr=hierarchy.mshr, serviced=hierarchy.serviced)
+    elif kind == "perfect":
+        hmp = OracleHMP(lambda pc, line, now:
+                        hierarchy.would_hit_l1(
+                            (line or 0) * config.memory.l1d.line_bytes,
+                            now))
+    else:
+        raise ValueError(f"unknown HMP kind {kind!r}")
+    return Machine(config=config, scheme=make_scheme("perfect"),
+                   hmp=hmp, hierarchy=hierarchy)
+
+
+def speedups_for_trace(name: str,
+                       config: MachineConfig = FIG11_CONFIG,
+                       settings: ExperimentSettings = DEFAULT_SETTINGS
+                       ) -> Dict[str, float]:
+    """HMP speedups over the always-hit baseline for one trace."""
+    trace = get_trace(name, settings.n_uops)
+    baseline = _build_machine(None, config).run(trace)
+    out: Dict[str, float] = {}
+    for kind in HMP_KINDS:
+        result = _build_machine(kind, config).run(trace)
+        out[kind] = result.speedup_over(baseline)
+    return out
+
+
+def run_fig11(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Measure the Figure 11 speedups per group."""
+    groups = {"SpecInt95": "SpecInt95", "SysmarkNT": "SysmarkNT"}
+    per_group: Dict[str, Dict[str, float]] = {}
+    for label, group in groups.items():
+        names = group_traces(group, settings)
+        acc: Dict[str, List[float]] = {k: [] for k in HMP_KINDS}
+        for name in names:
+            speedups = speedups_for_trace(name, settings=settings)
+            for k in HMP_KINDS:
+                acc[k].append(speedups[k])
+        per_group[label] = {k: geometric_mean(v) for k, v in acc.items()}
+    average = {
+        k: geometric_mean([per_group[g][k] for g in per_group])
+        for k in HMP_KINDS
+    }
+    return {"figure": "fig11", "groups": per_group, "average": average}
+
+
+def render_fig11(data: Dict) -> str:
+    """Render the Figure 11 table."""
+    headers = ["group"] + list(HMP_KINDS)
+    rows: List[List[object]] = []
+    for group, speedups in data["groups"].items():
+        rows.append([group] + [speedups[k] for k in HMP_KINDS])
+    rows.append(["average"] + [data["average"][k] for k in HMP_KINDS])
+    return format_table(
+        headers, rows,
+        title="Figure 11 — hit-miss prediction speedup over no-HMP "
+              "(perfect disambiguation, 4 EU / 2 MEM)")

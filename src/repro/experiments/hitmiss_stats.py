@@ -1,0 +1,142 @@
+"""Figure 10: hit-miss predictor statistical accuracy.
+
+For each trace group (SpecFP95, SpecInt95, SysmarkNT, Others) the paper
+reports — as fractions of all loads — the actual miss rate (MISSES),
+the misses the predictor catches (AM-PM), and the hits it mispredicts
+as misses (AH-PM), for the local-only predictor and for the hybrid
+chooser.  Headlines: the local predictor catches 34-85 % of misses at
+0.07-0.32 % false-miss cost; the chooser cuts the false misses several
+fold "while sacrificing little in the AM-PM rate"; AM-PM outweighs
+AH-PM by at least 5:1.
+
+Methodology matches the paper's "statistical simulations (no effect on
+scheduling)": one engine pass records the (pc, hit) outcome stream;
+each predictor replays it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.engine.machine import Machine
+from repro.experiments.harness import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    format_table,
+    get_trace,
+    group_traces,
+)
+from repro.hitmiss.base import HitMissPredictor, HitMissStats
+from repro.hitmiss.hybrid import HybridHMP
+from repro.hitmiss.local import LocalHMP
+from repro.hitmiss.oracle import AlwaysHitHMP
+
+
+@dataclass(frozen=True)
+class HitMissEvent:
+    """One dynamic load's L1 outcome, in execution order."""
+
+    pc: int
+    line: int
+    now: int
+    hit: bool
+
+
+class _RecordingHMP(AlwaysHitHMP):
+    """Baseline predictor that records the resolved outcome stream."""
+
+    def __init__(self) -> None:
+        self.events: List[HitMissEvent] = []
+
+    def update(self, pc, hit, line=None, now=0):  # type: ignore[override]
+        self.events.append(HitMissEvent(pc=pc, line=line or 0, now=now,
+                                        hit=hit))
+
+
+@lru_cache(maxsize=64)
+def _hitmiss_events(name: str, n_uops: int) -> Tuple[HitMissEvent, ...]:
+    trace = get_trace(name, n_uops)
+    recorder = _RecordingHMP()
+    Machine(hmp=recorder).run(trace)
+    return tuple(recorder.events)
+
+
+def hitmiss_events(names: Sequence[str],
+                   settings: ExperimentSettings = DEFAULT_SETTINGS
+                   ) -> List[Tuple[str, Tuple[HitMissEvent, ...]]]:
+    """The recorded per-trace (pc, line, hit) outcome streams."""
+    return [(n, _hitmiss_events(n, settings.n_uops)) for n in names]
+
+
+def replay(events: Sequence[HitMissEvent], hmp: HitMissPredictor,
+           warm: bool = False) -> HitMissStats:
+    """Replay an outcome stream through a predictor (predict → train).
+
+    ``warm=True`` trains on one full pass first and measures the
+    second, emulating the steady state the paper's 30M-instruction
+    traces reach (cold-start mispredictions amortised away).
+    """
+    if warm:
+        for event in events:
+            hmp.update(event.pc, event.hit, event.line, event.now)
+    stats = HitMissStats()
+    for event in events:
+        predicted_hit = hmp.predict_hit(event.pc, event.line, event.now)
+        stats.record(event.hit, predicted_hit)
+        hmp.update(event.pc, event.hit, event.line, event.now)
+    return stats
+
+
+#: Figure 10's grouping ("Others" = Games + Java + TPC).
+FIG10_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "SpecFP": ("SpecFP95",),
+    "SpecINT": ("SpecInt95",),
+    "SysmarkNT": ("SysmarkNT",),
+    "Others": ("Games", "Java", "TPC"),
+}
+
+PREDICTORS: Tuple[Tuple[str, Callable[[], HitMissPredictor]], ...] = (
+    ("local", lambda: LocalHMP(n_entries=2048, history_bits=8)),
+    ("chooser", lambda: HybridHMP()),
+)
+
+
+def run_fig10(settings: ExperimentSettings = DEFAULT_SETTINGS,
+              warm: bool = True) -> Dict:
+    """Measure the Figure 10 predictor accuracies per group."""
+    rows: List[Dict] = []
+    for group_label, group_names in FIG10_GROUPS.items():
+        names: List[str] = []
+        for g in group_names:
+            names.extend(group_traces(g, settings))
+        streams = hitmiss_events(names, settings)
+        for pred_label, factory in PREDICTORS:
+            total = HitMissStats()
+            for _, events in streams:
+                total.merge(replay(events, factory(), warm=warm))
+            rows.append({
+                "group": group_label,
+                "predictor": pred_label,
+                "misses": total.miss_rate,
+                "am_pm": total.am_pm_fraction,
+                "ah_pm": total.ah_pm_fraction,
+                "coverage": total.miss_coverage,
+                "ratio": total.catch_to_false_ratio,
+            })
+    return {"figure": "fig10", "rows": rows}
+
+
+def render_fig10(data: Dict) -> str:
+    """Render the Figure 10 table."""
+    rows = [[r["group"], r["predictor"], r["misses"], r["am_pm"],
+             r["ah_pm"], r["coverage"],
+             ("inf" if r["ratio"] == float("inf") else round(r["ratio"], 1))]
+            for r in data["rows"]]
+    return format_table(
+        ["group", "predictor", "MISSES", "AM-PM", "AH-PM", "coverage",
+         "AM-PM:AH-PM"],
+        rows,
+        title="Figure 10 — hit-miss predictor accuracy "
+              "(fractions of all loads)")

@@ -1,0 +1,88 @@
+"""Figure 8: speedup vs. machine configuration.
+
+Sweeps the integer/memory execution unit counts — EU2/MEM1, EU2/MEM2,
+EU4/MEM2 — across the trace groups the paper shows (SysmarkNT, SpecInt,
+Sysmark95, and "Other" = Games+Java+TPC), reporting each ordering
+scheme's speedup over Traditional on the same configuration.  The
+paper's observation: "wider machines gain more performance when using a
+better memory ordering mechanism".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.config import BASELINE_MACHINE
+from repro.common.stats import geometric_mean
+from repro.experiments.harness import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    format_table,
+    group_traces,
+)
+from repro.experiments.ordering_speedup import SCHEMES, speedups_for_trace
+
+#: (label, n_int, n_mem) — the Figure 8 x-axis.
+CONFIGS: Tuple[Tuple[str, int, int], ...] = (
+    ("EU2/MEM1", 2, 1),
+    ("EU2/MEM2", 2, 2),
+    ("EU4/MEM2", 4, 2),
+)
+
+#: Figure 8's grouping; "Other" aggregates Games, Java and TPC.
+FIG8_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "NT": ("SysmarkNT",),
+    "ISPEC": ("SpecInt95",),
+    "Sys95": ("Sysmark95",),
+    "Other": ("Games", "Java", "TPC"),
+}
+
+
+def run_fig8(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Sweep the Figure 8 machine configurations."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for label, n_int, n_mem in CONFIGS:
+        config = BASELINE_MACHINE.with_units(n_int, n_mem)
+        per_group: Dict[str, Dict[str, float]] = {}
+        for group_label, group_names in FIG8_GROUPS.items():
+            traces: List[str] = []
+            for g in group_names:
+                traces.extend(group_traces(g, settings))
+            per_scheme: Dict[str, List[float]] = {s: [] for s in SCHEMES}
+            for name in traces:
+                speedups = speedups_for_trace(name, config=config,
+                                              settings=settings)
+                for s in SCHEMES:
+                    per_scheme[s].append(speedups[s])
+            per_group[group_label] = {
+                s: geometric_mean(v) for s, v in per_scheme.items()
+            }
+        results[label] = per_group
+    return {"figure": "fig8", "configs": results}
+
+
+def render_fig8(data: Dict) -> str:
+    """Render the Figure 8 table."""
+    headers = ["config", "group"] + list(SCHEMES)
+    rows: List[List[object]] = []
+    for config_label, per_group in data["configs"].items():
+        for group_label, speedups in per_group.items():
+            rows.append([config_label, group_label]
+                        + [speedups[s] for s in SCHEMES])
+    return format_table(
+        headers, rows,
+        title="Figure 8 — speedup over Traditional vs. machine "
+              "configuration")
+
+
+def widening_gain(data: Dict, scheme: str = "exclusive") -> Dict[str, float]:
+    """Average speedup of ``scheme`` per configuration (trend check).
+
+    The paper's claim holds when this is non-decreasing from EU2/MEM1
+    through EU4/MEM2.
+    """
+    out: Dict[str, float] = {}
+    for config_label, per_group in data["configs"].items():
+        out[config_label] = geometric_mean(
+            [v[scheme] for v in per_group.values()])
+    return out

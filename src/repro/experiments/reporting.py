@@ -1,0 +1,119 @@
+"""Text rendering helpers: aligned tables, bar charts and line plots.
+
+The experiment harnesses print the paper's figures as text; these
+helpers make the output read like the figures rather than raw tables —
+horizontal bars for the classification/accuracy figures and multi-series
+line plots for the metric curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+BAR_CHAR = "#"
+FILL_CHAR = "."
+
+
+def bar_chart(rows: Sequence[Tuple[str, float]], width: int = 40,
+              max_value: Optional[float] = None,
+              value_format: str = "{:.3f}", title: str = "") -> str:
+    """Horizontal bar chart: one labelled bar per (label, value) row."""
+    if not rows:
+        return title
+    peak = max_value if max_value is not None else max(v for _, v in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines: List[str] = [title] if title else []
+    for label, value in rows:
+        filled = int(round(width * min(value, peak) / peak))
+        bar = BAR_CHAR * filled + FILL_CHAR * (width - filled)
+        lines.append(f"{label.ljust(label_width)} |{bar}| "
+                     f"{value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(rows: Sequence[Tuple[str, Mapping[str, float]]],
+                      segment_chars: Mapping[str, str],
+                      width: int = 40, title: str = "") -> str:
+    """Stacked horizontal bars for fraction breakdowns (sum <= 1).
+
+    ``segment_chars`` maps each segment name to its one-character fill,
+    in drawing order; a legend line is appended.
+    """
+    if not rows:
+        return title
+    label_width = max(len(label) for label, _ in rows)
+    lines: List[str] = [title] if title else []
+    for label, segments in rows:
+        bar = ""
+        for name, char in segment_chars.items():
+            value = segments.get(name, 0.0)
+            bar += char * int(round(width * value))
+        bar = bar[:width].ljust(width, " ")
+        lines.append(f"{label.ljust(label_width)} |{bar}|")
+    legend = "  ".join(f"{char}={name}"
+                       for name, char in segment_chars.items())
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def line_plot(series: Mapping[str, Sequence[Tuple[float, float]]],
+              width: int = 60, height: int = 16, title: str = "",
+              x_label: str = "", y_label: str = "") -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series is a list of (x, y) points; the k-th series is drawn
+    with the k-th marker character.  Later series overwrite earlier
+    ones where they coincide.
+    """
+    markers = "ABCDEFGH*+ox"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            plot(x, y, marker)
+
+    lines: List[str] = [title] if title else []
+    lines.append(f"{y_hi:8.2f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:8.2f} +" + "-" * width + "+")
+    lines.append(" " * 10 + f"{x_lo:<8.2f}"
+                 + " " * max(0, width - 16) + f"{x_hi:>8.2f}")
+    legend = "  ".join(f"{marker}={name}" for (name, _), marker
+                       in zip(series.items(), markers))
+    lines.append(" " * 10 + legend)
+    if x_label:
+        lines.append(" " * 10 + f"x: {x_label}")
+    if y_label:
+        lines.append(" " * 10 + f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def speedup_chart(speedups: Mapping[str, float], width: int = 40,
+                  title: str = "") -> str:
+    """Bar chart of speedups with the 1.0 baseline subtracted out."""
+    rows = [(name, max(0.0, value - 1.0))
+            for name, value in speedups.items()]
+    peak = max((v for _, v in rows), default=0.0) or 1.0
+    chart = bar_chart(rows, width=width, max_value=peak,
+                      value_format="+{:.1%}", title=title)
+    return chart

@@ -1,0 +1,41 @@
+"""Data-cache hit-miss prediction (section 2.2).
+
+A hit-miss predictor (HMP) makes a per-load binary prediction of L1
+hit/miss so the scheduler can dispatch dependent instructions "to
+execute at the exact time the data is retrieved".  The paper adapts
+branch predictors to the task:
+
+* :class:`LocalHMP` — the 2048-entry, 8-bit-history local predictor
+  (~2 KB) whose per-load hit/miss history replaces taken/not-taken.
+* :class:`HybridHMP` — 512-entry local + gshare (11-load history) +
+  gskew (20-load history, three 1K tables) with a majority-vote chooser
+  (< 2 KB total); trades a little AM-PM for far fewer AH-PM.
+* :class:`TimingHMP` — adds the timing refinement: a load to a line
+  still in the outstanding-miss queue is a (dynamic) miss; a load to a
+  just-serviced line is a hit, overriding the pattern tables.
+* :class:`AlwaysHitHMP` / :class:`OracleHMP` — today's baseline and
+  the perfect predictor bounding the technique's potential.
+"""
+
+from repro.hitmiss.base import HitMissPredictor, HitMissStats
+from repro.hitmiss.local import LocalHMP
+from repro.hitmiss.hybrid import HybridHMP
+from repro.hitmiss.timing import TimingHMP
+from repro.hitmiss.oracle import AlwaysHitHMP, AlwaysMissHMP, OracleHMP
+from repro.hitmiss.address_probe import AddressProbeHMP
+from repro.hitmiss.multilevel import MultiLevelHMP, MemoryLevel, LevelStats
+
+__all__ = [
+    "HitMissPredictor",
+    "HitMissStats",
+    "LocalHMP",
+    "HybridHMP",
+    "TimingHMP",
+    "AlwaysHitHMP",
+    "AlwaysMissHMP",
+    "OracleHMP",
+    "AddressProbeHMP",
+    "MultiLevelHMP",
+    "MemoryLevel",
+    "LevelStats",
+]

@@ -1,0 +1,80 @@
+"""Address-predictor-based hit-miss prediction.
+
+Section 2.2's second refinement family: "Another way of making hit/miss
+predictions is by using an address predictor to directly check whether
+the data is in the cache or not.  Unfortunately, this requires a tag
+lookup in the cache" — expensive for L1, viable for L2, and enabled for
+L1 by tag-pressure relief mechanisms like [Pinte96].
+
+:class:`AddressProbeHMP` predicts the load's effective address with the
+stride predictor and probes the (tag-only) cache non-destructively; on
+an unstable address it falls back to a base predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.hitmiss.base import HitMissPredictor
+from repro.hitmiss.oracle import AlwaysHitHMP
+from repro.predictors.address import StrideAddressPredictor
+
+
+class AddressProbeHMP(HitMissPredictor):
+    """Predict the address, probe the tags, fall back when unstable.
+
+    Parameters
+    ----------
+    probe:
+        Non-destructive residence check, e.g.
+        ``hierarchy.would_hit_l1`` — called with (address, now).
+    base:
+        Predictor used when the address predictor abstains.
+    address_predictor:
+        The stride predictor (shared with other consumers if desired).
+    """
+
+    def __init__(self, probe: Callable[[int, int], bool],
+                 base: Optional[HitMissPredictor] = None,
+                 address_predictor: Optional[StrideAddressPredictor] = None
+                 ) -> None:
+        self._probe = probe
+        self.base = base if base is not None else AlwaysHitHMP()
+        self.addresses = (address_predictor if address_predictor is not None
+                          else StrideAddressPredictor())
+        self.probed = 0  #: predictions decided by a tag probe
+        self.fallbacks = 0
+
+    def predict_hit(self, pc: int, line: Optional[int] = None,
+                    now: int = 0) -> bool:
+        predicted_address = self.addresses.predict(pc)
+        if predicted_address is not None:
+            self.probed += 1
+            return self._probe(predicted_address, now)
+        self.fallbacks += 1
+        return self.base.predict_hit(pc, line, now)
+
+    def update(self, pc: int, hit: bool, line: Optional[int] = None,
+               now: int = 0) -> None:
+        self.base.update(pc, hit, line, now)
+        if line is not None:
+            # Train the address predictor with the line-aligned address
+            # (the access offset within the line is irrelevant here).
+            self.addresses.update(pc, line * 64)
+
+    def train_address(self, pc: int, address: int) -> None:
+        """Exact-address training hook for engines that have it."""
+        self.addresses.update(pc, address)
+
+    def reset(self) -> None:
+        self.base.reset()
+        self.addresses.reset()
+        self.probed = 0
+        self.fallbacks = 0
+
+    @property
+    def storage_bits(self) -> int:
+        return self.base.storage_bits + self.addresses.storage_bits
+
+    def __repr__(self) -> str:
+        return f"AddressProbeHMP(base={self.base!r})"

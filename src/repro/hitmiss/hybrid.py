@@ -1,0 +1,67 @@
+"""Hybrid hit-miss predictor with a majority-vote chooser.
+
+Section 2.2: "The components are a local predictor (512 entries) and two
+global predictors, a gshare (history length of 11 loads) and a gskew
+(each table has 1K entries, and the hash functions operate on a history
+of 20 loads).  The chooser mechanism between the three predictor
+components is a simple majority vote (the total predictor size is less
+than 2KBytes)."
+
+Predicting a miss only when two of three components agree acts as a
+confidence mechanism: Figure 10 shows it cutting AH-PM (false misses)
+several-fold while sacrificing little AM-PM.
+
+Substitution note: the defaults here use shorter global histories (5/8
+instead of the paper's 11/20 loads).  On this repository's reduced
+synthetic traces, 11/20-load global histories recur too rarely to
+train, leaving the global components voting "hit" and the chooser
+vetoing nearly every miss prediction; shorter histories restore the
+intended behaviour.  Pass ``gshare_history=11, gskew_history=20`` to
+reproduce the paper's exact geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hitmiss.base import HitMissPredictor
+from repro.predictors.chooser import MajorityChooser
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.gskew import GSkewPredictor
+from repro.predictors.local import LocalPredictor
+
+
+class HybridHMP(HitMissPredictor):
+    """local + gshare + gskew, combined by simple majority vote."""
+
+    def __init__(self, local_entries: int = 512, local_history: int = 8,
+                 gshare_history: int = 5, gskew_history: int = 8,
+                 gskew_entries: int = 1024) -> None:
+        self._chooser = MajorityChooser([
+            LocalPredictor(n_entries=local_entries,
+                           history_bits=local_history),
+            GSharePredictor(history_bits=gshare_history),
+            GSkewPredictor(history_bits=gskew_history,
+                           bank_entries=gskew_entries),
+        ])
+
+    def predict_hit(self, pc: int, line: Optional[int] = None,
+                    now: int = 0) -> bool:
+        return not self._chooser.predict(pc).outcome
+
+    def miss_confidence(self, pc: int) -> float:
+        return self._chooser.predict(pc).confidence
+
+    def update(self, pc: int, hit: bool, line: Optional[int] = None,
+               now: int = 0) -> None:
+        self._chooser.update(pc, not hit)
+
+    def reset(self) -> None:
+        self._chooser.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self._chooser.storage_bits
+
+    def __repr__(self) -> str:
+        return "HybridHMP(local+gshare+gskew, majority)"

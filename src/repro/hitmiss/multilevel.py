@@ -1,0 +1,123 @@
+"""Multi-level hit-miss prediction.
+
+Section 2.2 scopes the technique as predicting "for the first level
+only or for all levels", and motivates the all-levels variant with
+multithreading: "the prediction may be used to govern a thread switch
+if a load is predicted to miss the L2 cache, and suffer the large
+latency of accessing main memory."
+
+:class:`MultiLevelHMP` composes two binary predictors — one over the L1
+hit/miss stream and one over the L2 hit/miss stream of L1-missing loads
+— into a per-load *level* prediction (L1 / L2 / MEMORY), which the
+scheduler maps to a latency and the thread scheduler to a switch
+decision.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hitmiss.base import HitMissPredictor
+from repro.hitmiss.local import LocalHMP
+from repro.memory.hierarchy import LoadOutcome
+
+
+class MemoryLevel(enum.IntEnum):
+    """Where a load's data is predicted/found to reside."""
+
+    L1 = 0
+    L2 = 1
+    MEMORY = 2
+
+    @classmethod
+    def of(cls, outcome: LoadOutcome) -> "MemoryLevel":
+        if outcome.l1_hit:
+            return cls.L1
+        return cls.L2 if outcome.l2_hit else cls.MEMORY
+
+
+@dataclass
+class LevelStats:
+    """Confusion counts over (actual level, predicted level)."""
+
+    counts: Dict[tuple, int] = field(default_factory=dict)
+
+    def record(self, actual: MemoryLevel, predicted: MemoryLevel) -> None:
+        key = (actual, predicted)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def accuracy(self) -> float:
+        if not self.total:
+            return 0.0
+        correct = sum(n for (a, p), n in self.counts.items() if a == p)
+        return correct / self.total
+
+    def caught(self, level: MemoryLevel) -> float:
+        """Recall of ``level``: how many of its loads were predicted."""
+        actual = sum(n for (a, _), n in self.counts.items() if a == level)
+        if not actual:
+            return 0.0
+        hit = self.counts.get((level, level), 0)
+        return hit / actual
+
+
+class MultiLevelHMP:
+    """Two stacked binary HMPs giving a three-way level prediction.
+
+    The L2 component trains only on loads that actually missed L1 —
+    mirroring the hardware, where the L2 predictor's history registers
+    record the L2 outcomes of L1 misses.
+    """
+
+    def __init__(self, l1: Optional[HitMissPredictor] = None,
+                 l2: Optional[HitMissPredictor] = None) -> None:
+        self.l1 = l1 if l1 is not None else LocalHMP()
+        self.l2 = l2 if l2 is not None else LocalHMP(n_entries=512)
+        self.stats = LevelStats()
+
+    def predict_level(self, pc: int, line: Optional[int] = None,
+                      now: int = 0) -> MemoryLevel:
+        if self.l1.predict_hit(pc, line, now):
+            return MemoryLevel.L1
+        if self.l2.predict_hit(pc, line, now):
+            return MemoryLevel.L2
+        return MemoryLevel.MEMORY
+
+    def predict_latency(self, pc: int, l1_latency: int, l2_latency: int,
+                        memory_latency: int,
+                        line: Optional[int] = None, now: int = 0) -> int:
+        """The scheduler-facing form: a concrete latency estimate."""
+        level = self.predict_level(pc, line, now)
+        return {MemoryLevel.L1: l1_latency,
+                MemoryLevel.L2: l2_latency,
+                MemoryLevel.MEMORY: memory_latency}[level]
+
+    def update(self, pc: int, outcome: LoadOutcome,
+               now: int = 0) -> MemoryLevel:
+        """Train both components with a resolved load outcome."""
+        actual = MemoryLevel.of(outcome)
+        predicted = self.predict_level(pc, outcome.line, now)
+        self.stats.record(actual, predicted)
+        self.l1.update(pc, outcome.l1_hit, outcome.line, now)
+        if not outcome.l1_hit:
+            self.l2.update(pc, outcome.l2_hit, outcome.line, now)
+        return actual
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+        self.stats = LevelStats()
+
+    @property
+    def storage_bits(self) -> int:
+        return self.l1.storage_bits + self.l2.storage_bits
+
+    def __repr__(self) -> str:
+        return f"MultiLevelHMP(l1={self.l1!r}, l2={self.l2!r})"

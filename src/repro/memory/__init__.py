@@ -1,0 +1,41 @@
+"""Memory-system substrate.
+
+Implements the section 3.1 hierarchy (16K L1D / 256K unified L2, 4-way,
+64-byte lines), a multi-banked L1 with conflict accounting, the
+outstanding-miss queue (MSHR) used by the timing-enhanced hit-miss
+predictor, and analytic models of the four memory pipelines compared in
+Figure 4.
+"""
+
+from repro.memory.cache import Cache, AccessResult
+from repro.memory.hierarchy import MemoryHierarchy, LoadOutcome
+from repro.memory.banked import BankedCache, BankScheduler
+from repro.memory.mshr import OutstandingMissQueue, ServicedLoadBuffer
+from repro.memory.prefetch import StridePrefetcher, PrefetchStats
+from repro.memory.pipelines import (
+    PipelineKind,
+    MemoryPipelineModel,
+    TRULY_MULTIPORTED,
+    CONVENTIONAL_BANKED,
+    DUAL_SCHEDULED,
+    SLICED_BANKED,
+)
+
+__all__ = [
+    "Cache",
+    "AccessResult",
+    "MemoryHierarchy",
+    "LoadOutcome",
+    "BankedCache",
+    "BankScheduler",
+    "OutstandingMissQueue",
+    "ServicedLoadBuffer",
+    "StridePrefetcher",
+    "PrefetchStats",
+    "PipelineKind",
+    "MemoryPipelineModel",
+    "TRULY_MULTIPORTED",
+    "CONVENTIONAL_BANKED",
+    "DUAL_SCHEDULED",
+    "SLICED_BANKED",
+]

@@ -1,0 +1,137 @@
+"""Multi-banked cache front end and bank-aware scheduling.
+
+Section 2.3: a multi-banked cache splits the first level into
+independently addressed banks, each servicing one access per cycle.
+Bank conflicts — two same-cycle accesses to one bank — waste bandwidth.
+:class:`BankScheduler` models the per-cycle port assignment under three
+policies: oblivious (no prediction, conflicts happen), predicted
+(conflicting-predicted loads are not co-scheduled), and oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common import bits
+from repro.common.stats import StatGroup
+
+
+class BankedCache:
+    """Bank geometry and conflict detection for a line-interleaved L1."""
+
+    def __init__(self, n_banks: int = 2, line_bytes: int = 64) -> None:
+        if n_banks < 1 or n_banks & (n_banks - 1):
+            raise ValueError("n_banks must be a positive power of two")
+        self.n_banks = n_banks
+        self.line_bytes = line_bytes
+
+    def bank_of(self, address: int) -> int:
+        return (address // self.line_bytes) % self.n_banks
+
+    def conflicts(self, addresses: Sequence[int]) -> int:
+        """Number of accesses beyond the first to each bank."""
+        seen: Dict[int, int] = {}
+        for address in addresses:
+            bank = self.bank_of(address)
+            seen[bank] = seen.get(bank, 0) + 1
+        return sum(count - 1 for count in seen.values() if count > 1)
+
+
+@dataclass
+class BankSchedulerStats:
+    """Per-policy accounting for the bank scheduler."""
+
+    cycles: int = 0
+    issued: int = 0
+    conflicts: int = 0
+    delayed: int = 0
+
+
+class BankScheduler:
+    """Greedy per-cycle selection of loads onto cache banks.
+
+    Each cycle the scheduler is handed the addresses (and, if available,
+    predicted banks) of ready loads, ordered oldest first.  It issues at
+    most one load per bank per cycle:
+
+    * ``oblivious`` — issues the oldest ``n_banks`` loads regardless of
+      bank; any conflicting pair costs a conflict (re-schedule) event.
+    * ``predicted`` — consults predicted banks and refuses to co-issue
+      two loads predicted to the same bank; wrong predictions still
+      conflict at execute.
+    * ``oracle`` — uses true banks; never conflicts.
+    """
+
+    POLICIES = ("oblivious", "predicted", "oracle")
+
+    def __init__(self, cache: BankedCache, policy: str = "oracle",
+                 stats: Optional[StatGroup] = None) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}")
+        self.cache = cache
+        self.policy = policy
+        group = stats if stats is not None else StatGroup("bank_sched")
+        self._issued = group.counter("issued")
+        self._conflicts = group.counter("conflicts")
+        self._delayed = group.counter("delayed")
+        self._cycles = group.counter("cycles")
+
+    def select(self, loads: Sequence[Tuple[int, Optional[int]]]
+               ) -> Tuple[List[int], List[int]]:
+        """Pick loads to issue this cycle.
+
+        Parameters
+        ----------
+        loads:
+            ``(address, predicted_bank)`` pairs, oldest first;
+            ``predicted_bank`` may be ``None`` (no prediction).
+
+        Returns
+        -------
+        (issued, conflicted):
+            Indices into ``loads`` of the loads issued this cycle, and of
+            issued loads that hit a bank conflict at execute (oblivious /
+            mispredicted cases).
+        """
+        self._cycles.add()
+        issued: List[int] = []
+        conflicted: List[int] = []
+        claimed: Dict[int, int] = {}  # bank -> index of load holding it
+
+        for i, (address, predicted_bank) in enumerate(loads):
+            if len(issued) >= self.cache.n_banks:
+                break
+            true_bank = self.cache.bank_of(address)
+            if self.policy == "oracle":
+                plan_bank = true_bank
+            elif self.policy == "predicted":
+                plan_bank = predicted_bank
+            else:
+                plan_bank = None
+
+            if plan_bank is not None and plan_bank in claimed:
+                # The scheduler believes this bank is taken: delay the load.
+                self._delayed.add()
+                continue
+
+            issued.append(i)
+            if plan_bank is not None:
+                claimed[plan_bank] = i
+            # Execute-time truth: does it actually conflict with an
+            # already-issued load on the same true bank?
+            for j in issued[:-1]:
+                if j in conflicted:
+                    continue
+                if self.cache.bank_of(loads[j][0]) == true_bank:
+                    conflicted.append(i)
+                    self._conflicts.add()
+                    break
+
+        self._issued.add(len(issued))
+        return issued, conflicted
+
+    @property
+    def conflict_rate(self) -> float:
+        issued = self._issued.value
+        return self._conflicts.value / issued if issued else 0.0

@@ -1,0 +1,133 @@
+"""Set-associative cache model with true LRU replacement.
+
+The model tracks tags only (no data), which is all a scheduling study
+needs: the simulator asks "would this access hit?" and the hit/miss
+stream drives both the latency model and the hit-miss predictor's ground
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common import bits
+from repro.common.config import CacheConfig
+from repro.common.stats import StatGroup
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    set_index: int
+    tag: int
+    evicted_tag: Optional[int] = None
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+
+class _CacheSet:
+    """One set: an LRU-ordered list of tags (front = most recent)."""
+
+    __slots__ = ("ways", "tags")
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+        self.tags: List[int] = []
+
+    def access(self, tag: int, allocate: bool) -> tuple:
+        """Probe for ``tag``; returns (hit, evicted_tag)."""
+        try:
+            self.tags.remove(tag)
+        except ValueError:
+            if not allocate:
+                return False, None
+            evicted = self.tags.pop() if len(self.tags) >= self.ways else None
+            self.tags.insert(0, tag)
+            return False, evicted
+        self.tags.insert(0, tag)
+        return True, None
+
+    def contains(self, tag: int) -> bool:
+        return tag in self.tags
+
+    def invalidate(self, tag: int) -> bool:
+        try:
+            self.tags.remove(tag)
+            return True
+        except ValueError:
+            return False
+
+
+class Cache:
+    """A single cache level.
+
+    ``access`` allocates on miss (the usual write-allocate, fetch-on-miss
+    policy); ``probe`` checks residence without disturbing LRU state,
+    which is what an address-predictor-based hit-miss check would do
+    (section 2.2).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache",
+                 stats: Optional[StatGroup] = None) -> None:
+        self.config = config
+        self.name = name
+        self._sets: List[_CacheSet] = [
+            _CacheSet(config.ways) for _ in range(config.n_sets)
+        ]
+        group = stats if stats is not None else StatGroup(name)
+        self.stats = group
+        self._hits = group.counter("hits")
+        self._misses = group.counter("misses")
+        self._evictions = group.counter("evictions")
+
+    def _locate(self, address: int) -> tuple:
+        line = address // self.config.line_bytes
+        set_index = line % self.config.n_sets
+        tag = line // self.config.n_sets
+        return set_index, tag
+
+    def access(self, address: int) -> AccessResult:
+        """Reference ``address``: probe, update LRU, allocate on miss."""
+        set_index, tag = self._locate(address)
+        hit, evicted = self._sets[set_index].access(tag, allocate=True)
+        if hit:
+            self._hits.add()
+        else:
+            self._misses.add()
+            if evicted is not None:
+                self._evictions.add()
+        return AccessResult(hit=hit, set_index=set_index, tag=tag,
+                            evicted_tag=evicted)
+
+    def probe(self, address: int) -> bool:
+        """Non-destructive residence check (no LRU update, no allocate)."""
+        set_index, tag = self._locate(address)
+        return self._sets[set_index].contains(tag)
+
+    def invalidate(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return self._sets[set_index].invalidate(tag)
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.tags.clear()
+
+    def bank_of(self, address: int) -> int:
+        """Line-interleaved bank index for banked organisations."""
+        return bits.extract(address // self.config.line_bytes, 0,
+                            bits.ilog2(self.config.n_banks)) \
+            if self.config.n_banks > 1 else 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits.value + self._misses.value
+        return self._hits.value / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"Cache({self.name}, {self.config.size_bytes // 1024}K, "
+                f"{self.config.ways}-way)")

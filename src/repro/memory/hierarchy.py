@@ -1,0 +1,129 @@
+"""Two-level memory hierarchy with dynamic load latencies.
+
+This is the structure the hit-miss predictor reasons about: a load's
+latency depends on which level the data resides in (section 2.2).  The
+hierarchy also feeds the MSHR so the timing-enhanced predictor can see
+in-flight lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import MemoryConfig
+from repro.common.stats import StatGroup
+from repro.memory.cache import Cache
+from repro.memory.mshr import OutstandingMissQueue, ServicedLoadBuffer
+
+
+@dataclass(frozen=True)
+class LoadOutcome:
+    """Result of sending one load down the hierarchy.
+
+    Attributes
+    ----------
+    l1_hit / l2_hit:
+        Residence at each level.  ``l2_hit`` is meaningful only when the
+        L1 missed.
+    latency:
+        Total data latency in cycles, from cache access start to data.
+    line:
+        The cache-line index of the access (for MSHR bookkeeping).
+    dynamic_miss:
+        True when the L1 miss was to a line already in flight — the
+        "dynamic miss" case of section 2.2; latency is the residual wait.
+    """
+
+    l1_hit: bool
+    l2_hit: bool
+    latency: int
+    line: int
+    dynamic_miss: bool = False
+
+    @property
+    def miss(self) -> bool:
+        return not self.l1_hit
+
+
+class MemoryHierarchy:
+    """L1 data cache + unified L2 + memory, with an outstanding-miss queue."""
+
+    def __init__(self, config: Optional[MemoryConfig] = None,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.config = config if config is not None else MemoryConfig()
+        group = stats if stats is not None else StatGroup("memory")
+        self.stats = group
+        self.l1d = Cache(self.config.l1d, "l1d", group.child("l1d"))
+        self.l2 = Cache(self.config.l2, "l2", group.child("l2"))
+        self.mshr = OutstandingMissQueue(self.config.mshr_entries)
+        self.serviced = ServicedLoadBuffer()
+        self._loads = group.counter("loads")
+        self._l1_misses = group.counter("l1_misses")
+        self._l2_misses = group.counter("l2_misses")
+        self._dynamic_misses = group.counter("dynamic_misses")
+
+    def load(self, address: int, now: int = 0) -> LoadOutcome:
+        """Execute a load at cycle ``now`` and return its outcome."""
+        self._loads.add()
+        self.mshr.expire(now)
+        line = address // self.config.l1d.line_bytes
+
+        pending = self.mshr.pending_until(line, now)
+        if pending is not None:
+            # The line is already being fetched: a dynamic miss.  The load
+            # waits for the in-flight fill rather than starting a new one.
+            self._dynamic_misses.add()
+            self._l1_misses.add()
+            # Keep L1 state consistent: the fill will install the line, so
+            # model the install now (subsequent post-arrival loads hit).
+            self.l1d.access(address)
+            return LoadOutcome(l1_hit=False, l2_hit=True,
+                               latency=pending - now, line=line,
+                               dynamic_miss=True)
+
+        l1 = self.l1d.access(address)
+        if l1.hit:
+            return LoadOutcome(l1_hit=True, l2_hit=True,
+                               latency=self.config.l1_latency, line=line)
+
+        self._l1_misses.add()
+        l2 = self.l2.access(address)
+        if l2.hit:
+            latency = self.config.l2_latency
+        else:
+            self._l2_misses.add()
+            latency = self.config.memory_latency
+        self.mshr.insert(line, now + latency)
+        self.serviced.insert(line, now + latency)
+        return LoadOutcome(l1_hit=False, l2_hit=l2.hit, latency=latency,
+                           line=line)
+
+    def store(self, address: int, now: int = 0) -> None:
+        """Stores install their line in both levels (write-allocate)."""
+        l1 = self.l1d.access(address)
+        if not l1.hit:
+            self.l2.access(address)
+
+    def would_hit_l1(self, address: int, now: int = 0) -> bool:
+        """Non-destructive L1 residence probe (oracle/HMP verification).
+
+        A line still being filled counts as a miss (the dynamic-miss
+        case): its data is not yet available even though the tag array
+        already owns it in this model.
+        """
+        line = address // self.config.l1d.line_bytes
+        if self.mshr.pending_until(line, now) is not None:
+            return False
+        return self.l1d.probe(address)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        loads = self._loads.value
+        return self._l1_misses.value / loads if loads else 0.0
+
+    def reset(self) -> None:
+        self.l1d.flush()
+        self.l2.flush()
+        self.mshr.clear()
+        self.serviced.clear()

@@ -1,0 +1,100 @@
+"""Outstanding-miss queue (MSHR) and serviced-load buffer.
+
+Section 2.2's timing refinement: "If a load misses the cache and a later
+load tries to access the same cache line before that line has arrived it
+will also miss the cache (dynamic miss).  On the other hand, if the
+second load is executed after enough time has passed ... it will most
+likely be a hit.  Most processors already have a structure that tracks
+dynamic misses (outstanding miss queue) and a small buffer for tracking
+serviced loads is a simple addition."
+
+Both structures are keyed by cache line and bounded, evicting oldest
+entries first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class OutstandingMissQueue:
+    """Lines currently being fetched, each with its arrival cycle."""
+
+    def __init__(self, n_entries: int = 8) -> None:
+        if n_entries < 1:
+            raise ValueError("MSHR needs at least one entry")
+        self.n_entries = n_entries
+        self._pending: "OrderedDict[int, int]" = OrderedDict()
+
+    def insert(self, line: int, ready_cycle: int) -> None:
+        """Record that ``line`` will arrive at ``ready_cycle``.
+
+        A second miss to an in-flight line merges (keeps the earlier
+        arrival); a full queue drops its oldest entry — the model's
+        equivalent of stalling the miss pipeline.
+        """
+        if line in self._pending:
+            self._pending[line] = min(self._pending[line], ready_cycle)
+            return
+        while len(self._pending) >= self.n_entries:
+            self._pending.popitem(last=False)
+        self._pending[line] = ready_cycle
+
+    def expire(self, now: int) -> None:
+        """Drop entries whose lines have arrived by cycle ``now``."""
+        arrived = [line for line, ready in self._pending.items()
+                   if ready <= now]
+        for line in arrived:
+            del self._pending[line]
+
+    def pending_until(self, line: int, now: int) -> Optional[int]:
+        """Arrival cycle of ``line`` if still in flight at ``now``."""
+        ready = self._pending.get(line)
+        if ready is None or ready <= now:
+            return None
+        return ready
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._pending
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def clear(self) -> None:
+        self._pending.clear()
+
+
+class ServicedLoadBuffer:
+    """Recently serviced (arrived) lines, with their arrival cycle.
+
+    Used as the positive half of the timing hint: a load to a line that
+    just arrived is very likely a hit regardless of what the pattern
+    tables say.
+    """
+
+    def __init__(self, n_entries: int = 16, retention_cycles: int = 256) -> None:
+        if n_entries < 1:
+            raise ValueError("buffer needs at least one entry")
+        self.n_entries = n_entries
+        self.retention_cycles = retention_cycles
+        self._serviced: "OrderedDict[int, int]" = OrderedDict()
+
+    def insert(self, line: int, arrival_cycle: int) -> None:
+        if line in self._serviced:
+            del self._serviced[line]
+        while len(self._serviced) >= self.n_entries:
+            self._serviced.popitem(last=False)
+        self._serviced[line] = arrival_cycle
+
+    def recently_serviced(self, line: int, now: int) -> bool:
+        arrival = self._serviced.get(line)
+        if arrival is None:
+            return False
+        return now - arrival <= self.retention_cycles
+
+    def __len__(self) -> int:
+        return len(self._serviced)
+
+    def clear(self) -> None:
+        self._serviced.clear()

@@ -1,0 +1,105 @@
+"""Analytic models of the four memory pipelines of Figure 4.
+
+The paper compares, for a two-ported memory subsystem:
+
+* a **truly multi-ported** cache — no conflicts, shortest latency,
+  highest cost;
+* a **conventional multi-banked** cache — a decision stage and crossbar
+  add latency; bank conflicts stall or re-execute;
+* a **dual-scheduled** multi-banked cache — a second-level scheduler
+  after address generation removes conflicts but adds latency;
+* the proposed **sliced** multi-banked pipeline — each pipe hard-wired
+  to one bank, same latency as the ideal pipe, but needs a bank
+  predictor; a bank misprediction forces re-execution unless the load
+  was duplicated to all pipes.
+
+These models capture the latency/penalty structure the section 4.3
+metric builds on, and let benchmarks compare organisations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PipelineKind(enum.Enum):
+    """The four memory-pipeline organisations of Figure 4."""
+
+    TRULY_MULTIPORTED = "truly-multiported"
+    CONVENTIONAL_BANKED = "conventional-banked"
+    DUAL_SCHEDULED = "dual-scheduled"
+    SLICED_BANKED = "sliced-banked"
+
+
+@dataclass(frozen=True)
+class MemoryPipelineModel:
+    """Latency and penalty profile of one pipeline organisation.
+
+    Attributes
+    ----------
+    kind:
+        Which organisation this is.
+    extra_latency:
+        Cycles added to every load relative to the ideal pipe (crossbar
+        setup / decision stage / second scheduler).
+    conflict_penalty:
+        Cycles lost when two same-cycle accesses collide on a bank
+        (zero where the organisation removes conflicts).
+    mispredict_penalty:
+        Cycles lost when a bank prediction is wrong (sliced pipe only —
+        the load is flushed and re-executed once the bank is known).
+    needs_bank_predictor:
+        Whether the organisation cannot operate without a predictor.
+    """
+
+    kind: PipelineKind
+    extra_latency: int
+    conflict_penalty: int
+    mispredict_penalty: int
+    needs_bank_predictor: bool
+
+    def load_latency(self, base_latency: int) -> int:
+        """Conflict-free load latency under this organisation."""
+        return base_latency + self.extra_latency
+
+    def expected_load_time(self, base_latency: int, conflict_rate: float,
+                           mispredict_rate: float = 0.0) -> float:
+        """Average load latency given conflict/misprediction rates."""
+        if not 0.0 <= conflict_rate <= 1.0:
+            raise ValueError("conflict_rate must be a probability")
+        if not 0.0 <= mispredict_rate <= 1.0:
+            raise ValueError("mispredict_rate must be a probability")
+        time = float(self.load_latency(base_latency))
+        time += conflict_rate * self.conflict_penalty
+        time += mispredict_rate * self.mispredict_penalty
+        return time
+
+
+#: No conflicts, no added latency — the reference design.
+TRULY_MULTIPORTED = MemoryPipelineModel(
+    kind=PipelineKind.TRULY_MULTIPORTED,
+    extra_latency=0, conflict_penalty=0, mispredict_penalty=0,
+    needs_bank_predictor=False)
+
+#: Crossbar + decision stage add latency; conflicts re-execute.
+CONVENTIONAL_BANKED = MemoryPipelineModel(
+    kind=PipelineKind.CONVENTIONAL_BANKED,
+    extra_latency=2, conflict_penalty=3, mispredict_penalty=0,
+    needs_bank_predictor=False)
+
+#: The second-level scheduler removes conflicts but lengthens every load.
+DUAL_SCHEDULED = MemoryPipelineModel(
+    kind=PipelineKind.DUAL_SCHEDULED,
+    extra_latency=2, conflict_penalty=0, mispredict_penalty=0,
+    needs_bank_predictor=False)
+
+#: Ideal latency, but a wrong bank prediction costs a re-execution.
+SLICED_BANKED = MemoryPipelineModel(
+    kind=PipelineKind.SLICED_BANKED,
+    extra_latency=0, conflict_penalty=0, mispredict_penalty=4,
+    needs_bank_predictor=True)
+
+
+ALL_PIPELINES = (TRULY_MULTIPORTED, CONVENTIONAL_BANKED, DUAL_SCHEDULED,
+                 SLICED_BANKED)

@@ -1,0 +1,46 @@
+"""Bimodal predictor: a PC-indexed table of saturating counters."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common import bits
+from repro.predictors.base import BinaryPredictor, Prediction
+from repro.predictors.counters import SaturatingCounter
+
+
+class BimodalPredictor(BinaryPredictor):
+    """The classic tagless, direct-mapped counter table.
+
+    Used standalone (predictor component "bimodal" of section 2.3's
+    predictor B) and as the second level of the two-level predictors.
+    """
+
+    def __init__(self, n_entries: int = 2048, counter_bits: int = 2) -> None:
+        bits.ilog2(n_entries)  # validate power of two
+        self.n_entries = n_entries
+        self.counter_bits = counter_bits
+        self._table: List[SaturatingCounter] = [
+            SaturatingCounter(counter_bits) for _ in range(n_entries)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return bits.pc_index(pc, self.n_entries)
+
+    def predict(self, pc: int) -> Prediction:
+        cell = self._table[self._index(pc)]
+        return Prediction(outcome=cell.prediction, confidence=cell.confidence)
+
+    def update(self, pc: int, outcome: bool) -> None:
+        self._table[self._index(pc)].train(outcome)
+
+    def reset(self) -> None:
+        for cell in self._table:
+            cell.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self.n_entries * self.counter_bits
+
+    def __repr__(self) -> str:
+        return f"BimodalPredictor(entries={self.n_entries}, bits={self.counter_bits})"

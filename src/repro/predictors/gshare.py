@@ -1,0 +1,55 @@
+"""Gshare predictor (McFarling).
+
+Used as a component of the hybrid hit-miss predictor (history length 11,
+section 2.2) and of bank predictors A, B and C (section 4.3).  The global
+history records the stream of outcomes of *all* predicted loads, which is
+what the paper means by "history length of 11 loads".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common import bits
+from repro.predictors.base import BinaryPredictor, Prediction
+from repro.predictors.counters import SaturatingCounter
+
+
+class GSharePredictor(BinaryPredictor):
+    """PC xor global-history indexed counter table."""
+
+    def __init__(self, history_bits: int = 11, n_entries: int | None = None,
+                 counter_bits: int = 2) -> None:
+        self.history_bits = history_bits
+        self.n_entries = (1 << history_bits) if n_entries is None else n_entries
+        bits.ilog2(self.n_entries)
+        self.counter_bits = counter_bits
+        self._history = 0
+        self._table: List[SaturatingCounter] = [
+            SaturatingCounter(counter_bits) for _ in range(self.n_entries)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return bits.gshare_index(pc, self._history, self.n_entries)
+
+    def predict(self, pc: int) -> Prediction:
+        cell = self._table[self._index(pc)]
+        return Prediction(outcome=cell.prediction, confidence=cell.confidence)
+
+    def update(self, pc: int, outcome: bool) -> None:
+        self._table[self._index(pc)].train(outcome)
+        self._history = bits.shift_history(self._history, outcome,
+                                           self.history_bits)
+
+    def reset(self) -> None:
+        self._history = 0
+        for cell in self._table:
+            cell.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self.n_entries * self.counter_bits + self.history_bits
+
+    def __repr__(self) -> str:
+        return (f"GSharePredictor(history={self.history_bits}, "
+                f"entries={self.n_entries})")

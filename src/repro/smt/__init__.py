@@ -1,0 +1,30 @@
+"""Switch-on-miss multithreading (the paper's stated HMP application).
+
+Section 2.2: "Another concept in computer architecture that may benefit
+from hit-miss prediction is multi threading [Tull95].  Here, the
+prediction may be used to govern a thread switch if a load is predicted
+to miss the L2 cache, and suffer the large latency of accessing main
+memory."
+
+This package implements a coarse-grained multithreaded core that
+switches contexts on long-latency events, with the switch trigger
+pluggable: reactive (switch when the miss is *discovered*), predictive
+(switch at *schedule* time on a MultiLevelHMP MEMORY prediction — the
+paper's proposal), or oracle.
+"""
+
+from repro.smt.coarse import (
+    CoarseGrainedMT,
+    FineGrainedMT,
+    MTResult,
+    SwitchPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "CoarseGrainedMT",
+    "FineGrainedMT",
+    "MTResult",
+    "SwitchPolicy",
+    "make_policy",
+]

@@ -1,0 +1,314 @@
+"""Coarse-grained switch-on-event multithreading model.
+
+A deliberately simple in-order pipeline shared by N threads: one thread
+owns the pipeline at a time; loads run through the thread's own memory
+hierarchy.  The three policies differ in *when* a long-latency load
+releases the pipeline:
+
+* ``none`` — never switch: the pipeline stalls through every memory
+  access (single-thread behaviour with idle co-resident threads).
+* ``reactive`` — switch when a load turns out to access memory; the
+  discovery costs the L2 lookup time (the miss had to reach L2 to be
+  known) plus the switch penalty.
+* ``predicted`` — consult a :class:`~repro.hitmiss.multilevel.MultiLevelHMP`
+  at schedule time; a MEMORY prediction switches immediately, hiding
+  the entire latency behind the other threads (mispredictions pay the
+  wasted switch / unexpected stall).
+* ``oracle`` — perfect knowledge of the level.
+
+The model's purpose is the paper's qualitative claim: HMP-governed
+switching approaches oracle switching and beats reactive switching.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.config import MemoryConfig
+from repro.common.types import Uop, UopClass
+from repro.hitmiss.multilevel import MemoryLevel, MultiLevelHMP
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.trace import Trace
+
+
+class SwitchPolicy(enum.Enum):
+    """When a long-latency load releases the shared pipeline."""
+
+    NONE = "none"
+    REACTIVE = "reactive"
+    PREDICTED = "predicted"
+    ORACLE = "oracle"
+
+
+def make_policy(name: str) -> SwitchPolicy:
+    """Parse a policy name, with a helpful error for unknown ones."""
+    try:
+        return SwitchPolicy(name)
+    except ValueError:
+        raise ValueError(f"unknown switch policy {name!r}; choose from "
+                         f"{[p.value for p in SwitchPolicy]}") from None
+
+
+@dataclass
+class MTResult:
+    """Outcome of one multithreaded run."""
+
+    policy: str
+    cycles: int = 0
+    retired_uops: int = 0
+    switches: int = 0
+    wasted_switches: int = 0  #: switched although the load was short
+    stall_cycles: int = 0  #: pipeline cycles spent waiting on memory
+
+    @property
+    def throughput(self) -> float:
+        """Uops per cycle across all threads."""
+        return self.retired_uops / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, other: "MTResult") -> float:
+        if not self.cycles:
+            return 0.0
+        return other.cycles / self.cycles
+
+
+@dataclass
+class _ThreadState:
+    trace: Trace
+    hierarchy: MemoryHierarchy
+    position: int = 0
+    #: Cycle at which the thread's blocking load resolves (0 = runnable).
+    blocked_until: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.position >= len(self.trace.uops)
+
+
+class FineGrainedMT:
+    """Cycle-interleaved multithreading (the [Tull95] contrast case).
+
+    Instead of owning the pipeline until a long event, threads rotate
+    every cycle; a blocked thread simply loses its turns.  No switch
+    penalty, no prediction — the throughput bound that latency-hiding
+    approaches, at the cost of per-thread latency.  Included as the
+    second baseline the coarse-grained policies are judged against.
+    """
+
+    def __init__(self, memory_config: Optional[MemoryConfig] = None,
+                 issue_width: int = 2) -> None:
+        self.memory_config = (memory_config if memory_config is not None
+                              else MemoryConfig())
+        self.issue_width = issue_width
+
+    def run(self, traces: Sequence[Trace],
+            max_cycles: Optional[int] = None) -> MTResult:
+        """Interleave the threads cycle by cycle until all finish."""
+        if not traces:
+            raise ValueError("need at least one thread")
+        threads = [_ThreadState(trace=t,
+                                hierarchy=MemoryHierarchy(
+                                    self.memory_config))
+                   for t in traces]
+        result = MTResult(policy="fine-grained")
+        ceiling = (max_cycles if max_cycles is not None else
+                   200 * sum(len(t.uops) for t in traces) + 10_000)
+        mem = self.memory_config
+        now = 0
+        current = -1
+        while any(not t.finished for t in threads):
+            if now > ceiling:
+                raise RuntimeError("multithreaded run exceeded its "
+                                   "cycle ceiling")
+            # Rotate to the next runnable thread; stall if none.
+            runnable = [i for i, t in enumerate(threads)
+                        if not t.finished and t.blocked_until <= now]
+            if not runnable:
+                wake = min(t.blocked_until for t in threads
+                           if not t.finished)
+                result.stall_cycles += wake - now
+                now = wake
+                continue
+            current = next(i for i in runnable
+                           if i > current % len(threads)) \
+                if any(i > current % len(threads) for i in runnable) \
+                else runnable[0]
+            thread = threads[current]
+            # One cycle's worth of issue for this thread.
+            issued = 0
+            while issued < self.issue_width and not thread.finished:
+                uop = thread.trace.uops[thread.position]
+                thread.position += 1
+                result.retired_uops += 1
+                issued += 1
+                if uop.uclass == UopClass.LOAD:
+                    assert uop.mem is not None
+                    outcome = thread.hierarchy.load(uop.mem.address, now)
+                    if outcome.latency > mem.l1_latency:
+                        # The thread sits out the fill; others run.
+                        thread.blocked_until = now + outcome.latency
+                        result.switches += 1
+                        break
+            now += 1
+        result.cycles = now
+        return result
+
+
+class CoarseGrainedMT:
+    """Round-robin switch-on-event execution of several traces.
+
+    Parameters
+    ----------
+    policy:
+        When to release the pipeline on long loads.
+    issue_width:
+        Non-memory uops retired per cycle while a thread owns the pipe.
+    switch_penalty:
+        Pipeline bubble paid on every context switch.
+    hmp_factory:
+        Builds the per-run level predictor for the ``predicted`` policy.
+    """
+
+    def __init__(self, policy: SwitchPolicy = SwitchPolicy.PREDICTED,
+                 memory_config: Optional[MemoryConfig] = None,
+                 issue_width: int = 2, switch_penalty: int = 6,
+                 discovery_penalty: int = 8,
+                 hmp_factory: Callable[[], MultiLevelHMP] = MultiLevelHMP
+                 ) -> None:
+        self.policy = policy
+        self.memory_config = (memory_config if memory_config is not None
+                              else MemoryConfig())
+        self.issue_width = issue_width
+        self.switch_penalty = switch_penalty
+        #: Extra cost of a *reactive* switch: by the time the L2 lookup
+        #: reveals the miss, dependent work is in flight and must be
+        #: squashed before the context can change.  Predicted and
+        #: oracle switches happen at schedule time and avoid it.
+        self.discovery_penalty = discovery_penalty
+        self.hmp_factory = hmp_factory
+
+    def run(self, traces: Sequence[Trace],
+            max_cycles: Optional[int] = None) -> MTResult:
+        if not traces:
+            raise ValueError("need at least one thread")
+        threads = [_ThreadState(trace=t,
+                                hierarchy=MemoryHierarchy(
+                                    self.memory_config))
+                   for t in traces]
+        hmp = self.hmp_factory()
+        result = MTResult(policy=self.policy.value)
+        ceiling = (max_cycles if max_cycles is not None else
+                   200 * sum(len(t.uops) for t in traces) + 10_000)
+
+        current = 0
+        now = 0
+        while any(not t.finished for t in threads):
+            if now > ceiling:
+                raise RuntimeError("multithreaded run exceeded its "
+                                   "cycle ceiling")
+            thread = threads[current]
+            if thread.finished or thread.blocked_until > now:
+                # Pick the next runnable thread (round robin), or stall.
+                runnable = self._next_runnable(threads, current, now)
+                if runnable is None:
+                    # All blocked: advance to the earliest wakeup.
+                    wake = min(t.blocked_until for t in threads
+                               if not t.finished)
+                    result.stall_cycles += wake - now
+                    now = wake
+                    continue
+                if runnable != current:
+                    current = runnable
+                    now += self.switch_penalty
+                    result.switches += 1
+                thread = threads[current]
+
+            now = self._run_burst(thread, hmp, now, result)
+
+        result.cycles = now
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _next_runnable(self, threads: List[_ThreadState], current: int,
+                       now: int) -> Optional[int]:
+        n = len(threads)
+        for offset in range(n):
+            idx = (current + offset) % n
+            t = threads[idx]
+            if not t.finished and t.blocked_until <= now:
+                return idx
+        return None
+
+    def _run_burst(self, thread: _ThreadState, hmp: MultiLevelHMP,
+                   now: int, result: MTResult) -> int:
+        """Execute uops until the thread blocks, yields, or finishes."""
+        mem = self.memory_config
+        issued_this_cycle = 0
+        while not thread.finished:
+            uop = thread.trace.uops[thread.position]
+            if uop.uclass != UopClass.LOAD:
+                thread.position += 1
+                result.retired_uops += 1
+                issued_this_cycle += 1
+                if issued_this_cycle >= self.issue_width:
+                    now += 1
+                    issued_this_cycle = 0
+                continue
+
+            # A load: decide whether to switch before/after executing it.
+            assert uop.mem is not None
+            line = uop.mem.address // mem.l1d.line_bytes
+            predicted = hmp.predict_level(uop.pc, line, now)
+            outcome = thread.hierarchy.load(uop.mem.address, now)
+            actual = MemoryLevel.of(outcome)
+            hmp.l1.update(uop.pc, outcome.l1_hit, line, now)
+            if not outcome.l1_hit:
+                hmp.l2.update(uop.pc, outcome.l2_hit, line, now)
+            hmp.stats.record(actual, predicted)
+            thread.position += 1
+            result.retired_uops += 1
+
+            long_actual = actual == MemoryLevel.MEMORY
+            if self.policy == SwitchPolicy.NONE:
+                should_switch = False
+                known_at = now  # irrelevant
+            elif self.policy == SwitchPolicy.ORACLE:
+                should_switch = long_actual
+                known_at = now  # the oracle knows at schedule time
+            elif self.policy == SwitchPolicy.PREDICTED:
+                # A MEMORY prediction switches immediately; a missed
+                # prediction is still caught reactively when the L2
+                # lookup comes back empty (prediction accelerates the
+                # switch, discovery backstops it).
+                if predicted == MemoryLevel.MEMORY:
+                    should_switch = True
+                    known_at = now
+                else:
+                    should_switch = long_actual
+                    known_at = (now + mem.l2_latency
+                                + self.discovery_penalty)
+            else:  # REACTIVE: the miss is discovered at the L2 lookup
+                should_switch = long_actual
+                known_at = (now + mem.l2_latency
+                            + self.discovery_penalty)
+
+            if should_switch:
+                if not long_actual:
+                    result.wasted_switches += 1
+                # Release the pipe; the load completes in the background.
+                thread.blocked_until = now + outcome.latency
+                return max(now, known_at)
+
+            # No switch: the pipeline absorbs the load latency inline
+            # (short latencies pipeline; long ones stall).
+            if outcome.latency > mem.l1_latency:
+                stall = outcome.latency - mem.l1_latency
+                result.stall_cycles += stall
+                now += stall
+            issued_this_cycle += 1
+            if issued_this_cycle >= self.issue_width:
+                now += 1
+                issued_this_cycle = 0
+        return now

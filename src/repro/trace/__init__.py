@@ -1,0 +1,51 @@
+"""Synthetic trace substrate.
+
+The paper drives its simulator with 30M-instruction IA-32 traces of
+SpecInt95, SpecFP95, SysmarkNT, Sysmark95, Games, Java and TPC.  Those
+traces are proprietary, so this package synthesises equivalents: static
+program skeletons (call sites with push/load parameter pairs, register
+save/restore, array loops, pointer chases) executed with stochastic
+control flow.  Each of the seven workload profiles is calibrated so the
+load-classification mix, L1 miss rate, and bank/miss predictability match
+the per-group statistics reported in section 4.
+
+The key property preserved is *per-static-load behavioural recurrence*:
+colliding loads tend to collide again, miss behaviour is bursty and
+history-correlated, and bank sequences follow stride patterns — exactly
+the regularities the CHT, hit-miss and bank predictors exploit.
+"""
+
+from repro.trace.streams import (
+    AddressStream,
+    StrideStream,
+    RandomStream,
+    PointerChaseStream,
+    HotColdStream,
+)
+from repro.trace.trace import Trace, TraceSummary, summarize
+from repro.trace.workloads import (
+    WorkloadProfile,
+    TRACE_GROUPS,
+    profile_for,
+    group_names,
+)
+from repro.trace.builder import TraceBuilder, build_trace
+from repro.trace import io as trace_io
+
+__all__ = [
+    "AddressStream",
+    "StrideStream",
+    "RandomStream",
+    "PointerChaseStream",
+    "HotColdStream",
+    "Trace",
+    "TraceSummary",
+    "summarize",
+    "WorkloadProfile",
+    "TRACE_GROUPS",
+    "profile_for",
+    "group_names",
+    "TraceBuilder",
+    "build_trace",
+    "trace_io",
+]

@@ -1,0 +1,87 @@
+"""Trace CLI: ``python -m repro.trace <command>``.
+
+Commands::
+
+    list                       show the seven trace groups and rosters
+    build NAME [--uops N]      build a trace and print its summary
+    dump NAME FILE [--uops N]  build a trace and write it to FILE
+    show FILE [--head N]       summarise (and preview) a trace file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.trace import trace_io
+from repro.trace.builder import build_trace
+from repro.trace.trace import summarize
+from repro.trace.workloads import TRACE_GROUPS, profile_for, trace_seed
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for group, names in TRACE_GROUPS.items():
+        print(f"{group:12s} ({len(names)}): {', '.join(names)}")
+    return 0
+
+
+def _build(args: argparse.Namespace):
+    return build_trace(profile_for(args.name, code_scale=args.code_scale),
+                       n_uops=args.uops, seed=trace_seed(args.name),
+                       name=args.name)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    trace = _build(args)
+    print(summarize(trace))
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    trace = _build(args)
+    trace_io.dump(trace, args.file)
+    print(f"wrote {len(trace)} uops to {args.file}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    trace = trace_io.load(args.file)
+    print(f"{trace.name} (group={trace.group}, seed={trace.seed})")
+    print(summarize(trace))
+    for uop in trace.uops[:args.head]:
+        mem = f" mem={uop.mem.address:#x}" if uop.mem else ""
+        print(f"  {uop.seq:6d} {uop.uclass.name:6s} pc={uop.pc:#x}{mem}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.trace")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list trace groups").set_defaults(
+        fn=_cmd_list)
+
+    p_build = sub.add_parser("build", help="build and summarise a trace")
+    p_build.add_argument("name")
+    p_build.add_argument("--uops", type=int, default=30_000)
+    p_build.add_argument("--code-scale", type=int, default=1)
+    p_build.set_defaults(fn=_cmd_build)
+
+    p_dump = sub.add_parser("dump", help="build a trace and write it")
+    p_dump.add_argument("name")
+    p_dump.add_argument("file")
+    p_dump.add_argument("--uops", type=int, default=30_000)
+    p_dump.add_argument("--code-scale", type=int, default=1)
+    p_dump.set_defaults(fn=_cmd_dump)
+
+    p_show = sub.add_parser("show", help="summarise a trace file")
+    p_show.add_argument("file")
+    p_show.add_argument("--head", type=int, default=0)
+    p_show.set_defaults(fn=_cmd_show)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

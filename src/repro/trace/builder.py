@@ -1,0 +1,453 @@
+"""Synthetic program builder.
+
+A trace is produced by repeatedly executing *scenes* — static code
+fragments with fixed instruction pointers — chosen by weighted random
+selection.  Because scene PCs are fixed, every dynamic execution of a
+scene re-visits the same static load/store sites, giving the predictors
+the per-PC recurrence they rely on.
+
+Scene catalogue (mirrors the behaviours sections 2.1-2.3 call out):
+
+* :class:`CallScene` — push/load parameter pairs and register
+  save/restore across a simulated call: the canonical *colliding* loads.
+* :class:`ArrayLoopScene` — strided array walks: periodic misses,
+  periodic banks, no collisions.
+* :class:`PointerChaseScene` — dependent-chain loads over a fixed
+  permutation: latency-bound, miss rate set by working-set size.
+* :class:`RandomAccessScene` — TPC-style random reads/writes with
+  occasional read-after-write to the same slot: irregular collisions.
+* :class:`BranchScene` — control-flow filler with tunable
+  predictability (exercises the front end).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.trace.streams import (
+    AddressStream,
+    HotColdStream,
+    PointerChaseStream,
+    RandomStream,
+    StrideStream,
+)
+from repro.trace.trace import Trace
+
+N_ARCH_REGS = 16
+
+#: Registers reserved as stable bases (stack/globals): they are never
+#: allocated as destinations, so values read from them are always ready
+#: at rename — mirroring real code, where load/store addresses usually
+#: come from long-lived base registers while store *data* is freshly
+#: computed ("the store address is often calculated before the data",
+#: section 1.1).
+STABLE_REGS = (14, 15)
+N_ALLOC_REGS = 14
+
+#: Address-space carve-up (byte addresses).  Regions are far apart so
+#: cross-scene accidental collisions cannot happen; stack is shared so
+#: call scenes interact realistically.
+STACK_BASE = 0x7FFF_0000
+HEAP_BASE = 0x1000_0000
+HEAP_REGION_BYTES = 0x0100_0000
+
+
+class TraceBuilder:
+    """Accumulates uops, managing sequence numbers, registers and stack."""
+
+    def __init__(self, p_stable_load_addr: float = 0.85,
+                 p_stable_sta_addr: float = 0.7) -> None:
+        self.uops: List[Uop] = []
+        self._next_reg = 0
+        self._recent_dsts: List[int] = [0]
+        self.stack_pointer = STACK_BASE
+        self.p_stable_load_addr = p_stable_load_addr
+        self.p_stable_sta_addr = p_stable_sta_addr
+        self._recent_load_dsts: List[int] = []
+
+    # -- register plumbing --------------------------------------------------
+
+    def _alloc_reg(self) -> int:
+        reg = self._next_reg
+        self._next_reg = (self._next_reg + 1) % N_ALLOC_REGS
+        self._recent_dsts.append(reg)
+        if len(self._recent_dsts) > 8:
+            self._recent_dsts.pop(0)
+        return reg
+
+    def pick_src(self, rng: random.Random, depth: int = 4) -> int:
+        """A source register among recently produced values."""
+        pool = self._recent_dsts[-depth:]
+        return rng.choice(pool)
+
+    def addr_src_for(self, rng: random.Random, p_stable: float) -> int:
+        """An address register: stable base or recent computation.
+
+        Non-stable addresses chain off a recent load result when one is
+        available (pointer dereference / computed address through a
+        loaded value) — these are the accesses whose address generation
+        is genuinely late, keeping STAs unresolved at the time younger
+        loads reach their dispatch opportunity.
+        """
+        if rng.random() < p_stable:
+            return rng.choice(STABLE_REGS)
+        if self._recent_load_dsts and rng.random() < 0.6:
+            return rng.choice(self._recent_load_dsts)
+        return self.pick_src(rng)
+
+    # -- uop emission -------------------------------------------------------
+
+    def emit_int(self, pc: int, rng: random.Random,
+                 srcs: Optional[Tuple[int, ...]] = None,
+                 uclass: UopClass = UopClass.INT) -> Uop:
+        if srcs is None:
+            srcs = (self.pick_src(rng),)
+        uop = Uop(seq=len(self.uops), pc=pc, uclass=uclass, srcs=srcs,
+                  dst=self._alloc_reg())
+        self.uops.append(uop)
+        return uop
+
+    def emit_load(self, pc: int, address: int, rng: random.Random,
+                  addr_src: Optional[int] = None) -> Uop:
+        if addr_src is None:
+            addr_src = self.addr_src_for(rng, self.p_stable_load_addr)
+        uop = Uop(seq=len(self.uops), pc=pc, uclass=UopClass.LOAD,
+                  srcs=(addr_src,), dst=self._alloc_reg(),
+                  mem=MemAccess(address))
+        self.uops.append(uop)
+        self._recent_load_dsts.append(uop.dst)
+        if len(self._recent_load_dsts) > 4:
+            self._recent_load_dsts.pop(0)
+        return uop
+
+    def emit_store(self, pc: int, address: int, rng: random.Random,
+                   data_src: Optional[int] = None,
+                   p_stable_addr: Optional[float] = None) -> Tuple[Uop, Uop]:
+        """Emit the STA/STD pair for one store (P6 decomposition).
+
+        The STA's address register is usually a stable base (executes
+        early); the STD's data register is a recently produced value
+        (executes late) — the asymmetry the P6 decomposition exploits.
+        ``p_stable_addr`` overrides the builder default: stack pushes
+        pass a high value (sp-relative addresses resolve early), output
+        and spill stores a low one (computed addresses resolve late).
+        """
+        if p_stable_addr is None:
+            p_stable_addr = self.p_stable_sta_addr
+        sta = Uop(seq=len(self.uops), pc=pc, uclass=UopClass.STA,
+                  srcs=(self.addr_src_for(rng, p_stable_addr),),
+                  mem=MemAccess(address))
+        self.uops.append(sta)
+        src = data_src if data_src is not None else self.pick_src(rng, depth=2)
+        std = Uop(seq=len(self.uops), pc=pc + 1, uclass=UopClass.STD,
+                  srcs=(src,), sta_seq=sta.seq)
+        self.uops.append(std)
+        return sta, std
+
+    def emit_branch(self, pc: int, rng: random.Random, p_taken: float,
+                    p_mispredict: float) -> Uop:
+        uop = Uop(seq=len(self.uops), pc=pc, uclass=UopClass.BRANCH,
+                  srcs=(self.pick_src(rng),), dst=None,
+                  taken=rng.random() < p_taken,
+                  mispredicted=rng.random() < p_mispredict)
+        self.uops.append(uop)
+        return uop
+
+    def emit_filler(self, pc_base: int, rng: random.Random, count: int,
+                    fp_fraction: float = 0.0) -> None:
+        """Emit ``count`` ALU uops (INT, with an FP sprinkle)."""
+        for i in range(count):
+            uclass = (UopClass.FP if rng.random() < fp_fraction
+                      else UopClass.INT)
+            self.emit_int(pc_base + 4 * i, rng, uclass=uclass)
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+
+class Scene(abc.ABC):
+    """A static code fragment executed many times at fixed PCs."""
+
+    def __init__(self, pc_base: int) -> None:
+        self.pc_base = pc_base
+        self.visits = 0
+
+    @abc.abstractmethod
+    def emit(self, builder: TraceBuilder, rng: random.Random) -> None:
+        """Append one dynamic execution of the scene."""
+
+    def run(self, builder: TraceBuilder, rng: random.Random) -> None:
+        self.visits += 1
+        self.emit(builder, rng)
+
+
+class CallScene(Scene):
+    """A call site: push arguments, enter callee, load them back.
+
+    Parameters
+    ----------
+    n_args:
+        Arguments pushed (stores) and reloaded in the callee.
+    gap:
+        Filler uops between the pushes and the argument loads.  A small
+        gap keeps the stores un-executed when the loads become ready —
+        true collisions; a large gap lets stores drain first.
+    p_reload:
+        Probability a given argument is actually reloaded from memory
+        this visit (otherwise it stays in a register — the load site's
+        behaviour varies, which non-sticky predictors can track).
+    save_restore:
+        Whether to add a register save (store at entry) / restore
+        (load at exit) pair — the second colliding idiom of section 2.1.
+    phase_flip_at:
+        If set, after this many visits the scene stops reloading from
+        the stack (simulating a program phase change: colliding loads
+        turning non-colliding).
+    """
+
+    def __init__(self, pc_base: int, n_args: int = 2, gap: int = 3,
+                 p_reload: float = 1.0, save_restore: bool = True,
+                 frame_bytes: int = 64, frame_slot: int = 0,
+                 phase_flip_at: Optional[int] = None) -> None:
+        super().__init__(pc_base)
+        self.n_args = n_args
+        self.gap = gap
+        self.p_reload = p_reload
+        self.save_restore = save_restore
+        self.frame_bytes = frame_bytes
+        #: Each call site owns a distinct stack slice, as different call
+        #: sites sit at different stack depths in real programs.  This
+        #: keeps collision behaviour consistent per load PC (no erratic
+        #: cross-site frame aliasing).
+        self.frame_slot = frame_slot
+        self.phase_flip_at = phase_flip_at
+
+    def emit(self, builder: TraceBuilder, rng: random.Random) -> None:
+        pc = self.pc_base
+        sp = STACK_BASE - (self.frame_slot + 1) * 2 * self.frame_bytes
+        reload_now = self.p_reload
+        if self.phase_flip_at is not None and self.visits > self.phase_flip_at:
+            reload_now = 0.0
+
+        # Push arguments (stores to the new frame's argument slots).
+        # Push addresses are sp-relative: known early (high stability).
+        # Half the arguments were computed long ago (data ready at
+        # rename); the rest are freshly produced values whose STD
+        # resolves late — those are the pushes the reloads collide with.
+        for i in range(self.n_args):
+            data_src = (rng.choice(STABLE_REGS) if rng.random() < 0.45
+                        else None)
+            builder.emit_store(pc + 8 * i, sp + 8 + 4 * i, rng,
+                               data_src=data_src, p_stable_addr=0.95)
+        pc += 8 * self.n_args
+
+        if self.save_restore:
+            builder.emit_store(pc, sp + 4, rng,
+                               p_stable_addr=0.95)  # save a callee-saved reg
+            pc += 4
+
+        # Callee-local store: a computed (late) address that no later
+        # load in the window reads.  This is the unresolved STA that
+        # makes the argument reloads *conflicting* — and under the
+        # Traditional scheme needlessly delays them.  PC offsets are
+        # static whether or not the store is emitted this visit, so
+        # every site keeps a single instruction pointer.
+        gap_head = self.gap // 2
+        builder.emit_filler(pc, rng, gap_head)
+        pc += 4 * gap_head
+        if rng.random() < 0.7:
+            data = rng.choice(STABLE_REGS) if rng.random() < 0.6 else None
+            builder.emit_store(pc, sp + 32 + 4 * (self.visits % 8), rng,
+                               data_src=data, p_stable_addr=0.25)
+        pc += 8
+        builder.emit_filler(pc, rng, self.gap - gap_head)
+        pc += 4 * (self.gap - gap_head)
+
+        # Callee body: reload the arguments (colliding loads) and use them.
+        for i in range(self.n_args):
+            if rng.random() < reload_now:
+                load = builder.emit_load(pc + 8 * i, sp + 8 + 4 * i, rng)
+                builder.emit_int(pc + 8 * i + 4, rng, srcs=(load.dst,))
+            else:
+                builder.emit_filler(pc + 8 * i, rng, 2)
+        pc += 8 * self.n_args
+
+        if self.save_restore:
+            restore = builder.emit_load(pc, sp + 4, rng)
+            builder.emit_int(pc + 4, rng, srcs=(restore.dst,))
+            pc += 8
+
+        # "return": the frame is popped (no explicit bookkeeping needed
+        # since each site owns its slice).
+
+
+class ArrayLoopScene(Scene):
+    """One iteration burst of a strided loop over heap arrays."""
+
+    def __init__(self, pc_base: int, streams: Sequence[AddressStream],
+                 iters_per_visit: int = 4, uses_per_load: int = 2,
+                 store_stream: Optional[AddressStream] = None,
+                 p_store: float = 0.4, fp_fraction: float = 0.0) -> None:
+        super().__init__(pc_base)
+        if not streams:
+            raise ValueError("need at least one load stream")
+        self.streams = list(streams)
+        self.iters_per_visit = iters_per_visit
+        self.uses_per_load = uses_per_load
+        self.store_stream = store_stream
+        self.p_store = p_store
+        self.fp_fraction = fp_fraction
+
+    def emit(self, builder: TraceBuilder, rng: random.Random) -> None:
+        for _ in range(self.iters_per_visit):
+            pc = self.pc_base
+            for s, stream in enumerate(self.streams):
+                load = builder.emit_load(pc + 16 * s, stream.next(rng), rng)
+                for u in range(self.uses_per_load):
+                    uclass = (UopClass.FP
+                              if rng.random() < self.fp_fraction
+                              else UopClass.INT)
+                    builder.emit_int(pc + 16 * s + 4 * (u + 1), rng,
+                                     srcs=(load.dst,), uclass=uclass)
+            pc += 16 * len(self.streams)
+            # Loop output store (result write-back): its address never
+            # matches a later load in the window, so nearby loads become
+            # conflicting-but-not-colliding — the advanceable majority.
+            if self.store_stream is not None \
+                    and rng.random() < self.p_store:
+                data = (rng.choice(STABLE_REGS)
+                        if rng.random() < 0.6 else None)
+                builder.emit_store(pc, self.store_stream.next(rng), rng,
+                                   data_src=data, p_stable_addr=0.3)
+            pc += 8
+            builder.emit_branch(pc, rng, p_taken=0.95, p_mispredict=0.01)
+
+
+class PointerChaseScene(Scene):
+    """Dependent-chain loads following a fixed permutation."""
+
+    def __init__(self, pc_base: int, stream: PointerChaseStream,
+                 hops_per_visit: int = 6) -> None:
+        super().__init__(pc_base)
+        self.stream = stream
+        self.hops_per_visit = hops_per_visit
+
+    def emit(self, builder: TraceBuilder, rng: random.Random) -> None:
+        prev_dst: Optional[int] = None
+        for hop in range(self.hops_per_visit):
+            address = self.stream.next(rng)
+            load = builder.emit_load(self.pc_base, address, rng,
+                                     addr_src=prev_dst)
+            builder.emit_int(self.pc_base + 4, rng, srcs=(load.dst,))
+            prev_dst = load.dst
+
+
+class RandomAccessScene(Scene):
+    """Random reads/writes over a region with read-after-write aliasing.
+
+    With probability ``p_alias`` a load re-reads the slot just written —
+    an *irregular* collision that the same static load PC sometimes does
+    and sometimes does not exhibit.
+    """
+
+    def __init__(self, pc_base: int, region: RandomStream,
+                 ops_per_visit: int = 4, p_store: float = 0.3,
+                 p_alias: float = 0.25) -> None:
+        super().__init__(pc_base)
+        self.region = region
+        self.ops_per_visit = ops_per_visit
+        self.p_store = p_store
+        self.p_alias = p_alias
+        self._last_written: Optional[int] = None
+
+    def emit(self, builder: TraceBuilder, rng: random.Random) -> None:
+        pc = self.pc_base
+        for i in range(self.ops_per_visit):
+            if rng.random() < self.p_store:
+                address = self.region.next(rng)
+                builder.emit_store(pc + 12 * i, address, rng)
+                self._last_written = address
+            else:
+                if (self._last_written is not None
+                        and rng.random() < self.p_alias):
+                    address = self._last_written
+                else:
+                    address = self.region.next(rng)
+                load = builder.emit_load(pc + 12 * i + 8, address, rng)
+                builder.emit_int(pc + 12 * i + 4, rng, srcs=(load.dst,))
+
+
+class BranchScene(Scene):
+    """Short blocks of compute separated by branches."""
+
+    def __init__(self, pc_base: int, n_branches: int = 3,
+                 block_size: int = 3, p_taken: float = 0.6,
+                 p_mispredict: float = 0.05,
+                 scratch: Optional[AddressStream] = None,
+                 p_store: float = 0.5) -> None:
+        super().__init__(pc_base)
+        self.n_branches = n_branches
+        self.block_size = block_size
+        self.p_taken = p_taken
+        self.p_mispredict = p_mispredict
+        self.scratch = scratch
+        self.p_store = p_store
+
+    def emit(self, builder: TraceBuilder, rng: random.Random) -> None:
+        pc = self.pc_base
+        for b in range(self.n_branches):
+            builder.emit_filler(pc, rng, self.block_size)
+            pc += 4 * self.block_size
+            # Spill stores: write-only scratch traffic that creates
+            # store pressure (conflicts) without collisions.
+            if self.scratch is not None and rng.random() < self.p_store:
+                data = (rng.choice(STABLE_REGS)
+                        if rng.random() < 0.6 else None)
+                builder.emit_store(pc, self.scratch.next(rng), rng,
+                                   data_src=data, p_stable_addr=0.3)
+            pc += 8
+            builder.emit_branch(pc, rng, self.p_taken, self.p_mispredict)
+            pc += 4
+
+
+@dataclass
+class WeightedScene:
+    """A scene with its selection weight in the trace mix."""
+
+    scene: Scene
+    weight: float
+
+
+def build_from_scenes(name: str, scenes: Sequence[WeightedScene],
+                      n_uops: int, seed: int, group: str = "",
+                      p_stable_load_addr: float = 0.85,
+                      p_stable_sta_addr: float = 0.7) -> Trace:
+    """Run weighted scene selection until at least ``n_uops`` are emitted."""
+    if not scenes:
+        raise ValueError("need at least one scene")
+    rng = random.Random(seed)
+    builder = TraceBuilder(p_stable_load_addr=p_stable_load_addr,
+                           p_stable_sta_addr=p_stable_sta_addr)
+    population = [ws.scene for ws in scenes]
+    weights = [ws.weight for ws in scenes]
+    while len(builder) < n_uops:
+        scene = rng.choices(population, weights=weights, k=1)[0]
+        scene.run(builder, rng)
+    return Trace(name=name, uops=builder.uops, group=group, seed=seed)
+
+
+def build_trace(profile, n_uops: int, seed: int, name: Optional[str] = None):
+    """Build a trace from a :class:`repro.trace.workloads.WorkloadProfile`.
+
+    Defined here (not in ``workloads``) to keep the profile module
+    declarative; re-exported through the package namespace.
+    """
+    scenes = profile.instantiate(seed)
+    return build_from_scenes(
+        name or profile.name, scenes, n_uops, seed, group=profile.group,
+        p_stable_load_addr=profile.p_stable_load_addr,
+        p_stable_sta_addr=profile.p_stable_sta_addr)

@@ -1,0 +1,109 @@
+"""Additional scene types for custom workloads.
+
+The seven built-in profiles use the scene catalogue in
+:mod:`repro.trace.builder`; these extras are for users composing their
+own workloads (none of the calibrated profiles depend on them, so they
+can evolve freely):
+
+* :class:`Matrix2DScene` — blocked row/column walks over a 2-D array:
+  row walks stride by the element size (spatially local, bank-periodic);
+  column walks stride by the row pitch (one access per line, and — when
+  the pitch is a multiple of ``2 * line`` — *bank-pathological*: every
+  access lands on the same bank, the classic power-of-two-pitch problem
+  for banked caches).
+* :class:`ProducerConsumerScene` — a store queue written by one code
+  region and drained by another: tunable store-to-load distance makes
+  it a collision dial for disambiguation studies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.trace.builder import Scene, TraceBuilder
+
+
+class Matrix2DScene(Scene):
+    """Alternating row-major and column-major walks over a matrix."""
+
+    def __init__(self, pc_base: int, base: int, rows: int = 64,
+                 cols: int = 64, element_bytes: int = 8,
+                 accesses_per_visit: int = 8) -> None:
+        super().__init__(pc_base)
+        if rows < 2 or cols < 2:
+            raise ValueError("matrix needs at least 2x2 elements")
+        self.base = base
+        self.rows = rows
+        self.cols = cols
+        self.element_bytes = element_bytes
+        self.accesses_per_visit = accesses_per_visit
+        self._row = 0
+        self._col = 0
+        self._column_phase = False
+
+    @property
+    def row_pitch(self) -> int:
+        return self.cols * self.element_bytes
+
+    def _address(self) -> int:
+        return (self.base + self._row * self.row_pitch
+                + self._col * self.element_bytes)
+
+    def _advance(self) -> None:
+        if self._column_phase:
+            self._row += 1
+            if self._row >= self.rows:
+                self._row = 0
+                self._col = (self._col + 1) % self.cols
+        else:
+            self._col += 1
+            if self._col >= self.cols:
+                self._col = 0
+                self._row = (self._row + 1) % self.rows
+
+    def emit(self, builder: TraceBuilder, rng: random.Random) -> None:
+        pc = self.pc_base if not self._column_phase else self.pc_base + 0x80
+        for i in range(self.accesses_per_visit):
+            load = builder.emit_load(pc + 8 * i, self._address(), rng)
+            builder.emit_int(pc + 8 * i + 4, rng, srcs=(load.dst,))
+            self._advance()
+        # Alternate phases between visits: row-walks then column-walks.
+        self._column_phase = not self._column_phase
+
+
+class ProducerConsumerScene(Scene):
+    """A circular buffer: produce (store) then consume (load) later.
+
+    ``lag`` controls how many slots behind the producer the consumer
+    reads; small lags put the matching store inside the scheduling
+    window (collisions), large lags drain through memory (clean loads).
+    """
+
+    def __init__(self, pc_base: int, base: int, n_slots: int = 16,
+                 slot_bytes: int = 8, lag: int = 2,
+                 items_per_visit: int = 2) -> None:
+        super().__init__(pc_base)
+        if not 1 <= lag < n_slots:
+            raise ValueError("lag must be in [1, n_slots)")
+        self.base = base
+        self.n_slots = n_slots
+        self.slot_bytes = slot_bytes
+        self.lag = lag
+        self.items_per_visit = items_per_visit
+        self._head = 0
+
+    def _slot_address(self, index: int) -> int:
+        return self.base + (index % self.n_slots) * self.slot_bytes
+
+    def emit(self, builder: TraceBuilder, rng: random.Random) -> None:
+        pc = self.pc_base
+        for i in range(self.items_per_visit):
+            builder.emit_store(pc + 16 * i,
+                               self._slot_address(self._head), rng)
+            if self._head >= self.lag:
+                load = builder.emit_load(
+                    pc + 16 * i + 8,
+                    self._slot_address(self._head - self.lag), rng)
+                builder.emit_int(pc + 16 * i + 12, rng, srcs=(load.dst,))
+            self._head += 1

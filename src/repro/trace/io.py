@@ -1,0 +1,105 @@
+"""Trace serialisation.
+
+Traces are cheap to regenerate (deterministic from (profile, seed)), but
+persisting them lets benchmark runs share identical inputs and lets users
+inspect them.  The format is a compact line-oriented text format, one uop
+per line, with a two-line header — easy to diff and to parse elsewhere.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import List, Optional, TextIO, Union
+
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.trace.trace import Trace
+
+FORMAT_VERSION = 1
+_NONE = "-"
+
+
+def _encode_uop(uop: Uop) -> str:
+    fields = [
+        str(uop.seq),
+        format(uop.pc, "x"),
+        uop.uclass.name,
+        ",".join(map(str, uop.srcs)) or _NONE,
+        _NONE if uop.dst is None else str(uop.dst),
+        _NONE if uop.mem is None else f"{uop.mem.address:x}:{uop.mem.size}",
+        _NONE if uop.sta_seq is None else str(uop.sta_seq),
+        "T" if uop.taken else "N",
+        "M" if uop.mispredicted else "-",
+    ]
+    return " ".join(fields)
+
+
+def _decode_uop(line: str) -> Uop:
+    parts = line.split()
+    if len(parts) != 9:
+        raise ValueError(f"malformed uop line: {line!r}")
+    seq, pc, uclass, srcs, dst, mem, sta_seq, taken, mispred = parts
+    mem_access = None
+    if mem != _NONE:
+        addr, size = mem.split(":")
+        mem_access = MemAccess(address=int(addr, 16), size=int(size))
+    return Uop(
+        seq=int(seq),
+        pc=int(pc, 16),
+        uclass=UopClass[uclass],
+        srcs=tuple() if srcs == _NONE else tuple(map(int, srcs.split(","))),
+        dst=None if dst == _NONE else int(dst),
+        mem=mem_access,
+        sta_seq=None if sta_seq == _NONE else int(sta_seq),
+        taken=taken == "T",
+        mispredicted=mispred == "M",
+    )
+
+
+def dump(trace: Trace, target: Union[str, os.PathLike, TextIO]) -> None:
+    """Write ``trace`` to a path or text stream."""
+    if isinstance(target, (str, os.PathLike)):
+        with open(target, "w", encoding="ascii") as handle:
+            dump(trace, handle)
+        return
+    target.write(f"# repro-trace v{FORMAT_VERSION} "
+                 f"name={trace.name} group={trace.group} "
+                 f"seed={trace.seed} n={len(trace)}\n")
+    for uop in trace.uops:
+        target.write(_encode_uop(uop))
+        target.write("\n")
+
+
+def load(source: Union[str, os.PathLike, TextIO]) -> Trace:
+    """Read a trace written by :func:`dump`."""
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "r", encoding="ascii") as handle:
+            return load(handle)
+    header = source.readline()
+    if not header.startswith("# repro-trace"):
+        raise ValueError("not a repro trace file")
+    meta = dict(part.split("=", 1) for part in header.split()
+                if "=" in part)
+    uops: List[Uop] = []
+    for line in source:
+        line = line.strip()
+        if line and not line.startswith("#"):
+            uops.append(_decode_uop(line))
+    expected = int(meta.get("n", len(uops)))
+    if expected != len(uops):
+        raise ValueError(f"trace truncated: header says {expected} uops, "
+                         f"found {len(uops)}")
+    return Trace(name=meta.get("name", "trace"), uops=uops,
+                 group=meta.get("group", ""), seed=int(meta.get("seed", 0)))
+
+
+def dumps(trace: Trace) -> str:
+    """Serialise to a string (round-trips with :func:`loads`)."""
+    buffer = io.StringIO()
+    dump(trace, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str) -> Trace:
+    """Parse a trace from a string produced by :func:`dumps`."""
+    return load(io.StringIO(text))

@@ -1,0 +1,103 @@
+"""Trace container and quick summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.common.types import Uop, UopClass
+
+
+@dataclass
+class Trace:
+    """A dynamic uop stream plus its provenance.
+
+    Traces are immutable by convention once built; the engine only
+    iterates them.
+    """
+
+    name: str
+    uops: List[Uop]
+    group: str = ""
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def __iter__(self) -> Iterator[Uop]:
+        return iter(self.uops)
+
+    def __getitem__(self, index: int) -> Uop:
+        return self.uops[index]
+
+    def loads(self) -> Iterator[Uop]:
+        return (u for u in self.uops if u.uclass == UopClass.LOAD)
+
+    def stores(self) -> Iterator[Uop]:
+        return (u for u in self.uops if u.uclass == UopClass.STA)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace over ``uops[start:stop]`` (shares uop objects)."""
+        return Trace(name=f"{self.name}[{start}:{stop}]",
+                     uops=self.uops[start:stop], group=self.group,
+                     seed=self.seed)
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline mix statistics of a trace."""
+
+    n_uops: int
+    n_loads: int
+    n_stores: int
+    n_branches: int
+    n_static_load_pcs: int
+    load_fraction: float
+    store_fraction: float
+
+    def __str__(self) -> str:
+        return (f"{self.n_uops} uops: {self.load_fraction:.1%} loads, "
+                f"{self.store_fraction:.1%} stores, "
+                f"{self.n_static_load_pcs} static load PCs")
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute the mix summary of ``trace``."""
+    n_loads = n_stores = n_branches = 0
+    load_pcs = set()
+    for uop in trace.uops:
+        if uop.uclass == UopClass.LOAD:
+            n_loads += 1
+            load_pcs.add(uop.pc)
+        elif uop.uclass == UopClass.STA:
+            n_stores += 1
+        elif uop.uclass == UopClass.BRANCH:
+            n_branches += 1
+    n = len(trace.uops)
+    return TraceSummary(
+        n_uops=n,
+        n_loads=n_loads,
+        n_stores=n_stores,
+        n_branches=n_branches,
+        n_static_load_pcs=len(load_pcs),
+        load_fraction=n_loads / n if n else 0.0,
+        store_fraction=n_stores / n if n else 0.0,
+    )
+
+
+def validate(trace: Trace) -> None:
+    """Structural sanity checks; raises ``ValueError`` on violation.
+
+    * sequence numbers are dense and increasing;
+    * every STD points at an earlier STA with the same pc;
+    * loads and STAs carry memory accesses.
+    """
+    sta_seqs = {}
+    for i, uop in enumerate(trace.uops):
+        if uop.seq != i:
+            raise ValueError(f"uop {i} has seq {uop.seq}; expected dense seqs")
+        if uop.uclass == UopClass.STA:
+            sta_seqs[uop.seq] = uop
+        elif uop.uclass == UopClass.STD:
+            if uop.sta_seq not in sta_seqs:
+                raise ValueError(f"STD at seq {uop.seq} has no earlier STA")

@@ -1,0 +1,329 @@
+"""Workload profiles for the paper's seven trace groups.
+
+Section 3 uses SpecInt95 (8 traces), SpecFP95 (10), SysmarkNT (8),
+Sysmark95 (8), Games (5), Java (5) and TPC (2).  Each profile below is a
+declarative recipe mixing the scene types of :mod:`repro.trace.builder`
+so the group's qualitative signature matches what section 4 reports:
+
+=============  ==============================================================
+Group          Signature reproduced
+=============  ==============================================================
+SpecInt95      call-heavy, small working sets (high L1 hit rate), regular
+               collisions, moderately predictable misses
+SpecFP95       loop/stride dominated, streaming misses that are *highly*
+               predictable (85 % AM-PM catch in Figure 10), few collisions
+SysmarkNT      call + OS-like mix, highest collision rates, misses only
+               34 % predictable (hot/cold bursts)
+Sysmark95      like NT with a milder collision profile
+Games          array + random mix, moderate everything
+Java           pointer-chase heavy, frequent calls, irregular collisions
+TPC            random-access dominated, higher miss rate, low predictability
+=============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.trace.builder import (
+    ArrayLoopScene,
+    BranchScene,
+    CallScene,
+    HEAP_BASE,
+    HEAP_REGION_BYTES,
+    PointerChaseScene,
+    RandomAccessScene,
+    WeightedScene,
+)
+from repro.trace.streams import (
+    HotColdStream,
+    PointerChaseStream,
+    RandomStream,
+    StrideStream,
+)
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Declarative recipe for one trace group.
+
+    Weights select among scene kinds; the remaining fields parameterise
+    the scenes.  ``instantiate`` builds fresh scene instances (streams
+    hold state) for a given seed, applying mild per-seed jitter so the
+    several traces of a group are siblings, not clones.
+    """
+
+    name: str
+    group: str
+    # Scene mix weights.
+    call_weight: float = 3.0
+    array_weight: float = 3.0
+    chase_weight: float = 0.5
+    random_weight: float = 0.5
+    branch_weight: float = 2.0
+    # Call-scene parameters.
+    call_gap_short: int = 9
+    call_gap_long: int = 32
+    n_call_sites: int = 6
+    p_reload: float = 0.95
+    phase_flip_fraction: float = 0.15  #: fraction of call sites that flip
+    # Array-scene parameters.
+    n_hot_arrays: int = 2
+    hot_array_kb: int = 2
+    n_cold_arrays: int = 1
+    cold_array_kb: int = 160
+    array_stride: int = 64
+    cold_burst_p: float = 0.015
+    fp_fraction: float = 0.0
+    #: Fraction of the array weight given to cold (missing) arrays.
+    cold_array_fraction: float = 0.1
+    # Pointer-chase parameters.
+    chase_nodes: int = 32
+    # Random-access parameters.
+    random_region_kb: int = 4
+    p_alias: float = 0.2
+    # Branch parameters.
+    p_mispredict: float = 0.04
+    # Address-register stability (see repro.trace.builder.STABLE_REGS).
+    p_stable_load_addr: float = 0.85
+    p_stable_sta_addr: float = 0.7
+    #: Static code-footprint multiplier: scales the number of call and
+    #: branch scene instances (and thus distinct load PCs) without
+    #: changing the dynamic mix.  Used by capacity-sensitive predictor
+    #: studies (Figure 9), where table size only matters when the
+    #: static load population stresses it.
+    code_scale: int = 1
+
+    def instantiate(self, seed: int) -> List[WeightedScene]:
+        rng = random.Random(seed ^ 0x5EED)
+        scenes: List[WeightedScene] = []
+        region = 0
+
+        def heap(kb: int) -> int:
+            nonlocal region
+            # Stagger region bases by a pseudo-random number of cache
+            # lines: 16MB-aligned bases would map every region's first
+            # line onto cache set 0, creating artificial conflict
+            # thrash in both cache levels.
+            stagger = (region * 97 + seed * 13) % 512 * 64
+            base = HEAP_BASE + region * HEAP_REGION_BYTES + stagger
+            region += 1
+            if kb * KB > HEAP_REGION_BYTES - 512 * 64:
+                raise ValueError("scene region exceeds heap slot")
+            return base
+
+        def pc_base(region_base: int, i: int) -> int:
+            # Stagger code addresses: page-aligned scene bases would
+            # alias systematically in PC-indexed predictor tables.
+            return region_base + i * 0x1000 + (i * 0x94) % 0x400
+
+        # One shared write-back scratch region: store pressure without
+        # footprint growth (it stays L1-resident).
+        scratch_base = heap(2)
+
+        def scratch_stream() -> StrideStream:
+            return StrideStream(scratch_base, 64, 2 * KB)
+
+        # --- Call scenes: the collision factories --------------------------
+        if self.call_weight > 0:
+            n_sites = self.n_call_sites * self.code_scale
+            n_flips = max(0, round(n_sites * self.phase_flip_fraction))
+            for i in range(n_sites):
+                gap = (self.call_gap_short if i % 2 == 0
+                       else self.call_gap_long)
+                gap += rng.randint(0, 2)
+                flip = 400 + rng.randint(0, 400) if i < n_flips else None
+                scenes.append(WeightedScene(
+                    CallScene(pc_base=pc_base(0x40_0000, i),
+                              n_args=2 + (i % 2), gap=gap,
+                              p_reload=self.p_reload,
+                              save_restore=True, frame_slot=i,
+                              phase_flip_at=flip),
+                    weight=self.call_weight / n_sites))
+
+        # --- Array scenes ---------------------------------------------------
+        if self.array_weight > 0:
+            hot_weight = self.array_weight * (1 - self.cold_array_fraction)
+            cold_weight = self.array_weight * self.cold_array_fraction
+            for i in range(self.n_hot_arrays):
+                extent = self.hot_array_kb * KB
+                stream = StrideStream(heap(self.hot_array_kb),
+                                      self.array_stride, extent)
+                scenes.append(WeightedScene(
+                    ArrayLoopScene(pc_base=pc_base(0x50_0000, i),
+                                   streams=[stream],
+                                   store_stream=scratch_stream(),
+                                   fp_fraction=self.fp_fraction),
+                    weight=hot_weight / self.n_hot_arrays))
+            hot_bases = [sc.scene.streams[0].base for sc in scenes
+                         if isinstance(sc.scene, ArrayLoopScene)]
+            for i in range(self.n_cold_arrays):
+                extent = self.cold_array_kb * KB
+                base = heap(self.cold_array_kb)
+                # Cold arrays stream line-to-line: one access per line,
+                # so each cold access is one (predictable) miss rather
+                # than a burst of dynamic misses.
+                cold = StrideStream(base, 64, extent)
+                # The hot half of the burst mix walks a *shared* hot
+                # region (the first hot array) so its lines are kept
+                # resident by the main loop scenes.
+                hot_base = hot_bases[i % len(hot_bases)] if hot_bases \
+                    else heap(2)
+                hot = StrideStream(hot_base, self.array_stride,
+                                   self.hot_array_kb * KB)
+                stream = HotColdStream(hot, cold,
+                                       p_cold_burst=self.cold_burst_p)
+                out = scratch_stream()
+                scenes.append(WeightedScene(
+                    ArrayLoopScene(pc_base=pc_base(0x58_0000, i),
+                                   streams=[cold if self.group == "SpecFP95"
+                                            else stream],
+                                   store_stream=out,
+                                   fp_fraction=self.fp_fraction),
+                    weight=cold_weight / max(1, self.n_cold_arrays)))
+
+        # --- Pointer chase ---------------------------------------------------
+        if self.chase_weight > 0:
+            stream = PointerChaseStream(heap(self.chase_nodes * 64 // KB + 1),
+                                        n_nodes=self.chase_nodes,
+                                        perm_seed=seed + 17)
+            scenes.append(WeightedScene(
+                PointerChaseScene(pc_base=0x60_0000, stream=stream),
+                weight=self.chase_weight))
+
+        # --- Random access ----------------------------------------------------
+        if self.random_weight > 0:
+            region_stream = RandomStream(heap(self.random_region_kb),
+                                         self.random_region_kb * KB)
+            scenes.append(WeightedScene(
+                RandomAccessScene(pc_base=0x70_0000, region=region_stream,
+                                  p_alias=self.p_alias),
+                weight=self.random_weight))
+
+        # --- Branchy filler ----------------------------------------------------
+        if self.branch_weight > 0:
+            for i in range(self.code_scale):
+                scenes.append(WeightedScene(
+                    BranchScene(pc_base=pc_base(0x80_0000, i),
+                                p_mispredict=self.p_mispredict,
+                                scratch=scratch_stream()),
+                    weight=self.branch_weight / self.code_scale))
+
+        return scenes
+
+
+# ---------------------------------------------------------------------------
+# Group definitions.  Trace name lists follow the paper (Figure 7 labels the
+# SysmarkNT traces cd/ex/fl/pd/pm/pp/wd/wp).
+# ---------------------------------------------------------------------------
+
+_SPECINT = WorkloadProfile(
+    name="specint", group="SpecInt95",
+    call_weight=3.5, array_weight=2.5, chase_weight=0.7, random_weight=0.3,
+    branch_weight=2.0, cold_array_kb=128, random_region_kb=4,
+    cold_burst_p=0.06, chase_nodes=32, p_mispredict=0.05)
+
+_SPECFP = WorkloadProfile(
+    name="specfp", group="SpecFP95",
+    call_weight=0.8, array_weight=6.0,
+    branch_weight=1.0, n_hot_arrays=2, hot_array_kb=4,
+    n_cold_arrays=2, cold_array_kb=96,
+    cold_array_fraction=0.045, chase_weight=0.05, random_weight=0.05,
+    fp_fraction=0.35, p_reload=0.9, p_mispredict=0.01)
+
+_SYSMARK_NT = WorkloadProfile(
+    name="sysnt", group="SysmarkNT",
+    call_weight=4.5, array_weight=2.0, chase_weight=0.5, random_weight=0.8,
+    branch_weight=2.0, n_call_sites=8, p_reload=0.97,
+    phase_flip_fraction=0.12, cold_array_kb=160, random_region_kb=8,
+    cold_burst_p=0.12, p_alias=0.3, p_mispredict=0.06)
+
+_SYSMARK_95 = WorkloadProfile(
+    name="sys95", group="Sysmark95",
+    call_weight=3.0, array_weight=2.5, chase_weight=0.5, random_weight=0.7,
+    branch_weight=2.3, n_call_sites=7, p_reload=0.9,
+    phase_flip_fraction=0.2, cold_burst_p=0.1, p_alias=0.25,
+    p_mispredict=0.05)
+
+_GAMES = WorkloadProfile(
+    name="games", group="Games",
+    call_weight=2.0, array_weight=4.0, chase_weight=0.5, random_weight=1.0,
+    branch_weight=1.5, n_hot_arrays=3, hot_array_kb=2,
+    cold_array_kb=160, fp_fraction=0.25, p_reload=0.85,
+    cold_burst_p=0.06, p_mispredict=0.04)
+
+_JAVA = WorkloadProfile(
+    name="java", group="Java",
+    call_weight=3.5, array_weight=1.5, chase_weight=1.0, random_weight=0.8,
+    branch_weight=1.7, chase_nodes=64, p_reload=0.85, random_region_kb=4,
+    p_stable_sta_addr=0.55,
+    phase_flip_fraction=0.25, p_alias=0.3, p_mispredict=0.06)
+
+_TPC = WorkloadProfile(
+    name="tpc", group="TPC",
+    call_weight=1.5, array_weight=1.0, chase_weight=0.8, random_weight=2.0,
+    branch_weight=1.2, random_region_kb=8, chase_nodes=64,
+    p_alias=0.25, cold_burst_p=0.04, p_mispredict=0.05)
+
+_GROUP_PROFILES: Dict[str, WorkloadProfile] = {
+    "SpecInt95": _SPECINT,
+    "SpecFP95": _SPECFP,
+    "SysmarkNT": _SYSMARK_NT,
+    "Sysmark95": _SYSMARK_95,
+    "Games": _GAMES,
+    "Java": _JAVA,
+    "TPC": _TPC,
+}
+
+#: Trace names per group, following the paper's counts (and Figure 7's
+#: labels for the SysmarkNT traces).
+TRACE_GROUPS: Dict[str, List[str]] = {
+    "SpecInt95": ["compress", "gcc", "go", "ijpeg", "li", "m88ksim",
+                  "perl", "vortex"],
+    "SpecFP95": ["applu", "apsi", "fpppp", "hydro2d", "mgrid", "su2cor",
+                 "swim", "tomcatv", "turb3d", "wave5"],
+    "SysmarkNT": ["cd", "ex", "fl", "pd", "pm", "pp", "wd", "wp"],
+    "Sysmark95": ["s95a", "s95b", "s95c", "s95d", "s95e", "s95f",
+                  "s95g", "s95h"],
+    "Games": ["quake", "unreal", "forsaken", "incoming", "turok"],
+    "Java": ["jack", "javac", "jess", "db", "mtrt"],
+    "TPC": ["tpcc", "tpcd"],
+}
+
+
+def group_names() -> List[str]:
+    """The seven trace-group names, in declaration order."""
+    return list(TRACE_GROUPS)
+
+
+def group_of(trace_name: str) -> str:
+    """The group a trace name belongs to (KeyError when unknown)."""
+    for group, names in TRACE_GROUPS.items():
+        if trace_name in names:
+            return group
+    raise KeyError(f"unknown trace name {trace_name!r}")
+
+
+def profile_for(trace_name: str, code_scale: int = 1) -> WorkloadProfile:
+    """The workload profile used by the named trace.
+
+    ``code_scale`` multiplies the static code footprint (see
+    :attr:`WorkloadProfile.code_scale`).
+    """
+    profile = _GROUP_PROFILES[group_of(trace_name)]
+    if code_scale != 1:
+        from dataclasses import replace
+        profile = replace(profile, code_scale=code_scale)
+    return profile
+
+
+def trace_seed(trace_name: str) -> int:
+    """Deterministic per-trace seed: stable across sessions and runs."""
+    group = group_of(trace_name)
+    index = TRACE_GROUPS[group].index(trace_name)
+    base = sorted(TRACE_GROUPS).index(group)
+    return 1000 * (base + 1) + index

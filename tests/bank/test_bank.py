@@ -1,0 +1,181 @@
+"""Tests for bank prediction: stats, history predictors, address adapter."""
+
+import random
+
+import pytest
+
+from repro.bank.address_based import AddressBankPredictor
+from repro.bank.base import ABSTAIN, BankPrediction, BankStats
+from repro.bank.history import (
+    HistoryBankPredictor,
+    make_predictor_a,
+    make_predictor_b,
+    make_predictor_c,
+)
+from repro.predictors.bimodal import BimodalPredictor
+
+
+class TestBankStats:
+    def test_prediction_rate(self):
+        s = BankStats()
+        s.record(BankPrediction(bank=0), actual_bank=0)
+        s.record(ABSTAIN, actual_bank=1)
+        assert s.prediction_rate == pytest.approx(0.5)
+
+    def test_accuracy_and_ratio(self):
+        s = BankStats()
+        for _ in range(3):
+            s.record(BankPrediction(bank=1), actual_bank=1)
+        s.record(BankPrediction(bank=0), actual_bank=1)
+        assert s.accuracy == pytest.approx(0.75)
+        assert s.ratio == pytest.approx(3.0)
+
+    def test_ratio_infinite_when_perfect(self):
+        s = BankStats()
+        s.record(BankPrediction(bank=0), 0)
+        assert s.ratio == float("inf")
+
+    def test_merge(self):
+        a, b = BankStats(), BankStats()
+        a.record(BankPrediction(bank=0), 0)
+        b.record(ABSTAIN, 0)
+        a.merge(b)
+        assert a.loads == 2 and a.predicted == 1
+
+    def test_empty(self):
+        s = BankStats()
+        assert s.prediction_rate == 0.0 and s.accuracy == 0.0
+
+
+class TestHistoryBankPredictor:
+    def test_learns_constant_bank(self):
+        p = HistoryBankPredictor([BimodalPredictor(64) for _ in range(3)],
+                                 abstain_threshold=0.0)
+        for _ in range(8):
+            p.update(0x100, bank=1)
+        assert p.predict(0x100).bank == 1
+
+    def test_learns_alternating_banks(self):
+        """Stride-64 array walks alternate banks — the common pattern."""
+        p = make_predictor_a(abstain_threshold=0.0)
+        pc = 0x100
+        bank = 0
+        for _ in range(200):
+            p.update(pc, bank)
+            bank ^= 1
+        correct = 0
+        for _ in range(40):
+            pred = p.predict(pc)
+            if pred.predicted and pred.bank == bank:
+                correct += 1
+            p.update(pc, bank)
+            bank ^= 1
+        assert correct >= 32
+
+    def test_abstains_more_on_random_banks(self):
+        """Abstention must rise when the bank stream is unpredictable.
+
+        The absolute abstention rate is modest (2-bit counters give
+        coarse confidence), so the property tested is relative: random
+        streams abstain far more often than deterministic ones.
+        """
+        def abstentions(outcome_fn):
+            p = make_predictor_a(abstain_threshold=0.9)
+            pc = 0x100
+            count = 0
+            for i in range(300):
+                if not p.predict(pc).predicted:
+                    count += 1
+                p.update(pc, outcome_fn(i))
+            return count
+
+        rng = random.Random(0)
+        random_abstains = abstentions(lambda i: rng.randrange(2))
+        alternating_abstains = abstentions(lambda i: i % 2)
+        assert random_abstains > 30
+        assert random_abstains > 3 * alternating_abstains
+
+    def test_two_banks_only(self):
+        p = make_predictor_a()
+        with pytest.raises(ValueError):
+            p.update(0x100, bank=2)
+
+    def test_reset(self):
+        p = make_predictor_b(abstain_threshold=0.0)
+        for _ in range(8):
+            p.update(0x100, 1)
+        p.reset()
+        cold = make_predictor_b(abstain_threshold=0.0)
+        assert p.predict(0x100).bank == cold.predict(0x100).bank
+
+
+class TestPaperConfigurations:
+    def test_a_b_c_storage_budgets(self):
+        """Components sized per section 4.3 (~0.5/0.5/0.75 KB)."""
+        for maker in (make_predictor_a, make_predictor_b, make_predictor_c):
+            assert maker().storage_bits < 4 * 8192  # well under 4KB total
+
+    def test_c_predicts_more_than_a(self):
+        """Predictor C trades accuracy for rate (the paper's contrast)."""
+        rng = random.Random(1)
+        a, c = make_predictor_a(), make_predictor_c()
+        stats_a, stats_c = BankStats(), BankStats()
+        pcs = [0x100 + 16 * i for i in range(8)]
+        banks = {pc: 0 for pc in pcs}
+        for step in range(2000):
+            pc = rng.choice(pcs)
+            # Half the PCs alternate deterministically, half are noisy.
+            if pc % 32 == 0:
+                bank = banks[pc] = banks[pc] ^ 1
+            else:
+                bank = rng.randrange(2)
+            stats_a.record(a.predict(pc), bank)
+            stats_c.record(c.predict(pc), bank)
+            a.update(pc, bank)
+            c.update(pc, bank)
+        assert stats_c.prediction_rate > stats_a.prediction_rate
+
+
+class TestAddressBankPredictor:
+    def test_cold_abstains(self):
+        assert not AddressBankPredictor().predict(0x100).predicted
+
+    def test_constant_address(self):
+        p = AddressBankPredictor()
+        for _ in range(5):
+            p.update(0x100, bank=1, address=0x40)
+        pred = p.predict(0x100)
+        assert pred.predicted and pred.bank == 1
+
+    def test_strided_addresses(self):
+        """Stride-64 loads alternate banks; the address predictor nails
+        the *next* bank, not just the common one."""
+        p = AddressBankPredictor()
+        addr = 0x1000
+        for _ in range(8):
+            p.update(0x100, bank=(addr // 64) % 2, address=addr)
+            addr += 64
+        pred = p.predict(0x100)
+        assert pred.predicted
+        assert pred.bank == (addr // 64) % 2
+
+    def test_requires_address_for_training(self):
+        with pytest.raises(ValueError):
+            AddressBankPredictor().update(0x100, bank=0, address=None)
+
+    def test_bank_count_validation(self):
+        with pytest.raises(ValueError):
+            AddressBankPredictor(n_banks=3)
+
+    def test_four_banks(self):
+        p = AddressBankPredictor(n_banks=4)
+        for _ in range(5):
+            p.update(0x100, bank=3, address=0xC0)
+        assert p.predict(0x100).bank == 3
+
+    def test_reset(self):
+        p = AddressBankPredictor()
+        for _ in range(5):
+            p.update(0x100, bank=1, address=0x40)
+        p.reset()
+        assert not p.predict(0x100).predicted

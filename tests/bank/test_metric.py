@@ -1,0 +1,113 @@
+"""Tests for the section 4.3 analytic metric."""
+
+import pytest
+
+from repro.bank.metric import (
+    IDEAL_GAIN,
+    accuracy_from_ratio,
+    break_even_penalty,
+    gain_per_load,
+    load_execution_time,
+    metric,
+    metric_curve,
+    ratio_from_accuracy,
+)
+
+
+class TestExactRelations:
+    def test_perfect_predictor_halves_time(self):
+        """P=1, R=inf-ish, penalty 0: each load takes 0.5 units."""
+        t = load_execution_time(1.0, ratio=1e12, penalty=0.0)
+        assert t == pytest.approx(0.5)
+
+    def test_no_prediction_is_single_ported(self):
+        assert load_execution_time(0.0, ratio=10.0, penalty=5.0) == 1.0
+
+    def test_gain_complements_time(self):
+        p, r, pen = 0.7, 20.0, 3.0
+        assert gain_per_load(p, r, pen) == \
+               pytest.approx(1.0 - load_execution_time(p, r, pen))
+
+    def test_paper_identity_gain_formula(self):
+        """GainPerLoad = P*(0.5R + 1 - Penalty)/(R+1) — the paper's form."""
+        p, r, pen = 0.6, 15.0, 2.0
+        expected = p * (0.5 * r + 1 - pen) / (r + 1)
+        assert gain_per_load(p, r, pen) == pytest.approx(expected)
+
+    def test_metric_is_normalised_gain(self):
+        p, r, pen = 0.6, 15.0, 2.0
+        assert metric(p, r, pen) == \
+               pytest.approx(gain_per_load(p, r, pen) / IDEAL_GAIN)
+
+
+class TestApproximateForm:
+    def test_approximation_close_for_large_r(self):
+        """Metric ~ P(1 - 2*Penalty/R) when R >> 1."""
+        p, r, pen = 0.7, 100.0, 3.0
+        exact = metric(p, r, pen)
+        approx = metric(p, r, pen, approximate=True)
+        assert abs(exact - approx) < 0.03
+
+    def test_metric_at_zero_penalty_is_prediction_rate(self):
+        """The Figure 12 reading: the intercept equals P."""
+        for p in (0.3, 0.5, 0.9):
+            assert metric(p, 50.0, 0.0, approximate=True) == pytest.approx(p)
+
+
+class TestCurve:
+    def test_monotone_decreasing_in_penalty(self):
+        curve = metric_curve(0.7, 20.0, penalties=range(0, 11))
+        values = [v for _, v in curve]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_slope_steeper_for_lower_accuracy(self):
+        """Figure 12: 'the steeper the slope the less accurate'."""
+        steep = metric_curve(0.7, 5.0, penalties=[0, 5])
+        shallow = metric_curve(0.7, 50.0, penalties=[0, 5])
+        drop_steep = steep[0][1] - steep[1][1]
+        drop_shallow = shallow[0][1] - shallow[1][1]
+        assert drop_steep > drop_shallow
+
+    def test_high_accuracy_dominates_at_high_penalty(self):
+        """The paper's design rule: high penalty demands accuracy even at
+        a lower prediction rate."""
+        low_acc_high_rate = metric(0.9, ratio_from_accuracy(0.90), 8.0)
+        high_acc_low_rate = metric(0.6, ratio_from_accuracy(0.99), 8.0)
+        assert high_acc_low_rate > low_acc_high_rate
+
+    def test_crossover_exists(self):
+        """At low penalty the high-rate predictor wins instead."""
+        low_acc_high_rate = metric(0.9, ratio_from_accuracy(0.90), 0.0)
+        high_acc_low_rate = metric(0.6, ratio_from_accuracy(0.99), 0.0)
+        assert low_acc_high_rate > high_acc_low_rate
+
+
+class TestConversions:
+    def test_ratio_accuracy_roundtrip(self):
+        for acc in (0.5, 0.9, 0.97):
+            assert accuracy_from_ratio(ratio_from_accuracy(acc)) == \
+                   pytest.approx(acc)
+
+    def test_perfect_accuracy(self):
+        assert ratio_from_accuracy(1.0) == float("inf")
+        assert accuracy_from_ratio(float("inf")) == 1.0
+
+    def test_break_even(self):
+        """Metric hits zero at Penalty = R/2 (approximate form)."""
+        r = 20.0
+        pen = break_even_penalty(r)
+        assert metric(0.7, r, pen, approximate=True) == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_bad_prediction_rate(self):
+        with pytest.raises(ValueError):
+            metric(1.5, 10.0, 0.0)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            metric(0.5, 0.0, 0.0)
+
+    def test_bad_accuracy(self):
+        with pytest.raises(ValueError):
+            ratio_from_accuracy(2.0)

@@ -1,0 +1,104 @@
+"""Tests for the bit-wise multi-bank predictor."""
+
+import pytest
+
+from repro.bank.multibit import BitwiseBankPredictor, expected_pipes_occupied
+
+
+class TestGeometry:
+    def test_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitwiseBankPredictor(n_banks=6)
+
+    def test_needs_at_least_two(self):
+        with pytest.raises(ValueError):
+            BitwiseBankPredictor(n_banks=1)
+
+    def test_bank_range_validated(self):
+        p = BitwiseBankPredictor(n_banks=4)
+        with pytest.raises(ValueError):
+            p.update(0x100, bank=4)
+
+
+class TestPrediction:
+    def test_learns_constant_bank_four_way(self):
+        p = BitwiseBankPredictor(n_banks=4, confidence_floor=0.5)
+        for _ in range(16):
+            p.update(0x100, bank=3)
+        assert p.predict_banks(0x100) == [3]
+        assert p.predict(0x100).bank == 3
+
+    def test_learns_bank_with_one_varying_bit(self):
+        """Bank alternates 0/1: bit0 unpredictable-ish, bit1 constant 0.
+        The candidate set must stay within {0, 1}."""
+        p = BitwiseBankPredictor(n_banks=4, confidence_floor=0.95)
+        bank = 0
+        for _ in range(200):
+            p.update(0x100, bank)
+            bank ^= 1
+        candidates = p.predict_banks(0x100)
+        assert set(candidates) <= {0, 1}
+
+    def test_random_bit_duplicates(self):
+        """A bank bit trained on noise hovers near the counter midpoint
+        (low confidence), expanding the candidate set."""
+        import random
+        rng = random.Random(0)
+        p = BitwiseBankPredictor(n_banks=4, confidence_floor=0.99)
+        for _ in range(400):
+            p.update(0x999, rng.randrange(4))
+        # Across a window of queries the predictor must duplicate at
+        # least sometimes (noise keeps counters unsaturated).
+        widths = []
+        for _ in range(20):
+            p.update(0x999, rng.randrange(4))
+            widths.append(len(p.predict_banks(0x999)))
+        assert max(widths) >= 2
+
+    def test_abstains_when_ambiguous(self):
+        import random
+        rng = random.Random(1)
+        p = BitwiseBankPredictor(n_banks=4, confidence_floor=0.99)
+        abstained = False
+        for _ in range(300):
+            p.update(0x999, rng.randrange(4))
+            if p.predict(0x999).bank is None:
+                abstained = True
+        assert abstained
+
+    def test_eight_banks(self):
+        p = BitwiseBankPredictor(n_banks=8)
+        for _ in range(16):
+            p.update(0x100, bank=5)
+        assert 5 in p.predict_banks(0x100)
+
+
+class TestDuplicationCost:
+    def test_expected_pipes_shrink_with_training(self):
+        p = BitwiseBankPredictor(n_banks=4, confidence_floor=0.5)
+        pcs = [0x100, 0x200]
+        cold = expected_pipes_occupied(p, pcs)
+        for _ in range(32):
+            p.update(0x100, 2)
+            p.update(0x200, 1)
+        warm = expected_pipes_occupied(p, pcs)
+        assert warm <= cold
+        assert warm == pytest.approx(1.0)
+
+    def test_empty_pc_list(self):
+        assert expected_pipes_occupied(BitwiseBankPredictor(), []) == 0.0
+
+
+class TestReset:
+    def test_reset_restores_cold(self):
+        p = BitwiseBankPredictor(n_banks=4)
+        for _ in range(16):
+            p.update(0x100, 3)
+        p.reset()
+        cold = BitwiseBankPredictor(n_banks=4)
+        assert p.predict_banks(0x100) == cold.predict_banks(0x100)
+
+    def test_storage_scales_with_bits(self):
+        two = BitwiseBankPredictor(n_banks=2).storage_bits
+        eight = BitwiseBankPredictor(n_banks=8).storage_bits
+        assert eight == 3 * two

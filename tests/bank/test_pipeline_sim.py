@@ -1,0 +1,123 @@
+"""Tests for the empirical Figure 4 pipeline comparison."""
+
+import pytest
+
+from repro.bank.address_based import AddressBankPredictor
+from repro.bank.pipeline_sim import (
+    PipeSimResult,
+    compare_pipelines,
+    simulate_pipeline,
+)
+from repro.memory.pipelines import (
+    CONVENTIONAL_BANKED,
+    DUAL_SCHEDULED,
+    SLICED_BANKED,
+    TRULY_MULTIPORTED,
+)
+
+
+def alternating_stream(n=200):
+    """Perfectly pairable loads: banks alternate 0,1,0,1."""
+    return [(0x100, 0x1000 + i * 64) for i in range(n)]
+
+
+def same_bank_stream(n=200):
+    """Worst case: every load hits bank 0."""
+    return [(0x100, 0x1000 + i * 128) for i in range(n)]
+
+
+class TestIdealPipe:
+    def test_two_per_cycle(self):
+        r = simulate_pipeline(TRULY_MULTIPORTED, alternating_stream(100))
+        assert r.cycles == 50
+        assert r.loads_per_cycle == pytest.approx(2.0)
+
+    def test_base_latency_only(self):
+        r = simulate_pipeline(TRULY_MULTIPORTED, alternating_stream(100),
+                              base_latency=5)
+        assert r.average_latency == pytest.approx(5.0)
+
+
+class TestConventionalBanked:
+    def test_conflicts_on_same_bank(self):
+        r = simulate_pipeline(CONVENTIONAL_BANKED, same_bank_stream(100))
+        assert r.conflicts > 0
+        assert r.loads_per_cycle < 1.5
+
+    def test_no_conflicts_on_alternating(self):
+        r = simulate_pipeline(CONVENTIONAL_BANKED, alternating_stream(100))
+        assert r.conflicts == 0
+        assert r.loads_per_cycle == pytest.approx(2.0)
+
+    def test_crossbar_latency(self):
+        r = simulate_pipeline(CONVENTIONAL_BANKED, alternating_stream(100),
+                              base_latency=5)
+        assert r.average_latency == pytest.approx(7.0)  # +2 crossbar
+
+
+class TestDualScheduled:
+    def test_never_conflicts(self):
+        r = simulate_pipeline(DUAL_SCHEDULED, same_bank_stream(100))
+        assert r.conflicts == 0
+
+    def test_pairs_when_possible(self):
+        r = simulate_pipeline(DUAL_SCHEDULED, alternating_stream(100))
+        assert r.loads_per_cycle == pytest.approx(2.0)
+
+    def test_second_scheduler_latency(self):
+        r = simulate_pipeline(DUAL_SCHEDULED, alternating_stream(100))
+        assert r.average_latency == pytest.approx(7.0)
+
+
+class TestSlicedPipe:
+    def test_requires_predictor(self):
+        with pytest.raises(ValueError):
+            simulate_pipeline(SLICED_BANKED, alternating_stream(10))
+
+    def test_ideal_latency_when_predicted(self):
+        r = simulate_pipeline(SLICED_BANKED, alternating_stream(400),
+                              predictor=AddressBankPredictor())
+        # Warmup duplications aside, steered loads see base latency.
+        assert r.average_latency < 5.5
+        assert r.flushes <= 2
+
+    def test_throughput_approaches_ideal_on_predictable_stream(self):
+        r = simulate_pipeline(SLICED_BANKED, alternating_stream(400),
+                              predictor=AddressBankPredictor())
+        assert r.loads_per_cycle > 1.6
+
+    def test_counts_duplications(self):
+        """Cold predictor start duplicates the first few loads."""
+        r = simulate_pipeline(SLICED_BANKED, alternating_stream(50),
+                              predictor=AddressBankPredictor())
+        assert r.duplicated >= 1
+
+
+class TestComparison:
+    def test_all_four_present(self):
+        out = compare_pipelines(alternating_stream(100),
+                                AddressBankPredictor)
+        assert set(out) == {"truly-multiported", "conventional-banked",
+                            "dual-scheduled", "sliced-banked"}
+
+    def test_all_drain_every_load(self):
+        stream = alternating_stream(150)
+        out = compare_pipelines(stream, AddressBankPredictor)
+        for name, r in out.items():
+            assert r.loads == 150, name
+
+    def test_figure4_latency_ordering(self):
+        """The sliced pipe's selling point: ideal latency; the other
+        banked organisations pay extra pipeline stages."""
+        out = compare_pipelines(alternating_stream(400),
+                                AddressBankPredictor)
+        sliced = out["sliced-banked"].average_latency
+        assert sliced < out["conventional-banked"].average_latency
+        assert sliced < out["dual-scheduled"].average_latency
+
+    def test_ideal_dominates_throughput(self):
+        out = compare_pipelines(same_bank_stream(200),
+                                AddressBankPredictor)
+        ideal = out["truly-multiported"].loads_per_cycle
+        for name, r in out.items():
+            assert r.loads_per_cycle <= ideal + 1e-9, name

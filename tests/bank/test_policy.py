@@ -1,0 +1,76 @@
+"""Tests for the sliced-pipe duplication policy and simulator."""
+
+import pytest
+
+from repro.bank.address_based import AddressBankPredictor
+from repro.bank.base import ABSTAIN, BankPrediction
+from repro.bank.policy import DuplicationPolicy, SlicedPipeSimulator
+
+
+class TestDuplicationPolicy:
+    def test_abstention_duplicates(self):
+        policy = DuplicationPolicy()
+        assert policy.should_duplicate(ABSTAIN, contended=True)
+
+    def test_low_confidence_duplicates(self):
+        policy = DuplicationPolicy(confidence_floor=0.5,
+                                   duplicate_when_uncontended=False)
+        low = BankPrediction(bank=0, confidence=0.2)
+        high = BankPrediction(bank=0, confidence=0.9)
+        assert policy.should_duplicate(low, contended=True)
+        assert not policy.should_duplicate(high, contended=True)
+
+    def test_uncontended_duplicates(self):
+        """Spare ports: send the load everywhere, never flush."""
+        policy = DuplicationPolicy(duplicate_when_uncontended=True)
+        confident = BankPrediction(bank=0, confidence=1.0)
+        assert policy.should_duplicate(confident, contended=False)
+        assert not policy.should_duplicate(confident, contended=True)
+
+
+class TestSlicedPipeSimulator:
+    def _stream(self, n=400, stride=64):
+        """Perfectly stride-predictable loads from one PC."""
+        return [(0x100, 0x1000 + i * stride) for i in range(n)]
+
+    def test_accurate_predictor_approaches_half(self):
+        sim = SlicedPipeSimulator(
+            AddressBankPredictor(),
+            DuplicationPolicy(duplicate_when_uncontended=False),
+            contention_rate=1.0)
+        result = sim.run(self._stream())
+        # Warmup aside, most loads pair: metric near 1 (ideal 2x).
+        assert result.metric > 0.8
+        assert result.speedup_vs_single_port > 1.5
+
+    def test_duplication_only_is_single_ported(self):
+        class NeverPredict(AddressBankPredictor):
+            def predict(self, pc):
+                return ABSTAIN
+        sim = SlicedPipeSimulator(NeverPredict(), contention_rate=1.0)
+        result = sim.run(self._stream())
+        assert result.duplicated == result.loads
+        assert result.speedup_vs_single_port == pytest.approx(1.0)
+
+    def test_mispredictions_cost(self):
+        class WrongBank(AddressBankPredictor):
+            def predict(self, pc):
+                return BankPrediction(bank=0, confidence=1.0)
+        # Stride 64 alternates banks: bank-0-always is wrong half the time.
+        sim = SlicedPipeSimulator(
+            WrongBank(),
+            DuplicationPolicy(duplicate_when_uncontended=False),
+            contention_rate=1.0, mispredict_penalty=3.0)
+        result = sim.run(self._stream())
+        assert result.mispredicted > 0
+        assert result.metric < 0.5
+
+    def test_contention_validation(self):
+        with pytest.raises(ValueError):
+            SlicedPipeSimulator(AddressBankPredictor(), contention_rate=1.5)
+
+    def test_stats_recorded(self):
+        sim = SlicedPipeSimulator(AddressBankPredictor(),
+                                  contention_rate=1.0)
+        sim.run(self._stream(100))
+        assert sim.stats.loads == 100

@@ -1,0 +1,155 @@
+"""Tests for the prior-art predictors: store sets and the store barrier."""
+
+import pytest
+
+from repro.cht.barrier import StoreBarrierCache
+from repro.cht.storesets import StoreSetPredictor
+
+
+class TestStoreSetAssignment:
+    def test_unknown_pcs_have_no_set(self):
+        p = StoreSetPredictor()
+        assert p.set_of(0x100) == StoreSetPredictor.INVALID
+        assert p.on_load_rename(0x100) is None
+
+    def test_violation_creates_shared_set(self):
+        p = StoreSetPredictor()
+        p.on_violation(load_pc=0x100, store_pc=0x200)
+        assert p.set_of(0x100) == p.set_of(0x200)
+        assert p.set_of(0x100) != StoreSetPredictor.INVALID
+
+    def test_second_store_joins_existing_set(self):
+        p = StoreSetPredictor()
+        p.on_violation(0x100, 0x200)
+        p.on_violation(0x100, 0x300)
+        assert p.set_of(0x300) == p.set_of(0x100)
+
+    def test_merge_picks_smaller_set_id(self):
+        p = StoreSetPredictor()
+        p.on_violation(0x100, 0x200)  # set 0
+        p.on_violation(0x300, 0x400)  # set 1
+        p.on_violation(0x100, 0x400)  # merge
+        assert p.set_of(0x100) == p.set_of(0x400) == 0
+
+
+class TestLfst:
+    def test_load_waits_for_last_fetched_store(self):
+        p = StoreSetPredictor()
+        p.on_violation(0x100, 0x200)
+        p.on_store_rename(0x200, seq=42)
+        assert p.on_load_rename(0x100) == 42
+
+    def test_newest_store_wins(self):
+        p = StoreSetPredictor()
+        p.on_violation(0x100, 0x200)
+        p.on_store_rename(0x200, seq=42)
+        previous = p.on_store_rename(0x200, seq=50)
+        assert previous == 42
+        assert p.on_load_rename(0x100) == 50
+
+    def test_completion_clears_entry(self):
+        p = StoreSetPredictor()
+        p.on_violation(0x100, 0x200)
+        p.on_store_rename(0x200, seq=42)
+        p.on_store_complete(0x200, seq=42)
+        assert p.on_load_rename(0x100) is None
+
+    def test_stale_completion_ignored(self):
+        p = StoreSetPredictor()
+        p.on_violation(0x100, 0x200)
+        p.on_store_rename(0x200, seq=42)
+        p.on_store_rename(0x200, seq=50)
+        p.on_store_complete(0x200, seq=42)  # older instance completes
+        assert p.on_load_rename(0x100) == 50
+
+    def test_storeless_pc_updates_nothing(self):
+        p = StoreSetPredictor()
+        assert p.on_store_rename(0x999, seq=1) is None
+
+    def test_cyclic_clear(self):
+        p = StoreSetPredictor()
+        p.on_violation(0x100, 0x200)
+        p.on_store_rename(0x200, seq=42)
+        p.cyclic_clear()
+        assert p.set_of(0x100) == StoreSetPredictor.INVALID
+        assert p.on_load_rename(0x100) is None
+
+    def test_storage_positive(self):
+        assert StoreSetPredictor().storage_bits > 0
+
+
+class TestStoreBarrierCache:
+    def test_cold_store_is_not_barrier(self):
+        assert not StoreBarrierCache().is_barrier(0x200)
+
+    def test_violations_set_barrier(self):
+        c = StoreBarrierCache()
+        c.train(0x200, True)
+        c.train(0x200, True)
+        assert c.is_barrier(0x200)
+
+    def test_clean_completions_clear_barrier(self):
+        c = StoreBarrierCache()
+        for _ in range(3):
+            c.train(0x200, True)
+        for _ in range(4):
+            c.train(0x200, False)
+        assert not c.is_barrier(0x200)
+
+    def test_hysteresis(self):
+        c = StoreBarrierCache(counter_bits=2)
+        for _ in range(3):
+            c.train(0x200, True)  # saturate
+        c.train(0x200, False)
+        assert c.is_barrier(0x200)  # one clean pass is not enough
+
+    def test_clear(self):
+        c = StoreBarrierCache()
+        c.train(0x200, True)
+        c.train(0x200, True)
+        c.clear()
+        assert not c.is_barrier(0x200)
+
+
+class TestEngineIntegration:
+    """Full-machine runs of the alternative ordering schemes."""
+
+    def _trace(self):
+        from repro.trace.builder import build_trace
+        from repro.trace.workloads import profile_for, trace_seed
+        return build_trace(profile_for("cd"), n_uops=5000,
+                           seed=trace_seed("cd"), name="cd")
+
+    def test_schemes_run_to_completion(self):
+        from repro.engine.machine import Machine
+        from repro.engine.ordering import make_scheme
+        trace = self._trace()
+        for name in ("storesets", "barrier"):
+            result = Machine(scheme=make_scheme(name)).run(trace)
+            assert result.retired_uops == len(trace), name
+
+    def test_storesets_reduce_penalties_vs_opportunistic(self):
+        from repro.engine.machine import Machine
+        from repro.engine.ordering import make_scheme
+        trace = self._trace()
+        opportunistic = Machine(
+            scheme=make_scheme("opportunistic")).run(trace)
+        storesets = Machine(scheme=make_scheme("storesets")).run(trace)
+        assert storesets.collision_penalties < \
+               opportunistic.collision_penalties
+
+    def test_storesets_beat_traditional(self):
+        from repro.engine.machine import Machine
+        from repro.engine.ordering import make_scheme
+        trace = self._trace()
+        baseline = Machine(scheme=make_scheme("traditional")).run(trace)
+        storesets = Machine(scheme=make_scheme("storesets")).run(trace)
+        assert storesets.speedup_over(baseline) > 1.0
+
+    def test_barrier_beats_traditional(self):
+        from repro.engine.machine import Machine
+        from repro.engine.ordering import make_scheme
+        trace = self._trace()
+        baseline = Machine(scheme=make_scheme("traditional")).run(trace)
+        barrier = Machine(scheme=make_scheme("barrier")).run(trace)
+        assert barrier.speedup_over(baseline) > 1.0

@@ -1,0 +1,112 @@
+"""Tests for the opcode-annotated (trace-cache) CHT."""
+
+import pytest
+
+from repro.cht.annotated import AnnotatedCHT
+
+
+class TestBasicAnnotation:
+    def test_cold_predicts_non_colliding(self):
+        assert not AnnotatedCHT().lookup(0x100).colliding
+
+    def test_learns_collision(self):
+        cht = AnnotatedCHT(counter_bits=1)
+        cht.train(0x100, True, 1)
+        assert cht.lookup(0x100).colliding
+
+    def test_non_colliding_loads_not_annotated(self):
+        cht = AnnotatedCHT()
+        cht.train(0x100, False)
+        assert cht.occupancy == 0
+
+    def test_one_bit_counter_unlearns(self):
+        cht = AnnotatedCHT(counter_bits=1)
+        cht.train(0x100, True, 1)
+        cht.train(0x100, False)
+        assert not cht.lookup(0x100).colliding
+
+    def test_distance_tracking(self):
+        cht = AnnotatedCHT(track_distance=True)
+        cht.train(0x100, True, 5)
+        cht.train(0x100, True, 2)
+        assert cht.lookup(0x100).distance == 2
+
+
+class TestCapacity:
+    def test_lru_eviction(self):
+        cht = AnnotatedCHT(capacity=2)
+        cht.train(0x100, True, 1)
+        cht.train(0x200, True, 1)
+        cht.train(0x300, True, 1)  # evicts 0x100
+        assert not cht.lookup(0x100).colliding
+        assert cht.lookup(0x300).colliding
+        assert cht.occupancy == 2
+
+    def test_touch_refreshes(self):
+        cht = AnnotatedCHT(capacity=2)
+        cht.train(0x100, True, 1)
+        cht.train(0x200, True, 1)
+        cht.train(0x100, True, 1)  # refresh
+        cht.train(0x300, True, 1)  # evicts 0x200
+        assert cht.lookup(0x100).colliding
+        assert not cht.lookup(0x200).colliding
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            AnnotatedCHT(capacity=0)
+
+
+class TestPathSensitivity:
+    def test_same_load_different_paths(self):
+        """The trace-cache advantage: one static load, two behaviours."""
+        cht = AnnotatedCHT(path_bits=4, counter_bits=1)
+        pc = 0x100
+
+        def on_path(branches):
+            cht._path_history = 0
+            for taken in branches:
+                cht.observe_branch(taken)
+
+        # Path A: the load collides.  Path B: it does not.
+        on_path([True, True])
+        cht.train(pc, True, 1)
+        on_path([False, False])
+        cht.train(pc, False)
+
+        on_path([True, True])
+        assert cht.lookup(pc).colliding
+        on_path([False, False])
+        assert not cht.lookup(pc).colliding
+
+    def test_pathless_mode_ignores_branches(self):
+        cht = AnnotatedCHT(path_bits=0)
+        cht.train(0x100, True, 1)
+        cht.observe_branch(True)
+        cht.observe_branch(False)
+        assert cht.lookup(0x100).colliding
+
+    def test_clear_resets_path(self):
+        cht = AnnotatedCHT(path_bits=4)
+        cht.observe_branch(True)
+        cht.train(0x100, True, 1)
+        cht.clear()
+        assert cht.occupancy == 0
+        assert not cht.lookup(0x100).colliding
+
+
+class TestAsSchemePredictor:
+    def test_drives_inclusive_ordering(self):
+        """The annotated CHT plugs into the same scheme slot."""
+        from repro.engine.machine import Machine
+        from repro.engine.ordering import InclusiveOrdering, make_scheme
+        from repro.trace.builder import build_trace
+        from repro.trace.workloads import profile_for, trace_seed
+
+        trace = build_trace(profile_for("cd"), n_uops=5000,
+                            seed=trace_seed("cd"), name="cd")
+        baseline = Machine(scheme=make_scheme("traditional")).run(trace)
+        annotated = Machine(
+            scheme=InclusiveOrdering(AnnotatedCHT(capacity=8192))
+        ).run(trace)
+        assert annotated.retired_uops == len(trace)
+        assert annotated.speedup_over(baseline) > 1.0

@@ -1,0 +1,108 @@
+"""Tests for repro.common.bits."""
+
+import pytest
+
+from repro.common import bits
+
+
+class TestMaskExtractFold:
+    def test_mask(self):
+        assert bits.mask(0) == 0
+        assert bits.mask(4) == 0xF
+        assert bits.mask(10) == 0x3FF
+
+    def test_mask_negative(self):
+        with pytest.raises(ValueError):
+            bits.mask(-1)
+
+    def test_extract(self):
+        assert bits.extract(0b110100, 2, 3) == 0b101
+        assert bits.extract(0xFF00, 8, 8) == 0xFF
+
+    def test_fold_short_value(self):
+        assert bits.fold(0x5, 8) == 0x5
+
+    def test_fold_wraps(self):
+        # 0x1234 folded to 8 bits: 0x34 ^ 0x12
+        assert bits.fold(0x1234, 8) == 0x34 ^ 0x12
+
+    def test_fold_requires_positive_width(self):
+        with pytest.raises(ValueError):
+            bits.fold(0x1234, 0)
+
+
+class TestIlog2:
+    def test_powers(self):
+        assert bits.ilog2(1) == 0
+        assert bits.ilog2(1024) == 10
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            bits.ilog2(24)
+        with pytest.raises(ValueError):
+            bits.ilog2(0)
+
+
+class TestPcIndex:
+    def test_in_range(self):
+        for pc in (0x400000, 0x400004, 0x7FFF0000, 0x12345678):
+            assert 0 <= bits.pc_index(pc, 1024) < 1024
+
+    def test_single_entry(self):
+        assert bits.pc_index(0x400000, 1) == 0
+
+    def test_alignment_insensitive(self):
+        # The two low bits are dropped: pc and pc+1 share an index.
+        assert bits.pc_index(0x400000, 256) == bits.pc_index(0x400001, 256)
+
+    def test_spreads_regular_strides(self):
+        # Page-strided PCs must not all collapse onto a few indices.
+        indices = {bits.pc_index(0x400000 + i * 0x1000, 256)
+                   for i in range(64)}
+        assert len(indices) > 32
+
+
+class TestGshareIndex:
+    def test_in_range(self):
+        for history in (0, 0x3FF, 0x155):
+            assert 0 <= bits.gshare_index(0x400100, history, 2048) < 2048
+
+    def test_history_changes_index(self):
+        pc = 0x400100
+        a = bits.gshare_index(pc, 0b1010, 2048)
+        b = bits.gshare_index(pc, 0b0101, 2048)
+        assert a != b
+
+
+class TestSkewing:
+    def test_h_inverse_roundtrip(self):
+        for value in range(64):
+            assert bits._h_inv(bits._h(value, 6), 6) == value
+
+    def test_skew_banks_differ(self):
+        pc, hist = 0x400100, 0x1F
+        idx = [bits.skew_index(pc, hist, b, 1024) for b in range(3)]
+        assert len(set(idx)) > 1
+
+    def test_skew_in_range(self):
+        for bank in range(3):
+            assert 0 <= bits.skew_index(0x400100, 7, bank, 1024) < 1024
+
+    def test_skew_bad_bank(self):
+        with pytest.raises(ValueError):
+            bits.skew_index(0x400100, 7, 3, 1024)
+
+
+class TestShiftHistory:
+    def test_shift_in(self):
+        h = 0
+        h = bits.shift_history(h, True, 4)
+        assert h == 0b0001
+        h = bits.shift_history(h, True, 4)
+        h = bits.shift_history(h, False, 4)
+        assert h == 0b0110
+
+    def test_truncates_to_length(self):
+        h = bits.mask(4)
+        h = bits.shift_history(h, True, 4)
+        assert h == bits.mask(4)

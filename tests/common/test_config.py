@@ -1,0 +1,106 @@
+"""Tests for repro.common.config."""
+
+import pytest
+
+from repro.common.config import (
+    BASELINE_MACHINE,
+    CacheConfig,
+    ExecUnitConfig,
+    LatencyConfig,
+    MachineConfig,
+    MemoryConfig,
+)
+from repro.common.types import UopClass
+
+
+class TestCacheConfig:
+    def test_baseline_l1_geometry(self):
+        l1 = MemoryConfig().l1d
+        assert l1.size_bytes == 16 * 1024
+        assert l1.line_bytes == 64
+        assert l1.ways == 4
+        assert l1.n_sets == 64
+
+    def test_baseline_l2_geometry(self):
+        l2 = MemoryConfig().l2
+        assert l2.size_bytes == 256 * 1024
+        assert l2.n_sets == 1024
+
+    def test_size_must_divide(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=4)
+
+    def test_banks_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=16 * 1024, n_banks=3)
+        assert CacheConfig(size_bytes=16 * 1024, n_banks=2).n_banks == 2
+
+
+class TestExecUnitConfig:
+    def test_baseline_matches_section_3_1(self):
+        units = ExecUnitConfig()
+        assert units.n_int == 2
+        assert units.n_mem == 2
+        assert units.n_fp == 1
+        assert units.n_complex == 2
+
+    def test_capacity_mapping(self):
+        units = ExecUnitConfig()
+        assert units.capacity(UopClass.INT) == 2
+        assert units.capacity(UopClass.BRANCH) == 2  # shares integer units
+        assert units.capacity(UopClass.LOAD) == 2
+        assert units.capacity(UopClass.STA) == 2
+        assert units.capacity(UopClass.STD) == 2
+        assert units.capacity(UopClass.FP) == 1
+        assert units.capacity(UopClass.COMPLEX) == 2
+        assert units.capacity(UopClass.NOP) == 0
+
+
+class TestLatencyConfig:
+    def test_collision_penalty_is_paper_value(self):
+        assert LatencyConfig().collision_penalty == 8
+
+    def test_load_latency_is_dynamic(self):
+        with pytest.raises(ValueError):
+            LatencyConfig().of(UopClass.LOAD)
+
+    def test_fixed_latencies(self):
+        lat = LatencyConfig()
+        assert lat.of(UopClass.INT) == 1
+        assert lat.of(UopClass.STA) == lat.agu_latency
+        assert lat.of(UopClass.NOP) == 0
+
+    def test_figure3_load_pipe(self):
+        # Figure 3: an L1 hit takes 8 cycles from scheduling
+        # (register read + AGU, then 5-cycle cache access).
+        lat = LatencyConfig()
+        mem = MemoryConfig()
+        assert lat.agu_latency + mem.l1_latency == 8
+
+
+class TestMachineConfig:
+    def test_baseline_matches_section_3_1(self):
+        m = BASELINE_MACHINE
+        assert m.fetch_width == 6
+        assert m.retire_width == 6
+        assert m.register_pool == 128
+        assert m.window_size == 32
+
+    def test_with_window(self):
+        m = BASELINE_MACHINE.with_window(128)
+        assert m.window_size == 128
+        assert BASELINE_MACHINE.window_size == 32  # original untouched
+
+    def test_window_cannot_exceed_pool(self):
+        with pytest.raises(ValueError):
+            MachineConfig(window_size=256, register_pool=128)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BASELINE_MACHINE.with_window(0)
+
+    def test_with_units(self):
+        m = BASELINE_MACHINE.with_units(4, 2)
+        assert m.units.n_int == 4
+        assert m.units.n_mem == 2
+        assert m.units.n_fp == BASELINE_MACHINE.units.n_fp

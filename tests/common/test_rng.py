@@ -1,0 +1,74 @@
+"""Tests for repro.common.rng."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(10)] == \
+               [b.randint(0, 100) for _ in range(10)]
+
+    def test_different_seed_differs(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10 ** 9) for _ in range(5)] != \
+               [b.randint(0, 10 ** 9) for _ in range(5)]
+
+
+class TestStreams:
+    def test_stream_isolation(self):
+        """Draws on one stream must not perturb another."""
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        # Interleave extra draws on an unrelated stream in `a` only.
+        seq_a = []
+        for _ in range(5):
+            a.stream("noise").random()
+            seq_a.append(a.stream("data").random())
+        seq_b = [b.stream("data").random() for _ in range(5)]
+        assert seq_a == seq_b
+
+    def test_stream_identity(self):
+        rng = DeterministicRng(7)
+        assert rng.stream("x") is rng.stream("x")
+
+    def test_streams_differ_by_name(self):
+        rng = DeterministicRng(7)
+        xs = [rng.stream("x").random() for _ in range(4)]
+        ys = [rng.stream("y").random() for _ in range(4)]
+        assert xs != ys
+
+
+class TestDistributions:
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRng(1)
+        assert all(rng.bernoulli(1.0) for _ in range(20))
+        assert not any(rng.bernoulli(0.0) for _ in range(20))
+
+    def test_geometric_p1_is_zero(self):
+        rng = DeterministicRng(1)
+        assert rng.geometric(1.0) == 0
+
+    def test_geometric_validation(self):
+        rng = DeterministicRng(1)
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)
+
+    def test_geometric_mean_close(self):
+        rng = DeterministicRng(3)
+        samples = [rng.geometric(0.5) for _ in range(2000)]
+        # Mean of Geometric(0.5) failures-before-success is 1.
+        assert 0.8 < sum(samples) / len(samples) < 1.2
+
+    def test_choice_and_choices(self):
+        rng = DeterministicRng(5)
+        pool = ["a", "b", "c"]
+        assert rng.choice(pool) in pool
+        picks = rng.choices(pool, weights=[1, 0, 0], k=10)
+        assert picks == ["a"] * 10

@@ -1,0 +1,151 @@
+"""Tests for repro.common.stats."""
+
+import pytest
+
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    RatioStat,
+    StatGroup,
+    geometric_mean,
+    weighted_mean,
+)
+
+
+class TestCounter:
+    def test_add_default(self):
+        c = Counter("events")
+        c.add()
+        c.add(3)
+        assert c.value == 4
+        assert int(c) == 4
+
+    def test_negative_rejected(self):
+        c = Counter("events")
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+    def test_reset(self):
+        c = Counter("events")
+        c.add(5)
+        c.reset()
+        assert c.value == 0
+
+
+class TestRatioStat:
+    def test_record(self):
+        r = RatioStat("hits")
+        for outcome in (True, True, False, True):
+            r.record(outcome)
+        assert r.num == 3 and r.den == 4
+        assert r.ratio == pytest.approx(0.75)
+
+    def test_empty_ratio_is_zero(self):
+        assert RatioStat("x").ratio == 0.0
+
+    def test_bulk_add(self):
+        r = RatioStat("x")
+        r.add(10, 20)
+        assert r.ratio == pytest.approx(0.5)
+
+
+class TestHistogram:
+    def test_counts_and_total(self):
+        h = Histogram("dist")
+        h.add(1)
+        h.add(1)
+        h.add(5, 3)
+        assert h.count(1) == 2
+        assert h.count(5) == 3
+        assert h.total == 5
+
+    def test_mean(self):
+        h = Histogram("d")
+        h.add(2, 2)
+        h.add(4, 2)
+        assert h.mean() == pytest.approx(3.0)
+
+    def test_mean_empty(self):
+        assert Histogram("d").mean() == 0.0
+
+    def test_percentile(self):
+        h = Histogram("d")
+        for key in range(1, 11):
+            h.add(key)
+        assert h.percentile(0.5) == 5
+        assert h.percentile(1.0) == 10
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("d").percentile(1.5)
+
+    def test_items_sorted(self):
+        h = Histogram("d")
+        h.add(5)
+        h.add(1)
+        h.add(3)
+        assert [k for k, _ in h.items()] == [1, 3, 5]
+
+
+class TestStatGroup:
+    def test_registration_is_idempotent(self):
+        g = StatGroup("g")
+        c1 = g.counter("loads")
+        c2 = g.counter("loads")
+        assert c1 is c2
+
+    def test_type_conflict_rejected(self):
+        g = StatGroup("g")
+        g.counter("x")
+        with pytest.raises(TypeError):
+            g.ratio("x")
+
+    def test_children(self):
+        g = StatGroup("top")
+        child = g.child("l1")
+        assert g.child("l1") is child
+
+    def test_as_dict(self):
+        g = StatGroup("g")
+        g.counter("a").add(2)
+        g.ratio("b").record(True)
+        g.child("sub").counter("c").add(1)
+        d = g.as_dict()
+        assert d["a"] == 2
+        assert d["b"]["ratio"] == 1.0
+        assert d["sub"]["c"] == 1
+
+    def test_reset_recursive(self):
+        g = StatGroup("g")
+        g.counter("a").add(2)
+        g.child("sub").counter("c").add(1)
+        g.reset()
+        assert g.as_dict()["a"] == 0
+        assert g.as_dict()["sub"]["c"] == 0
+
+    def test_iteration(self):
+        g = StatGroup("g")
+        g.counter("a")
+        g.histogram("h")
+        names = [name for name, _ in g]
+        assert names == ["a", "h"]
+
+
+class TestAggregates:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([1.1, 1.1, 1.1]) == pytest.approx(1.1)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_weighted_mean(self):
+        pairs = {"a": (2.0, 1.0), "b": (4.0, 3.0)}
+        assert weighted_mean(pairs) == pytest.approx(3.5)
+
+    def test_weighted_mean_zero_weight(self):
+        assert weighted_mean({"a": (2.0, 0.0)}) == 0.0

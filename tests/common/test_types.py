@@ -1,0 +1,118 @@
+"""Tests for repro.common.types: uops, accesses, taxonomies."""
+
+import pytest
+
+from repro.common.types import (
+    HitMissClass,
+    LoadCollisionClass,
+    MemAccess,
+    Uop,
+    UopClass,
+    is_load,
+    is_store_address,
+    is_store_data,
+)
+
+
+class TestMemAccess:
+    def test_line_index(self):
+        assert MemAccess(0).line(64) == 0
+        assert MemAccess(63).line(64) == 0
+        assert MemAccess(64).line(64) == 1
+        assert MemAccess(1000).line(64) == 15
+
+    def test_bank_line_interleaved(self):
+        assert MemAccess(0).bank(2, 64) == 0
+        assert MemAccess(64).bank(2, 64) == 1
+        assert MemAccess(128).bank(2, 64) == 0
+        assert MemAccess(192).bank(4, 64) == 3
+
+    def test_overlap_identical(self):
+        a = MemAccess(100, 4)
+        assert a.overlaps(MemAccess(100, 4))
+
+    def test_overlap_partial(self):
+        assert MemAccess(100, 4).overlaps(MemAccess(102, 4))
+        assert MemAccess(102, 4).overlaps(MemAccess(100, 4))
+
+    def test_no_overlap_adjacent(self):
+        # Byte ranges [100,104) and [104,108) do not intersect.
+        assert not MemAccess(100, 4).overlaps(MemAccess(104, 4))
+        assert not MemAccess(104, 4).overlaps(MemAccess(100, 4))
+
+    def test_overlap_containment(self):
+        assert MemAccess(100, 16).overlaps(MemAccess(104, 4))
+
+
+class TestUopConstruction:
+    def test_load_requires_mem(self):
+        with pytest.raises(ValueError):
+            Uop(seq=0, pc=0x100, uclass=UopClass.LOAD)
+
+    def test_sta_requires_mem(self):
+        with pytest.raises(ValueError):
+            Uop(seq=0, pc=0x100, uclass=UopClass.STA)
+
+    def test_std_requires_sta_link(self):
+        with pytest.raises(ValueError):
+            Uop(seq=0, pc=0x100, uclass=UopClass.STD)
+
+    def test_int_uop_plain(self):
+        u = Uop(seq=3, pc=0x104, uclass=UopClass.INT, srcs=(1, 2), dst=3)
+        assert not u.is_load and not u.is_mem and not u.is_branch
+
+    def test_load_predicates(self):
+        u = Uop(seq=0, pc=0x100, uclass=UopClass.LOAD, mem=MemAccess(0x40))
+        assert u.is_load and u.is_mem
+        assert is_load(u)
+        assert not is_store_address(u) and not is_store_data(u)
+
+    def test_sta_std_predicates(self):
+        sta = Uop(seq=0, pc=0x100, uclass=UopClass.STA, mem=MemAccess(0x40))
+        std = Uop(seq=1, pc=0x101, uclass=UopClass.STD, sta_seq=0)
+        assert sta.is_sta and std.is_std
+        assert is_store_address(sta) and is_store_data(std)
+        assert sta.is_mem and std.is_mem
+
+    def test_branch_predicate(self):
+        u = Uop(seq=0, pc=0x100, uclass=UopClass.BRANCH, taken=True)
+        assert u.is_branch and u.taken
+
+
+class TestLoadCollisionClass:
+    def test_actually_colliding(self):
+        assert LoadCollisionClass.AC_PC.actually_colliding
+        assert LoadCollisionClass.AC_PNC.actually_colliding
+        assert not LoadCollisionClass.ANC_PC.actually_colliding
+        assert not LoadCollisionClass.NOT_CONFLICTING.actually_colliding
+
+    def test_predicted_colliding(self):
+        assert LoadCollisionClass.AC_PC.predicted_colliding
+        assert LoadCollisionClass.ANC_PC.predicted_colliding
+        assert not LoadCollisionClass.AC_PNC.predicted_colliding
+
+    def test_correct_cells(self):
+        assert LoadCollisionClass.AC_PC.correct
+        assert LoadCollisionClass.ANC_PNC.correct
+        assert not LoadCollisionClass.AC_PNC.correct
+        assert not LoadCollisionClass.ANC_PC.correct
+
+
+class TestHitMissClass:
+    @pytest.mark.parametrize("actual,predicted,expected", [
+        (True, True, HitMissClass.AH_PH),
+        (True, False, HitMissClass.AH_PM),
+        (False, True, HitMissClass.AM_PH),
+        (False, False, HitMissClass.AM_PM),
+    ])
+    def test_classify(self, actual, predicted, expected):
+        assert HitMissClass.classify(actual, predicted) is expected
+
+    def test_correct(self):
+        assert HitMissClass.AH_PH.correct and HitMissClass.AM_PM.correct
+        assert not HitMissClass.AH_PM.correct
+        assert not HitMissClass.AM_PH.correct
+
+    def test_actual_hit(self):
+        assert HitMissClass.AH_PH.actual_hit and HitMissClass.AH_PM.actual_hit
+        assert not HitMissClass.AM_PM.actual_hit

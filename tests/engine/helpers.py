@@ -1,0 +1,59 @@
+"""Hand-built micro-traces for engine tests.
+
+These construct exact uop sequences so tests can reason about cycles
+and ordering precisely, instead of relying on the stochastic builder.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.trace.trace import Trace
+
+
+class MicroTrace:
+    """Tiny fluent builder for hand-written uop sequences."""
+
+    def __init__(self) -> None:
+        self.uops: List[Uop] = []
+        self._pc = 0x1000
+
+    def _next_pc(self) -> int:
+        pc = self._pc
+        self._pc += 4
+        return pc
+
+    def alu(self, dst: int, srcs: Tuple[int, ...] = (),
+            uclass: UopClass = UopClass.INT) -> "MicroTrace":
+        self.uops.append(Uop(seq=len(self.uops), pc=self._next_pc(),
+                             uclass=uclass, srcs=srcs, dst=dst))
+        return self
+
+    def load(self, dst: int, address: int, addr_src: int = 15,
+             pc: Optional[int] = None) -> "MicroTrace":
+        self.uops.append(Uop(seq=len(self.uops),
+                             pc=pc if pc is not None else self._next_pc(),
+                             uclass=UopClass.LOAD, srcs=(addr_src,),
+                             dst=dst, mem=MemAccess(address)))
+        return self
+
+    def store(self, address: int, addr_src: int = 15,
+              data_src: int = 15) -> "MicroTrace":
+        sta_pc = self._next_pc()
+        self.uops.append(Uop(seq=len(self.uops), pc=sta_pc,
+                             uclass=UopClass.STA, srcs=(addr_src,),
+                             mem=MemAccess(address)))
+        self.uops.append(Uop(seq=len(self.uops), pc=sta_pc + 1,
+                             uclass=UopClass.STD, srcs=(data_src,),
+                             sta_seq=self.uops[-1].seq))
+        return self
+
+    def branch(self, src: int = 15, mispredicted: bool = False,
+               pc: Optional[int] = None) -> "MicroTrace":
+        self.uops.append(Uop(seq=len(self.uops),
+                             pc=pc if pc is not None else self._next_pc(),
+                             uclass=UopClass.BRANCH, srcs=(src,),
+                             taken=True, mispredicted=mispredicted))
+        return self
+
+    def build(self, name: str = "micro") -> Trace:
+        return Trace(name=name, uops=list(self.uops))

@@ -1,0 +1,115 @@
+"""Tests for bank-aware load issue in the engine."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bank.address_based import AddressBankPredictor
+from repro.common.config import BASELINE_MACHINE, CacheConfig
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from tests.engine.helpers import MicroTrace
+
+
+def banked_config(n_banks=2):
+    mem = replace(BASELINE_MACHINE.memory,
+                  l1d=CacheConfig(size_bytes=16 * 1024, n_banks=n_banks))
+    return replace(BASELINE_MACHINE, memory=mem)
+
+
+def same_bank_loads(n=60):
+    """Independent loads all mapping to bank 0 (stride 128, 2 banks)."""
+    t = MicroTrace()
+    for i in range(n):
+        t.load(dst=i % 8, address=0x1000 + (i % 4) * 128)
+    return t.build()
+
+
+def alternating_loads(n=60):
+    t = MicroTrace()
+    for i in range(n):
+        t.load(dst=i % 8, address=0x1000 + (i % 4) * 64)
+    return t.build()
+
+
+class TestConstruction:
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            Machine(bank_policy="psychic")
+
+    def test_predicted_needs_predictor(self):
+        with pytest.raises(ValueError):
+            Machine(bank_policy="predicted")
+
+    def test_no_policy_ignores_banks(self):
+        result = Machine(config=banked_config(),
+                         scheme=make_scheme("perfect")).run(
+            same_bank_loads())
+        assert result.bank_conflicts == 0
+
+
+class TestConflicts:
+    def test_oblivious_conflicts_on_same_bank(self):
+        result = Machine(config=banked_config(),
+                         scheme=make_scheme("perfect"),
+                         bank_policy="oblivious").run(same_bank_loads())
+        assert result.bank_conflicts > 0
+
+    def test_oracle_never_conflicts(self):
+        for trace in (same_bank_loads(), alternating_loads()):
+            result = Machine(config=banked_config(),
+                             scheme=make_scheme("perfect"),
+                             bank_policy="oracle").run(trace)
+            assert result.bank_conflicts == 0
+
+    def test_oblivious_clean_on_alternating(self):
+        """Program-order issue of alternating banks never collides."""
+        result = Machine(config=banked_config(),
+                         scheme=make_scheme("perfect"),
+                         bank_policy="oblivious").run(alternating_loads())
+        assert result.bank_conflicts == 0
+
+    def test_all_loads_still_retire(self):
+        for policy, predictor in (("oblivious", None),
+                                  ("predicted", AddressBankPredictor()),
+                                  ("oracle", None)):
+            trace = same_bank_loads()
+            result = Machine(config=banked_config(),
+                             scheme=make_scheme("perfect"),
+                             bank_policy=policy,
+                             bank_predictor=predictor).run(trace)
+            assert result.retired_uops == len(trace), policy
+
+
+class TestPredictedSteering:
+    def test_reduces_conflicts_vs_oblivious(self):
+        from repro.trace.builder import build_trace
+        from repro.trace.workloads import profile_for, trace_seed
+        trace = build_trace(profile_for("cd"), n_uops=8000,
+                            seed=trace_seed("cd"), name="cd")
+        results = {}
+        for policy, predictor in (("oblivious", None),
+                                  ("predicted", AddressBankPredictor())):
+            results[policy] = Machine(
+                config=banked_config(), scheme=make_scheme("perfect"),
+                bank_policy=policy,
+                bank_predictor=predictor).run(trace)
+        assert results["predicted"].bank_conflicts < \
+               results["oblivious"].bank_conflicts
+        assert results["predicted"].cycles <= \
+               results["oblivious"].cycles
+
+    def test_oracle_not_slower_than_predicted(self):
+        from repro.trace.builder import build_trace
+        from repro.trace.workloads import profile_for, trace_seed
+        trace = build_trace(profile_for("cd"), n_uops=8000,
+                            seed=trace_seed("cd"), name="cd")
+        predicted = Machine(config=banked_config(),
+                            scheme=make_scheme("perfect"),
+                            bank_policy="predicted",
+                            bank_predictor=AddressBankPredictor()
+                            ).run(trace)
+        oracle = Machine(config=banked_config(),
+                         scheme=make_scheme("perfect"),
+                         bank_policy="oracle").run(trace)
+        assert oracle.cycles <= predicted.cycles + 5

@@ -1,0 +1,87 @@
+"""Failure-injection tests: malformed inputs and guard rails."""
+
+import pytest
+
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.trace.trace import Trace
+from tests.engine.helpers import MicroTrace
+
+
+class TestMalformedTraces:
+    def test_std_without_sta_rejected(self):
+        """An STD pointing at a never-renamed STA fails loudly at
+        rename, not silently mid-simulation."""
+        uops = [Uop(seq=0, pc=0x100, uclass=UopClass.STD, srcs=(15,),
+                    sta_seq=99)]
+        with pytest.raises(KeyError):
+            Machine().run(Trace(name="bad", uops=uops))
+
+    def test_cycle_ceiling_guards_livelock(self):
+        trace = MicroTrace().alu(dst=0).alu(dst=1).build()
+        with pytest.raises(RuntimeError):
+            Machine().run(trace, max_cycles=0)
+
+    def test_ceiling_message_names_trace(self):
+        trace = MicroTrace().alu(dst=0).build("stuck-trace")
+        with pytest.raises(RuntimeError, match="stuck-trace"):
+            Machine().run(trace, max_cycles=0)
+
+
+class TestSelfReferencingSources:
+    def test_uop_reading_its_own_destination(self):
+        """srcs naming the uop's own dst refer to the *previous* writer,
+        never the uop itself (no self-deadlock)."""
+        t = MicroTrace()
+        t.alu(dst=0)
+        for _ in range(10):
+            t.alu(dst=0, srcs=(0,))
+        result = Machine().run(t.build())
+        assert result.retired_uops == 11
+
+    def test_source_never_written_is_ready(self):
+        t = MicroTrace()
+        t.alu(dst=0, srcs=(7,))  # register 7 never written
+        result = Machine().run(t.build())
+        assert result.retired_uops == 1
+        assert result.cycles < 20
+
+
+class TestDegenerateConfigurations:
+    def test_window_of_one(self):
+        from repro.common.config import BASELINE_MACHINE
+        trace = MicroTrace()
+        for i in range(20):
+            trace.alu(dst=i % 4)
+        result = Machine(config=BASELINE_MACHINE.with_window(1)).run(
+            trace.build())
+        assert result.retired_uops == 20
+
+    def test_single_memory_unit_with_colliding_pair(self):
+        from repro.common.config import BASELINE_MACHINE
+        t = MicroTrace()
+        t.alu(dst=0)
+        t.store(0x4000, data_src=0)
+        t.load(dst=7, address=0x4000)
+        result = Machine(config=BASELINE_MACHINE.with_units(2, 1)).run(
+            t.build())
+        assert result.retired_uops == 4
+
+    def test_store_only_trace(self):
+        t = MicroTrace()
+        for i in range(10):
+            t.store(0x1000 + 64 * i)
+        result = Machine(scheme=make_scheme("inclusive")).run(t.build())
+        assert result.retired_uops == 20  # STA+STD each
+        assert result.retired_loads == 0
+
+    def test_load_only_trace_all_schemes(self):
+        from repro.engine.ordering import SCHEME_NAMES
+        for scheme in SCHEME_NAMES:
+            t = MicroTrace()
+            for i in range(10):
+                t.load(dst=i % 8, address=0x1000)
+            result = Machine(scheme=make_scheme(scheme)).run(t.build())
+            assert result.retired_loads == 10, scheme
+            assert result.collision_penalties == 0, scheme

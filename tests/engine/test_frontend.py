@@ -1,0 +1,117 @@
+"""Tests for the live branch-predictor front end and occupancy stats."""
+
+import pytest
+
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.predictors.base import AlwaysPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from tests.engine.helpers import MicroTrace
+
+
+def branchy_trace(n=60, taken=True):
+    t = MicroTrace()
+    for i in range(n):
+        t.alu(dst=i % 8)
+        t.branch(mispredicted=False)
+    # MicroTrace branches are always taken=True.
+    return t.build()
+
+
+class TestLiveBranchPredictor:
+    def test_perfect_static_predictor_never_stalls(self):
+        """All branches are taken; an always-taken predictor is perfect."""
+        result = Machine(scheme=make_scheme("traditional"),
+                         branch_predictor=AlwaysPredictor(True)).run(
+            branchy_trace())
+        assert result.branch_mispredicts == 0
+        assert result.branch_accuracy == 1.0
+
+    def test_wrong_static_predictor_stalls_everything(self):
+        result = Machine(scheme=make_scheme("traditional"),
+                         branch_predictor=AlwaysPredictor(False)).run(
+            branchy_trace())
+        assert result.branch_mispredicts == result.branches
+
+    def test_mispredicts_cost_cycles(self):
+        good = Machine(scheme=make_scheme("traditional"),
+                       branch_predictor=AlwaysPredictor(True)).run(
+            branchy_trace())
+        bad = Machine(scheme=make_scheme("traditional"),
+                      branch_predictor=AlwaysPredictor(False)).run(
+            branchy_trace())
+        assert bad.cycles > good.cycles + 100
+
+    def test_bimodal_learns_bias(self):
+        """A bimodal predictor converges on a static branch's bias
+        (each dynamic instance must share the branch's PC)."""
+        t = MicroTrace()
+        for i in range(80):
+            t.alu(dst=i % 8)
+            t.branch(pc=0x8000)  # one static, always-taken branch
+        result = Machine(scheme=make_scheme("traditional"),
+                         branch_predictor=BimodalPredictor(256)).run(
+            t.build())
+        assert result.branch_accuracy > 0.9
+
+    def test_annotations_used_without_predictor(self):
+        t = MicroTrace()
+        for i in range(10):
+            t.alu(dst=i % 8)
+            t.branch(mispredicted=True)
+        result = Machine(scheme=make_scheme("traditional")).run(t.build())
+        assert result.branch_mispredicts == result.branches == 10
+
+    def test_branches_counted(self):
+        result = Machine(scheme=make_scheme("traditional")).run(
+            branchy_trace(n=25))
+        assert result.branches == 25
+
+
+class TestOccupancyStats:
+    def test_disabled_by_default(self):
+        result = Machine(scheme=make_scheme("traditional")).run(
+            branchy_trace())
+        assert result.window_occupancy.total == 0
+
+    def test_collected_when_enabled(self):
+        machine = Machine(scheme=make_scheme("traditional"),
+                          collect_occupancy=True)
+        result = machine.run(branchy_trace())
+        assert result.window_occupancy.total > 0
+        # Occupancy can never exceed the window size.
+        max_seen = max(k for k, _ in result.window_occupancy.items())
+        assert max_seen <= machine.config.window_size
+
+
+class TestIssueWidthHistogram:
+    def test_bounded_by_total_units(self):
+        machine = Machine(scheme=make_scheme("traditional"),
+                          collect_occupancy=True)
+        t = MicroTrace()
+        for i in range(80):
+            t.alu(dst=i % 8)
+            t.load(dst=i % 4, address=0x1000)
+        result = machine.run(t.build())
+        total_units = (machine.config.units.n_int
+                       + machine.config.units.n_mem
+                       + machine.config.units.n_fp
+                       + machine.config.units.n_complex)
+        assert result.issue_width_used.total > 0
+        max_used = max(k for k, _ in result.issue_width_used.items())
+        assert max_used <= total_units
+
+
+class TestFrontendStallKeys:
+    def test_window_pressure_attributed(self):
+        """A long-latency load feeding a deep chain wedges the window:
+        nothing issues while the fill is outstanding, so renaming is
+        blocked on window capacity for many cycles."""
+        machine = Machine(scheme=make_scheme("traditional"))
+        machine.collect_stall_breakdown = True
+        t = MicroTrace()
+        t.load(dst=0, address=0x90000)  # cold miss (~80 cycles)
+        for _ in range(100):
+            t.alu(dst=0, srcs=(0,))  # all transitively blocked on it
+        result = machine.run(t.build())
+        assert result.stall_breakdown.get("frontend-window", 0) > 10

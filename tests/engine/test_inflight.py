@@ -1,0 +1,86 @@
+"""Unit tests for in-flight uop wakeup/verification logic."""
+
+import pytest
+
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.engine.inflight import UNKNOWN, InflightUop
+
+
+def alu(seq=0, srcs=(), dst=0):
+    return Uop(seq=seq, pc=0x100 + 4 * seq, uclass=UopClass.INT,
+               srcs=srcs, dst=dst)
+
+
+class TestSourcesAnnounced:
+    def test_no_producers_ready_immediately(self):
+        iu = InflightUop(alu(), [])
+        assert iu.sources_announced(0)
+
+    def test_waits_for_producer_announce(self):
+        producer = InflightUop(alu(0), [])
+        consumer = InflightUop(alu(1, srcs=(0,)), [producer])
+        assert not consumer.sources_announced(5)  # announce UNKNOWN
+        producer.announce_ready = 7
+        assert not consumer.sources_announced(6)
+        assert consumer.sources_announced(7)
+
+    def test_ready_floor_blocks(self):
+        iu = InflightUop(alu(), [])
+        iu.ready_floor = 10
+        assert not iu.sources_announced(9)
+        assert iu.sources_announced(10)
+
+    def test_multiple_producers_all_required(self):
+        p1 = InflightUop(alu(0), [])
+        p2 = InflightUop(alu(1), [])
+        consumer = InflightUop(alu(2, srcs=(0, 1)), [p1, p2])
+        p1.announce_ready = 3
+        p2.announce_ready = 8
+        assert not consumer.sources_announced(5)
+        assert consumer.sources_announced(8)
+
+
+class TestSourcesActuallyReady:
+    def test_unknown_producer_reports_unknown(self):
+        producer = InflightUop(alu(0), [])
+        consumer = InflightUop(alu(1, srcs=(0,)), [producer])
+        assert consumer.sources_actually_ready(100) == UNKNOWN
+
+    def test_latest_producer_wins(self):
+        p1 = InflightUop(alu(0), [])
+        p2 = InflightUop(alu(1), [])
+        p1.data_ready = 3
+        p2.data_ready = 9
+        consumer = InflightUop(alu(2, srcs=(0, 1)), [p1, p2])
+        assert consumer.sources_actually_ready(100) == 9
+
+    def test_speculative_wakeup_gap(self):
+        """The announce/data divergence the squash model relies on."""
+        producer = InflightUop(alu(0), [])
+        producer.announce_ready = 5   # optimistic promise
+        producer.data_ready = 20      # actual arrival
+        consumer = InflightUop(alu(1, srcs=(0,)), [producer])
+        assert consumer.sources_announced(5)
+        assert consumer.sources_actually_ready(5) == 20  # would squash
+
+
+class TestLifecycleFlags:
+    def test_done_requires_data_and_no_pending_collision(self):
+        iu = InflightUop(alu(), [])
+        assert not iu.done
+        iu.data_ready = 4
+        assert iu.done
+        iu.pending_collision = True
+        assert not iu.done
+
+    def test_retirable_honours_cycle(self):
+        iu = InflightUop(alu(), [])
+        iu.data_ready = 4
+        assert not iu.retirable(3)
+        assert iu.retirable(4)
+
+    def test_load_gets_load_info(self):
+        load = Uop(seq=0, pc=0x100, uclass=UopClass.LOAD,
+                   mem=MemAccess(0x40))
+        assert InflightUop(load, []).load is not None
+        assert InflightUop(alu(), []).load is None

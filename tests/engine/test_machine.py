@@ -1,0 +1,250 @@
+"""Machine-level tests on hand-built micro-traces."""
+
+import pytest
+
+from repro.common.config import BASELINE_MACHINE, MachineConfig
+from repro.common.types import LoadCollisionClass, UopClass
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.hitmiss.oracle import AlwaysHitHMP, AlwaysMissHMP
+from tests.engine.helpers import MicroTrace
+
+
+def run(trace, scheme="traditional", config=BASELINE_MACHINE, hmp=None):
+    return Machine(config=config, scheme=make_scheme(scheme),
+                   hmp=hmp).run(trace)
+
+
+class TestBasicExecution:
+    def test_empty_trace(self):
+        result = run(MicroTrace().build())
+        assert result.retired_uops == 0
+
+    def test_all_uops_retire(self):
+        t = MicroTrace()
+        for i in range(20):
+            t.alu(dst=i % 8)
+        result = run(t.build())
+        assert result.retired_uops == 20
+
+    def test_cycles_positive_and_bounded(self):
+        t = MicroTrace()
+        for i in range(60):
+            t.alu(dst=i % 8)
+        result = run(t.build())
+        # 60 independent INTs on 2 units: at least 30 cycles of issue,
+        # plus pipeline fill; far less than serial execution.
+        assert 10 <= result.cycles <= 120
+
+    def test_dependency_chain_serialises(self):
+        """dst->src chains must execute serially (1 IPC ceiling)."""
+        t = MicroTrace()
+        t.alu(dst=0)
+        for _ in range(30):
+            t.alu(dst=0, srcs=(0,))
+        chained = run(t.build())
+
+        t2 = MicroTrace()
+        for _ in range(31):
+            t2.alu(dst=0)  # independent: no srcs
+        parallel = run(t2.build())
+        assert chained.cycles > parallel.cycles
+
+    def test_loads_counted(self):
+        t = MicroTrace().load(dst=0, address=0x1000).load(dst=1,
+                                                          address=0x2000)
+        result = run(t.build())
+        assert result.retired_loads == 2
+
+    def test_deterministic(self):
+        t = MicroTrace()
+        for i in range(40):
+            t.alu(dst=i % 4, srcs=(max(0, (i - 1) % 4),))
+        a = run(t.build())
+        b = run(t.build())
+        assert a.cycles == b.cycles
+
+
+class TestWidthLimits:
+    def test_memory_ports_bound_throughput(self):
+        """100 independent loads on 1 vs 2 memory units."""
+        def mk():
+            t = MicroTrace()
+            for i in range(100):
+                t.load(dst=i % 8, address=0x1000)  # same line: all hits
+            return t.build()
+        narrow = run(mk(), config=BASELINE_MACHINE.with_units(2, 1))
+        wide = run(mk(), config=BASELINE_MACHINE.with_units(2, 2))
+        assert narrow.cycles > wide.cycles
+
+    def test_fp_unit_is_single(self):
+        def mk(uclass):
+            t = MicroTrace()
+            for i in range(60):
+                t.alu(dst=i % 8, uclass=uclass)
+            return t.build()
+        fp = run(mk(UopClass.FP))
+        integer = run(mk(UopClass.INT))
+        assert fp.cycles > integer.cycles
+
+
+class TestBranchHandling:
+    def test_mispredicted_branch_stalls_frontend(self):
+        def mk(mispredict):
+            t = MicroTrace()
+            for i in range(10):
+                t.alu(dst=i % 8)
+                t.branch(mispredicted=mispredict)
+            return t.build()
+        clean = run(mk(False))
+        dirty = run(mk(True))
+        assert dirty.cycles >= clean.cycles + 50  # ~10 cycles per trap
+
+
+class TestCollisionModel:
+    def _store_load_pair(self, gap, data_src=15):
+        """Store to X, `gap` filler ALUs, load from X."""
+        t = MicroTrace()
+        t.alu(dst=0)  # produce a value
+        t.store(0x4000, data_src=0)
+        for i in range(gap):
+            t.alu(dst=1 + i % 4)
+        t.load(dst=7, address=0x4000)
+        t.alu(dst=6, srcs=(7,))
+        return t.build()
+
+    def test_close_pair_collides_under_traditional(self):
+        result = run(self._store_load_pair(gap=0))
+        assert result.collision_penalties >= 1
+
+    def test_far_pair_does_not_collide(self):
+        result = run(self._store_load_pair(gap=60))
+        assert result.collision_penalties == 0
+
+    def test_collision_costs_cycles(self):
+        """Identical traces except the store data's readiness: a late
+        STD makes the load collide (retry + penalty), an early STD lets
+        it forward cleanly."""
+        def mk(data_src):
+            t = MicroTrace()
+            t.alu(dst=0)
+            for _ in range(6):
+                t.alu(dst=0, srcs=(0,))  # chain exists in both traces
+            t.store(0x4000, data_src=data_src)
+            t.load(dst=7, address=0x4000)
+            t.alu(dst=6, srcs=(7,))
+            return t.build()
+        slow = run(mk(data_src=0))    # data from the chain: late STD
+        fast = run(mk(data_src=15))   # data from a stable reg: early STD
+        assert slow.collision_penalties >= 1
+        assert fast.collision_penalties == 0
+        assert slow.cycles > fast.cycles
+
+    def test_perfect_scheme_never_penalised(self):
+        result = run(self._store_load_pair(gap=0), scheme="perfect")
+        assert result.collision_penalties == 0
+
+
+class TestClassification:
+    def test_no_stores_means_no_conflict(self):
+        t = MicroTrace()
+        for i in range(10):
+            t.load(dst=i % 8, address=0x1000 + 64 * i)
+        result = run(t.build())
+        assert result.load_classes[LoadCollisionClass.NOT_CONFLICTING] == 10
+
+    def test_late_sta_makes_loads_conflicting(self):
+        """A store whose address depends on a long chain leaves younger
+        loads conflicting."""
+        t = MicroTrace()
+        t.alu(dst=0)
+        for _ in range(6):
+            t.alu(dst=0, srcs=(0,))  # 6-cycle chain feeding the STA
+        t.store(0x4000, addr_src=0)
+        t.load(dst=7, address=0x9000)  # different address: ANC
+        result = run(t.build())
+        anc = (result.load_classes[LoadCollisionClass.ANC_PNC]
+               + result.load_classes[LoadCollisionClass.ANC_PC])
+        assert anc == 1
+
+    def test_classified_loads_sum_to_retired(self):
+        t = MicroTrace()
+        t.store(0x4000)
+        for i in range(5):
+            t.load(dst=i % 8, address=0x1000 + 64 * i)
+        result = run(t.build())
+        assert result.classified_loads == result.retired_loads
+
+
+class TestHitMissIntegration:
+    def test_always_miss_hmp_delays_dependents(self):
+        """AH-PM: dependents wait for the hit indication.  On a chain of
+        address-dependent hitting loads the 5-cycle delay compounds per
+        hop, so the pessimistic predictor loses clearly."""
+        def mk():
+            t = MicroTrace()
+            t.load(dst=0, address=0x1000)  # warm the line
+            t.alu(dst=4, srcs=(0,))
+            for _ in range(100):
+                t.alu(dst=4, srcs=(4,))  # chain spans the memory fill
+            t.load(dst=1, address=0x1000, addr_src=4)
+            for i in range(30):
+                # Each load's address depends on the previous load.
+                t.load(dst=1, address=0x1000, addr_src=1)
+            return t.build()
+        optimistic = run(mk(), hmp=AlwaysHitHMP())
+        pessimistic = run(mk(), hmp=AlwaysMissHMP())
+        assert optimistic.hitmiss.miss_rate < 0.2  # premise: hit-heavy
+        # 30 chained hops, ~5 extra cycles per hop for predicted-miss.
+        assert pessimistic.cycles > optimistic.cycles + 50
+
+    def test_hitmiss_stats_populated(self):
+        t = MicroTrace()
+        for i in range(10):
+            t.load(dst=i % 8, address=0x1000 + 0x4000 * i)  # cold misses
+        result = run(t.build())
+        assert result.hitmiss.total == 10
+        assert result.hitmiss.miss_rate > 0.5
+
+    def test_squashes_on_mispredicted_miss(self):
+        """Dependents of a cold (missing) load issue optimistically and
+        squash under the always-hit default."""
+        t = MicroTrace()
+        t.load(dst=0, address=0x9000)  # cold miss
+        t.alu(dst=1, srcs=(0,))
+        result = run(t.build())
+        assert result.squashed_issues >= 1
+
+
+class TestWindowEffects:
+    def test_larger_window_not_slower(self):
+        def mk():
+            t = MicroTrace()
+            for i in range(200):
+                t.load(dst=i % 4, address=0x1000)
+                t.alu(dst=4 + i % 4, srcs=(i % 4,))
+            return t.build()
+        small = run(mk(), config=BASELINE_MACHINE.with_window(8))
+        large = run(mk(), config=BASELINE_MACHINE.with_window(64))
+        assert large.cycles <= small.cycles
+
+    def test_livelock_guard(self):
+        t = MicroTrace().alu(dst=0)
+        with pytest.raises(RuntimeError):
+            Machine().run(t.build(), max_cycles=0)
+
+
+class TestIpcAndSpeedup:
+    def test_ipc_computed(self):
+        t = MicroTrace()
+        for i in range(50):
+            t.alu(dst=i % 8)
+        result = run(t.build())
+        assert result.ipc == pytest.approx(result.retired_uops
+                                           / result.cycles)
+
+    def test_speedup_requires_same_trace(self):
+        a = run(MicroTrace().alu(dst=0).build("one"))
+        b = run(MicroTrace().alu(dst=0).build("two"))
+        with pytest.raises(ValueError):
+            a.speedup_over(b)

@@ -1,0 +1,152 @@
+"""Tests for the Memory Ordering Buffer."""
+
+import pytest
+
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.engine.inflight import UNKNOWN, InflightUop
+from repro.engine.mob import MemoryOrderBuffer
+
+
+def make_store(seq, address, sta_done=UNKNOWN, std_done=UNKNOWN):
+    """A store record wired into a MOB, with explicit completion times."""
+    sta_uop = Uop(seq=seq, pc=0x100 + seq, uclass=UopClass.STA,
+                  mem=MemAccess(address))
+    std_uop = Uop(seq=seq + 1, pc=0x101 + seq, uclass=UopClass.STD,
+                  sta_seq=seq)
+    sta = InflightUop(sta_uop, [])
+    std = InflightUop(std_uop, [])
+    sta.data_ready = sta_done
+    std.data_ready = std_done
+    return sta, std
+
+
+def build_mob(*stores):
+    mob = MemoryOrderBuffer()
+    for sta, std in stores:
+        mob.insert_sta(sta)
+        mob.attach_std(std)
+    return mob
+
+
+class TestLifecycle:
+    def test_insert_requires_mem(self):
+        mob = MemoryOrderBuffer()
+        bad = InflightUop(Uop(seq=0, pc=0x1, uclass=UopClass.INT), [])
+        with pytest.raises(ValueError):
+            mob.insert_sta(bad)
+
+    def test_attach_std_unknown_sta(self):
+        mob = MemoryOrderBuffer()
+        std = InflightUop(Uop(seq=5, pc=0x1, uclass=UopClass.STD,
+                              sta_seq=99), [])
+        with pytest.raises(KeyError):
+            mob.attach_std(std)
+
+    def test_remove_retired(self):
+        mob = build_mob(make_store(0, 0x100), make_store(10, 0x200))
+        mob.remove_retired(5)
+        assert len(mob) == 1
+
+
+class TestConflictQueries:
+    def test_unknown_sta_detected(self):
+        mob = build_mob(make_store(0, 0x100, sta_done=UNKNOWN))
+        assert mob.has_unknown_sta(load_seq=5, now=10)
+
+    def test_known_sta_not_conflicting(self):
+        mob = build_mob(make_store(0, 0x100, sta_done=5))
+        assert not mob.has_unknown_sta(load_seq=5, now=10)
+
+    def test_sta_in_future_still_unknown(self):
+        mob = build_mob(make_store(0, 0x100, sta_done=20))
+        assert mob.has_unknown_sta(load_seq=5, now=10)
+
+    def test_younger_stores_ignored(self):
+        mob = build_mob(make_store(10, 0x100, sta_done=UNKNOWN))
+        assert not mob.has_unknown_sta(load_seq=5, now=0)
+
+    def test_all_older_complete(self):
+        mob = build_mob(make_store(0, 0x100, sta_done=3, std_done=4),
+                        make_store(2, 0x200, sta_done=3, std_done=UNKNOWN))
+        assert not mob.all_older_complete(load_seq=9, now=10)
+        assert mob.all_older_complete(load_seq=1, now=10)
+
+    def test_all_older_stds_done(self):
+        mob = build_mob(make_store(0, 0x100, sta_done=UNKNOWN, std_done=4))
+        assert mob.all_older_stds_done(load_seq=9, now=10)
+
+
+class TestCollisionQueries:
+    def test_finds_nearest_incomplete_match(self):
+        mob = build_mob(
+            make_store(0, 0x100, sta_done=1, std_done=UNKNOWN),
+            make_store(2, 0x100, sta_done=1, std_done=UNKNOWN),
+            make_store(4, 0x200, sta_done=1, std_done=2),
+        )
+        record, distance = mob.colliding_store(9, MemAccess(0x100), now=10)
+        assert record is not None
+        assert record.seq == 2  # nearest matching store
+        # Distance counts older stores from the nearest: 0x200 store is
+        # distance 1, the matching one is distance 2.
+        assert distance == 2
+
+    def test_complete_store_does_not_collide(self):
+        mob = build_mob(make_store(0, 0x100, sta_done=1, std_done=2))
+        record, distance = mob.colliding_store(9, MemAccess(0x100), now=10)
+        assert record is None and distance is None
+
+    def test_unknown_address_store_collides(self):
+        """A store whose STA hasn't executed is incomplete even if its
+        data is ready — the load cannot forward from it."""
+        mob = build_mob(make_store(0, 0x100, sta_done=UNKNOWN, std_done=2))
+        record, _ = mob.colliding_store(9, MemAccess(0x100), now=10)
+        assert record is not None
+
+    def test_non_overlapping_no_collision(self):
+        mob = build_mob(make_store(0, 0x100, std_done=UNKNOWN))
+        record, _ = mob.colliding_store(9, MemAccess(0x200), now=10)
+        assert record is None
+
+    def test_partial_overlap_collides(self):
+        mob = build_mob(make_store(0, 0x100, std_done=UNKNOWN))
+        record, _ = mob.colliding_store(9, MemAccess(0x102, 4), now=10)
+        assert record is not None
+
+    def test_matching_unknown_sta(self):
+        mob = build_mob(make_store(0, 0x100, sta_done=UNKNOWN))
+        assert mob.matching_unknown_sta(9, MemAccess(0x100), now=10)
+        assert not mob.matching_unknown_sta(9, MemAccess(0x300), now=10)
+
+
+class TestDistanceQueries:
+    def test_complete_beyond_distance(self):
+        # Stores at distances 1 (nearest) and 2 from the load.
+        mob = build_mob(
+            make_store(0, 0x200, sta_done=1, std_done=2),    # distance 2
+            make_store(2, 0x100, sta_done=UNKNOWN),          # distance 1
+        )
+        # Distance 2 rule: may bypass the nearest store; the store at
+        # distance >= 2 is complete.
+        assert mob.complete_beyond_distance(9, now=10, distance=2)
+        # Distance 1 rule: must wait for everything; nearest incomplete.
+        assert not mob.complete_beyond_distance(9, now=10, distance=1)
+
+    def test_distance_beyond_all_stores(self):
+        mob = build_mob(make_store(0, 0x100, sta_done=UNKNOWN))
+        assert mob.complete_beyond_distance(9, now=0, distance=5)
+
+
+class TestStoreRecord:
+    def test_std_ready_cycle(self):
+        (sta, std) = make_store(0, 0x100, std_done=7)
+        mob = build_mob((sta, std))
+        record = mob.older_stores(9)[0]
+        assert record.std_ready_cycle() == 7
+
+    def test_std_missing(self):
+        sta_uop = Uop(seq=0, pc=0x100, uclass=UopClass.STA,
+                      mem=MemAccess(0x100))
+        mob = MemoryOrderBuffer()
+        record = mob.insert_sta(InflightUop(sta_uop, []))
+        assert record.std_ready_cycle() is None
+        assert not record.data_done(100)

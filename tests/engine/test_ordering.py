@@ -1,0 +1,190 @@
+"""Unit tests for the six ordering schemes' dispatch predicates."""
+
+import pytest
+
+from repro.cht.full import FullCHT
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.engine.inflight import UNKNOWN, InflightUop
+from repro.engine.mob import MemoryOrderBuffer
+from repro.engine.ordering import (
+    ExclusiveOrdering,
+    InclusiveOrdering,
+    OpportunisticOrdering,
+    PerfectOrdering,
+    PostponingOrdering,
+    SCHEME_NAMES,
+    TraditionalOrdering,
+    make_scheme,
+)
+from tests.engine.test_mob import build_mob, make_store
+
+
+def make_load(seq=9, address=0x100):
+    uop = Uop(seq=seq, pc=0x500, uclass=UopClass.LOAD,
+              mem=MemAccess(address))
+    return InflightUop(uop, [])
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in SCHEME_NAMES:
+            assert make_scheme(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheme("telepathic")
+
+    def test_cht_schemes_get_default_table(self):
+        scheme = make_scheme("exclusive")
+        assert scheme.uses_cht
+        assert scheme.cht.track_distance
+
+    def test_custom_cht_injected(self):
+        cht = FullCHT(n_entries=128)
+        scheme = make_scheme("inclusive", cht=cht)
+        assert scheme.cht is cht
+
+
+class TestTraditional:
+    def test_waits_for_unknown_sta(self):
+        mob = build_mob(make_store(0, 0x999, sta_done=UNKNOWN))
+        assert not TraditionalOrdering().may_dispatch(make_load(), mob, 10)
+
+    def test_passes_pending_stds(self):
+        """Rule I: loads may pass stores whose address is known."""
+        mob = build_mob(make_store(0, 0x999, sta_done=1, std_done=UNKNOWN))
+        assert TraditionalOrdering().may_dispatch(make_load(), mob, 10)
+
+
+class TestOpportunistic:
+    def test_never_waits(self):
+        mob = build_mob(make_store(0, 0x100, sta_done=UNKNOWN))
+        assert OpportunisticOrdering().may_dispatch(make_load(), mob, 10)
+
+
+def _primed(scheme_cls, colliding, distance=None):
+    """Scheme with a CHT pre-trained so the test load predicts as given."""
+    cht = FullCHT(n_entries=128, track_distance=True)
+    if colliding:
+        for _ in range(3):
+            cht.train(0x500, True, distance or 1)
+    scheme = scheme_cls(cht)
+    return scheme
+
+
+class TestPostponing:
+    def test_noncolliding_behaves_traditional(self):
+        scheme = _primed(PostponingOrdering, colliding=False)
+        load = make_load()
+        scheme.on_rename_load(load)
+        mob = build_mob(make_store(0, 0x999, sta_done=1, std_done=UNKNOWN))
+        assert scheme.may_dispatch(load, mob, 10)
+
+    def test_predicted_colliding_waits_for_stds(self):
+        scheme = _primed(PostponingOrdering, colliding=True)
+        load = make_load()
+        scheme.on_rename_load(load)
+        assert load.load.predicted_colliding
+        mob = build_mob(make_store(0, 0x999, sta_done=1, std_done=UNKNOWN))
+        assert not scheme.may_dispatch(load, mob, 10)
+
+    def test_still_waits_for_stas(self):
+        scheme = _primed(PostponingOrdering, colliding=False)
+        load = make_load()
+        scheme.on_rename_load(load)
+        mob = build_mob(make_store(0, 0x999, sta_done=UNKNOWN, std_done=1))
+        assert not scheme.may_dispatch(load, mob, 10)
+
+
+class TestInclusive:
+    def test_noncolliding_ignores_all_stores(self):
+        """The inclusive win: predicted-non-colliding loads fly past
+        unresolved STAs (Traditional would stall)."""
+        scheme = _primed(InclusiveOrdering, colliding=False)
+        load = make_load()
+        scheme.on_rename_load(load)
+        mob = build_mob(make_store(0, 0x999, sta_done=UNKNOWN))
+        assert scheme.may_dispatch(load, mob, 10)
+
+    def test_colliding_waits_for_everything(self):
+        scheme = _primed(InclusiveOrdering, colliding=True)
+        load = make_load()
+        scheme.on_rename_load(load)
+        mob = build_mob(make_store(0, 0x999, sta_done=1, std_done=UNKNOWN))
+        assert not scheme.may_dispatch(load, mob, 10)
+
+    def test_colliding_released_when_all_complete(self):
+        scheme = _primed(InclusiveOrdering, colliding=True)
+        load = make_load()
+        scheme.on_rename_load(load)
+        mob = build_mob(make_store(0, 0x999, sta_done=1, std_done=2))
+        assert scheme.may_dispatch(load, mob, 10)
+
+
+class TestExclusive:
+    def test_distance_allows_bypassing_nearer_stores(self):
+        scheme = _primed(ExclusiveOrdering, colliding=True, distance=2)
+        load = make_load()
+        scheme.on_rename_load(load)
+        assert load.load.predicted_distance == 2
+        # Nearest store (distance 1) incomplete; distance-2 store done.
+        mob = build_mob(
+            make_store(0, 0x300, sta_done=1, std_done=2),     # distance 2
+            make_store(2, 0x999, sta_done=UNKNOWN),           # distance 1
+        )
+        assert scheme.may_dispatch(load, mob, 10)
+
+    def test_distance_still_waits_for_far_stores(self):
+        scheme = _primed(ExclusiveOrdering, colliding=True, distance=2)
+        load = make_load()
+        scheme.on_rename_load(load)
+        mob = build_mob(
+            make_store(0, 0x300, sta_done=UNKNOWN),           # distance 2
+            make_store(2, 0x999, sta_done=1, std_done=2),     # distance 1
+        )
+        assert not scheme.may_dispatch(load, mob, 10)
+
+    def test_without_distance_falls_back_to_inclusive(self):
+        cht = FullCHT(n_entries=128, track_distance=True)
+        cht.train(0x500, True, None)  # colliding, no distance learned
+        scheme = ExclusiveOrdering(cht)
+        load = make_load()
+        scheme.on_rename_load(load)
+        mob = build_mob(make_store(0, 0x999, std_done=UNKNOWN, sta_done=1))
+        assert not scheme.may_dispatch(load, mob, 10)
+
+
+class TestPerfect:
+    def test_delays_only_true_collisions(self):
+        scheme = PerfectOrdering()
+        mob = build_mob(make_store(0, 0x100, sta_done=UNKNOWN))
+        colliding = make_load(address=0x100)
+        independent = make_load(address=0x200)
+        assert not scheme.may_dispatch(colliding, mob, 10)
+        assert scheme.may_dispatch(independent, mob, 10)
+
+    def test_releases_at_store_completion(self):
+        scheme = PerfectOrdering()
+        mob = build_mob(make_store(0, 0x100, sta_done=1, std_done=2))
+        assert scheme.may_dispatch(make_load(address=0x100), mob, 10)
+
+
+class TestChtTraining:
+    def test_retire_trains_cht(self):
+        cht = FullCHT(n_entries=128)
+        scheme = InclusiveOrdering(cht)
+        load = make_load()
+        scheme.on_rename_load(load)
+        load.load.conflicting = True
+        load.load.would_collide = True
+        load.load.collide_distance = 1
+        scheme.on_retire_load(load)
+        assert cht.lookup(0x500).colliding
+
+    def test_unclassified_load_not_trained(self):
+        cht = FullCHT(n_entries=128)
+        scheme = InclusiveOrdering(cht)
+        load = make_load()
+        scheme.on_rename_load(load)
+        scheme.on_retire_load(load)  # conflicting is None: no training
+        assert not cht.lookup(0x500).colliding

@@ -1,0 +1,108 @@
+"""Tests for timeline recording and the pipeline viewer."""
+
+import pytest
+
+from repro.common.types import UopClass
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.engine.pipeview import (
+    UopTimeline,
+    loads_only,
+    render_timeline,
+    summarize_timeline,
+)
+from tests.engine.helpers import MicroTrace
+
+
+def run_with_timeline(trace, scheme="traditional"):
+    machine = Machine(scheme=make_scheme(scheme))
+    machine.record_timeline = True
+    return machine.run(trace)
+
+
+@pytest.fixture()
+def collision_result():
+    t = MicroTrace()
+    t.alu(dst=0)
+    for _ in range(4):
+        t.alu(dst=0, srcs=(0,))
+    t.store(0x4000, data_src=0)
+    t.load(dst=7, address=0x4000)
+    t.alu(dst=6, srcs=(7,))
+    return run_with_timeline(t.build())
+
+
+class TestRecording:
+    def test_disabled_by_default(self):
+        result = Machine(scheme=make_scheme("traditional")).run(
+            MicroTrace().alu(dst=0).build())
+        assert result.timeline == []
+
+    def test_one_record_per_uop(self, collision_result):
+        assert len(collision_result.timeline) == \
+               collision_result.retired_uops
+
+    def test_lifecycle_ordering(self, collision_result):
+        for u in collision_result.timeline:
+            assert u.rename_cycle <= u.issue_cycle
+            assert u.issue_cycle <= u.complete_cycle
+            assert u.complete_cycle <= u.retire_cycle
+
+    def test_collided_load_flagged(self, collision_result):
+        loads = loads_only(collision_result.timeline)
+        assert len(loads) == 1
+        assert loads[0].collided
+
+    def test_retire_in_program_order(self, collision_result):
+        seqs = [u.seq for u in collision_result.timeline]
+        assert seqs == sorted(seqs)
+        retires = [u.retire_cycle for u in collision_result.timeline]
+        assert all(a <= b for a, b in zip(retires, retires[1:]))
+
+
+class TestStageTimes:
+    def test_window_wait_of_chained_uops_grows(self):
+        t = MicroTrace()
+        t.alu(dst=0)
+        for _ in range(6):
+            t.alu(dst=0, srcs=(0,))
+        result = run_with_timeline(t.build())
+        waits = [u.window_wait for u in result.timeline]
+        assert waits == sorted(waits)  # each waits for its predecessor
+
+    def test_summary_fields(self, collision_result):
+        summary = summarize_timeline(collision_result.timeline)
+        assert summary["uops"] == 9
+        assert summary["collided_loads"] == 1
+        assert summary["squashed_uops"] >= 1
+        assert summary["avg_window_wait"] > 0
+
+    def test_summary_empty(self):
+        assert summarize_timeline([]) == {"uops": 0}
+
+
+class TestRendering:
+    def test_markers_present(self, collision_result):
+        text = render_timeline(collision_result.timeline)
+        assert "r" in text and "i" in text and "R" in text
+        assert "LOAD" in text
+        assert "!" in text  # the collided load marker
+
+    def test_empty(self):
+        assert render_timeline([]) == "(empty timeline)"
+
+    def test_window_clipping(self, collision_result):
+        text = render_timeline(collision_result.timeline,
+                               start_cycle=0, end_cycle=5)
+        # All rows share the clipped width.
+        rows = text.splitlines()[1:]
+        widths = {row.index("|") for row in rows}
+        assert len(widths) == 1
+
+    def test_max_uops_cap(self):
+        t = MicroTrace()
+        for i in range(100):
+            t.alu(dst=i % 8)
+        result = run_with_timeline(t.build())
+        text = render_timeline(result.timeline, max_uops=10)
+        assert len(text.splitlines()) == 11  # header + 10 rows

@@ -1,0 +1,75 @@
+"""Tests for the performance report renderers."""
+
+import pytest
+
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.engine.report import compare_report, performance_report
+from repro.trace.builder import build_trace
+from repro.trace.workloads import profile_for, trace_seed
+
+
+@pytest.fixture(scope="module")
+def rich_result():
+    trace = build_trace(profile_for("cd"), n_uops=4000,
+                        seed=trace_seed("cd"), name="cd")
+    machine = Machine(scheme=make_scheme("inclusive"))
+    machine.collect_stall_breakdown = True
+    machine.collect_occupancy = True
+    machine.record_timeline = True
+    return machine.run(trace)
+
+
+@pytest.fixture(scope="module")
+def plain_results():
+    trace = build_trace(profile_for("cd"), n_uops=4000,
+                        seed=trace_seed("cd"), name="cd")
+    return [Machine(scheme=make_scheme(s)).run(trace)
+            for s in ("traditional", "inclusive", "perfect")]
+
+
+class TestPerformanceReport:
+    def test_headline_fields(self, rich_result):
+        text = performance_report(rich_result)
+        assert "cd" in text and "inclusive" in text
+        assert "IPC" in text
+        assert "Figure 1 classification" in text
+
+    def test_optional_sections_present_when_collected(self, rich_result):
+        text = performance_report(rich_result)
+        assert "stalled uop-cycles" in text
+        assert "window occupancy" in text
+        assert "average stage times" in text
+
+    def test_optional_sections_absent_when_not_collected(
+            self, plain_results):
+        text = performance_report(plain_results[0])
+        assert "stalled uop-cycles" not in text
+        assert "window occupancy" not in text
+
+    def test_baseline_speedup_line(self, plain_results):
+        text = performance_report(plain_results[2],
+                                  baseline=plain_results[0])
+        assert "speedup over 'traditional'" in text
+
+
+class TestCompareReport:
+    def test_rows_per_scheme(self, plain_results):
+        text = compare_report(plain_results)
+        for scheme in ("traditional", "inclusive", "perfect"):
+            assert scheme in text
+
+    def test_first_result_is_baseline(self, plain_results):
+        text = compare_report(plain_results)
+        first_row = text.splitlines()[3]
+        assert "1.000" in first_row
+
+    def test_rejects_mixed_traces(self, plain_results):
+        other = Machine(scheme=make_scheme("traditional")).run(
+            build_trace(profile_for("gcc"), n_uops=1000, seed=1,
+                        name="gcc"))
+        with pytest.raises(ValueError):
+            compare_report([plain_results[0], other])
+
+    def test_empty(self):
+        assert compare_report([]) == "(no results)"

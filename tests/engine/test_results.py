@@ -1,0 +1,81 @@
+"""Tests for the SimResult container."""
+
+import pytest
+
+from repro.common.types import LoadCollisionClass
+from repro.engine.results import SimResult
+
+
+def result_with_classes(**counts):
+    r = SimResult(trace_name="t", scheme="s")
+    for name, n in counts.items():
+        r.load_classes[LoadCollisionClass[name]] = n
+    return r
+
+
+class TestFractions:
+    def test_partition(self):
+        r = result_with_classes(NOT_CONFLICTING=30, ANC_PNC=50,
+                                ANC_PC=10, AC_PC=8, AC_PNC=2)
+        assert r.classified_loads == 100
+        assert r.frac_not_conflicting == pytest.approx(0.30)
+        assert r.frac_anc == pytest.approx(0.60)
+        assert r.frac_actually_colliding == pytest.approx(0.10)
+
+    def test_empty_safe(self):
+        r = SimResult(trace_name="t", scheme="s")
+        assert r.frac_anc == 0.0
+        assert r.class_fraction(LoadCollisionClass.AC_PC) == 0.0
+
+    def test_conflicting_fraction(self):
+        r = result_with_classes(NOT_CONFLICTING=50, ANC_PNC=40, AC_PC=10)
+        assert r.conflicting_fraction(LoadCollisionClass.AC_PC) == \
+               pytest.approx(0.2)
+
+    def test_conflicting_fraction_no_conflicts(self):
+        r = result_with_classes(NOT_CONFLICTING=10)
+        assert r.conflicting_fraction(LoadCollisionClass.AC_PC) == 0.0
+
+
+class TestIpcAndSpeedup:
+    def test_ipc(self):
+        r = SimResult(trace_name="t", scheme="s", cycles=100,
+                      retired_uops=150)
+        assert r.ipc == pytest.approx(1.5)
+
+    def test_ipc_zero_cycles(self):
+        assert SimResult(trace_name="t", scheme="s").ipc == 0.0
+
+    def test_speedup(self):
+        a = SimResult(trace_name="t", scheme="base", cycles=200)
+        b = SimResult(trace_name="t", scheme="fast", cycles=100)
+        assert b.speedup_over(a) == pytest.approx(2.0)
+
+    def test_speedup_cross_trace_rejected(self):
+        a = SimResult(trace_name="t1", scheme="s", cycles=100)
+        b = SimResult(trace_name="t2", scheme="s", cycles=100)
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+
+class TestBranchAccuracy:
+    def test_no_branches_is_perfect(self):
+        assert SimResult(trace_name="t", scheme="s").branch_accuracy == 1.0
+
+    def test_accuracy(self):
+        r = SimResult(trace_name="t", scheme="s", branches=10,
+                      branch_mispredicts=3)
+        assert r.branch_accuracy == pytest.approx(0.7)
+
+
+class TestSerialisation:
+    def test_as_dict_keys(self):
+        d = SimResult(trace_name="t", scheme="s").as_dict()
+        for key in ("trace", "scheme", "cycles", "ipc", "classes",
+                    "hitmiss", "collision_penalties", "forwarded_loads",
+                    "branches"):
+            assert key in d
+
+    def test_as_dict_class_values(self):
+        r = result_with_classes(AC_PC=5)
+        assert r.as_dict()["classes"]["AC-PC"] == 5

@@ -1,0 +1,64 @@
+"""Tests for stall-cause attribution."""
+
+import pytest
+
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from tests.engine.helpers import MicroTrace
+
+
+def run(trace, scheme="traditional", **machine_attrs):
+    machine = Machine(scheme=make_scheme(scheme))
+    machine.collect_stall_breakdown = True
+    for name, value in machine_attrs.items():
+        setattr(machine, name, value)
+    return machine.run(trace)
+
+
+class TestCauses:
+    def test_disabled_by_default(self):
+        result = Machine(scheme=make_scheme("traditional")).run(
+            MicroTrace().alu(dst=0).build())
+        assert result.stall_breakdown == {}
+
+    def test_operand_stalls_from_chains(self):
+        t = MicroTrace()
+        t.alu(dst=0)
+        for _ in range(20):
+            t.alu(dst=0, srcs=(0,))
+        result = run(t.build())
+        assert result.stall_breakdown.get("operands", 0) > 0
+        assert result.stall_breakdown.get("ordering", 0) == 0
+
+    def test_port_stalls_from_width_pressure(self):
+        t = MicroTrace()
+        for i in range(60):
+            t.alu(dst=i % 8)  # independent: only ports limit issue
+        result = run(t.build())
+        assert result.stall_breakdown.get("port", 0) > 0
+
+    def test_ordering_stalls_from_late_sta(self):
+        """A load behind a slow STA accrues ordering stalls under
+        Traditional but none under Perfect (different address)."""
+        def mk():
+            t = MicroTrace()
+            t.alu(dst=0)
+            for _ in range(8):
+                t.alu(dst=0, srcs=(0,))
+            t.store(0x4000, addr_src=0)  # address resolves late
+            t.load(dst=7, address=0x9000)
+            return t.build()
+        traditional = run(mk(), scheme="traditional")
+        perfect = run(mk(), scheme="perfect")
+        assert traditional.stall_breakdown.get("ordering", 0) > 0
+        assert perfect.stall_breakdown.get("ordering", 0) == 0
+
+    def test_better_schemes_reduce_ordering_stalls(self):
+        from repro.trace.builder import build_trace
+        from repro.trace.workloads import profile_for, trace_seed
+        trace = build_trace(profile_for("cd"), n_uops=6000,
+                            seed=trace_seed("cd"), name="cd")
+        traditional = run(trace, scheme="traditional")
+        perfect = run(trace, scheme="perfect")
+        assert perfect.stall_breakdown["ordering"] < \
+               traditional.stall_breakdown["ordering"]

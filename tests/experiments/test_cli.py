@@ -1,0 +1,49 @@
+"""Smoke tests for the two command-line entry points."""
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.trace.__main__ import main as trace_main
+
+
+class TestExperimentsCli:
+    def test_single_figure(self, capsys):
+        rc = experiments_main(["fig12", "--uops", "3000",
+                               "--traces-per-group", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "done in" in out
+
+    def test_extension_experiment(self, capsys):
+        rc = experiments_main(["ext-smt", "--uops", "3000",
+                               "--traces-per-group", "1"])
+        assert rc == 0
+        assert "multithreading" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["fig99"])
+
+
+class TestTraceCli:
+    def test_list(self, capsys):
+        assert trace_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "SysmarkNT" in out and "cd" in out
+
+    def test_build(self, capsys):
+        assert trace_main(["build", "cd", "--uops", "2000"]) == 0
+        assert "uops" in capsys.readouterr().out
+
+    def test_dump_and_show(self, tmp_path, capsys):
+        path = str(tmp_path / "t.trace")
+        assert trace_main(["dump", "gcc", path, "--uops", "1500"]) == 0
+        capsys.readouterr()
+        assert trace_main(["show", path, "--head", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "SpecInt95" in out
+
+    def test_unknown_trace_errors(self):
+        with pytest.raises(KeyError):
+            trace_main(["build", "nonexistent"])

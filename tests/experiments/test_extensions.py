@@ -1,0 +1,116 @@
+"""Tests for the extension experiments (ext-penalty / prior-art / smt)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    render_penalty_sweep,
+    render_prior_art,
+    render_smt,
+    run_penalty_sweep,
+    run_prior_art,
+    run_smt,
+)
+from repro.experiments.harness import ExperimentSettings
+
+TINY = ExperimentSettings(n_uops=4000, traces_per_group=1)
+
+
+class TestPenaltySweep:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_penalty_sweep(TINY, penalties=(2, 16))
+
+    def test_rows_per_penalty(self, data):
+        assert [r["penalty"] for r in data["rows"]] == [2, 16]
+
+    def test_prediction_gap_widens_with_penalty(self, data):
+        """The headline: inclusive gains on opportunistic as collisions
+        get more expensive."""
+        low, high = data["rows"]
+        gap_low = low["inclusive"] - low["opportunistic"]
+        gap_high = high["inclusive"] - high["opportunistic"]
+        assert gap_high > gap_low
+
+    def test_perfect_always_on_top(self, data):
+        for row in data["rows"]:
+            assert row["perfect"] >= row["inclusive"] - 0.01
+            assert row["perfect"] >= row["opportunistic"] - 0.01
+
+    def test_render(self, data):
+        text = render_penalty_sweep(data)
+        assert "penalty" in text and "inclusive" in text
+
+
+class TestPriorArt:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_prior_art(TINY)
+
+    def test_all_mechanisms_reported(self, data):
+        names = {r["scheme"] for r in data["rows"]}
+        assert names == {"barrier", "storesets", "inclusive",
+                         "exclusive", "perfect"}
+
+    def test_storage_accounting(self, data):
+        rows = {r["scheme"]: r for r in data["rows"]}
+        assert rows["perfect"]["storage_bytes"] == 0
+        assert rows["barrier"]["storage_bytes"] < \
+               rows["inclusive"]["storage_bytes"] < \
+               rows["storesets"]["storage_bytes"]
+
+    def test_cost_effectiveness_claim(self, data):
+        """The CHT reaches most of the store-set speedup cheaper."""
+        rows = {r["scheme"]: r for r in data["rows"]}
+        assert rows["inclusive"]["speedup"] > \
+               0.9 * rows["storesets"]["speedup"]
+
+    def test_everything_beats_baseline(self, data):
+        for row in data["rows"]:
+            assert row["speedup"] > 1.0, row["scheme"]
+
+    def test_render(self, data):
+        assert "prior art" in render_prior_art(data)
+
+
+class TestSmt:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_smt(TINY)
+
+    def test_four_policies(self, data):
+        assert {r["policy"] for r in data["rows"]} == \
+               {"none", "reactive", "predicted", "oracle"}
+
+    def test_switching_beats_stalling(self, data):
+        rows = {r["policy"]: r for r in data["rows"]}
+        assert rows["predicted"]["cycles"] < rows["none"]["cycles"]
+
+    def test_render(self, data):
+        assert "multithreading" in render_smt(data)
+
+
+class TestPrefetchStudy:
+    @pytest.fixture(scope="class")
+    def data(self):
+        from repro.experiments.extensions import run_prefetch
+        return run_prefetch(TINY)
+
+    def test_rows_shape(self, data):
+        assert len(data["rows"]) == 4  # 2 groups x on/off
+
+    def test_prefetch_lowers_misses(self, data):
+        rows = {(r["group"], r["prefetch"]): r for r in data["rows"]}
+        for group in ("SpecFP95", "SysmarkNT"):
+            assert rows[(group, "on")]["miss_rate"] <= \
+                   rows[(group, "off")]["miss_rate"] + 1e-9, group
+
+    def test_prefetch_erodes_hmp_coverage_on_fp(self, data):
+        """The competition effect: the regular (predictable) misses are
+        exactly the prefetchable ones."""
+        rows = {(r["group"], r["prefetch"]): r for r in data["rows"]}
+        assert rows[("SpecFP95", "on")]["hmp_coverage"] < \
+               rows[("SpecFP95", "off")]["hmp_coverage"]
+
+    def test_render(self, data):
+        from repro.experiments.extensions import render_prefetch
+        assert "prefetching" in render_prefetch(data)

@@ -1,0 +1,65 @@
+"""Tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.experiments.harness import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    format_table,
+    get_trace,
+    group_traces,
+    percent,
+)
+
+
+class TestGetTrace:
+    def test_memoised(self):
+        a = get_trace("cd", 1200)
+        b = get_trace("cd", 1200)
+        assert a is b
+
+    def test_distinct_budgets_distinct_traces(self):
+        a = get_trace("cd", 1200)
+        b = get_trace("cd", 1600)
+        assert a is not b
+        assert len(b) > len(a)
+
+    def test_canonical_seed(self):
+        from repro.trace.workloads import trace_seed
+        assert get_trace("gcc", 1200).seed == trace_seed("gcc")
+
+    def test_name_attached(self):
+        assert get_trace("applu", 1200).name == "applu"
+
+
+class TestGroupTraces:
+    def test_truncation(self):
+        settings = ExperimentSettings(n_uops=1000, traces_per_group=2)
+        assert group_traces("SysmarkNT", settings) == ["cd", "ex"]
+
+    def test_full_roster(self):
+        settings = ExperimentSettings(n_uops=1000, traces_per_group=None)
+        assert len(group_traces("SpecFP95", settings)) == 10
+
+    def test_default_settings(self):
+        assert len(group_traces("SysmarkNT")) == \
+               DEFAULT_SETTINGS.traces_per_group
+
+
+class TestFormatting:
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["xx", 1], ["y", 22]])
+        lines = text.splitlines()
+        # The separator matches the header width.
+        assert len(lines[1]) == len(lines[0])
+
+    def test_title_line(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_percent(self):
+        assert percent(0.1234) == "12.3%"

@@ -1,0 +1,107 @@
+"""Tests for the text chart renderers."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    bar_chart,
+    line_plot,
+    speedup_chart,
+    stacked_bar_chart,
+)
+
+
+class TestBarChart:
+    def test_proportional_lengths(self):
+        text = bar_chart([("half", 0.5), ("full", 1.0)], width=10)
+        half_line, full_line = text.splitlines()
+        assert half_line.count("#") == 5
+        assert full_line.count("#") == 10
+
+    def test_labels_aligned(self):
+        text = bar_chart([("a", 1.0), ("longer", 1.0)])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title(self):
+        assert bar_chart([("a", 1.0)], title="T").splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert bar_chart([], title="T") == "T"
+
+    def test_values_rendered(self):
+        assert "0.500" in bar_chart([("a", 0.5)])
+
+    def test_max_value_override(self):
+        text = bar_chart([("a", 0.5)], width=10, max_value=1.0)
+        assert text.count("#") == 5
+
+    def test_clamps_above_max(self):
+        text = bar_chart([("a", 2.0)], width=10, max_value=1.0)
+        assert text.count("#") == 10
+
+
+class TestStackedBarChart:
+    def test_segments_drawn_in_order(self):
+        text = stacked_bar_chart(
+            [("row", {"x": 0.5, "y": 0.5})],
+            segment_chars={"x": "#", "y": "="}, width=10)
+        bar = text.splitlines()[0]
+        assert "#####=====" in bar
+
+    def test_legend(self):
+        text = stacked_bar_chart(
+            [("row", {"x": 1.0})], segment_chars={"x": "#"})
+        assert "#=x" in text.splitlines()[-1]
+
+    def test_empty(self):
+        assert stacked_bar_chart([], {}, title="T") == "T"
+
+    def test_width_respected(self):
+        text = stacked_bar_chart(
+            [("r", {"x": 0.9, "y": 0.9})],  # over-full: clipped
+            segment_chars={"x": "#", "y": "="}, width=10)
+        bar = text.splitlines()[0]
+        assert bar.count("#") + bar.count("=") <= 10
+
+
+class TestLinePlot:
+    def test_markers_present(self):
+        text = line_plot({"s1": [(0, 0), (1, 1)],
+                          "s2": [(0, 1), (1, 0)]})
+        assert "A" in text and "B" in text
+
+    def test_legend_names(self):
+        text = line_plot({"alpha": [(0, 0), (1, 1)]})
+        assert "A=alpha" in text
+
+    def test_axis_bounds_shown(self):
+        text = line_plot({"s": [(0, 0), (10, 5)]})
+        assert "10.00" in text and "0.00" in text
+
+    def test_degenerate_single_point(self):
+        text = line_plot({"s": [(1, 1)]})
+        assert "A" in text
+
+    def test_empty(self):
+        assert line_plot({}, title="T") == "T"
+
+    def test_axis_labels(self):
+        text = line_plot({"s": [(0, 0), (1, 1)]}, x_label="penalty",
+                         y_label="metric")
+        assert "x: penalty" in text and "y: metric" in text
+
+
+class TestSpeedupChart:
+    def test_baseline_subtracted(self):
+        text = speedup_chart({"a": 1.10, "b": 1.20}, width=10)
+        a_line, b_line = text.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_percent_format(self):
+        assert "+10.0%" in speedup_chart({"a": 1.10})
+
+    def test_below_baseline_clamped(self):
+        text = speedup_chart({"slow": 0.9, "fast": 1.5})
+        slow_line = text.splitlines()[0]
+        assert slow_line.count("#") == 0

@@ -1,0 +1,90 @@
+"""Direct tests for the sweep harnesses (fig8, fig11, ext-bank-perf).
+
+These are exercised at tiny budgets — the benchmarks cover full-size
+runs; here the contract is structure and basic sanity.
+"""
+
+import pytest
+
+from repro.experiments.extensions import render_bank_perf, run_bank_perf
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.hitmiss_speedup import (
+    HMP_KINDS,
+    render_fig11,
+    run_fig11,
+)
+from repro.experiments.machine_sweep import (
+    CONFIGS,
+    FIG8_GROUPS,
+    render_fig8,
+    run_fig8,
+    widening_gain,
+)
+
+TINY = ExperimentSettings(n_uops=2500, traces_per_group=1)
+
+
+class TestFig8Harness:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_fig8(TINY)
+
+    def test_all_configs_and_groups(self, data):
+        assert set(data["configs"]) == {label for label, _, _ in CONFIGS}
+        for per_group in data["configs"].values():
+            assert set(per_group) == set(FIG8_GROUPS)
+
+    def test_speedups_positive(self, data):
+        for per_group in data["configs"].values():
+            for speedups in per_group.values():
+                for value in speedups.values():
+                    assert value > 0.5
+
+    def test_widening_gain_helper(self, data):
+        gains = widening_gain(data, scheme="perfect")
+        assert set(gains) == set(data["configs"])
+        assert all(v > 0 for v in gains.values())
+
+    def test_render(self, data):
+        text = render_fig8(data)
+        assert "EU2/MEM1" in text and "EU4/MEM2" in text
+
+
+class TestFig11Harness:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_fig11(TINY)
+
+    def test_all_predictors(self, data):
+        for speedups in data["groups"].values():
+            assert set(speedups) == set(HMP_KINDS)
+
+    def test_average_present(self, data):
+        assert set(data["average"]) == set(HMP_KINDS)
+
+    def test_render(self, data):
+        assert "Figure 11" in render_fig11(data)
+
+
+class TestBankPerfHarness:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_bank_perf(TINY)
+
+    def test_policies(self, data):
+        assert [r["policy"] for r in data["rows"]] == \
+               ["oblivious", "predicted", "oracle"]
+
+    def test_oracle_removes_all_conflicts(self, data):
+        rows = {r["policy"]: r for r in data["rows"]}
+        assert rows["oracle"]["bank_conflicts"] == 0
+        assert rows["predicted"]["bank_conflicts"] <= \
+               rows["oblivious"]["bank_conflicts"]
+
+    def test_oblivious_is_unit_baseline(self, data):
+        rows = {r["policy"]: r for r in data["rows"]}
+        assert rows["oblivious"]["speedup_vs_oblivious"] == \
+               pytest.approx(1.0)
+
+    def test_render(self, data):
+        assert "bank-aware" in render_bank_perf(data)

@@ -1,0 +1,93 @@
+"""Tests for the address-probe hit-miss predictor."""
+
+import pytest
+
+from repro.hitmiss.address_probe import AddressProbeHMP
+from repro.hitmiss.oracle import AlwaysMissHMP
+
+
+class TestProbePath:
+    def _make(self, resident):
+        return AddressProbeHMP(
+            probe=lambda address, now: address in resident)
+
+    def test_stable_address_probes_cache(self):
+        resident = {0x1000}
+        hmp = self._make(resident)
+        for _ in range(5):
+            hmp.train_address(0x100, 0x1000)
+        assert hmp.predict_hit(0x100)
+        assert hmp.probed == 1
+
+    def test_probe_reports_miss(self):
+        hmp = self._make(resident=set())
+        for _ in range(5):
+            hmp.train_address(0x100, 0x1000)
+        assert not hmp.predict_hit(0x100)
+
+    def test_strided_address_probes_next_line(self):
+        """The probe asks about the *predicted next* address."""
+        resident = {0x1000 + i * 64 for i in range(4)}  # first 4 lines
+        hmp = self._make(resident)
+        addr = 0x1000
+        for _ in range(5):
+            hmp.train_address(0x100, addr)
+            addr += 64
+        # Next predicted address is 0x1000 + 5*64: not resident.
+        assert not hmp.predict_hit(0x100)
+
+    def test_unstable_address_falls_back(self):
+        import random
+        rng = random.Random(0)
+        hmp = AddressProbeHMP(probe=lambda a, n: True,
+                              base=AlwaysMissHMP())
+        for _ in range(30):
+            hmp.train_address(0x100, rng.randrange(1 << 20))
+        assert not hmp.predict_hit(0x100)  # base (always-miss) decided
+        assert hmp.fallbacks >= 1
+
+    def test_update_trains_from_line(self):
+        hmp = self._make({0x1000})
+        for _ in range(5):
+            hmp.update(0x100, hit=True, line=0x1000 // 64)
+        assert hmp.predict_hit(0x100)
+
+    def test_reset(self):
+        hmp = self._make({0x1000})
+        for _ in range(5):
+            hmp.train_address(0x100, 0x1000)
+        hmp.reset()
+        assert hmp.probed == 0
+        # Cold again: falls back to the base predictor (always hit).
+        assert hmp.predict_hit(0x100)
+        assert hmp.fallbacks == 1
+
+
+class TestWithRealHierarchy:
+    def test_wired_to_hierarchy(self):
+        from repro.memory.hierarchy import MemoryHierarchy
+        hierarchy = MemoryHierarchy()
+        hmp = AddressProbeHMP(probe=hierarchy.would_hit_l1)
+        # Warm a line, train a constant address, expect a hit verdict.
+        hierarchy.load(0x4000, now=0)
+        for _ in range(5):
+            hmp.train_address(0x100, 0x4000)
+        assert hmp.predict_hit(0x100, now=500)
+
+    def test_accuracy_on_stride_stream(self):
+        """On a pure stride stream the probe is a near-oracle."""
+        from repro.memory.hierarchy import MemoryHierarchy
+        hierarchy = MemoryHierarchy()
+        hmp = AddressProbeHMP(probe=hierarchy.would_hit_l1)
+        addr, now = 0x10000, 0
+        correct = total = 0
+        for i in range(300):
+            prediction = hmp.predict_hit(0x100, line=addr // 64, now=now)
+            outcome = hierarchy.load(addr, now)
+            if i > 20:  # skip predictor warmup
+                total += 1
+                correct += prediction == outcome.l1_hit
+            hmp.train_address(0x100, addr)
+            addr += 32  # two accesses per line: alternating hit/miss
+            now += 30
+        assert correct / total > 0.9

@@ -1,0 +1,204 @@
+"""Tests for the hit-miss predictor family."""
+
+import pytest
+
+from repro.common.types import HitMissClass
+from repro.hitmiss.base import HitMissStats
+from repro.hitmiss.hybrid import HybridHMP
+from repro.hitmiss.local import LocalHMP
+from repro.hitmiss.oracle import AlwaysHitHMP, AlwaysMissHMP, OracleHMP
+from repro.hitmiss.timing import TimingHMP
+from repro.memory.mshr import OutstandingMissQueue, ServicedLoadBuffer
+
+
+class TestHitMissStats:
+    def test_record_classifies(self):
+        s = HitMissStats()
+        assert s.record(True, True) is HitMissClass.AH_PH
+        assert s.record(False, False) is HitMissClass.AM_PM
+        assert s.record(True, False) is HitMissClass.AH_PM
+        assert s.record(False, True) is HitMissClass.AM_PH
+        assert s.total == 4
+
+    def test_miss_rate(self):
+        s = HitMissStats()
+        for _ in range(3):
+            s.record(True, True)
+        s.record(False, True)
+        assert s.miss_rate == pytest.approx(0.25)
+
+    def test_coverage(self):
+        s = HitMissStats()
+        s.record(False, False)  # caught
+        s.record(False, True)   # missed
+        assert s.miss_coverage == pytest.approx(0.5)
+
+    def test_catch_to_false_ratio(self):
+        s = HitMissStats()
+        for _ in range(5):
+            s.record(False, False)
+        s.record(True, False)
+        assert s.catch_to_false_ratio == pytest.approx(5.0)
+
+    def test_ratio_infinite_without_false_misses(self):
+        s = HitMissStats()
+        s.record(False, False)
+        assert s.catch_to_false_ratio == float("inf")
+
+    def test_accuracy(self):
+        s = HitMissStats()
+        s.record(True, True)
+        s.record(False, False)
+        s.record(True, False)
+        assert s.accuracy == pytest.approx(2 / 3)
+
+    def test_merge(self):
+        a, b = HitMissStats(), HitMissStats()
+        a.record(True, True)
+        b.record(False, False)
+        a.merge(b)
+        assert a.total == 2
+
+    def test_as_dict_keys(self):
+        d = HitMissStats().as_dict()
+        assert set(d) == {"misses", "am_pm", "ah_pm", "coverage", "accuracy"}
+
+
+class TestConstantPredictors:
+    def test_always_hit(self):
+        p = AlwaysHitHMP()
+        p.update(0x100, False)
+        assert p.predict_hit(0x100)
+        assert p.storage_bits == 0
+
+    def test_always_miss(self):
+        assert not AlwaysMissHMP().predict_hit(0x100)
+
+
+class TestOracle:
+    def test_uses_probe(self):
+        resident = {10, 20}
+        oracle = OracleHMP(lambda pc, line, now: line in resident)
+        assert oracle.predict_hit(0x100, line=10)
+        assert not oracle.predict_hit(0x100, line=11)
+
+
+class TestLocalHMP:
+    def test_cold_predicts_hit(self):
+        """An untrained HMP behaves like today's always-hit default."""
+        assert LocalHMP().predict_hit(0x100)
+
+    def test_learns_always_missing_load(self):
+        p = LocalHMP()
+        pc = 0x100
+        for _ in range(16):
+            p.update(pc, hit=False)
+        assert not p.predict_hit(pc)
+
+    def test_learns_periodic_pattern(self):
+        """A load missing every 4th access (streaming) is predictable."""
+        p = LocalHMP(n_entries=256, history_bits=8)
+        pc = 0x100
+        pattern = [False, True, True, True]
+        for _ in range(60):
+            for hit in pattern:
+                p.update(pc, hit)
+        correct = 0
+        for _ in range(5):
+            for hit in pattern:
+                if p.predict_hit(pc) == hit:
+                    correct += 1
+                p.update(pc, hit)
+        assert correct >= 17
+
+    def test_reset(self):
+        p = LocalHMP()
+        for _ in range(16):
+            p.update(0x100, hit=False)
+        p.reset()
+        assert p.predict_hit(0x100)
+
+    def test_paper_size_is_about_2kb(self):
+        """Section 2.2: 2048 entries, 8-bit history, ~2KBytes."""
+        p = LocalHMP(n_entries=2048, history_bits=8)
+        assert 1.5 * 8192 < p.storage_bits < 3 * 8192
+
+
+class TestHybridHMP:
+    def test_cold_predicts_hit(self):
+        assert HybridHMP().predict_hit(0x100)
+
+    def test_learns_constant_miss(self):
+        p = HybridHMP()
+        for _ in range(20):
+            p.update(0x100, hit=False)
+        assert not p.predict_hit(0x100)
+
+    def test_majority_suppresses_sporadic_misses(self):
+        """A load that misses rarely and randomly should stay predicted-hit
+        (the chooser's false-miss suppression)."""
+        import random
+        rng = random.Random(0)
+        p = HybridHMP()
+        pc = 0x100
+        for _ in range(200):
+            p.update(pc, hit=(rng.random() > 0.1))
+        # Mostly hitting: prediction must be hit.
+        assert p.predict_hit(pc)
+
+    def test_total_size_under_2kb(self):
+        """Section 2.2: the whole hybrid is under 2 KB."""
+        assert HybridHMP().storage_bits <= 2 * 8192
+
+
+class TestTimingHMP:
+    def _make(self):
+        mshr = OutstandingMissQueue(8)
+        serviced = ServicedLoadBuffer(retention_cycles=100)
+        return TimingHMP(AlwaysHitHMP(), mshr, serviced), mshr, serviced
+
+    def test_inflight_line_predicts_miss(self):
+        """A load to a line still being fetched is a dynamic miss."""
+        p, mshr, _ = self._make()
+        mshr.insert(line=7, ready_cycle=100)
+        assert not p.predict_hit(0x100, line=7, now=50)
+        assert p.timing_hits == 1
+
+    def test_arrived_line_falls_through(self):
+        p, mshr, _ = self._make()
+        mshr.insert(line=7, ready_cycle=100)
+        # After arrival, the MSHR no longer claims the line.
+        assert p.predict_hit(0x100, line=7, now=150)
+
+    def test_recently_serviced_predicts_hit(self):
+        p, _, serviced = self._make()
+        serviced.insert(line=9, arrival_cycle=100)
+        assert p.predict_hit(0x100, line=9, now=150)
+        assert p.timing_hits == 1
+
+    def test_fallback_to_base(self):
+        mshr = OutstandingMissQueue(8)
+        serviced = ServicedLoadBuffer()
+        p = TimingHMP(AlwaysMissHMP(), mshr, serviced)
+        assert not p.predict_hit(0x100, line=3, now=0)
+        assert p.timing_hits == 0
+
+    def test_no_line_context_uses_base(self):
+        p, _, _ = self._make()
+        assert p.predict_hit(0x100)  # base AlwaysHit
+
+    def test_update_trains_base(self):
+        mshr = OutstandingMissQueue(8)
+        serviced = ServicedLoadBuffer()
+        base = LocalHMP()
+        p = TimingHMP(base, mshr, serviced)
+        for _ in range(16):
+            p.update(0x100, hit=False)
+        assert not base.predict_hit(0x100)
+
+    def test_reset(self):
+        p, mshr, _ = self._make()
+        mshr.insert(7, 100)
+        p.predict_hit(0x100, line=7, now=50)
+        p.reset()
+        assert p.timing_hits == 0

@@ -1,0 +1,114 @@
+"""End-to-end integration tests on generated workload traces.
+
+These run the full stack — workload profile → trace builder → OoO
+engine → results — and check the invariants and paper-level trends that
+must hold regardless of tuning.
+"""
+
+import pytest
+
+from repro.common.config import BASELINE_MACHINE
+from repro.engine.machine import Machine
+from repro.engine.ordering import SCHEME_NAMES, make_scheme
+from repro.trace.builder import build_trace
+from repro.trace.workloads import profile_for, trace_seed
+
+N_UOPS = 6000
+
+
+@pytest.fixture(scope="module")
+def nt_trace():
+    return build_trace(profile_for("cd"), n_uops=N_UOPS,
+                       seed=trace_seed("cd"), name="cd")
+
+
+@pytest.fixture(scope="module")
+def scheme_results(nt_trace):
+    return {name: Machine(scheme=make_scheme(name)).run(nt_trace)
+            for name in SCHEME_NAMES}
+
+
+class TestConservationInvariants:
+    def test_all_uops_retired(self, scheme_results, nt_trace):
+        for name, result in scheme_results.items():
+            assert result.retired_uops == len(nt_trace), name
+
+    def test_all_loads_classified(self, scheme_results, nt_trace):
+        n_loads = sum(1 for _ in nt_trace.loads())
+        for name, result in scheme_results.items():
+            assert result.retired_loads == n_loads, name
+            assert result.classified_loads == n_loads, name
+
+    def test_class_fractions_sum_to_one(self, scheme_results):
+        for name, result in scheme_results.items():
+            total = (result.frac_not_conflicting
+                     + result.frac_actually_colliding + result.frac_anc)
+            assert total == pytest.approx(1.0), name
+
+    def test_hitmiss_covers_all_loads(self, scheme_results, nt_trace):
+        n_loads = sum(1 for _ in nt_trace.loads())
+        for name, result in scheme_results.items():
+            assert result.hitmiss.total == n_loads, name
+
+
+class TestSchemeOrderingInvariants:
+    def test_perfect_never_penalised(self, scheme_results):
+        assert scheme_results["perfect"].collision_penalties == 0
+
+    def test_perfect_is_fastest(self, scheme_results):
+        best = scheme_results["perfect"].cycles
+        for name, result in scheme_results.items():
+            assert result.cycles >= best, name
+
+    def test_traditional_is_slowest_of_sta_respecting(self, scheme_results):
+        """Postponing and the predictor schemes should not lose to the
+        fully conservative baseline by more than noise."""
+        baseline = scheme_results["traditional"].cycles
+        assert scheme_results["postponing"].cycles <= baseline * 1.02
+
+    def test_paper_ordering_holds(self, scheme_results):
+        """Figure 7's ordering: traditional <= postponing < inclusive <=
+        exclusive <= perfect (as speedups)."""
+        cycles = {k: v.cycles for k, v in scheme_results.items()}
+        assert cycles["perfect"] <= cycles["exclusive"]
+        assert cycles["exclusive"] <= cycles["inclusive"] * 1.01
+        assert cycles["inclusive"] < cycles["traditional"]
+        assert cycles["opportunistic"] < cycles["traditional"]
+
+    def test_predictors_reduce_penalties_vs_opportunistic(
+            self, scheme_results):
+        assert scheme_results["inclusive"].collision_penalties < \
+               scheme_results["opportunistic"].collision_penalties
+
+
+class TestCrossGroupBehaviour:
+    @pytest.mark.parametrize("name", ["gcc", "applu", "jack"])
+    def test_groups_run_clean(self, name):
+        trace = build_trace(profile_for(name), n_uops=4000,
+                            seed=trace_seed(name), name=name)
+        result = Machine(scheme=make_scheme("traditional")).run(trace)
+        assert result.retired_uops == len(trace)
+        assert 0.0 < result.ipc < 6.0
+
+    def test_specfp_less_colliding_than_nt(self):
+        def ac(name):
+            trace = build_trace(profile_for(name), n_uops=8000,
+                                seed=trace_seed(name), name=name)
+            result = Machine(scheme=make_scheme("traditional")).run(trace)
+            return result.frac_actually_colliding
+        assert ac("applu") < ac("cd")
+
+
+class TestDeterminism:
+    def test_same_run_twice(self, nt_trace):
+        a = Machine(scheme=make_scheme("inclusive")).run(nt_trace)
+        b = Machine(scheme=make_scheme("inclusive")).run(nt_trace)
+        assert a.cycles == b.cycles
+        assert a.collision_penalties == b.collision_penalties
+        assert a.load_classes == b.load_classes
+
+    def test_trace_rebuild_identical(self):
+        a = build_trace(profile_for("cd"), n_uops=2000, seed=1)
+        b = build_trace(profile_for("cd"), n_uops=2000, seed=1)
+        assert [(u.pc, u.uclass, u.srcs) for u in a.uops] == \
+               [(u.pc, u.uclass, u.srcs) for u in b.uops]

@@ -1,0 +1,165 @@
+"""Smoke/shape tests for the per-figure experiment harnesses.
+
+Each harness runs with a tiny budget; assertions target the *shape*
+properties the paper reports, not absolute values.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.bank_metric import run_fig12
+from repro.experiments.classification import (
+    render_fig5,
+    render_fig6,
+    run_fig5,
+    run_fig6,
+)
+from repro.experiments.cht_accuracy import run_fig9
+from repro.experiments.harness import ExperimentSettings, format_table
+from repro.experiments.hitmiss_stats import run_fig10
+from repro.experiments.ordering_speedup import render_fig7, run_fig7
+
+TINY = ExperimentSettings(n_uops=4000, traces_per_group=1)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(TINY)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(TINY, windows=(8, 32, 128))
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_fig7(TINY)
+
+
+class TestFig5:
+    def test_groups_present(self, fig5):
+        assert "SysmarkNT" in fig5["groups"]
+        assert "SpecInt95" in fig5["groups"]
+
+    def test_fractions_valid(self, fig5):
+        for group, mix in fig5["groups"].items():
+            total = mix["ac"] + mix["anc"] + mix["no_conflict"]
+            assert total == pytest.approx(1.0), group
+
+    def test_predictor_helps_majority(self, fig5):
+        """The paper's takeaway: 50 %+ of loads benefit from a collision
+        predictor (AC + ANC)."""
+        nt = fig5["groups"]["SysmarkNT"]
+        assert nt["ac"] + nt["anc"] > 0.4
+
+    def test_render(self, fig5):
+        text = render_fig5(fig5)
+        assert "Figure 5" in text and "SysmarkNT" in text
+
+
+class TestFig6:
+    def test_ac_grows_with_window(self, fig6):
+        sweep = {s["window"]: s for s in fig6["sweep"]}
+        assert sweep[128]["ac"] > sweep[8]["ac"]
+
+    def test_no_conflict_shrinks_with_window(self, fig6):
+        sweep = {s["window"]: s for s in fig6["sweep"]}
+        assert sweep[128]["no_conflict"] < sweep[8]["no_conflict"]
+
+    def test_render(self, fig6):
+        assert "Figure 6" in render_fig6(fig6)
+
+
+class TestFig7:
+    def test_all_schemes_reported(self, fig7):
+        for speedups in fig7["per_trace"].values():
+            assert set(speedups) == {"postponing", "opportunistic",
+                                     "inclusive", "exclusive", "perfect"}
+
+    def test_perfect_dominates(self, fig7):
+        avg = fig7["average"]
+        assert avg["perfect"] >= avg["exclusive"] - 0.01
+        assert avg["perfect"] >= avg["opportunistic"] - 0.01
+
+    def test_exclusive_at_least_inclusive(self, fig7):
+        avg = fig7["average"]
+        assert avg["exclusive"] >= avg["inclusive"] - 0.02
+
+    def test_all_schemes_gain_over_traditional(self, fig7):
+        avg = fig7["average"]
+        for scheme in ("opportunistic", "inclusive", "exclusive",
+                       "perfect"):
+            assert avg[scheme] > 1.0, scheme
+
+    def test_render(self, fig7):
+        assert "Figure 7" in render_fig7(fig7)
+
+
+class TestFig9:
+    def test_shape(self):
+        data = run_fig9(TINY)
+        kinds = {r["kind"] for r in data["rows"]}
+        assert kinds == {"full", "tagless", "tagged-only", "combined"}
+        for row in data["rows"]:
+            total = sum(row[c] for c in ("AC-PC", "AC-PNC", "ANC-PC",
+                                         "ANC-PNC"))
+            assert total == pytest.approx(1.0)
+
+    def test_sticky_safer_than_full(self):
+        """Tagged-only (sticky) must have fewer AC-PNC than Full at the
+        same size — the Figure 9 headline."""
+        data = run_fig9(TINY)
+        rows = {(r["kind"], r["entries"]): r for r in data["rows"]}
+        assert rows[("tagged-only", 2048)]["AC-PNC"] <= \
+               rows[("full", 2048)]["AC-PNC"] + 0.01
+        assert rows[("combined", 2048)]["AC-PNC"] <= \
+               rows[("tagged-only", 2048)]["AC-PNC"] + 0.01
+
+
+class TestFig10:
+    def test_rows_and_ranges(self):
+        data = run_fig10(ExperimentSettings(n_uops=4000,
+                                            traces_per_group=1))
+        assert len(data["rows"]) == 8  # 4 groups x 2 predictors
+        for row in data["rows"]:
+            assert 0.0 <= row["misses"] <= 1.0
+            assert row["am_pm"] <= row["misses"] + 1e-9
+
+
+class TestFig12:
+    def test_metric_at_zero_penalty_is_rate(self):
+        data = run_fig12(TINY)
+        for group in data["groups"].values():
+            for row in group["rows"]:
+                assert row["curve"][0] == pytest.approx(
+                    row["prediction_rate"])
+
+    def test_curves_decrease(self):
+        data = run_fig12(TINY)
+        for group in data["groups"].values():
+            for row in group["rows"]:
+                curve = row["curve"]
+                assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_addr_predictor_most_accurate(self):
+        data = run_fig12(TINY)
+        for group in data["groups"].values():
+            accs = {r["predictor"]: r["accuracy"] for r in group["rows"]}
+            assert accs["Addr"] >= max(accs["A"], accs["B"], accs["C"]) \
+                   - 0.02
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.25]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.500" in text
+
+    def test_experiments_registry_complete(self):
+        figures = {f"fig{i}" for i in range(5, 13)}
+        assert figures <= set(EXPERIMENTS)
+        extensions = {n for n in EXPERIMENTS if n.startswith("ext-")}
+        assert {"ext-penalty", "ext-prior-art", "ext-smt"} <= extensions

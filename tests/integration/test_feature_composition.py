@@ -1,0 +1,110 @@
+"""All optional engine features enabled at once must compose cleanly."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bank.address_based import AddressBankPredictor
+from repro.common.config import BASELINE_MACHINE, CacheConfig
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.hitmiss.local import LocalHMP
+from repro.hitmiss.timing import TimingHMP
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.predictors.bimodal import BimodalPredictor
+from repro.trace.builder import build_trace
+from repro.trace.workloads import profile_for, trace_seed
+
+
+def full_featured_machine():
+    """Every optional subsystem switched on simultaneously."""
+    mem = replace(BASELINE_MACHINE.memory,
+                  l1d=CacheConfig(size_bytes=16 * 1024, n_banks=2))
+    config = replace(
+        BASELINE_MACHINE, memory=mem,
+        latency=replace(BASELINE_MACHINE.latency, forward_latency=2))
+    hierarchy = MemoryHierarchy(config.memory)
+    machine = Machine(
+        config=config,
+        scheme=make_scheme("exclusive"),
+        hmp=TimingHMP(LocalHMP(), mshr=hierarchy.mshr,
+                      serviced=hierarchy.serviced),
+        hierarchy=hierarchy,
+        branch_predictor=BimodalPredictor(1024),
+        bank_policy="predicted",
+        bank_predictor=AddressBankPredictor(),
+        collect_occupancy=True,
+    )
+    machine.collect_stall_breakdown = True
+    machine.record_timeline = True
+    return machine
+
+
+@pytest.fixture(scope="module")
+def run():
+    trace = build_trace(profile_for("cd"), n_uops=6000,
+                        seed=trace_seed("cd"), name="cd")
+    return trace, full_featured_machine().run(trace)
+
+
+class TestComposition:
+    def test_completes_and_conserves(self, run):
+        trace, result = run
+        assert result.retired_uops == len(trace)
+        assert result.classified_loads == result.retired_loads
+
+    def test_every_instrument_populated(self, run):
+        _, result = run
+        assert result.timeline
+        assert result.stall_breakdown
+        assert result.window_occupancy.total > 0
+        assert result.issue_width_used.total > 0
+        assert result.hitmiss.total > 0
+        assert result.branches > 0
+
+    def test_forwarding_active(self, run):
+        _, result = run
+        assert result.forwarded_loads > 0
+
+    def test_still_beats_traditional(self, run):
+        trace, result = run
+        baseline = Machine(scheme=make_scheme("traditional")).run(trace)
+        # The fully-featured exclusive machine must not be slower than
+        # the plain traditional baseline.
+        assert result.cycles < baseline.cycles
+
+    def test_deterministic(self, run):
+        trace, first = run
+        second = full_featured_machine().run(trace)
+        assert second.cycles == first.cycles
+        assert second.collision_penalties == first.collision_penalties
+        assert second.bank_conflicts == first.bank_conflicts
+
+    def test_report_renders(self, run):
+        from repro.engine.report import performance_report
+        _, result = run
+        text = performance_report(result)
+        assert "window occupancy" in text
+        assert "stalled uop-cycles" in text
+
+
+class TestFourBankEngine:
+    def test_four_banks_with_address_predictor(self):
+        mem = replace(BASELINE_MACHINE.memory,
+                      l1d=CacheConfig(size_bytes=16 * 1024, n_banks=4))
+        config = replace(BASELINE_MACHINE, memory=mem)
+        trace = build_trace(profile_for("gcc"), n_uops=4000,
+                            seed=trace_seed("gcc"), name="gcc")
+        results = {}
+        for policy, predictor in (
+                ("oblivious", None),
+                ("predicted", AddressBankPredictor(n_banks=4)),
+                ("oracle", None)):
+            results[policy] = Machine(
+                config=config, scheme=make_scheme("perfect"),
+                bank_policy=policy,
+                bank_predictor=predictor).run(trace)
+            assert results[policy].retired_uops == len(trace)
+        assert results["oracle"].bank_conflicts == 0
+        assert results["predicted"].bank_conflicts <= \
+               results["oblivious"].bank_conflicts

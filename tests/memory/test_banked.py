@@ -1,0 +1,87 @@
+"""Tests for the banked cache model and bank-aware scheduler."""
+
+import pytest
+
+from repro.memory.banked import BankedCache, BankScheduler
+
+
+class TestBankedCache:
+    def test_bank_mapping(self):
+        c = BankedCache(n_banks=2)
+        assert c.bank_of(0x0) == 0
+        assert c.bank_of(0x40) == 1
+        assert c.bank_of(0x80) == 0
+
+    def test_four_banks(self):
+        c = BankedCache(n_banks=4)
+        assert [c.bank_of(i * 64) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_conflicts_counting(self):
+        c = BankedCache(n_banks=2)
+        assert c.conflicts([0x0, 0x40]) == 0  # different banks
+        assert c.conflicts([0x0, 0x80]) == 1  # both bank 0
+        assert c.conflicts([0x0, 0x80, 0x100]) == 2
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BankedCache(n_banks=3)
+
+
+class TestBankSchedulerOracle:
+    def test_pairs_different_banks(self):
+        sched = BankScheduler(BankedCache(2), policy="oracle")
+        issued, conflicted = sched.select([(0x0, None), (0x40, None)])
+        assert issued == [0, 1]
+        assert conflicted == []
+
+    def test_delays_same_bank(self):
+        sched = BankScheduler(BankedCache(2), policy="oracle")
+        issued, conflicted = sched.select([(0x0, None), (0x80, None)])
+        assert issued == [0]
+        assert conflicted == []
+
+    def test_never_conflicts(self):
+        sched = BankScheduler(BankedCache(2), policy="oracle")
+        for _ in range(20):
+            sched.select([(0x0, None), (0x80, None), (0x40, None)])
+        assert sched.conflict_rate == 0.0
+
+
+class TestBankSchedulerOblivious:
+    def test_co_issues_conflicting(self):
+        sched = BankScheduler(BankedCache(2), policy="oblivious")
+        issued, conflicted = sched.select([(0x0, None), (0x80, None)])
+        assert issued == [0, 1]
+        assert conflicted == [1]
+
+    def test_bandwidth_cap(self):
+        sched = BankScheduler(BankedCache(2), policy="oblivious")
+        issued, _ = sched.select([(0x0, None), (0x40, None), (0x80, None)])
+        assert len(issued) == 2
+
+
+class TestBankSchedulerPredicted:
+    def test_correct_predictions_avoid_conflict(self):
+        sched = BankScheduler(BankedCache(2), policy="predicted")
+        issued, conflicted = sched.select([(0x0, 0), (0x80, 0), (0x40, 1)])
+        # Second load predicted to bank 0 is delayed; third (bank 1) issues.
+        assert 0 in issued and 2 in issued and 1 not in issued
+        assert conflicted == []
+
+    def test_wrong_prediction_conflicts_at_execute(self):
+        sched = BankScheduler(BankedCache(2), policy="predicted")
+        # Second load predicted bank 1 but actually bank 0.
+        issued, conflicted = sched.select([(0x0, 0), (0x80, 1)])
+        assert issued == [0, 1]
+        assert conflicted == [1]
+
+    def test_unpredicted_loads_issue(self):
+        sched = BankScheduler(BankedCache(2), policy="predicted")
+        issued, _ = sched.select([(0x0, None), (0x40, None)])
+        assert issued == [0, 1]
+
+
+class TestPolicyValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            BankScheduler(BankedCache(2), policy="psychic")

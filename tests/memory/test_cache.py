@@ -1,0 +1,127 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.memory.cache import Cache
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return Cache(CacheConfig(size_bytes=ways * sets * line,
+                             line_bytes=line, ways=ways))
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0x1000).miss
+        assert c.access(0x1000).hit
+
+    def test_same_line_hits(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert c.access(0x1000 + 63).hit  # same 64-byte line
+        assert c.access(0x1000 + 64).miss  # next line
+
+    def test_set_mapping(self):
+        c = small_cache(sets=4)
+        r = c.access(0x1000)
+        # line = 0x1000/64 = 64; set = 64 % 4 = 0
+        assert r.set_index == 0
+        assert c.access(0x1040).set_index == 1
+
+    def test_hit_rate_accounting(self):
+        c = small_cache()
+        c.access(0x0)
+        c.access(0x0)
+        c.access(0x0)
+        assert c.hit_rate == pytest.approx(2 / 3)
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        c = small_cache(ways=2, sets=1)
+        a, b, d = 0x0, 0x40, 0x80  # all map to the single set
+        c.access(a)
+        c.access(b)
+        c.access(d)  # evicts a (least recently used)
+        assert c.access(b).hit
+        assert c.access(a).miss
+
+    def test_touch_refreshes_lru(self):
+        c = small_cache(ways=2, sets=1)
+        a, b, d = 0x0, 0x40, 0x80
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a becomes MRU
+        c.access(d)  # evicts b
+        assert c.access(a).hit
+        assert c.access(b).miss
+
+    def test_eviction_reports_victim(self):
+        c = small_cache(ways=1, sets=1)
+        c.access(0x0)
+        r = c.access(0x40)
+        assert r.evicted_tag is not None
+
+
+class TestProbe:
+    def test_probe_does_not_allocate(self):
+        c = small_cache()
+        assert not c.probe(0x1000)
+        assert c.access(0x1000).miss  # still a miss: probe didn't install
+
+    def test_probe_does_not_touch_lru(self):
+        c = small_cache(ways=2, sets=1)
+        a, b, d = 0x0, 0x40, 0x80
+        c.access(a)
+        c.access(b)
+        c.probe(a)  # must NOT make a MRU
+        c.access(d)  # evicts a (still LRU)
+        assert not c.probe(a)
+        assert c.probe(b)
+
+
+class TestInvalidateAndFlush:
+    def test_invalidate(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert c.invalidate(0x1000)
+        assert not c.probe(0x1000)
+        assert not c.invalidate(0x1000)  # second time: not present
+
+    def test_flush(self):
+        c = small_cache()
+        for i in range(8):
+            c.access(i * 64)
+        c.flush()
+        assert all(not c.probe(i * 64) for i in range(8))
+
+
+class TestCapacity:
+    def test_working_set_within_capacity_all_hits(self):
+        c = small_cache(ways=4, sets=16)  # 64 lines
+        lines = [i * 64 for i in range(64)]
+        for a in lines:
+            c.access(a)
+        assert all(c.access(a).hit for a in lines)
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        c = small_cache(ways=4, sets=16)  # 64 lines
+        lines = [i * 64 for i in range(128)]
+        for a in lines:
+            c.access(a)
+        # Sequential sweep of 2x capacity with LRU: everything missed.
+        assert all(c.access(a).miss for a in lines)
+
+
+class TestBanking:
+    def test_bank_of_interleaved(self):
+        c = Cache(CacheConfig(size_bytes=16 * 1024, n_banks=2))
+        assert c.bank_of(0x0) == 0
+        assert c.bank_of(0x40) == 1
+        assert c.bank_of(0x80) == 0
+
+    def test_single_bank(self):
+        c = small_cache()
+        assert c.bank_of(0x12345) == 0

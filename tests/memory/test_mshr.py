@@ -1,0 +1,84 @@
+"""Tests for the outstanding-miss queue and serviced-load buffer."""
+
+import pytest
+
+from repro.memory.mshr import OutstandingMissQueue, ServicedLoadBuffer
+
+
+class TestOutstandingMissQueue:
+    def test_pending_until_arrival(self):
+        q = OutstandingMissQueue(4)
+        q.insert(line=10, ready_cycle=100)
+        assert q.pending_until(10, now=50) == 100
+        assert 10 in q
+
+    def test_not_pending_after_arrival(self):
+        q = OutstandingMissQueue(4)
+        q.insert(10, 100)
+        assert q.pending_until(10, now=100) is None
+
+    def test_expire_removes_arrived(self):
+        q = OutstandingMissQueue(4)
+        q.insert(10, 100)
+        q.insert(11, 200)
+        q.expire(now=150)
+        assert 10 not in q
+        assert 11 in q
+
+    def test_merge_keeps_earlier_arrival(self):
+        q = OutstandingMissQueue(4)
+        q.insert(10, 100)
+        q.insert(10, 300)
+        assert q.pending_until(10, 0) == 100
+
+    def test_capacity_drops_oldest(self):
+        q = OutstandingMissQueue(2)
+        q.insert(1, 100)
+        q.insert(2, 100)
+        q.insert(3, 100)
+        assert 1 not in q
+        assert 2 in q and 3 in q
+        assert len(q) == 2
+
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            OutstandingMissQueue(0)
+
+    def test_clear(self):
+        q = OutstandingMissQueue(4)
+        q.insert(1, 100)
+        q.clear()
+        assert len(q) == 0
+
+
+class TestServicedLoadBuffer:
+    def test_recently_serviced_window(self):
+        b = ServicedLoadBuffer(retention_cycles=100)
+        b.insert(line=5, arrival_cycle=1000)
+        assert b.recently_serviced(5, now=1050)
+        assert not b.recently_serviced(5, now=1101)
+
+    def test_unknown_line(self):
+        b = ServicedLoadBuffer()
+        assert not b.recently_serviced(5, now=0)
+
+    def test_capacity_eviction(self):
+        b = ServicedLoadBuffer(n_entries=2)
+        b.insert(1, 10)
+        b.insert(2, 10)
+        b.insert(3, 10)
+        assert not b.recently_serviced(1, 10)
+        assert b.recently_serviced(3, 10)
+
+    def test_reinsert_refreshes(self):
+        b = ServicedLoadBuffer(n_entries=2)
+        b.insert(1, 10)
+        b.insert(2, 10)
+        b.insert(1, 20)  # refresh: 1 becomes newest
+        b.insert(3, 20)  # evicts 2
+        assert b.recently_serviced(1, 20)
+        assert not b.recently_serviced(2, 20)
+
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            ServicedLoadBuffer(0)

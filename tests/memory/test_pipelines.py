@@ -1,0 +1,67 @@
+"""Tests for the Figure 4 memory-pipeline models."""
+
+import pytest
+
+from repro.memory.pipelines import (
+    ALL_PIPELINES,
+    CONVENTIONAL_BANKED,
+    DUAL_SCHEDULED,
+    SLICED_BANKED,
+    TRULY_MULTIPORTED,
+    PipelineKind,
+)
+
+
+class TestLatencyStructure:
+    def test_multiported_is_reference(self):
+        assert TRULY_MULTIPORTED.extra_latency == 0
+        assert TRULY_MULTIPORTED.conflict_penalty == 0
+        assert TRULY_MULTIPORTED.mispredict_penalty == 0
+
+    def test_sliced_matches_ideal_latency(self):
+        """Figure 4's key claim: the sliced pipe has ideal latency."""
+        assert SLICED_BANKED.load_latency(5) == \
+               TRULY_MULTIPORTED.load_latency(5)
+
+    def test_conventional_and_dual_add_latency(self):
+        base = TRULY_MULTIPORTED.load_latency(5)
+        assert CONVENTIONAL_BANKED.load_latency(5) > base
+        assert DUAL_SCHEDULED.load_latency(5) > base
+
+    def test_only_sliced_needs_predictor(self):
+        needing = [p.kind for p in ALL_PIPELINES if p.needs_bank_predictor]
+        assert needing == [PipelineKind.SLICED_BANKED]
+
+
+class TestExpectedTime:
+    def test_no_conflicts_no_penalty(self):
+        t = TRULY_MULTIPORTED.expected_load_time(5, conflict_rate=0.5)
+        assert t == 5.0  # conflicts are free on a true multi-port
+
+    def test_conventional_pays_conflicts(self):
+        t0 = CONVENTIONAL_BANKED.expected_load_time(5, 0.0)
+        t1 = CONVENTIONAL_BANKED.expected_load_time(5, 0.3)
+        assert t1 > t0
+
+    def test_dual_scheduled_conflict_free(self):
+        assert DUAL_SCHEDULED.expected_load_time(5, 0.5) == \
+               DUAL_SCHEDULED.expected_load_time(5, 0.0)
+
+    def test_sliced_pays_mispredictions(self):
+        t0 = SLICED_BANKED.expected_load_time(5, 0.0, mispredict_rate=0.0)
+        t1 = SLICED_BANKED.expected_load_time(5, 0.0, mispredict_rate=0.1)
+        assert t1 > t0
+
+    def test_crossover_sliced_vs_dual(self):
+        """With an accurate predictor the sliced pipe beats dual-scheduled;
+        with a poor one it loses — the design trade-off of section 2.3."""
+        accurate = SLICED_BANKED.expected_load_time(5, 0, mispredict_rate=0.02)
+        poor = SLICED_BANKED.expected_load_time(5, 0, mispredict_rate=0.6)
+        dual = DUAL_SCHEDULED.expected_load_time(5, 0.3)
+        assert accurate < dual < poor
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            SLICED_BANKED.expected_load_time(5, 1.5)
+        with pytest.raises(ValueError):
+            SLICED_BANKED.expected_load_time(5, 0.0, mispredict_rate=-0.1)

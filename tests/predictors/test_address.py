@@ -1,0 +1,101 @@
+"""Tests for the stride/last-address predictor."""
+
+import pytest
+
+from repro.predictors.address import StrideAddressPredictor
+
+
+class TestColdBehaviour:
+    def test_unknown_pc_abstains(self):
+        p = StrideAddressPredictor()
+        assert p.predict(0x400) is None
+        assert p.confidence(0x400) == 0.0
+
+    def test_needs_confirmations(self):
+        p = StrideAddressPredictor(predict_threshold=2)
+        pc = 0x400
+        p.update(pc, 100)
+        assert p.predict(pc) is None  # one observation: no stride yet
+        p.update(pc, 108)
+        assert p.predict(pc) is None  # stride differs from initial 0
+
+
+class TestStrideLearning:
+    def test_constant_address(self):
+        """Stride 0 (e.g. a stack slot) converges quickly."""
+        p = StrideAddressPredictor(predict_threshold=2)
+        pc = 0x400
+        for _ in range(4):
+            p.update(pc, 0x7FFF0010)
+        assert p.predict(pc) == 0x7FFF0010
+
+    def test_positive_stride(self):
+        p = StrideAddressPredictor(predict_threshold=2)
+        pc = 0x500
+        addr = 0x1000
+        p.update(pc, addr)
+        for _ in range(6):
+            addr += 64
+            p.update(pc, addr)
+        assert p.predict(pc) == addr + 64
+
+    def test_negative_stride(self):
+        p = StrideAddressPredictor(predict_threshold=2)
+        pc = 0x500
+        addr = 0x9000
+        p.update(pc, addr)
+        for _ in range(6):
+            addr -= 8
+            p.update(pc, addr)
+        assert p.predict(pc) == addr - 8
+
+    def test_stride_change_adopted_after_drain(self):
+        p = StrideAddressPredictor(predict_threshold=2, confidence_bits=2)
+        pc = 0x600
+        addr = 0
+        p.update(pc, addr)
+        for _ in range(8):
+            addr += 4
+            p.update(pc, addr)
+        assert p.predict(pc) == addr + 4
+        # Switch to stride 128; old stride must eventually be replaced.
+        for _ in range(12):
+            addr += 128
+            p.update(pc, addr)
+        assert p.predict(pc) == addr + 128
+
+
+class TestInstability:
+    def test_random_addresses_abstain(self):
+        import random
+        rng = random.Random(3)
+        p = StrideAddressPredictor(predict_threshold=2)
+        pc = 0x700
+        for _ in range(50):
+            p.update(pc, rng.randrange(1 << 20))
+        # Unstable strides never confirm: the predictor abstains.
+        assert p.predict(pc) is None
+
+    def test_tag_mismatch_reallocates(self):
+        p = StrideAddressPredictor(n_entries=1, predict_threshold=2)
+        # Two different PCs share the single entry: the second evicts.
+        for _ in range(4):
+            p.update(0x100, 0x1000)
+        p.update(0x20004, 0x2000)
+        assert p.predict(0x100) is None
+
+    def test_reset(self):
+        p = StrideAddressPredictor()
+        for _ in range(4):
+            p.update(0x100, 0x1000)
+        p.reset()
+        assert p.predict(0x100) is None
+
+
+class TestMeta:
+    def test_storage_positive(self):
+        assert StrideAddressPredictor().storage_bits > 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            StrideAddressPredictor(n_entries=1000)

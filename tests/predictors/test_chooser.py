@@ -1,0 +1,124 @@
+"""Tests for the predictor combination policies."""
+
+import pytest
+
+from repro.predictors.base import AlwaysPredictor, BinaryPredictor, Prediction
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.chooser import (
+    ConfidenceFilter,
+    MajorityChooser,
+    WeightedChooser,
+    vote_breakdown,
+)
+
+
+class _Fixed(BinaryPredictor):
+    """A component with a fixed outcome and confidence, counting updates."""
+
+    def __init__(self, outcome, confidence=1.0):
+        self.outcome = outcome
+        self.confidence = confidence
+        self.updates = 0
+
+    def predict(self, pc):
+        return Prediction(outcome=self.outcome, confidence=self.confidence)
+
+    def update(self, pc, outcome):
+        self.updates += 1
+
+    def reset(self):
+        self.updates = 0
+
+    @property
+    def storage_bits(self):
+        return 8
+
+
+class TestMajorityChooser:
+    def test_requires_odd_count(self):
+        with pytest.raises(ValueError):
+            MajorityChooser([_Fixed(True), _Fixed(False)])
+
+    def test_two_of_three_wins(self):
+        c = MajorityChooser([_Fixed(True), _Fixed(True), _Fixed(False)])
+        assert c.predict(0x1).outcome
+
+    def test_unanimous_full_confidence(self):
+        c = MajorityChooser([_Fixed(True)] * 3)
+        assert c.predict(0x1).confidence == pytest.approx(1.0)
+
+    def test_split_low_confidence(self):
+        c = MajorityChooser([_Fixed(True), _Fixed(True), _Fixed(False)])
+        assert c.predict(0x1).confidence == pytest.approx(1.0 / 3.0)
+
+    def test_update_trains_all(self):
+        comps = [_Fixed(True), _Fixed(True), _Fixed(False)]
+        c = MajorityChooser(comps)
+        c.update(0x1, True)
+        assert all(comp.updates == 1 for comp in comps)
+
+    def test_storage_sums(self):
+        c = MajorityChooser([_Fixed(True)] * 3)
+        assert c.storage_bits == 24
+
+
+class TestWeightedChooser:
+    def test_weight_overrides_majority(self):
+        # One heavy True voter beats two light False voters.
+        c = WeightedChooser([_Fixed(True), _Fixed(False), _Fixed(False)],
+                            weights=[3.0, 1.0, 1.0])
+        assert c.predict(0x1).outcome
+
+    def test_abstains_below_threshold(self):
+        c = WeightedChooser([_Fixed(True), _Fixed(False)],
+                            weights=[1.0, 1.0], threshold=0.5)
+        assert not c.predict(0x1).valid
+
+    def test_confidence_scaling(self):
+        # A confident False outweighs an unconfident True.
+        c = WeightedChooser([_Fixed(True, confidence=0.1),
+                             _Fixed(False, confidence=1.0)],
+                            confidence_scaled=True)
+        assert not c.predict(0x1).outcome
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ValueError):
+            WeightedChooser([_Fixed(True)], weights=[1.0, 2.0])
+
+    def test_confidence_normalised(self):
+        c = WeightedChooser([_Fixed(True), _Fixed(True)])
+        p = c.predict(0x1)
+        assert 0.0 <= p.confidence <= 1.0
+
+
+class TestConfidenceFilter:
+    def test_passes_confident(self):
+        f = ConfidenceFilter(_Fixed(True, confidence=0.9),
+                             min_confidence=0.5)
+        assert f.predict(0x1).valid and f.predict(0x1).outcome
+
+    def test_abstains_unconfident(self):
+        f = ConfidenceFilter(_Fixed(True, confidence=0.2),
+                             min_confidence=0.5)
+        assert not f.predict(0x1).valid
+
+    def test_trains_component(self):
+        inner = _Fixed(True)
+        f = ConfidenceFilter(inner)
+        f.update(0x1, False)
+        assert inner.updates == 1
+
+
+class TestVoteBreakdown:
+    def test_counts(self):
+        comps = [_Fixed(True), _Fixed(False), _Fixed(True)]
+        assert vote_breakdown(comps, 0x1) == (2, 1)
+
+
+class TestIntegrationWithRealComponents:
+    def test_majority_of_bimodals_learns(self):
+        c = MajorityChooser([BimodalPredictor(64) for _ in range(3)])
+        pc = 0x40
+        for _ in range(8):
+            c.update(pc, True)
+        assert c.predict(pc).outcome

@@ -1,0 +1,118 @@
+"""Tests for the JRS resetting-counter confidence estimator."""
+
+import random
+
+import pytest
+
+from repro.predictors.base import AlwaysPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.confidence import (
+    ConfidenceEstimator,
+    ConfidentPredictor,
+)
+
+
+class TestEstimator:
+    def test_starts_unconfident(self):
+        e = ConfidenceEstimator()
+        assert e.confidence(0x100) == 0.0
+        assert not e.is_confident(0x100)
+
+    def test_streak_builds_confidence(self):
+        e = ConfidenceEstimator(counter_bits=4, threshold=8)
+        for _ in range(8):
+            e.record(0x100, correct=True)
+        assert e.is_confident(0x100)
+        assert e.confidence(0x100) == pytest.approx(8 / 15)
+
+    def test_one_miss_resets(self):
+        """The defining JRS property: any wrong prediction clears the
+        streak entirely."""
+        e = ConfidenceEstimator(counter_bits=4, threshold=8)
+        for _ in range(15):
+            e.record(0x100, correct=True)
+        e.record(0x100, correct=False)
+        assert e.confidence(0x100) == 0.0
+        assert not e.is_confident(0x100)
+
+    def test_saturates(self):
+        e = ConfidenceEstimator(counter_bits=2, threshold=3)
+        for _ in range(10):
+            e.record(0x100, correct=True)
+        assert e.confidence(0x100) == 1.0
+
+    def test_pcs_independent(self):
+        e = ConfidenceEstimator()
+        for _ in range(10):
+            e.record(0x100, correct=True)
+        assert e.confidence(0x9000) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(counter_bits=0)
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(counter_bits=2, threshold=9)
+
+    def test_reset(self):
+        e = ConfidenceEstimator()
+        for _ in range(10):
+            e.record(0x100, correct=True)
+        e.reset()
+        assert e.confidence(0x100) == 0.0
+
+
+class TestConfidentPredictor:
+    def test_measured_confidence_replaces_structural(self):
+        """An always-right constant predictor gains confidence with use;
+        a cold one has none despite the constant's structural 1.0."""
+        p = ConfidentPredictor(AlwaysPredictor(True))
+        assert p.predict(0x100).confidence == 0.0
+        for _ in range(16):
+            p.update(0x100, True)
+        assert p.predict(0x100).confidence == 1.0
+
+    def test_wrong_predictions_destroy_confidence(self):
+        p = ConfidentPredictor(AlwaysPredictor(True))
+        for _ in range(16):
+            p.update(0x100, True)
+        p.update(0x100, False)
+        assert p.predict(0x100).confidence == 0.0
+
+    def test_confidence_separates_predictable_from_random(self):
+        """On a mixed site population, the estimator's confidence ranks
+        the predictable PCs above the noisy ones."""
+        rng = random.Random(3)
+        p = ConfidentPredictor(BimodalPredictor(256),
+                               ConfidenceEstimator(threshold=4))
+        stable_pc, noisy_pc = 0x100, 0x2000
+        for _ in range(200):
+            p.update(stable_pc, True)
+            p.update(noisy_pc, rng.random() < 0.5)
+        assert p.predict(stable_pc).confidence > \
+               p.predict(noisy_pc).confidence
+
+    def test_inner_still_learns(self):
+        p = ConfidentPredictor(BimodalPredictor(256))
+        for _ in range(8):
+            p.update(0x100, True)
+        assert p.predict(0x100).outcome
+
+    def test_reset(self):
+        p = ConfidentPredictor(BimodalPredictor(256))
+        for _ in range(8):
+            p.update(0x100, True)
+        p.reset()
+        assert p.predict(0x100).confidence == 0.0
+
+    def test_works_in_bank_predictor(self):
+        """JRS-confident components drop into the bank chooser stack."""
+        from repro.bank.history import HistoryBankPredictor
+        components = [ConfidentPredictor(BimodalPredictor(256))
+                      for _ in range(3)]
+        bank = HistoryBankPredictor(components, abstain_threshold=0.5)
+        # Cold: zero measured confidence everywhere -> abstain.
+        assert not bank.predict(0x100).predicted
+        for _ in range(40):
+            bank.update(0x100, 1)
+        prediction = bank.predict(0x100)
+        assert prediction.predicted and prediction.bank == 1

@@ -1,0 +1,125 @@
+"""Tests for the correlated ([Beke99]-style) address predictor."""
+
+import random
+
+import pytest
+
+from repro.predictors.address import StrideAddressPredictor
+from repro.predictors.correlated import CorrelatedAddressPredictor
+
+
+def accuracy(predictor, deltas, n=300, warmup=60, base=0x1000):
+    addr = base
+    correct = total = 0
+    for i in range(n):
+        nxt = addr + deltas[i % len(deltas)]
+        pred = predictor.predict(0x100)
+        if i >= warmup:
+            total += 1
+            correct += pred == nxt
+        predictor.update(0x100, nxt)
+        addr = nxt
+    return correct / total
+
+
+class TestStrideEquivalence:
+    def test_constant_address(self):
+        p = CorrelatedAddressPredictor()
+        for _ in range(6):
+            p.update(0x100, 0x4000)
+        assert p.predict(0x100) == 0x4000
+
+    def test_plain_stride(self):
+        assert accuracy(CorrelatedAddressPredictor(), [64]) > 0.95
+
+    def test_dominates_stride_predictor_on_strides(self):
+        corr = accuracy(CorrelatedAddressPredictor(), [8])
+        stride = accuracy(StrideAddressPredictor(), [8])
+        assert corr >= stride - 0.02
+
+
+class TestCorrelation:
+    def test_alternating_deltas(self):
+        """The [Beke99] motivation: A,B,A,B delta patterns."""
+        assert accuracy(CorrelatedAddressPredictor(), [64, 192]) > 0.9
+
+    def test_stride_predictor_fails_alternating(self):
+        """Sanity: the plain stride table cannot learn this."""
+        assert accuracy(StrideAddressPredictor(), [64, 192]) < 0.2
+
+    def test_period_three_pattern(self):
+        p = CorrelatedAddressPredictor(history_length=2)
+        assert accuracy(p, [8, 8, 128]) > 0.85
+
+    def test_longer_history_catches_longer_period(self):
+        short = accuracy(
+            CorrelatedAddressPredictor(history_length=1), [4, 4, 4, 96])
+        longer = accuracy(
+            CorrelatedAddressPredictor(history_length=3), [4, 4, 4, 96])
+        assert longer >= short
+
+
+class TestRobustness:
+    def test_random_addresses_mostly_abstain(self):
+        rng = random.Random(0)
+        p = CorrelatedAddressPredictor()
+        predictions = 0
+        for _ in range(300):
+            if p.predict(0x100) is not None:
+                predictions += 1
+            p.update(0x100, rng.randrange(1 << 24))
+        assert predictions < 100
+
+    def test_confidence_in_unit_interval(self):
+        p = CorrelatedAddressPredictor()
+        addr = 0
+        for _ in range(50):
+            assert 0.0 <= p.confidence(0x100) <= 1.0
+            addr += 64
+            p.update(0x100, addr)
+
+    def test_tag_conflict_reallocates(self):
+        p = CorrelatedAddressPredictor(l1_entries=1)
+        for _ in range(6):
+            p.update(0x100, 0x4000)
+        p.update(0x20004, 0x8000)  # same slot, different tag
+        assert p.predict(0x100) is None
+
+    def test_reset(self):
+        p = CorrelatedAddressPredictor()
+        for _ in range(6):
+            p.update(0x100, 0x4000)
+        p.reset()
+        assert p.predict(0x100) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedAddressPredictor(history_length=0)
+        with pytest.raises(ValueError):
+            CorrelatedAddressPredictor(l1_entries=1000)
+
+    def test_storage_positive(self):
+        assert CorrelatedAddressPredictor().storage_bits > 0
+
+
+class TestAsBankPredictor:
+    def test_plugs_into_bank_adapter(self):
+        from repro.bank.address_based import AddressBankPredictor
+        bank = AddressBankPredictor(
+            address_predictor=CorrelatedAddressPredictor())
+        addr = 0x1000
+        deltas = [64, 192]
+        for i in range(100):
+            nxt = addr + deltas[i % 2]
+            bank.update(0x100, (nxt // 64) % 2, nxt)
+            addr = nxt
+        correct = total = 0
+        for i in range(20):
+            nxt = addr + deltas[i % 2]
+            pred = bank.predict(0x100)
+            total += 1
+            if pred.predicted and pred.bank == (nxt // 64) % 2:
+                correct += 1
+            bank.update(0x100, (nxt // 64) % 2, nxt)
+            addr = nxt
+        assert correct / total > 0.8

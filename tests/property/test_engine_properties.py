@@ -1,0 +1,75 @@
+"""Property-based tests for the engine on randomly generated micro-traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import BASELINE_MACHINE
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from tests.engine.helpers import MicroTrace
+
+
+@st.composite
+def micro_traces(draw):
+    """A random but well-formed short uop sequence."""
+    t = MicroTrace()
+    n = draw(st.integers(min_value=1, max_value=40))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["alu", "load", "store", "branch",
+                                     "chain"]))
+        if kind == "alu":
+            t.alu(dst=draw(st.integers(0, 7)))
+        elif kind == "chain":
+            src = draw(st.integers(0, 7))
+            t.alu(dst=draw(st.integers(0, 7)), srcs=(src,))
+        elif kind == "load":
+            t.load(dst=draw(st.integers(0, 7)),
+                   address=draw(st.integers(0, 63)) * 64,
+                   addr_src=draw(st.sampled_from([15, 0, 3])))
+        elif kind == "store":
+            t.store(address=draw(st.integers(0, 63)) * 64,
+                    data_src=draw(st.sampled_from([15, 1])))
+        else:
+            t.branch(mispredicted=draw(st.booleans()))
+    return t.build()
+
+
+SCHEMES = ["traditional", "opportunistic", "inclusive", "exclusive",
+           "perfect", "storesets", "barrier"]
+
+
+class TestEngineTotality:
+    @given(micro_traces(), st.sampled_from(SCHEMES))
+    @settings(max_examples=60, deadline=None)
+    def test_every_trace_terminates_and_retires_all(self, trace, scheme):
+        result = Machine(scheme=make_scheme(scheme)).run(trace)
+        assert result.retired_uops == len(trace)
+        assert result.cycles > 0
+
+    @given(micro_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_never_slower_than_opportunistic(self, trace):
+        perfect = Machine(scheme=make_scheme("perfect")).run(trace)
+        opportunistic = Machine(
+            scheme=make_scheme("opportunistic")).run(trace)
+        assert perfect.cycles <= opportunistic.cycles
+
+    @given(micro_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_has_no_penalties(self, trace):
+        result = Machine(scheme=make_scheme("perfect")).run(trace)
+        assert result.collision_penalties == 0
+
+    @given(micro_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_classification_is_total(self, trace):
+        result = Machine(scheme=make_scheme("traditional")).run(trace)
+        assert result.classified_loads == result.retired_loads
+
+    @given(micro_traces(), st.sampled_from([8, 16, 64]))
+    @settings(max_examples=40, deadline=None)
+    def test_any_window_size_works(self, trace, window):
+        config = BASELINE_MACHINE.with_window(window)
+        result = Machine(config=config,
+                         scheme=make_scheme("traditional")).run(trace)
+        assert result.retired_uops == len(trace)

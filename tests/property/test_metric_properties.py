@@ -1,0 +1,69 @@
+"""Property-based tests for the bank metric and the engine invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bank.metric import (
+    gain_per_load,
+    load_execution_time,
+    metric,
+    ratio_from_accuracy,
+)
+
+rates = st.floats(min_value=0.0, max_value=1.0)
+ratios = st.floats(min_value=0.1, max_value=1000.0)
+penalties = st.floats(min_value=0.0, max_value=20.0)
+
+
+class TestMetricProperties:
+    @given(rates, ratios,
+           st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=200, deadline=None)
+    def test_time_bounded_below_by_paired_ideal(self, p, r, pen):
+        """Execution time never beats the dual-port ideal of 0.5.
+
+        Holds whenever the misprediction penalty is at least the paired
+        execution time itself (0.5); the paper's formula charges a
+        mispredicted load only its penalty, so smaller penalties can
+        dip below the ideal — a documented quirk of the approximation.
+        """
+        assert load_execution_time(p, r, pen) >= 0.5 - 1e-12
+
+    @given(rates, ratios)
+    @settings(max_examples=200, deadline=None)
+    def test_zero_penalty_gain_nonnegative(self, p, r):
+        assert gain_per_load(p, r, 0.0) >= -1e-12
+
+    @given(rates, ratios, penalties, penalties)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_penalty(self, p, r, pen_a, pen_b):
+        lo, hi = sorted((pen_a, pen_b))
+        assert metric(p, r, lo) >= metric(p, r, hi) - 1e-12
+
+    @given(rates, rates, ratios, penalties)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_prediction_rate_when_profitable(self, p_a, p_b,
+                                                         r, pen):
+        """When predicting is profitable (metric > 0), more predictions
+        help; when it costs, fewer help.  Check via sign consistency."""
+        lo, hi = sorted((p_a, p_b))
+        per_pred_gain = gain_per_load(1.0, r, pen)
+        if per_pred_gain >= 0:
+            assert metric(hi, r, pen) >= metric(lo, r, pen) - 1e-12
+        else:
+            assert metric(hi, r, pen) <= metric(lo, r, pen) + 1e-12
+
+    @given(rates, ratios, penalties)
+    @settings(max_examples=200, deadline=None)
+    def test_exact_and_approximate_agree_for_large_r(self, p, r, pen):
+        if r > 50 and pen < 5:
+            exact = metric(p, r, pen)
+            approx = metric(p, r, pen, approximate=True)
+            assert abs(exact - approx) < 0.05
+
+    @given(st.floats(min_value=0.01, max_value=0.999))
+    @settings(max_examples=100, deadline=None)
+    def test_ratio_conversion_consistent(self, acc):
+        r = ratio_from_accuracy(acc)
+        assert r > 0
+        assert abs(r / (1 + r) - acc) < 1e-9

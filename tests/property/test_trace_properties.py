@@ -1,0 +1,49 @@
+"""Property-based tests over trace generation and serialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import trace_io
+from repro.trace.builder import build_trace
+from repro.trace.trace import summarize, validate
+from repro.trace.workloads import TRACE_GROUPS, profile_for
+
+ALL_TRACES = [n for names in TRACE_GROUPS.values() for n in names]
+
+
+class TestGeneratedTraces:
+    @given(st.sampled_from(ALL_TRACES),
+           st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_profile_any_seed_is_valid(self, name, seed):
+        trace = build_trace(profile_for(name), n_uops=1500, seed=seed)
+        validate(trace)
+
+    @given(st.sampled_from(ALL_TRACES),
+           st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_mix_bands_hold_for_any_seed(self, name, seed):
+        trace = build_trace(profile_for(name), n_uops=3000, seed=seed)
+        s = summarize(trace)
+        assert 0.05 < s.load_fraction < 0.35
+        assert 0.03 < s.store_fraction < 0.25
+
+    @given(st.sampled_from(ALL_TRACES), st.integers(1, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_serialisation_roundtrip(self, name, seed):
+        trace = build_trace(profile_for(name), n_uops=800, seed=seed)
+        restored = trace_io.loads(trace_io.dumps(trace))
+        validate(restored)
+        assert len(restored) == len(trace)
+        assert all(a.pc == b.pc and a.uclass == b.uclass
+                   for a, b in zip(trace.uops, restored.uops))
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_code_scale_grows_static_footprint(self, scale):
+        base = build_trace(profile_for("cd"), n_uops=3000, seed=1)
+        scaled = build_trace(profile_for("cd", code_scale=scale),
+                             n_uops=3000, seed=1)
+        if scale > 1:
+            assert summarize(scaled).n_static_load_pcs >= \
+                   summarize(base).n_static_load_pcs

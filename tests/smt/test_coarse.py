@@ -1,0 +1,123 @@
+"""Tests for the switch-on-miss multithreading model."""
+
+import pytest
+
+from repro.smt import CoarseGrainedMT, SwitchPolicy, make_policy
+from repro.trace.builder import build_trace
+from repro.trace.workloads import profile_for, trace_seed
+
+
+@pytest.fixture(scope="module")
+def threads():
+    return [build_trace(profile_for(name), n_uops=4000,
+                        seed=trace_seed(name), name=name)
+            for name in ("tpcc", "jack")]
+
+
+@pytest.fixture(scope="module")
+def results(threads):
+    return {policy: CoarseGrainedMT(policy=policy).run(threads)
+            for policy in SwitchPolicy}
+
+
+class TestBasics:
+    def test_policy_factory(self):
+        assert make_policy("predicted") is SwitchPolicy.PREDICTED
+        with pytest.raises(ValueError):
+            make_policy("psychic")
+
+    def test_needs_threads(self):
+        with pytest.raises(ValueError):
+            CoarseGrainedMT().run([])
+
+    def test_all_uops_retire(self, results, threads):
+        expected = sum(len(t.uops) for t in threads)
+        for policy, result in results.items():
+            assert result.retired_uops == expected, policy
+
+    def test_single_thread_runs(self, threads):
+        result = CoarseGrainedMT(policy=SwitchPolicy.PREDICTED).run(
+            threads[:1])
+        assert result.retired_uops == len(threads[0].uops)
+
+    def test_deterministic(self, threads):
+        a = CoarseGrainedMT(policy=SwitchPolicy.REACTIVE).run(threads)
+        b = CoarseGrainedMT(policy=SwitchPolicy.REACTIVE).run(threads)
+        assert a.cycles == b.cycles
+
+
+class TestPolicyOrdering:
+    def test_switching_beats_not_switching(self, results):
+        """Any switch-on-miss policy must beat stalling through memory."""
+        none = results[SwitchPolicy.NONE].cycles
+        for policy in (SwitchPolicy.REACTIVE, SwitchPolicy.PREDICTED,
+                       SwitchPolicy.ORACLE):
+            assert results[policy].cycles < none, policy
+
+    def test_prediction_beats_reactive(self, results):
+        """The paper's claim: switching at schedule time (prediction)
+        beats waiting for the L2 lookup to reveal the miss."""
+        assert results[SwitchPolicy.PREDICTED].cycles <= \
+               results[SwitchPolicy.REACTIVE].cycles
+
+    def test_prediction_near_oracle(self, results):
+        predicted = results[SwitchPolicy.PREDICTED].cycles
+        oracle = results[SwitchPolicy.ORACLE].cycles
+        assert predicted <= oracle * 1.05
+
+    def test_oracle_never_wastes_switches(self, results):
+        assert results[SwitchPolicy.ORACLE].wasted_switches == 0
+        assert results[SwitchPolicy.REACTIVE].wasted_switches == 0
+
+    def test_none_policy_stalls(self, results):
+        assert results[SwitchPolicy.NONE].stall_cycles > 0
+        assert results[SwitchPolicy.NONE].switches <= 1
+
+
+class TestAccounting:
+    def test_throughput(self, results):
+        for policy, result in results.items():
+            assert result.throughput == pytest.approx(
+                result.retired_uops / result.cycles)
+
+    def test_speedup_helper(self, results):
+        none = results[SwitchPolicy.NONE]
+        predicted = results[SwitchPolicy.PREDICTED]
+        assert predicted.speedup_over(none) > 1.0
+
+    def test_four_threads(self):
+        traces = [build_trace(profile_for(n), n_uops=2000,
+                              seed=trace_seed(n), name=n)
+                  for n in ("tpcc", "tpcd", "jack", "db")]
+        result = CoarseGrainedMT(policy=SwitchPolicy.PREDICTED).run(traces)
+        assert result.retired_uops == sum(len(t.uops) for t in traces)
+
+
+class TestFineGrained:
+    def test_all_uops_retire(self, threads):
+        from repro.smt import FineGrainedMT
+        result = FineGrainedMT().run(threads)
+        assert result.retired_uops == sum(len(t.uops) for t in threads)
+
+    def test_beats_coarse_grained(self, threads, results):
+        """Free per-cycle rotation (no switch penalty) upper-bounds the
+        coarse-grained policies — the [Tull95] motivation."""
+        from repro.smt import FineGrainedMT
+        fine = FineGrainedMT().run(threads)
+        assert fine.cycles <= results[SwitchPolicy.PREDICTED].cycles
+
+    def test_beats_no_switching(self, threads, results):
+        from repro.smt import FineGrainedMT
+        fine = FineGrainedMT().run(threads)
+        assert fine.cycles < results[SwitchPolicy.NONE].cycles
+
+    def test_needs_threads(self):
+        from repro.smt import FineGrainedMT
+        with pytest.raises(ValueError):
+            FineGrainedMT().run([])
+
+    def test_deterministic(self, threads):
+        from repro.smt import FineGrainedMT
+        a = FineGrainedMT().run(threads)
+        b = FineGrainedMT().run(threads)
+        assert a.cycles == b.cycles

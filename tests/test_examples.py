@@ -1,0 +1,40 @@
+"""Every example script must run to completion.
+
+The examples are the library's front door; a broken one is a release
+blocker.  ``paper_tour`` is exercised implicitly through the experiment
+harness tests (it is just a driver over them) and skipped here for
+runtime.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_workload.py",
+    "multithreading_study.py",
+    "banked_cache_study.py",
+    "hitmiss_study.py",
+    "disambiguation_study.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), script
+    proc = subprocess.run([sys.executable, str(path)],
+                          capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} printed nothing"
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= scripts
+    assert "paper_tour.py" in scripts

@@ -1,0 +1,37 @@
+"""The README's code must work as written."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.S)
+
+
+class TestReadme:
+    def test_exists_and_names_the_paper(self):
+        text = README.read_text(encoding="utf-8")
+        assert "Speculation Techniques" in text
+        assert "ISCA" in text
+
+    def test_quickstart_snippet_runs(self):
+        blocks = python_blocks()
+        assert blocks, "README has no python snippet"
+        snippet = blocks[0]
+        # Shrink the trace so the doc test stays fast.
+        snippet = snippet.replace("n_uops=20_000", "n_uops=4_000")
+        namespace: dict = {}
+        exec(compile(snippet, "README.md", "exec"), namespace)  # noqa: S102
+
+    def test_documented_commands_exist(self):
+        """Every `python -m repro...` figure the README mentions is a
+        registered experiment."""
+        from repro.experiments import EXPERIMENTS
+        text = README.read_text(encoding="utf-8")
+        for figure in re.findall(r"`(fig\d+|ext-[a-z-]+)`", text):
+            assert figure in EXPERIMENTS, figure

@@ -1,0 +1,233 @@
+"""Tests for the trace builder and scenes."""
+
+import random
+
+import pytest
+
+from repro.common.types import UopClass
+from repro.trace.builder import (
+    ArrayLoopScene,
+    BranchScene,
+    CallScene,
+    N_ALLOC_REGS,
+    PointerChaseScene,
+    RandomAccessScene,
+    STABLE_REGS,
+    TraceBuilder,
+    WeightedScene,
+    build_from_scenes,
+)
+from repro.trace.streams import PointerChaseStream, RandomStream, StrideStream
+from repro.trace.trace import validate
+
+
+class TestTraceBuilder:
+    def test_sequence_numbers_dense(self):
+        b = TraceBuilder()
+        rng = random.Random(0)
+        b.emit_int(0x100, rng)
+        b.emit_load(0x104, 0x1000, rng)
+        b.emit_store(0x108, 0x2000, rng)
+        assert [u.seq for u in b.uops] == [0, 1, 2, 3]
+
+    def test_store_emits_sta_std_pair(self):
+        b = TraceBuilder()
+        rng = random.Random(0)
+        sta, std = b.emit_store(0x100, 0x2000, rng)
+        assert sta.uclass == UopClass.STA
+        assert std.uclass == UopClass.STD
+        assert std.sta_seq == sta.seq
+        assert sta.mem.address == 0x2000
+
+    def test_stable_regs_never_allocated(self):
+        b = TraceBuilder()
+        rng = random.Random(0)
+        for _ in range(100):
+            u = b.emit_int(0x100, rng)
+            assert u.dst not in STABLE_REGS
+            assert u.dst < N_ALLOC_REGS
+
+    def test_stable_address_srcs(self):
+        b = TraceBuilder(p_stable_load_addr=1.0)
+        rng = random.Random(0)
+        for _ in range(20):
+            u = b.emit_load(0x100, 0x1000, rng)
+            assert u.srcs[0] in STABLE_REGS
+
+    def test_unstable_address_srcs(self):
+        b = TraceBuilder(p_stable_load_addr=0.0)
+        rng = random.Random(0)
+        srcs = {b.emit_load(0x100, 0x1000, rng).srcs[0] for _ in range(50)}
+        assert srcs - set(STABLE_REGS)  # at least some computed sources
+
+    def test_branch_annotations(self):
+        b = TraceBuilder()
+        rng = random.Random(0)
+        u = b.emit_branch(0x100, rng, p_taken=1.0, p_mispredict=0.0)
+        assert u.taken and not u.mispredicted
+
+
+class TestCallScene:
+    def _run(self, scene, visits=5, seed=1):
+        b = TraceBuilder()
+        rng = random.Random(seed)
+        for _ in range(visits):
+            scene.run(b, rng)
+        return b
+
+    def test_reload_addresses_match_pushes(self):
+        scene = CallScene(pc_base=0x1000, n_args=2, gap=4, p_reload=1.0,
+                          save_restore=False, frame_slot=0)
+        b = self._run(scene, visits=1)
+        stores = [u for u in b.uops if u.uclass == UopClass.STA]
+        loads = [u for u in b.uops if u.uclass == UopClass.LOAD]
+        pushed = {u.mem.address for u in stores if u.pc < 0x1000 + 0x20}
+        reloaded = {u.mem.address for u in loads}
+        assert reloaded <= {u.mem.address for u in stores}
+        assert len(reloaded & pushed) == 2
+
+    def test_save_restore_pair(self):
+        scene = CallScene(pc_base=0x1000, n_args=1, gap=2, p_reload=0.0,
+                          save_restore=True, frame_slot=0)
+        b = self._run(scene, visits=1)
+        loads = [u for u in b.uops if u.uclass == UopClass.LOAD]
+        stores = [u for u in b.uops if u.uclass == UopClass.STA]
+        # Even with p_reload=0, the restore load happens and matches a save.
+        assert len(loads) == 1
+        assert loads[0].mem.address in {u.mem.address for u in stores}
+
+    def test_phase_flip_stops_reloads(self):
+        scene = CallScene(pc_base=0x1000, n_args=2, gap=2, p_reload=1.0,
+                          save_restore=False, frame_slot=0,
+                          phase_flip_at=3)
+        b = TraceBuilder()
+        rng = random.Random(1)
+        for _ in range(3):
+            scene.run(b, rng)
+        loads_before = sum(u.uclass == UopClass.LOAD for u in b.uops)
+        b2 = TraceBuilder()
+        for _ in range(5):
+            scene.run(b2, rng)
+        loads_after_flip = sum(u.uclass == UopClass.LOAD
+                               for u in b2.uops[len(b2.uops) // 2:])
+        assert loads_before > 0
+        assert loads_after_flip == 0
+
+    def test_distinct_frame_slots_do_not_overlap(self):
+        a = CallScene(pc_base=0x1000, frame_slot=0)
+        b = CallScene(pc_base=0x2000, frame_slot=1)
+        builder = TraceBuilder()
+        rng = random.Random(1)
+        a.run(builder, rng)
+        b.run(builder, rng)
+        addrs_a = {u.mem.address for u in builder.uops
+                   if u.mem and u.pc < 0x2000}
+        addrs_b = {u.mem.address for u in builder.uops
+                   if u.mem and u.pc >= 0x2000}
+        assert not (addrs_a & addrs_b)
+
+    def test_pcs_static_across_visits(self):
+        """Every site keeps one PC regardless of per-visit randomness."""
+        scene = CallScene(pc_base=0x1000, n_args=2, gap=6, p_reload=1.0,
+                          frame_slot=0)
+        b = self._run(scene, visits=20)
+        load_pcs = {}
+        for u in b.uops:
+            if u.uclass == UopClass.LOAD:
+                load_pcs.setdefault(u.pc, set()).add(u.mem.address)
+        for pc, addrs in load_pcs.items():
+            assert len(addrs) == 1, f"pc {pc:#x} touched {addrs}"
+
+
+class TestArrayLoopScene:
+    def test_loads_follow_stream(self):
+        stream = StrideStream(0x8000, 64, 4 * 64)
+        scene = ArrayLoopScene(pc_base=0x2000, streams=[stream],
+                               iters_per_visit=4)
+        b = TraceBuilder()
+        scene.run(b, random.Random(0))
+        loads = [u for u in b.uops if u.uclass == UopClass.LOAD]
+        assert [u.mem.address for u in loads] == [0x8000, 0x8040,
+                                                  0x8080, 0x80C0]
+
+    def test_dependent_uses(self):
+        stream = StrideStream(0x8000, 64, 256)
+        scene = ArrayLoopScene(pc_base=0x2000, streams=[stream],
+                               iters_per_visit=1, uses_per_load=2)
+        b = TraceBuilder()
+        scene.run(b, random.Random(0))
+        load = next(u for u in b.uops if u.uclass == UopClass.LOAD)
+        uses = [u for u in b.uops
+                if u.uclass in (UopClass.INT, UopClass.FP)
+                and load.dst in u.srcs]
+        assert len(uses) >= 2
+
+    def test_requires_streams(self):
+        with pytest.raises(ValueError):
+            ArrayLoopScene(pc_base=0x2000, streams=[])
+
+
+class TestPointerChaseScene:
+    def test_chain_dependency(self):
+        stream = PointerChaseStream(0x9000, 8)
+        scene = PointerChaseScene(pc_base=0x3000, stream=stream,
+                                  hops_per_visit=4)
+        b = TraceBuilder()
+        scene.run(b, random.Random(0))
+        loads = [u for u in b.uops if u.uclass == UopClass.LOAD]
+        assert len(loads) == 4
+        # Each hop's address register is the previous hop's destination.
+        for prev, cur in zip(loads, loads[1:]):
+            assert cur.srcs == (prev.dst,)
+
+
+class TestRandomAccessScene:
+    def test_alias_reads_last_write(self):
+        region = RandomStream(0xA000, 4096)
+        scene = RandomAccessScene(pc_base=0x4000, region=region,
+                                  ops_per_visit=20, p_store=0.5,
+                                  p_alias=1.0)
+        b = TraceBuilder()
+        rng = random.Random(5)
+        scene.run(b, rng)
+        stores = [u.mem.address for u in b.uops if u.uclass == UopClass.STA]
+        loads = [u.mem.address for u in b.uops if u.uclass == UopClass.LOAD]
+        # With p_alias=1, every load after the first store re-reads a
+        # stored address.
+        if stores and loads:
+            assert any(a in stores for a in loads)
+
+
+class TestBranchScene:
+    def test_emits_branches(self):
+        scene = BranchScene(pc_base=0x5000, n_branches=3)
+        b = TraceBuilder()
+        scene.run(b, random.Random(0))
+        branches = [u for u in b.uops if u.uclass == UopClass.BRANCH]
+        assert len(branches) == 3
+
+
+class TestBuildFromScenes:
+    def test_reaches_target_length(self):
+        scenes = [WeightedScene(BranchScene(0x5000), 1.0)]
+        trace = build_from_scenes("t", scenes, n_uops=500, seed=1)
+        assert len(trace) >= 500
+
+    def test_deterministic(self):
+        def build():
+            scenes = [WeightedScene(CallScene(0x1000, frame_slot=0), 1.0),
+                      WeightedScene(BranchScene(0x5000), 1.0)]
+            return build_from_scenes("t", scenes, n_uops=800, seed=9)
+        a, b = build(), build()
+        assert len(a) == len(b)
+        assert all(x.pc == y.pc and x.uclass == y.uclass
+                   for x, y in zip(a.uops, b.uops))
+
+    def test_structurally_valid(self):
+        scenes = [WeightedScene(CallScene(0x1000, frame_slot=0), 1.0)]
+        trace = build_from_scenes("t", scenes, n_uops=600, seed=2)
+        validate(trace)  # raises on malformed traces
+
+    def test_requires_scenes(self):
+        with pytest.raises(ValueError):
+            build_from_scenes("t", [], 100, 1)

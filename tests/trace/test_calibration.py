@@ -1,0 +1,100 @@
+"""Calibration regression tests.
+
+The workload profiles were tuned so each group's signature matches the
+per-group statistics of section 4 (see DESIGN.md).  These tests pin the
+calibrated bands so a profile or engine change that silently breaks a
+group's character fails loudly.
+
+The bands are deliberately wide: they guard the *signatures* (ordering
+between groups, qualitative ranges), not exact values.
+"""
+
+import pytest
+
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.trace.builder import build_trace
+from repro.trace.trace import summarize
+from repro.trace.workloads import profile_for, trace_seed
+
+N_UOPS = 20_000
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One Traditional-ordering run per representative trace."""
+    out = {}
+    for name in ("cd", "gcc", "applu", "quake", "jack", "tpcc", "s95a"):
+        trace = build_trace(profile_for(name), n_uops=N_UOPS,
+                            seed=trace_seed(name), name=name)
+        out[name] = (trace,
+                     Machine(scheme=make_scheme("traditional")).run(trace))
+    return out
+
+
+class TestMixBands:
+    def test_load_fraction(self, runs):
+        for name, (trace, _) in runs.items():
+            s = summarize(trace)
+            assert 0.08 < s.load_fraction < 0.30, name
+
+    def test_store_fraction(self, runs):
+        for name, (trace, _) in runs.items():
+            s = summarize(trace)
+            assert 0.05 < s.store_fraction < 0.20, name
+
+    def test_static_load_diversity(self, runs):
+        for name, (trace, _) in runs.items():
+            assert summarize(trace).n_static_load_pcs >= 15, name
+
+
+class TestClassificationBands:
+    def test_ac_is_minority_everywhere(self, runs):
+        for name, (_, result) in runs.items():
+            assert result.frac_actually_colliding < 0.30, name
+
+    def test_conflicting_loads_are_common(self, runs):
+        """The paper's premise: a majority-ish of loads see unresolved
+        stores (the predictor's opportunity)."""
+        for name, (_, result) in runs.items():
+            conflicting = 1.0 - result.frac_not_conflicting
+            assert conflicting > 0.25, name
+
+    def test_anc_dominates_ac(self, runs):
+        """Most conflicting loads do NOT collide — the headroom that
+        makes disambiguation worthwhile."""
+        for name, (_, result) in runs.items():
+            assert result.frac_anc > result.frac_actually_colliding, name
+
+    def test_fp_collides_least(self, runs):
+        fp_ac = runs["applu"][1].frac_actually_colliding
+        for name in ("cd", "gcc", "jack"):
+            assert fp_ac < runs[name][1].frac_actually_colliding, name
+
+
+class TestMissRateBands:
+    def test_all_groups_in_band(self, runs):
+        # Short traces are warmup-inflated (compulsory misses); the
+        # band bounds the inflated rate, not the steady state.
+        for name, (_, result) in runs.items():
+            assert 0.005 < result.l1_miss_rate < 0.25, name
+
+    def test_int_misses_least(self, runs):
+        """SpecInt-class codes are the most cache-friendly (paper
+        Figure 10: SpecINT has the lowest MISSES bar)."""
+        gcc = runs["gcc"][1].l1_miss_rate
+        assert gcc < runs["applu"][1].l1_miss_rate
+        assert gcc < runs["tpcc"][1].l1_miss_rate
+
+
+class TestPerformanceBands:
+    def test_ipc_plausible(self, runs):
+        for name, (_, result) in runs.items():
+            assert 0.5 < result.ipc < 4.0, name
+
+    def test_headroom_exists_everywhere(self, runs):
+        """Perfect disambiguation must beat Traditional on every group
+        (otherwise Figures 7/8 have nothing to show)."""
+        for name, (trace, baseline) in runs.items():
+            perfect = Machine(scheme=make_scheme("perfect")).run(trace)
+            assert perfect.speedup_over(baseline) > 1.05, name

@@ -1,0 +1,98 @@
+"""Tests for the opt-in extra scenes."""
+
+import random
+
+import pytest
+
+from repro.common.types import UopClass
+from repro.trace.builder import TraceBuilder, WeightedScene, \
+    build_from_scenes
+from repro.trace.extra_scenes import Matrix2DScene, ProducerConsumerScene
+from repro.trace.trace import validate
+
+
+def emit(scene, visits=4, seed=1):
+    builder = TraceBuilder()
+    rng = random.Random(seed)
+    for _ in range(visits):
+        scene.run(builder, rng)
+    return builder.uops
+
+
+class TestMatrix2DScene:
+    def test_row_walk_strides_by_element(self):
+        scene = Matrix2DScene(pc_base=0x1000, base=0x10000,
+                              element_bytes=8, accesses_per_visit=4)
+        uops = emit(scene, visits=1)
+        addrs = [u.mem.address for u in uops if u.uclass == UopClass.LOAD]
+        deltas = [b - a for a, b in zip(addrs, addrs[1:])]
+        assert all(d == 8 for d in deltas)
+
+    def test_column_walk_strides_by_pitch(self):
+        scene = Matrix2DScene(pc_base=0x1000, base=0x10000, cols=64,
+                              element_bytes=8, accesses_per_visit=4)
+        uops = emit(scene, visits=2)  # second visit is the column phase
+        loads = [u for u in uops if u.uclass == UopClass.LOAD]
+        column_loads = loads[4:]
+        deltas = [b.mem.address - a.mem.address
+                  for a, b in zip(column_loads, column_loads[1:])]
+        assert all(d == scene.row_pitch for d in deltas)
+
+    def test_power_of_two_pitch_is_bank_pathological(self):
+        """Column walks over a 2*line-multiple pitch pin one bank."""
+        scene = Matrix2DScene(pc_base=0x1000, base=0x10000, cols=16,
+                              element_bytes=8)  # pitch 128 = 2 lines
+        uops = emit(scene, visits=2)
+        column_loads = [u for u in uops
+                        if u.uclass == UopClass.LOAD][8:]
+        banks = {(u.mem.address // 64) % 2 for u in column_loads}
+        assert len(banks) == 1
+
+    def test_phases_have_distinct_pcs(self):
+        scene = Matrix2DScene(pc_base=0x1000, base=0x10000)
+        uops = emit(scene, visits=2)
+        loads = [u for u in uops if u.uclass == UopClass.LOAD]
+        row_pcs = {u.pc for u in loads[:8]}
+        col_pcs = {u.pc for u in loads[8:16]}
+        assert not (row_pcs & col_pcs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Matrix2DScene(pc_base=0x1000, base=0, rows=1)
+
+
+class TestProducerConsumerScene:
+    def test_consumer_reads_lagged_slot(self):
+        scene = ProducerConsumerScene(pc_base=0x2000, base=0x20000,
+                                      n_slots=8, lag=2,
+                                      items_per_visit=4)
+        uops = emit(scene, visits=2)
+        stores = [u for u in uops if u.uclass == UopClass.STA]
+        loads = [u for u in uops if u.uclass == UopClass.LOAD]
+        # Every load's address was stored exactly `lag` items earlier.
+        store_addrs = [u.mem.address for u in stores]
+        for i, load in enumerate(loads):
+            assert load.mem.address == store_addrs[i]
+
+    def test_lag_validation(self):
+        with pytest.raises(ValueError):
+            ProducerConsumerScene(pc_base=0x2000, base=0, n_slots=4,
+                                  lag=4)
+
+    def test_small_lag_collides_in_engine(self):
+        """The collision dial: lag 1 collides, huge lag does not."""
+        from repro.engine.machine import Machine
+        from repro.engine.ordering import make_scheme
+
+        def run(lag, n_slots=64):
+            scene = ProducerConsumerScene(pc_base=0x2000, base=0x20000,
+                                          n_slots=n_slots, lag=lag,
+                                          items_per_visit=2)
+            trace = build_from_scenes("pc", [WeightedScene(scene, 1.0)],
+                                      n_uops=2000, seed=3)
+            validate(trace)
+            return Machine(scheme=make_scheme("opportunistic")).run(trace)
+
+        close = run(lag=1)
+        far = run(lag=60)
+        assert close.collision_penalties > far.collision_penalties

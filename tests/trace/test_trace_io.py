@@ -1,0 +1,122 @@
+"""Tests for trace containers and serialisation."""
+
+import io
+
+import pytest
+
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.trace import trace_io
+from repro.trace.builder import build_trace
+from repro.trace.trace import Trace, summarize, validate
+from repro.trace.workloads import profile_for
+
+
+def tiny_trace():
+    uops = [
+        Uop(seq=0, pc=0x100, uclass=UopClass.INT, srcs=(1,), dst=2),
+        Uop(seq=1, pc=0x104, uclass=UopClass.STA, srcs=(14,),
+            mem=MemAccess(0x2000, 4)),
+        Uop(seq=2, pc=0x105, uclass=UopClass.STD, srcs=(2,), sta_seq=1),
+        Uop(seq=3, pc=0x108, uclass=UopClass.LOAD, srcs=(14,), dst=3,
+            mem=MemAccess(0x2000, 4)),
+        Uop(seq=4, pc=0x10C, uclass=UopClass.BRANCH, srcs=(3,),
+            taken=True, mispredicted=True),
+    ]
+    return Trace(name="tiny", uops=uops, group="Test", seed=7)
+
+
+class TestTraceContainer:
+    def test_len_iter_getitem(self):
+        t = tiny_trace()
+        assert len(t) == 5
+        assert list(t)[0].seq == 0
+        assert t[3].is_load
+
+    def test_loads_and_stores(self):
+        t = tiny_trace()
+        assert sum(1 for _ in t.loads()) == 1
+        assert sum(1 for _ in t.stores()) == 1
+
+    def test_slice(self):
+        t = tiny_trace()
+        sub = t.slice(1, 3)
+        assert len(sub) == 2
+        assert sub.uops[0].uclass == UopClass.STA
+
+
+class TestSummarize:
+    def test_counts(self):
+        s = summarize(tiny_trace())
+        assert s.n_uops == 5
+        assert s.n_loads == 1
+        assert s.n_stores == 1
+        assert s.n_branches == 1
+        assert s.n_static_load_pcs == 1
+
+    def test_str_representation(self):
+        assert "uops" in str(summarize(tiny_trace()))
+
+
+class TestValidate:
+    def test_accepts_valid(self):
+        validate(tiny_trace())
+
+    def test_rejects_nondense_seq(self):
+        t = tiny_trace()
+        t.uops[2] = Uop(seq=9, pc=0x105, uclass=UopClass.STD, srcs=(2,),
+                        sta_seq=1)
+        with pytest.raises(ValueError):
+            validate(t)
+
+    def test_rejects_orphan_std(self):
+        uops = [Uop(seq=0, pc=0x100, uclass=UopClass.STD, srcs=(2,),
+                    sta_seq=5)]
+        with pytest.raises(ValueError):
+            validate(Trace("bad", uops))
+
+
+class TestSerialisation:
+    def test_roundtrip_tiny(self):
+        t = tiny_trace()
+        restored = trace_io.loads(trace_io.dumps(t))
+        assert restored.name == t.name
+        assert restored.group == t.group
+        assert restored.seed == t.seed
+        assert len(restored) == len(t)
+        for a, b in zip(t.uops, restored.uops):
+            assert a.seq == b.seq and a.pc == b.pc
+            assert a.uclass == b.uclass and a.srcs == b.srcs
+            assert a.dst == b.dst and a.sta_seq == b.sta_seq
+            assert a.taken == b.taken and a.mispredicted == b.mispredicted
+            assert (a.mem is None) == (b.mem is None)
+            if a.mem:
+                assert a.mem.address == b.mem.address
+                assert a.mem.size == b.mem.size
+
+    def test_roundtrip_generated(self):
+        t = build_trace(profile_for("cd"), n_uops=1000, seed=3)
+        restored = trace_io.loads(trace_io.dumps(t))
+        validate(restored)
+        assert len(restored) == len(t)
+
+    def test_file_roundtrip(self, tmp_path):
+        t = tiny_trace()
+        path = tmp_path / "trace.txt"
+        trace_io.dump(t, path)
+        assert trace_io.load(path).name == "tiny"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            trace_io.loads("not a trace\n")
+
+    def test_rejects_truncated(self):
+        text = trace_io.dumps(tiny_trace())
+        lines = text.splitlines()
+        truncated = "\n".join(lines[:-1]) + "\n"
+        with pytest.raises(ValueError):
+            trace_io.loads(truncated)
+
+    def test_rejects_malformed_uop_line(self):
+        with pytest.raises(ValueError):
+            trace_io.loads("# repro-trace v1 name=x group= seed=0 n=1\n"
+                           "bogus line\n")

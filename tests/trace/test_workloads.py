@@ -1,0 +1,103 @@
+"""Tests for the workload profiles."""
+
+import pytest
+
+from repro.common.types import UopClass
+from repro.trace.builder import build_trace
+from repro.trace.trace import summarize, validate
+from repro.trace.workloads import (
+    TRACE_GROUPS,
+    WorkloadProfile,
+    group_names,
+    group_of,
+    profile_for,
+    trace_seed,
+)
+
+
+class TestGroupRoster:
+    def test_paper_group_counts(self):
+        """Section 3: 8+10+8+8+5+5+2 traces across seven groups."""
+        assert len(TRACE_GROUPS["SpecInt95"]) == 8
+        assert len(TRACE_GROUPS["SpecFP95"]) == 10
+        assert len(TRACE_GROUPS["SysmarkNT"]) == 8
+        assert len(TRACE_GROUPS["Sysmark95"]) == 8
+        assert len(TRACE_GROUPS["Games"]) == 5
+        assert len(TRACE_GROUPS["Java"]) == 5
+        assert len(TRACE_GROUPS["TPC"]) == 2
+
+    def test_figure7_nt_labels(self):
+        assert TRACE_GROUPS["SysmarkNT"] == ["cd", "ex", "fl", "pd",
+                                             "pm", "pp", "wd", "wp"]
+
+    def test_group_of(self):
+        assert group_of("gcc") == "SpecInt95"
+        assert group_of("cd") == "SysmarkNT"
+        with pytest.raises(KeyError):
+            group_of("nonexistent")
+
+    def test_unique_names(self):
+        names = [n for g in TRACE_GROUPS.values() for n in g]
+        assert len(names) == len(set(names))
+
+    def test_trace_seed_stable_and_unique(self):
+        seeds = {trace_seed(n)
+                 for g in TRACE_GROUPS.values() for n in g}
+        names = [n for g in TRACE_GROUPS.values() for n in g]
+        assert len(seeds) == len(names)
+        assert trace_seed("gcc") == trace_seed("gcc")
+
+
+class TestProfiles:
+    def test_profile_for_each_trace(self):
+        for group, names in TRACE_GROUPS.items():
+            for name in names:
+                assert profile_for(name).group == group
+
+    def test_code_scale_override(self):
+        base = profile_for("cd")
+        scaled = profile_for("cd", code_scale=4)
+        assert base.code_scale == 1
+        assert scaled.code_scale == 4
+
+    def test_instantiate_produces_scenes(self):
+        scenes = profile_for("gcc").instantiate(seed=1)
+        assert len(scenes) > 3
+        assert all(ws.weight > 0 for ws in scenes)
+
+    def test_code_scale_multiplies_call_sites(self):
+        small = profile_for("cd").instantiate(seed=1)
+        big = profile_for("cd", code_scale=4).instantiate(seed=1)
+        assert len(big) > len(small)
+
+
+class TestBuiltTraces:
+    @pytest.mark.parametrize("name", ["cd", "gcc", "applu", "quake",
+                                      "jack", "tpcc", "s95a"])
+    def test_trace_is_valid(self, name):
+        trace = build_trace(profile_for(name), n_uops=3000,
+                            seed=trace_seed(name))
+        validate(trace)
+
+    def test_mix_plausible(self):
+        trace = build_trace(profile_for("cd"), n_uops=10000, seed=1)
+        s = summarize(trace)
+        assert 0.08 < s.load_fraction < 0.30
+        assert 0.04 < s.store_fraction < 0.20
+        assert s.n_static_load_pcs > 10
+
+    def test_specfp_has_fp_uops(self):
+        trace = build_trace(profile_for("applu"), n_uops=8000, seed=1)
+        n_fp = sum(u.uclass == UopClass.FP for u in trace.uops)
+        assert n_fp > 100
+
+    def test_siblings_differ(self):
+        """Two traces of a group share the profile but not the stream."""
+        a = build_trace(profile_for("cd"), n_uops=2000, seed=trace_seed("cd"))
+        b = build_trace(profile_for("ex"), n_uops=2000, seed=trace_seed("ex"))
+        addrs_a = [u.mem.address for u in a.uops if u.mem][:100]
+        addrs_b = [u.mem.address for u in b.uops if u.mem][:100]
+        assert addrs_a != addrs_b
+
+    def test_group_names_helper(self):
+        assert set(group_names()) == set(TRACE_GROUPS)
