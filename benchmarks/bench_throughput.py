@@ -1,0 +1,146 @@
+"""Simulator-throughput benchmark: uops/second per ordering scheme.
+
+Unlike the figure benchmarks (which measure the *simulated machine*),
+this measures the *simulator*: how many trace uops per wall-clock
+second ``Machine.run`` retires under each ordering scheme, and what the
+observability layer costs when enabled.  Results land in
+``BENCH_throughput.json`` so the perf trajectory is tracked run over
+run, and CI uploads the file as a workflow artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --uops 30000 --repeats 3 --out BENCH_throughput.json
+
+The trace is seeded (derived from the trace name, as everywhere else),
+so numbers are comparable across checkouts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine.machine import Machine  # noqa: E402
+from repro.engine.ordering import make_scheme  # noqa: E402
+from repro.obs import EventBus, JsonlSink, instrument  # noqa: E402
+from repro.obs.sinks import git_revision  # noqa: E402
+from repro.trace.builder import build_trace  # noqa: E402
+from repro.trace.workloads import profile_for, trace_seed  # noqa: E402
+
+DEFAULT_SCHEMES = ("traditional", "opportunistic", "inclusive",
+                   "exclusive", "perfect")
+
+
+def _best_run(make_machine, trace, repeats: int) -> Dict[str, float]:
+    """Run ``repeats`` times, keep the fastest wall-clock (least noise)."""
+    best: Optional[Dict[str, float]] = None
+    for _ in range(max(1, repeats)):
+        machine = make_machine()
+        start = time.perf_counter()
+        result = machine.run(trace)
+        elapsed = time.perf_counter() - start
+        sample = {
+            "wall_seconds": elapsed,
+            "uops_per_sec": result.retired_uops / elapsed,
+            "cycles": result.cycles,
+            "retired_uops": result.retired_uops,
+        }
+        if best is None or sample["wall_seconds"] < best["wall_seconds"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+def measure_schemes(trace, schemes, repeats: int) -> Dict[str, Dict]:
+    out: Dict[str, Dict] = {}
+    for name in schemes:
+        out[name] = _best_run(lambda: Machine(scheme=make_scheme(name)),
+                              trace, repeats)
+        print(f"  {name:14s} {out[name]['uops_per_sec']:>12,.0f} uops/sec"
+              f"   ({out[name]['cycles']} cycles)")
+    return out
+
+
+def measure_obs_overhead(trace, scheme: str, repeats: int,
+                         jsonl_path: str) -> Dict[str, float]:
+    """Compare obs-disabled vs JSONL-sink-enabled wall-clock."""
+    baseline = _best_run(lambda: Machine(scheme=make_scheme(scheme)),
+                         trace, repeats)
+
+    def make_observed() -> Machine:
+        machine = Machine(scheme=make_scheme(scheme))
+        bus = instrument(machine, EventBus())
+        bus.attach(JsonlSink(jsonl_path))
+        return machine
+
+    observed = _best_run(make_observed, trace, repeats)
+    overhead = (observed["wall_seconds"] / baseline["wall_seconds"]) - 1.0
+    print(f"  observability: disabled "
+          f"{baseline['uops_per_sec']:,.0f} uops/sec, jsonl "
+          f"{observed['uops_per_sec']:,.0f} uops/sec "
+          f"({overhead:+.1%} wall-clock)")
+    return {
+        "scheme": scheme,
+        "disabled_uops_per_sec": baseline["uops_per_sec"],
+        "jsonl_uops_per_sec": observed["uops_per_sec"],
+        "jsonl_overhead_frac": overhead,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default="gcc")
+    parser.add_argument("--uops", type=int,
+                        default=int(os.environ.get("REPRO_BENCH_UOPS",
+                                                   "30000")))
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="keep the fastest of N runs (default 2)")
+    parser.add_argument("--schemes", nargs="+", default=None,
+                        choices=DEFAULT_SCHEMES, metavar="SCHEME")
+    parser.add_argument("--out", default="BENCH_throughput.json")
+    parser.add_argument("--skip-obs-overhead", action="store_true")
+    args = parser.parse_args(argv)
+
+    schemes = args.schemes if args.schemes else list(DEFAULT_SCHEMES)
+    print(f"throughput benchmark: trace {args.trace!r}, "
+          f"{args.uops} uops, best of {args.repeats}")
+    trace = build_trace(profile_for(args.trace), n_uops=args.uops,
+                        seed=trace_seed(args.trace), name=args.trace)
+
+    report: Dict[str, object] = {
+        "benchmark": "throughput",
+        "trace": args.trace,
+        "n_uops": args.uops,
+        "seed": trace_seed(args.trace),
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+        "git_rev": git_revision(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "schemes": measure_schemes(trace, schemes, args.repeats),
+    }
+    if not args.skip_obs_overhead:
+        jsonl_path = args.out + ".events.tmp.jsonl"
+        try:
+            report["observability"] = measure_obs_overhead(
+                trace, schemes[0], args.repeats, jsonl_path)
+        finally:
+            if os.path.exists(jsonl_path):
+                os.remove(jsonl_path)
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,10 @@ class BankPredictor(abc.ABC):
 
     n_banks: int = 2
 
+    #: Optional :class:`repro.obs.events.EventBus`; when attached,
+    #: :meth:`observed_update` reports every training step.
+    obs = None
+
     @abc.abstractmethod
     def predict(self, pc: int) -> BankPrediction:
         """Predict the bank of the next access by the load at ``pc``."""
@@ -40,6 +44,16 @@ class BankPredictor(abc.ABC):
     @abc.abstractmethod
     def update(self, pc: int, bank: int, address: Optional[int] = None) -> None:
         """Train with the resolved bank (and address, if available)."""
+
+    def observed_update(self, pc: int, bank: int,
+                        address: Optional[int] = None,
+                        now: int = -1) -> None:
+        """:meth:`update`, plus a ``predictor-update`` event when an
+        event bus is attached (the engine's hook point)."""
+        self.update(pc, bank, address)
+        if self.obs is not None:
+            self.obs.emit("predictor-update", now, pc=pc, family="bank",
+                          predictor=type(self).__name__, outcome=bank)
 
     def reset(self) -> None:
         raise NotImplementedError

@@ -41,6 +41,10 @@ NOT_COLLIDING = CollisionPrediction(colliding=False)
 class CollisionPredictor(abc.ABC):
     """Interface consumed by the memory ordering schemes."""
 
+    #: Optional :class:`repro.obs.events.EventBus`; when attached,
+    #: :meth:`observed_train` reports every training step.
+    obs = None
+
     @abc.abstractmethod
     def lookup(self, pc: int) -> CollisionPrediction:
         """Predict the collision behaviour of the load at ``pc``.
@@ -57,6 +61,17 @@ class CollisionPredictor(abc.ABC):
         ``distance`` is the dynamic store distance of the actual
         collision (1 = nearest older store), when one occurred.
         """
+
+    def observed_train(self, pc: int, collided: bool,
+                       distance: Optional[int] = None,
+                       now: int = -1) -> None:
+        """:meth:`train`, plus a ``predictor-update`` event when an
+        event bus is attached (the ordering schemes' hook point)."""
+        self.train(pc, collided, distance)
+        if self.obs is not None:
+            self.obs.emit("predictor-update", now, pc=pc, family="cht",
+                          predictor=type(self).__name__,
+                          outcome=collided, distance=distance)
 
     def clear(self) -> None:
         """Wholesale invalidation (cyclic clearing support)."""

@@ -32,6 +32,7 @@ from repro.hitmiss.base import HitMissPredictor
 from repro.hitmiss.oracle import AlwaysHitHMP
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.bank.base import BankPredictor
+from repro.obs.events import EventKind
 from repro.predictors.base import BinaryPredictor
 from repro.trace.trace import Trace
 
@@ -73,7 +74,8 @@ class Machine:
                  branch_predictor: Optional[BinaryPredictor] = None,
                  bank_policy: Optional[str] = None,
                  bank_predictor: Optional[BankPredictor] = None,
-                 collect_occupancy: bool = False) -> None:
+                 collect_occupancy: bool = False,
+                 obs=None) -> None:
         self.config = config
         self.scheme = scheme if scheme is not None else TraditionalOrdering()
         self.hmp = hmp if hmp is not None else AlwaysHitHMP()
@@ -112,6 +114,11 @@ class Machine:
         #: :class:`repro.memory.prefetch.StridePrefetcher`).  Must be
         #: constructed over this machine's ``hierarchy``.
         self.prefetcher = None
+        #: Optional :class:`repro.obs.events.EventBus`.  When ``None``
+        #: (the default) the engine pays one pointer test per hook
+        #: point and emits nothing; wire a bus (and the hierarchy's /
+        #: predictors' hooks) with :func:`repro.obs.instrument`.
+        self.obs = obs
 
     # ------------------------------------------------------------------
 
@@ -123,9 +130,10 @@ class Machine:
         ceiling = (max_cycles if max_cycles is not None
                    else 60 * len(trace) + 100_000)
 
+        obs = self.obs
         rob: List[InflightUop] = []
         window: List[InflightUop] = []
-        mob = MemoryOrderBuffer()
+        mob = MemoryOrderBuffer(obs=obs)
         regmap: Dict[int, InflightUop] = {}
         #: Loads that executed past an unknown matching STA, awaiting
         #: the store's resolution: (load, base_done, store record).
@@ -170,6 +178,11 @@ class Machine:
                     load.announce_ready = UNKNOWN
                     load.ready_floor = now + lat.reschedule_delay
                     self._reinsert(window, load)
+                    if obs is not None:
+                        obs.emit(EventKind.VIOLATION, now,
+                                 load.uop.seq, load.uop.pc,
+                                 store_seq=record.seq,
+                                 store_pc=record.sta.uop.pc)
                     # An ordering violation traps like a mispredicted
                     # branch: the machine flushes and refetches (the
                     # "large performance penalty" of section 1.1).
@@ -185,6 +198,14 @@ class Machine:
                 iu = rob.pop(0)
                 retired += 1
                 result.retired_uops += 1
+                if obs is not None:
+                    obs.emit(EventKind.RETIRE, now, iu.uop.seq, iu.uop.pc,
+                             uclass=iu.uop.uclass.name,
+                             rename_cycle=iu.rename_cycle,
+                             issue_cycle=iu.issue_cycle,
+                             complete_cycle=iu.data_ready,
+                             squashes=iu.squashes,
+                             collided=bool(iu.load and iu.load.collided))
                 if self.record_timeline:
                     from repro.engine.pipeview import UopTimeline
                     result.timeline.append(UopTimeline(
@@ -268,6 +289,9 @@ class Machine:
                     # Squash: the slot is consumed, the uop re-enters.
                     iu.squashes += 1
                     result.squashed_issues += 1
+                    if obs is not None:
+                        obs.emit(EventKind.SQUASH, now, iu.uop.seq,
+                                 iu.uop.pc, cause="operands")
                     floor = (actual if actual != UNKNOWN else now + 1)
                     iu.ready_floor = floor + lat.reschedule_delay
                     continue
@@ -278,14 +302,19 @@ class Machine:
                     true_bank = ((iu.uop.mem.address // line_bytes)
                                  % cfg.memory.l1d.n_banks)
                     if self.bank_predictor is not None:
-                        self.bank_predictor.update(iu.uop.pc, true_bank,
-                                                   iu.uop.mem.address)
+                        self.bank_predictor.observed_update(
+                            iu.uop.pc, true_bank, iu.uop.mem.address,
+                            now=now)
                     claimed_by = true_banks_used.get(true_bank)
                     if claimed_by is not None:
                         # Bank conflict at execute: the access is
                         # cancelled and re-executes through the pipe
                         # (the slot is wasted, recovery is not free).
                         result.bank_conflicts += 1
+                        if obs is not None:
+                            obs.emit(EventKind.BANK_CONFLICT, now,
+                                     iu.uop.seq, iu.uop.pc,
+                                     bank=true_bank, winner=claimed_by)
                         iu.issued = False
                         iu.squashes += 1
                         iu.ready_floor = now + lat.reschedule_delay
@@ -336,6 +365,9 @@ class Machine:
                     iu.rename_cycle = now
                     rob.append(iu)
                     window.append(iu)
+                    if obs is not None:
+                        obs.emit(EventKind.RENAME, now, uop.seq, uop.pc,
+                                 uclass=uop.uclass.name)
                     if uop.dst is not None:
                         regmap[uop.dst] = iu
                     if uop.is_sta:
@@ -351,7 +383,8 @@ class Machine:
                         if self.branch_predictor is not None:
                             prediction = self.branch_predictor.predict(
                                 uop.pc)
-                            self.branch_predictor.update(uop.pc, uop.taken)
+                            self.branch_predictor.observed_update(
+                                uop.pc, uop.taken, now=now)
                             mispredicted = (bool(prediction.outcome)
                                             != uop.taken)
                         if mispredicted:
@@ -400,6 +433,9 @@ class Machine:
         iu.issued = True
         iu.issue_cycle = now
         uop = iu.uop
+        if self.obs is not None:
+            self.obs.emit(EventKind.ISSUE, now, uop.seq, uop.pc,
+                          uclass=uop.uclass.name)
 
         if uop.is_load:
             self._execute_load(iu, mob, violations, result, now)
@@ -418,6 +454,7 @@ class Machine:
                       violations: List[Tuple[InflightUop, int, object]],
                       result: SimResult, now: int) -> None:
         lat = self.config.latency
+        obs = self.obs
         info = iu.load
         uop = iu.uop
         assert info is not None and uop.mem is not None
@@ -435,6 +472,10 @@ class Machine:
             if not info.collided:
                 info.collided = True
                 result.collision_penalties += 1
+                if obs is not None:
+                    obs.emit(EventKind.COLLISION, now, uop.seq, uop.pc,
+                             store_seq=record.seq,
+                             store_pc=record.sta.uop.pc, visible=True)
                 # Dependents were already promised the optimistic
                 # latency; they will wake, execute without data, and
                 # re-execute "until the STD is successfully completed".
@@ -442,6 +483,9 @@ class Machine:
             iu.issued = False
             iu.squashes += 1
             result.squashed_issues += 1
+            if obs is not None:
+                obs.emit(EventKind.SQUASH, now, uop.seq, uop.pc,
+                         cause="collision")
             # Each re-execution is a full pass through the pipeline
             # (schedule, register read, AGU, access) — not a one-cycle
             # re-poll of the reservation station.
@@ -456,6 +500,10 @@ class Machine:
             if not info.collided:
                 info.collided = True
                 result.collision_penalties += 1
+                if obs is not None:
+                    obs.emit(EventKind.COLLISION, now, uop.seq, uop.pc,
+                             store_seq=record.seq,
+                             store_pc=record.sta.uop.pc, visible=False)
             outcome = self.hierarchy.load(address, t_addr)
             base_done = t_addr + outcome.latency
             if info.predicted_hit is None:
@@ -464,7 +512,7 @@ class Machine:
                 info.actual_hit = outcome.l1_hit
                 info.line = outcome.line
                 result.hitmiss.record(outcome.l1_hit, predicted_hit)
-                self.hmp.update(uop.pc, outcome.l1_hit, line, now)
+                self.hmp.observed_update(uop.pc, outcome.l1_hit, line, now)
             iu.pending_collision = True
             iu.data_ready = UNKNOWN
             iu.announce_ready = base_done  # dependents wake, then squash
@@ -478,6 +526,8 @@ class Machine:
                 and mob.forwarding_store(uop.seq, uop.mem, now)
                 is not None):
             result.forwarded_loads += 1
+            if obs is not None:
+                obs.emit(EventKind.FORWARD, now, uop.seq, uop.pc)
             done = now + lat.forward_latency
             if info.collided:
                 done += lat.collision_penalty
@@ -488,7 +538,7 @@ class Machine:
                 info.actual_hit = True
                 info.line = line
                 result.hitmiss.record(True, predicted_hit)
-                self.hmp.update(uop.pc, True, line, now)
+                self.hmp.observed_update(uop.pc, True, line, now)
             iu.data_ready = done
             iu.announce_ready = done
             return
@@ -506,7 +556,7 @@ class Machine:
             info.actual_hit = outcome.l1_hit
             info.line = outcome.line
             result.hitmiss.record(outcome.l1_hit, predicted_hit)
-            self.hmp.update(uop.pc, outcome.l1_hit, line, now)
+            self.hmp.observed_update(uop.pc, outcome.l1_hit, line, now)
         predicted_hit = bool(info.predicted_hit)
 
         if self.prefetcher is not None:

@@ -58,10 +58,17 @@ class StoreRecord:
 
 
 class MemoryOrderBuffer:
-    """Program-ordered store records with the scheme queries."""
+    """Program-ordered store records with the scheme queries.
 
-    def __init__(self) -> None:
+    ``obs`` is an optional :class:`repro.obs.events.EventBus`; when
+    attached, the MOB reports its store lifecycle (``store-tracked`` on
+    STA insertion, ``store-data`` on STD linkage) so event consumers can
+    reconstruct the disambiguation state the schemes saw.
+    """
+
+    def __init__(self, obs=None) -> None:
         self._stores: List[StoreRecord] = []
+        self.obs = obs
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -70,6 +77,11 @@ class MemoryOrderBuffer:
             raise ValueError("STA uop must carry its memory access")
         record = StoreRecord(sta=sta, mem=sta.uop.mem)
         self._stores.append(record)
+        if self.obs is not None:
+            self.obs.emit("store-tracked", sta.rename_cycle,
+                          sta.uop.seq, sta.uop.pc,
+                          address=sta.uop.mem.address,
+                          mob_depth=len(self._stores))
         return record
 
     def attach_std(self, std: InflightUop) -> None:
@@ -78,6 +90,10 @@ class MemoryOrderBuffer:
         for record in reversed(self._stores):
             if record.seq == target:
                 record.std = std
+                if self.obs is not None:
+                    self.obs.emit("store-data", std.rename_cycle,
+                                  std.uop.seq, std.uop.pc,
+                                  sta_seq=record.seq)
                 return
         raise KeyError(f"no STA with seq {target} in the MOB")
 

@@ -90,8 +90,8 @@ class _ChtScheme(OrderingScheme):
         assert info is not None
         if info.would_collide is None:
             return  # the load never reached a dispatch opportunity check
-        self.cht.train(load.uop.pc, info.would_collide,
-                       info.collide_distance)
+        self.cht.observed_train(load.uop.pc, info.would_collide,
+                                info.collide_distance)
 
 
 class PostponingOrdering(_ChtScheme):

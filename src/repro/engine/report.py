@@ -4,15 +4,34 @@
 (optionally with stall breakdown, occupancy and timeline enabled) into
 the kind of summary an architect reads first: throughput, where the
 cycles went, what the loads did, and what the predictors saw.
+
+Every number rendered here is read from a
+:class:`~repro.obs.registry.MetricsRegistry` snapshot of the result
+rather than ad-hoc attribute access, so the text report, the JSON
+artifacts and ``python -m repro.obs summarize`` can never disagree
+about a value.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.common.types import LoadCollisionClass
 from repro.engine.results import SimResult
 from repro.experiments.reporting import bar_chart
+from repro.obs.registry import MetricsRegistry
+from repro.obs.render import render_metrics
+
+
+def result_registry(result: SimResult,
+                    prefix: str = "run") -> MetricsRegistry:
+    """The metrics registry backing all reports of ``result``."""
+    return MetricsRegistry.from_result(result, prefix=prefix)
+
+
+def metrics_report(result: SimResult) -> str:
+    """The full flat metrics snapshot, grouped by namespace."""
+    return render_metrics(result_registry(result).snapshot(),
+                          title=f"{result.trace_name}/{result.scheme}")
 
 
 def performance_report(result: SimResult,
@@ -21,12 +40,14 @@ def performance_report(result: SimResult,
 
     ``baseline`` (same trace, different scheme) adds a speedup line.
     """
+    snap: Dict[str, float] = result_registry(result).snapshot()
     lines: List[str] = []
     lines.append(f"=== {result.trace_name} under '{result.scheme}' "
                  f"ordering ===")
-    lines.append(f"cycles {result.cycles}   retired {result.retired_uops} "
-                 f"uops ({result.retired_loads} loads)   "
-                 f"IPC {result.ipc:.2f}")
+    lines.append(f"cycles {int(snap['run.cycles'])}   "
+                 f"retired {int(snap['run.retired_uops'])} "
+                 f"uops ({int(snap['run.retired_loads'])} loads)   "
+                 f"IPC {snap['run.ipc']:.2f}")
     if baseline is not None:
         lines.append(f"speedup over '{baseline.scheme}': "
                      f"{result.speedup_over(baseline):.3f}")
@@ -35,62 +56,65 @@ def performance_report(result: SimResult,
     lines.append("")
     lines.append("loads (Figure 1 classification):")
     lines.append(bar_chart(
-        [("no conflict", result.frac_not_conflicting),
-         ("ANC (advanceable)", result.frac_anc),
-         ("AC (colliding)", result.frac_actually_colliding)],
+        [("no conflict", snap["run.loads.frac_not_conflicting"]),
+         ("ANC (advanceable)", snap["run.loads.frac_anc"]),
+         ("AC (colliding)", snap["run.loads.frac_colliding"])],
         width=30, max_value=1.0, value_format="{:.1%}"))
-    lines.append(f"collision penalties {result.collision_penalties}   "
-                 f"forwarded {result.forwarded_loads}   "
-                 f"L1 miss rate {result.l1_miss_rate:.1%}")
+    lines.append(f"collision penalties "
+                 f"{int(snap['run.collision_penalties'])}   "
+                 f"forwarded {int(snap['run.forwarded_loads'])}   "
+                 f"L1 miss rate {snap['run.l1_miss_rate']:.1%}")
 
     # -- hit-miss -------------------------------------------------------
-    hm = result.hitmiss
-    if hm.total:
+    if "run.hitmiss.accuracy" in snap:
         lines.append("")
-        lines.append(f"hit-miss prediction: accuracy {hm.accuracy:.1%}, "
-                     f"misses caught {hm.miss_coverage:.1%}, "
-                     f"false misses {hm.ah_pm_fraction:.2%} of loads")
+        lines.append(f"hit-miss prediction: accuracy "
+                     f"{snap['run.hitmiss.accuracy']:.1%}, "
+                     f"misses caught {snap['run.hitmiss.coverage']:.1%}, "
+                     f"false misses {snap['run.hitmiss.ah_pm']:.2%} "
+                     f"of loads")
 
     # -- where the waiting happened --------------------------------------
-    if result.stall_breakdown:
+    stall_paths = sorted(p for p in snap if p.startswith("run.stalls."))
+    if stall_paths:
         lines.append("")
-        total = sum(result.stall_breakdown.values())
-        lines.append(f"stalled uop-cycles ({total} total):")
+        total = sum(snap[p] for p in stall_paths)
+        lines.append(f"stalled uop-cycles ({int(total)} total):")
         lines.append(bar_chart(
-            sorted(result.stall_breakdown.items(),
+            sorted(((p.rsplit(".", 1)[1], snap[p]) for p in stall_paths),
                    key=lambda kv: -kv[1]),
             width=30, value_format="{:.0f}"))
 
     # -- front end --------------------------------------------------------
-    if result.branches:
+    if snap["run.branches"]:
         lines.append("")
-        lines.append(f"branches {result.branches}   "
-                     f"mispredicts {result.branch_mispredicts} "
-                     f"(accuracy {result.branch_accuracy:.1%})")
-    if result.bank_conflicts:
-        lines.append(f"bank conflicts {result.bank_conflicts}")
+        lines.append(f"branches {int(snap['run.branches'])}   "
+                     f"mispredicts "
+                     f"{int(snap['run.branch_mispredicts'])} "
+                     f"(accuracy {snap['run.branch_accuracy']:.1%})")
+    if snap["run.bank_conflicts"]:
+        lines.append(f"bank conflicts {int(snap['run.bank_conflicts'])}")
 
     # -- squash economy -----------------------------------------------------
     lines.append("")
-    lines.append(f"squashed issues {result.squashed_issues} "
-                 f"({result.squashed_issues / max(1, result.cycles):.2f} "
+    squashes = int(snap["run.squashed_issues"])
+    lines.append(f"squashed issues {squashes} "
+                 f"({squashes / max(1, int(snap['run.cycles'])):.2f} "
                  f"per cycle)")
 
     # -- pipeline stage times (timeline runs only) --------------------------
-    if result.timeline:
-        from repro.engine.pipeview import summarize_timeline
-        summary = summarize_timeline(result.timeline)
+    if "run.timeline.avg_window_wait" in snap:
         lines.append("")
         lines.append(
             f"average stage times: window-wait "
-            f"{summary['avg_window_wait']:.1f}  execute "
-            f"{summary['avg_execute']:.1f}  retire-wait "
-            f"{summary['avg_retire_wait']:.1f} cycles")
+            f"{snap['run.timeline.avg_window_wait']:.1f}  execute "
+            f"{snap['run.timeline.avg_execute']:.1f}  retire-wait "
+            f"{snap['run.timeline.avg_retire_wait']:.1f} cycles")
 
-    if result.window_occupancy.total:
+    if "run.window_occupancy.total" in snap:
         lines.append(f"window occupancy: mean "
-                     f"{result.window_occupancy.mean():.1f}, p90 "
-                     f"{result.window_occupancy.percentile(0.9)}")
+                     f"{snap['run.window_occupancy.mean']:.1f}, p90 "
+                     f"{int(snap['run.window_occupancy.p90'])}")
     return "\n".join(lines)
 
 
@@ -108,8 +132,10 @@ def compare_report(results: List[SimResult]) -> str:
     lines.append(header)
     lines.append("-" * len(header))
     for r in results:
-        lines.append(f"{r.scheme:14s} {r.cycles:8d} {r.ipc:6.2f} "
+        snap = result_registry(r).snapshot()
+        lines.append(f"{r.scheme:14s} {int(snap['run.cycles']):8d} "
+                     f"{snap['run.ipc']:6.2f} "
                      f"{r.speedup_over(baseline):8.3f} "
-                     f"{r.collision_penalties:11d} "
-                     f"{r.squashed_issues:9d}")
+                     f"{int(snap['run.collision_penalties']):11d} "
+                     f"{int(snap['run.squashed_issues']):9d}")
     return "\n".join(lines)

@@ -123,3 +123,85 @@ class SimResult:
             "classes": {c.value: n for c, n in self.load_classes.items()},
             "hitmiss": self.hitmiss.as_dict(),
         }
+
+    # -- lossless serialisation ---------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full, JSON-safe, round-trippable encoding of the result.
+
+        Unlike :meth:`as_dict` (a reporting view with derived ratios),
+        this captures every measured field — including histograms, the
+        stall breakdown, the hit-miss class counts and the per-uop
+        timeline — such that :meth:`from_dict` reconstructs an equal
+        result.
+        """
+        out: Dict[str, object] = {
+            "schema": 1,
+            "trace_name": self.trace_name,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "retired_uops": self.retired_uops,
+            "retired_loads": self.retired_loads,
+            "collision_penalties": self.collision_penalties,
+            "squashed_issues": self.squashed_issues,
+            "forwarded_loads": self.forwarded_loads,
+            "bank_conflicts": self.bank_conflicts,
+            "branches": self.branches,
+            "branch_mispredicts": self.branch_mispredicts,
+            "l1_miss_rate": self.l1_miss_rate,
+            "load_classes": {c.value: n
+                             for c, n in self.load_classes.items()},
+            "hitmiss": {c.value: n for c, n in self.hitmiss.counts.items()},
+            "stall_breakdown": dict(self.stall_breakdown),
+            "window_occupancy": {str(k): v for k, v
+                                 in self.window_occupancy.items()},
+            "issue_width_used": {str(k): v for k, v
+                                 in self.issue_width_used.items()},
+        }
+        if self.timeline:
+            out["timeline"] = [
+                {"seq": u.seq, "pc": u.pc, "uclass": u.uclass.name,
+                 "rename_cycle": u.rename_cycle,
+                 "issue_cycle": u.issue_cycle,
+                 "complete_cycle": u.complete_cycle,
+                 "retire_cycle": u.retire_cycle,
+                 "squashes": u.squashes, "collided": u.collided}
+                for u in self.timeline]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimResult":
+        """Reconstruct a result serialised by :meth:`to_dict`."""
+        from repro.common.types import UopClass
+
+        result = cls(trace_name=str(data["trace_name"]),
+                     scheme=str(data["scheme"]))
+        for name in ("cycles", "retired_uops", "retired_loads",
+                     "collision_penalties", "squashed_issues",
+                     "forwarded_loads", "bank_conflicts", "branches",
+                     "branch_mispredicts"):
+            setattr(result, name, int(data.get(name, 0)))
+        result.l1_miss_rate = float(data.get("l1_miss_rate", 0.0))
+        for key, count in dict(data.get("load_classes", {})).items():
+            result.load_classes[LoadCollisionClass(key)] = int(count)
+        for key, count in dict(data.get("hitmiss", {})).items():
+            result.hitmiss.counts[HitMissClass(key)] = int(count)
+        result.stall_breakdown = {
+            str(k): int(v)
+            for k, v in dict(data.get("stall_breakdown", {})).items()}
+        for field_name in ("window_occupancy", "issue_width_used"):
+            hist = getattr(result, field_name)
+            for key, count in dict(data.get(field_name, {})).items():
+                hist.add(int(key), int(count))
+        for record in data.get("timeline", []):
+            from repro.engine.pipeview import UopTimeline
+            result.timeline.append(UopTimeline(
+                seq=int(record["seq"]), pc=int(record["pc"]),
+                uclass=UopClass[str(record["uclass"])],
+                rename_cycle=int(record["rename_cycle"]),
+                issue_cycle=int(record["issue_cycle"]),
+                complete_cycle=int(record["complete_cycle"]),
+                retire_cycle=int(record["retire_cycle"]),
+                squashes=int(record.get("squashes", 0)),
+                collided=bool(record.get("collided", False))))
+        return result

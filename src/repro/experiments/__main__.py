@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -59,6 +60,10 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="also write the raw result data as JSON "
                              "(a dict keyed by figure name)")
+    parser.add_argument("--obs-dir", metavar="DIR", default=None,
+                        help="write observability artifacts (run "
+                             "manifest with per-figure perf_counter "
+                             "timings, plus the raw data) into DIR")
     args = parser.parse_args(argv)
 
     settings = ExperimentSettings(
@@ -73,11 +78,15 @@ def main(argv=None) -> int:
     else:
         figures = [args.figure]
     collected: Dict[str, object] = {}
+    timings: Dict[str, float] = {}
     for figure in figures:
-        start = time.time()
+        # perf_counter, not time.time: monotonic and immune to
+        # wall-clock adjustments (NTP slew would skew the timings).
+        start = time.perf_counter()
         data = EXPERIMENTS[figure](settings)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         collected[figure] = data
+        timings[figure] = elapsed
         print(RENDERERS[figure](data))
         print(f"[{figure} done in {elapsed:.1f}s]")
         print()
@@ -85,7 +94,35 @@ def main(argv=None) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(collected, handle, indent=2, default=str)
         print(f"wrote raw data to {args.json}")
+    if args.obs_dir:
+        _write_obs_artifacts(args.obs_dir, figures, timings, collected,
+                             settings)
     return 0
+
+
+def _write_obs_artifacts(obs_dir: str, figures, timings: Dict[str, float],
+                         collected: Dict[str, object],
+                         settings: ExperimentSettings) -> None:
+    """Emit a run manifest (+ raw data) for this experiment invocation."""
+    from repro.obs.sinks import RunManifest, git_revision
+
+    os.makedirs(obs_dir, exist_ok=True)
+    manifest = RunManifest(
+        name="experiments:" + ",".join(figures),
+        config={"n_uops": settings.n_uops,
+                "traces_per_group": settings.traces_per_group},
+        git_rev=git_revision(),
+        n_uops=settings.n_uops,
+        wall_seconds=sum(timings.values()),
+        phases=dict(timings),
+        extra={"figures": list(figures)},
+    )
+    manifest.write(os.path.join(obs_dir, "manifest.json"))
+    with open(os.path.join(obs_dir, "data.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(collected, handle, indent=2, default=str)
+    print(f"wrote observability artifacts to {obs_dir}/ "
+          "(manifest.json, data.json)")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,10 @@ class HitMissPredictor(abc.ABC):
     predictors; table-only predictors ignore them.
     """
 
+    #: Optional :class:`repro.obs.events.EventBus`; when attached,
+    #: :meth:`observed_update` reports every training step.
+    obs = None
+
     @abc.abstractmethod
     def predict_hit(self, pc: int, line: Optional[int] = None,
                     now: int = 0) -> bool:
@@ -30,6 +34,16 @@ class HitMissPredictor(abc.ABC):
     def update(self, pc: int, hit: bool, line: Optional[int] = None,
                now: int = 0) -> None:
         """Train with the resolved outcome."""
+
+    def observed_update(self, pc: int, hit: bool,
+                        line: Optional[int] = None, now: int = 0) -> None:
+        """:meth:`update`, plus a ``predictor-update`` event when an
+        event bus is attached (the engine's hook point)."""
+        self.update(pc, hit, line, now)
+        if self.obs is not None:
+            self.obs.emit("predictor-update", now, pc=pc,
+                          family="hitmiss",
+                          predictor=type(self).__name__, outcome=hit)
 
     def reset(self) -> None:
         raise NotImplementedError

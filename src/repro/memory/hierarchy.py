@@ -62,6 +62,9 @@ class MemoryHierarchy:
         self._l1_misses = group.counter("l1_misses")
         self._l2_misses = group.counter("l2_misses")
         self._dynamic_misses = group.counter("dynamic_misses")
+        #: Optional :class:`repro.obs.events.EventBus`; when attached,
+        #: every L1 miss is emitted with the level that served it.
+        self.obs = None
 
     def load(self, address: int, now: int = 0) -> LoadOutcome:
         """Execute a load at cycle ``now`` and return its outcome."""
@@ -75,6 +78,9 @@ class MemoryHierarchy:
             # waits for the in-flight fill rather than starting a new one.
             self._dynamic_misses.add()
             self._l1_misses.add()
+            if self.obs is not None:
+                self.obs.emit("miss", now, pc=0, level="inflight",
+                              line=line, latency=pending - now)
             # Keep L1 state consistent: the fill will install the line, so
             # model the install now (subsequent post-arrival loads hit).
             self.l1d.access(address)
@@ -94,6 +100,10 @@ class MemoryHierarchy:
         else:
             self._l2_misses.add()
             latency = self.config.memory_latency
+        if self.obs is not None:
+            self.obs.emit("miss", now, pc=0,
+                          level="l2" if l2.hit else "mem",
+                          line=line, latency=latency)
         self.mshr.insert(line, now + latency)
         self.serviced.insert(line, now + latency)
         return LoadOutcome(l1_hit=False, l2_hit=l2.hit, latency=latency,

@@ -1,0 +1,135 @@
+"""repro.obs — the structured observability layer.
+
+Three pieces:
+
+* :mod:`repro.obs.events` — a typed pipeline event bus with near-zero
+  overhead when disabled (``Machine.obs`` defaults to ``None``);
+* :mod:`repro.obs.registry` — a unified, namespaced metrics registry
+  with snapshot/diff/merge and JSON export;
+* :mod:`repro.obs.sinks` — JSONL event logs, Chrome ``trace_event``
+  export (opens in Perfetto), and the run-manifest artifact.
+
+:func:`instrument` wires a bus into every observable component of a
+machine; :func:`observed_run` is the one-call "run this trace and leave
+a full artifact directory behind" entry point, also exposed on the CLI
+as ``python -m repro.obs`` (``summarize`` / ``diff`` / ``export``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.obs.events import Event, EventBus, EventKind
+from repro.obs.profile import PhaseProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    RunManifest,
+    events_to_chrome_trace,
+    git_revision,
+    read_jsonl,
+)
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventKind",
+    "PhaseProfiler",
+    "MetricsRegistry",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MemorySink",
+    "RunManifest",
+    "events_to_chrome_trace",
+    "git_revision",
+    "read_jsonl",
+    "instrument",
+    "observed_run",
+]
+
+
+def instrument(machine, bus: Optional[EventBus] = None) -> EventBus:
+    """Attach an event bus to every observable part of ``machine``.
+
+    Wires the engine itself, its memory hierarchy, and whichever
+    predictor families are present (hit-miss, bank, branch, and the
+    ordering scheme's CHT).  Returns the bus for sink attachment.
+    """
+    if bus is None:
+        bus = EventBus()
+    machine.obs = bus
+    machine.hierarchy.obs = bus
+    machine.hmp.obs = bus
+    if machine.bank_predictor is not None:
+        machine.bank_predictor.obs = bus
+    if machine.branch_predictor is not None:
+        machine.branch_predictor.obs = bus
+    cht = getattr(machine.scheme, "cht", None)
+    if cht is not None:
+        cht.obs = bus
+    return bus
+
+
+def observed_run(machine, trace, out_dir: str,
+                 events: bool = True,
+                 chrome_trace: bool = True,
+                 name: Optional[str] = None) -> Tuple[object, RunManifest]:
+    """Run ``trace`` on ``machine`` with full observability artifacts.
+
+    Writes into ``out_dir``:
+
+    * ``events.jsonl`` — the typed event log (when ``events``);
+    * ``trace.json``   — Chrome ``trace_event`` export for Perfetto
+      (when ``chrome_trace``);
+    * ``metrics.json`` — the flat metrics-registry snapshot;
+    * ``manifest.json`` — config, seed, git revision, uops/sec and
+      per-phase ``perf_counter`` timings.
+
+    Returns ``(SimResult, RunManifest)``.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    bus = instrument(machine)
+    if events:
+        bus.attach(JsonlSink(os.path.join(out_dir, "events.jsonl")))
+    chrome: Optional[ChromeTraceSink] = None
+    if chrome_trace:
+        chrome = ChromeTraceSink()
+        bus.attach(chrome)
+
+    prof = PhaseProfiler()
+    with prof.phase("simulate"):
+        result = machine.run(trace)
+    with prof.phase("export"):
+        bus.close()
+        if chrome is not None:
+            chrome.write(os.path.join(out_dir, "trace.json"))
+        registry = MetricsRegistry.from_machine(machine, result)
+        metrics = registry.snapshot()
+        registry.write_json(os.path.join(out_dir, "metrics.json"))
+
+    manifest = RunManifest(
+        name=name if name is not None else f"{trace.name}/{result.scheme}",
+        config=_config_dict(machine.config),
+        seed=getattr(trace, "seed", None),
+        git_rev=git_revision(),
+        n_uops=result.retired_uops,
+        cycles=result.cycles,
+        wall_seconds=prof.timings.get("simulate", 0.0),
+        phases=prof.as_dict(),
+        metrics=metrics,
+        event_counts=dict(bus.counts),
+        extra={"trace": trace.name, "scheme": result.scheme},
+    )
+    manifest.write(os.path.join(out_dir, "manifest.json"))
+    return result, manifest
+
+
+def _config_dict(config) -> dict:
+    """Best-effort plain-dict view of a (nested) dataclass config."""
+    import dataclasses
+    if dataclasses.is_dataclass(config):
+        return dataclasses.asdict(config)
+    return {"repr": repr(config)}

@@ -1,0 +1,62 @@
+"""Wall-clock phase profiling for the simulator itself.
+
+The paper's argument is about simulated cycles; this module is about
+*our* cycles — where the Python process spends its wall-clock time
+(trace generation, the machine loop, reporting).  Timings use
+``time.perf_counter`` (monotonic, high resolution) and land in the run
+manifest so the perf trajectory of the simulator is tracked run over
+run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PhaseProfiler:
+    """Accumulates named wall-clock phases.
+
+    Usage::
+
+        prof = PhaseProfiler()
+        with prof.phase("build-trace"):
+            trace = build_trace(...)
+        with prof.phase("simulate"):
+            result = machine.run(trace)
+        prof.timings  # {"build-trace": 0.12, "simulate": 3.4}
+
+    Re-entering a phase name accumulates into the same bucket.
+    """
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, float] = {}
+        self._started = time.perf_counter()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        """Wall-clock seconds since the profiler was created."""
+        return time.perf_counter() - self._started
+
+    @property
+    def accounted(self) -> float:
+        """Seconds covered by named phases."""
+        return sum(self.timings.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.timings)
+
+    def __repr__(self) -> str:
+        phases = ", ".join(f"{k}={v:.3f}s"
+                           for k, v in self.timings.items())
+        return f"PhaseProfiler({phases})"

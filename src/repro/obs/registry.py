@@ -1,0 +1,245 @@
+"""A unified, namespaced metrics registry.
+
+The simulator's measurements are scattered across ``StatGroup`` trees
+(:mod:`repro.common.stats`), :class:`~repro.engine.results.SimResult`
+fields, :class:`~repro.hitmiss.base.HitMissStats` and
+:class:`~repro.bank.base.BankStats`.  The registry unifies them under
+one dotted namespace (``run.cycles``, ``memory.l1d.hits``,
+``run.hitmiss.accuracy``, ...) with four core operations:
+
+* :meth:`MetricsRegistry.snapshot` — a flat ``{path: number}`` view;
+* :meth:`MetricsRegistry.diff` — what changed between two snapshots;
+* :meth:`MetricsRegistry.merge` — sum another registry's numeric leaves
+  into this one (multi-trace aggregation);
+* :meth:`MetricsRegistry.to_json` — machine-readable export for run
+  artifacts.
+
+Stat objects are *mounted*, not copied: a mounted ``StatGroup`` is read
+at snapshot time, so live counters need no forwarding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.common.stats import Counter, Histogram, RatioStat, StatGroup
+
+Number = float  # registry leaves are ints or floats; both are accepted
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _flatten_into(out: Dict[str, Number], prefix: str,
+                  value: object) -> None:
+    """Flatten a nested mapping / stat object into dotted numeric leaves.
+
+    Histograms (mappings with integer keys, and ``Histogram`` objects)
+    are summarised to ``total``/``mean``/``p50``/``p90`` rather than
+    dumped bin-by-bin — snapshots are for comparison, not archival; the
+    raw bins stay available on the mounted object itself.
+    """
+    if isinstance(value, Counter):
+        out[prefix] = value.value
+        return
+    if isinstance(value, RatioStat):
+        out[prefix + ".num"] = value.num
+        out[prefix + ".den"] = value.den
+        out[prefix + ".ratio"] = value.ratio
+        return
+    if isinstance(value, Histogram):
+        out[prefix + ".total"] = value.total
+        out[prefix + ".mean"] = value.mean()
+        out[prefix + ".p50"] = value.percentile(0.5)
+        out[prefix + ".p90"] = value.percentile(0.9)
+        return
+    if isinstance(value, StatGroup):
+        _flatten_into(out, prefix, value.as_dict())
+        return
+    if isinstance(value, Mapping):
+        if value and all(isinstance(k, int) for k in value):
+            # Raw histogram bins (e.g. ``Histogram.items()`` as a dict).
+            total = sum(value.values())
+            out[prefix + ".total"] = total
+            out[prefix + ".mean"] = (
+                sum(k * v for k, v in value.items()) / total if total
+                else 0.0)
+            return
+        for key, sub in value.items():
+            _flatten_into(out, f"{prefix}.{key}" if prefix else str(key),
+                          sub)
+        return
+    if _is_number(value):
+        out[prefix] = value
+    # Non-numeric leaves (strings, None) are metadata, not metrics.
+
+
+class MetricsRegistry:
+    """A namespaced tree of metrics with snapshot/diff/merge/export."""
+
+    def __init__(self, name: str = "metrics") -> None:
+        self.name = name
+        self._values: Dict[str, Number] = {}
+        self._mounts: List[Tuple[str, object]] = []
+
+    # -- writing ------------------------------------------------------------
+
+    def set(self, path: str, value: Number) -> None:
+        """Set a scalar gauge at ``path``."""
+        if not _is_number(value):
+            raise TypeError(f"metric {path!r} must be numeric, "
+                            f"got {type(value).__name__}")
+        self._values[path] = value
+
+    def inc(self, path: str, amount: Number = 1) -> None:
+        """Increment a scalar counter at ``path``."""
+        self._values[path] = self._values.get(path, 0) + amount
+
+    def mount(self, path: str, source: object) -> None:
+        """Graft a live stat source (``StatGroup``, stat object, or
+        mapping) under ``path``; it is read lazily at snapshot time."""
+        self._mounts.append((path, source))
+
+    def ingest(self, path: str, mapping: Mapping) -> None:
+        """Copy a nested mapping's numeric leaves under ``path`` now."""
+        _flatten_into(self._values, path, dict(mapping))
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Flat ``{dotted-path: number}`` view, sorted by path."""
+        out = dict(self._values)
+        for path, source in self._mounts:
+            _flatten_into(out, path, source)
+        return dict(sorted(out.items()))
+
+    def get(self, path: str, default: Optional[Number] = None):
+        return self.snapshot().get(path, default)
+
+    def tree(self) -> Dict[str, object]:
+        """Nested-dict view of the snapshot (for JSON export)."""
+        root: Dict[str, object] = {}
+        for path, value in self.snapshot().items():
+            node = root
+            parts = path.split(".")
+            for part in parts[:-1]:
+                nxt = node.setdefault(part, {})
+                if not isinstance(nxt, dict):
+                    # A leaf and a subtree share a name: nest the leaf.
+                    nxt = node[part] = {"_value": nxt}
+                node = nxt
+            leaf = parts[-1]
+            if isinstance(node.get(leaf), dict):
+                node[leaf]["_value"] = value
+            else:
+                node[leaf] = value
+        return root
+
+    # -- comparison / aggregation -------------------------------------------
+
+    @staticmethod
+    def diff(before: Mapping[str, Number],
+             after: Mapping[str, Number]) -> Dict[str, Tuple[Optional[Number],
+                                                             Optional[Number]]]:
+        """Paths whose value differs between two snapshots.
+
+        Returns ``{path: (before, after)}``; a path present on only one
+        side reports ``None`` for the other.
+        """
+        out: Dict[str, Tuple[Optional[Number], Optional[Number]]] = {}
+        for path in sorted(set(before) | set(after)):
+            a, b = before.get(path), after.get(path)
+            if a != b:
+                out[path] = (a, b)
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Sum ``other``'s numeric leaves into this registry's values."""
+        for path, value in other.snapshot().items():
+            self._values[path] = self._values.get(path, 0) + value
+
+    # -- export -------------------------------------------------------------
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    # -- adapters -----------------------------------------------------------
+
+    @classmethod
+    def from_result(cls, result, prefix: str = "run") -> "MetricsRegistry":
+        """Build a registry over one ``SimResult``.
+
+        Wires the result's counters, the Figure 1 load classes, the
+        hit-miss taxonomy, stall breakdown and occupancy histograms into
+        the namespace; derived ratios (IPC, accuracy, fractions) are
+        included so reports and diffs need no recomputation.
+        """
+        reg = cls(name=prefix)
+        p = prefix
+        reg.set(f"{p}.cycles", result.cycles)
+        reg.set(f"{p}.retired_uops", result.retired_uops)
+        reg.set(f"{p}.retired_loads", result.retired_loads)
+        reg.set(f"{p}.ipc", result.ipc)
+        reg.set(f"{p}.collision_penalties", result.collision_penalties)
+        reg.set(f"{p}.squashed_issues", result.squashed_issues)
+        reg.set(f"{p}.forwarded_loads", result.forwarded_loads)
+        reg.set(f"{p}.bank_conflicts", result.bank_conflicts)
+        reg.set(f"{p}.branches", result.branches)
+        reg.set(f"{p}.branch_mispredicts", result.branch_mispredicts)
+        reg.set(f"{p}.branch_accuracy", result.branch_accuracy)
+        reg.set(f"{p}.l1_miss_rate", result.l1_miss_rate)
+        for cls_, count in result.load_classes.items():
+            reg.set(f"{p}.loads.classes.{cls_.value}", count)
+        reg.set(f"{p}.loads.frac_not_conflicting",
+                result.frac_not_conflicting)
+        reg.set(f"{p}.loads.frac_anc", result.frac_anc)
+        reg.set(f"{p}.loads.frac_colliding",
+                result.frac_actually_colliding)
+        hm = result.hitmiss
+        if hm.total:
+            for cls_, count in hm.counts.items():
+                reg.set(f"{p}.hitmiss.classes.{cls_.value}", count)
+            reg.ingest(f"{p}.hitmiss", hm.as_dict())
+        for cause, cycles in result.stall_breakdown.items():
+            reg.set(f"{p}.stalls.{cause}", cycles)
+        if result.window_occupancy.total:
+            reg.mount(f"{p}.window_occupancy", result.window_occupancy)
+        if result.issue_width_used.total:
+            reg.mount(f"{p}.issue_width_used", result.issue_width_used)
+        if result.timeline:
+            from repro.engine.pipeview import summarize_timeline
+            reg.ingest(f"{p}.timeline", summarize_timeline(result.timeline))
+        return reg
+
+    @classmethod
+    def from_machine(cls, machine, result=None,
+                     prefix: str = "run") -> "MetricsRegistry":
+        """Registry over a machine (hierarchy stats, predictor budgets)
+        plus, optionally, one of its results."""
+        reg = (cls.from_result(result, prefix) if result is not None
+               else cls(name=prefix))
+        reg.mount("memory", machine.hierarchy.stats)
+        for label, pred in (("hitmiss", machine.hmp),
+                            ("bank", machine.bank_predictor),
+                            ("branch", machine.branch_predictor)):
+            if pred is None:
+                continue
+            try:
+                reg.set(f"predictors.{label}.storage_bits",
+                        pred.storage_bits)
+            except NotImplementedError:
+                pass
+        cht = getattr(machine.scheme, "cht", None)
+        if cht is not None:
+            try:
+                reg.set("predictors.cht.storage_bits", cht.storage_bits)
+            except NotImplementedError:
+                pass
+        return reg

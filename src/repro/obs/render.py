@@ -1,0 +1,117 @@
+"""Text rendering for observability artifacts.
+
+Shared by ``python -m repro.obs`` and the engine's report module: these
+functions turn flat metrics snapshots, event counts and manifests into
+aligned, grouped text sections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.events import EventKind
+from repro.obs.sinks import RunManifest
+
+Number = float
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value and abs(value) < 0.01:
+            return f"{value:.4g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_metrics(snapshot: Mapping[str, Number],
+                   title: str = "metrics") -> str:
+    """Render a flat snapshot grouped by top-level namespace."""
+    if not snapshot:
+        return f"{title}: (empty)"
+    groups: Dict[str, List[Tuple[str, Number]]] = {}
+    for path in sorted(snapshot):
+        head, _, rest = path.partition(".")
+        groups.setdefault(head, []).append((rest or head, snapshot[path]))
+    width = max(len(name) for items in groups.values()
+                for name, _ in items)
+    lines = [f"{title}:"]
+    for head in sorted(groups):
+        lines.append(f"  [{head}]")
+        for name, value in groups[head]:
+            lines.append(f"    {name.ljust(width)}  {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def render_event_counts(counts: Mapping[str, int]) -> str:
+    """Render per-kind event counts in taxonomy order."""
+    if not counts:
+        return "events: (none recorded)"
+    lines = ["events:"]
+    known = [k for k in EventKind.ALL if k in counts]
+    extra = sorted(k for k in counts if k not in EventKind.ALL)
+    width = max(len(k) for k in known + extra)
+    for kind in known + extra:
+        lines.append(f"  {kind.ljust(width)}  {counts[kind]}")
+    return "\n".join(lines)
+
+
+def render_manifest(manifest: RunManifest,
+                    metrics: bool = True) -> str:
+    """Human summary of one run manifest."""
+    lines = [f"=== run '{manifest.name}' ==="]
+    lines.append(f"created {manifest.created}"
+                 + (f"   git {manifest.git_rev[:12]}"
+                    if manifest.git_rev else ""))
+    if manifest.seed is not None:
+        lines.append(f"seed {manifest.seed}")
+    lines.append(f"uops {manifest.n_uops}   cycles {manifest.cycles}   "
+                 f"wall {manifest.wall_seconds:.3f}s   "
+                 f"throughput {manifest.uops_per_sec:,.0f} uops/sec")
+    if manifest.phases:
+        phases = "   ".join(f"{name} {secs:.3f}s"
+                            for name, secs in manifest.phases.items())
+        lines.append(f"phases: {phases}")
+    if manifest.event_counts:
+        lines.append("")
+        lines.append(render_event_counts(manifest.event_counts))
+    if metrics and manifest.metrics:
+        lines.append("")
+        lines.append(render_metrics(manifest.metrics))
+    return "\n".join(lines)
+
+
+def render_diff(before: Mapping[str, Number],
+                after: Mapping[str, Number],
+                label_a: str = "a", label_b: str = "b",
+                max_rows: Optional[int] = None) -> str:
+    """Tabulate the paths whose values differ between two snapshots."""
+    from repro.obs.registry import MetricsRegistry
+    changed = MetricsRegistry.diff(before, after)
+    if not changed:
+        return "(no metric differences)"
+    rows = []
+    for path, (a, b) in changed.items():
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            delta = _fmt(b - a)
+        else:
+            delta = "-"
+        rows.append((path, "-" if a is None else _fmt(a),
+                     "-" if b is None else _fmt(b), delta))
+    clipped = 0
+    if max_rows is not None and len(rows) > max_rows:
+        clipped = len(rows) - max_rows
+        rows = rows[:max_rows]
+    headers = ("metric", label_a, label_b, "delta")
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if clipped:
+        lines.append(f"... and {clipped} more")
+    return "\n".join(lines)

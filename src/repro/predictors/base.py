@@ -45,6 +45,10 @@ NO_PREDICTION = Prediction(outcome=False, confidence=0.0, valid=False)
 class BinaryPredictor(abc.ABC):
     """Interface shared by every table-based binary predictor."""
 
+    #: Optional :class:`repro.obs.events.EventBus`; when attached,
+    #: :meth:`observed_update` reports every training step.
+    obs = None
+
     @abc.abstractmethod
     def predict(self, pc: int) -> Prediction:
         """Predict the outcome for the instruction at ``pc``."""
@@ -56,6 +60,15 @@ class BinaryPredictor(abc.ABC):
         ``update`` must be called with the same ``pc`` stream order as
         ``predict``; predictors with global history rely on it.
         """
+
+    def observed_update(self, pc: int, outcome: bool,
+                        now: int = -1) -> None:
+        """:meth:`update`, plus a ``predictor-update`` event when an
+        event bus is attached (the front end's hook point)."""
+        self.update(pc, outcome)
+        if self.obs is not None:
+            self.obs.emit("predictor-update", now, pc=pc, family="branch",
+                          predictor=type(self).__name__, outcome=outcome)
 
     def reset(self) -> None:
         """Return to the power-on state (used for cyclic clearing)."""

@@ -106,3 +106,74 @@ class TestRendering:
         result = run_with_timeline(t.build())
         text = render_timeline(result.timeline, max_uops=10)
         assert len(text.splitlines()) == 11  # header + 10 rows
+
+
+HEADER = ("cycles 0..8   (r=rename  ==wait  i=issue  ~=execute  "
+          "c=complete  .=wait-retire  R=retire)")
+
+
+class TestGoldenOutput:
+    """Exact-output tests pinning the diagram format.
+
+    Hand-built records keep the expectations independent of engine
+    timing; one machine-driven golden then pins the full picture for
+    the canonical store->load collision micro-trace.
+    """
+
+    def test_handbuilt_rows_exact(self):
+        timeline = [
+            # Plain 1-cycle op: every stage on its own cycle.
+            UopTimeline(seq=0, pc=0x0, uclass=UopClass.INT,
+                        rename_cycle=0, issue_cycle=1,
+                        complete_cycle=2, retire_cycle=3),
+            # Collided load ("!"): window wait, execute, no retire wait.
+            UopTimeline(seq=1, pc=0x4, uclass=UopClass.LOAD,
+                        rename_cycle=0, issue_cycle=4,
+                        complete_cycle=7, retire_cycle=8,
+                        collided=True),
+            # Squashed uop ("s") with a zero-length execute
+            # (issue == complete, so "c" lands on the issue cell).
+            UopTimeline(seq=2, pc=0x8, uclass=UopClass.INT,
+                        rename_cycle=1, issue_cycle=5,
+                        complete_cycle=5, retire_cycle=8,
+                        squashes=2),
+            # retire == complete: "R" lands on the complete cell.
+            UopTimeline(seq=3, pc=0xc, uclass=UopClass.STA,
+                        rename_cycle=2, issue_cycle=3,
+                        complete_cycle=6, retire_cycle=6),
+        ]
+        expected = "\n".join([
+            HEADER,
+            "     0 INT    |ricR     |",
+            "     1 LOAD  !|r===i~~cR|",
+            "     2 INT   s| r===c..R|",
+            "     3 STA    |  ri~~R  |",
+        ])
+        assert render_timeline(timeline) == expected
+
+    def test_collision_microtrace_golden(self):
+        """Full diagram of the store->load collision trace under the
+        Traditional scheme: the load stalls behind the unresolved STD
+        ("=") and its squashed dependent re-issues late ("s")."""
+        t = MicroTrace()
+        t.alu(dst=0)
+        for _ in range(4):
+            t.alu(dst=0, srcs=(0,))
+        t.store(0x4000, data_src=0)
+        t.load(dst=7, address=0x4000)
+        t.alu(dst=6, srcs=(7,))
+        result = run_with_timeline(t.build())
+        expected = "\n".join([
+            "cycles 0..30   (r=rename  ==wait  i=issue  ~=execute  "
+            "c=complete  .=wait-retire  R=retire)",
+            "     0 INT    |riR                            |",
+            "     1 INT    |r=iR                           |",
+            "     2 INT    |r==iR                          |",
+            "     3 INT    |r===iR                         |",
+            "     4 INT    |r====iR                        |",
+            "     5 STA    |ri~~c.R                        |",
+            "     6 STD    | r====i~~R                     |",
+            "     7 LOAD  !| r===========i~~~~~~~~~~~~~~~R |",
+            "     8 INT   s| r===========================iR|",
+        ])
+        assert render_timeline(result.timeline) == expected

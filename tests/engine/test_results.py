@@ -79,3 +79,61 @@ class TestSerialisation:
     def test_as_dict_class_values(self):
         r = result_with_classes(AC_PC=5)
         assert r.as_dict()["classes"]["AC-PC"] == 5
+
+
+class TestRoundTrip:
+    """to_dict()/from_dict() must reconstruct an equal result, even
+    through a JSON encode/decode (string keys, no enums)."""
+
+    def full_result(self):
+        import json
+
+        from repro.engine.machine import Machine
+        from repro.engine.ordering import make_scheme
+        from repro.trace.builder import build_trace
+        from repro.trace.workloads import profile_for, trace_seed
+        from repro.hitmiss.local import LocalHMP
+
+        trace = build_trace(profile_for("gcc"), n_uops=2000,
+                            seed=trace_seed("gcc"), name="gcc")
+        machine = Machine(scheme=make_scheme("inclusive"), hmp=LocalHMP())
+        machine.record_timeline = True
+        machine.collect_occupancy = True
+        machine.collect_stall_breakdown = True
+        return machine.run(trace), json
+
+    def test_json_round_trip_equal(self):
+        result, json = self.full_result()
+        encoded = json.dumps(result.to_dict())
+        restored = SimResult.from_dict(json.loads(encoded))
+        assert restored.trace_name == result.trace_name
+        assert restored.scheme == result.scheme
+        assert restored.cycles == result.cycles
+        assert restored.retired_uops == result.retired_uops
+        assert restored.load_classes == result.load_classes
+        assert restored.hitmiss.counts == result.hitmiss.counts
+        assert restored.stall_breakdown == result.stall_breakdown
+        assert restored.window_occupancy.items() == \
+               result.window_occupancy.items()
+        assert restored.issue_width_used.items() == \
+               result.issue_width_used.items()
+        assert restored.timeline == result.timeline
+        assert restored.ipc == pytest.approx(result.ipc)
+
+    def test_round_trip_preserves_derived_metrics(self):
+        result, _ = self.full_result()
+        restored = SimResult.from_dict(result.to_dict())
+        assert restored.frac_anc == pytest.approx(result.frac_anc)
+        assert restored.branch_accuracy == \
+               pytest.approx(result.branch_accuracy)
+        assert restored.l1_miss_rate == pytest.approx(result.l1_miss_rate)
+
+    def test_empty_result_round_trips(self):
+        empty = SimResult(trace_name="t", scheme="s")
+        restored = SimResult.from_dict(empty.to_dict())
+        assert restored.cycles == 0
+        assert restored.timeline == []
+        assert restored.load_classes == empty.load_classes
+
+    def test_schema_marker_present(self):
+        assert SimResult(trace_name="t", scheme="s").to_dict()["schema"] == 1

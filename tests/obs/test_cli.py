@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro.obs`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.obs import observed_run
+from repro.obs.__main__ import main
+from repro.trace.builder import build_trace
+from repro.trace.workloads import profile_for, trace_seed
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "run"
+    machine = Machine(scheme=make_scheme("inclusive"))
+    trace = build_trace(profile_for("gcc"), n_uops=2000,
+                        seed=trace_seed("gcc"), name="gcc")
+    observed_run(machine, trace, str(out))
+    return out
+
+
+def test_summarize_directory(run_dir, capsys):
+    assert main(["summarize", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "gcc/inclusive" in out
+    assert "[run]" in out and "cycles" in out
+    assert "uops/sec" in out
+
+
+def test_summarize_metrics_file(run_dir, capsys):
+    assert main(["summarize", str(run_dir / "metrics.json")]) == 0
+    out = capsys.readouterr().out
+    assert "[run]" in out and "ipc" in out
+
+
+def test_summarize_events_log(run_dir, capsys):
+    assert main(["summarize", str(run_dir / "events.jsonl")]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out
+    assert "retire" in out
+
+
+def test_diff_two_runs(run_dir, tmp_path, capsys):
+    other = tmp_path / "other"
+    machine = Machine(scheme=make_scheme("traditional"))
+    trace = build_trace(profile_for("gcc"), n_uops=2000,
+                        seed=trace_seed("gcc"), name="gcc")
+    observed_run(machine, trace, str(other))
+    assert main(["diff", str(run_dir), str(other)]) == 0
+    out = capsys.readouterr().out
+    assert "run.cycles" in out  # schemes differ, cycles must differ
+    assert "delta" in out
+
+
+def test_diff_identical_runs_is_quiet(run_dir, capsys):
+    assert main(["diff", str(run_dir), str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "no metric differences" in out
+
+
+def test_export_writes_chrome_trace(run_dir, tmp_path, capsys):
+    out = str(tmp_path / "perfetto.json")
+    assert main(["export", str(run_dir / "events.jsonl"),
+                 "-o", out, "--lanes", "4"]) == 0
+    with open(out, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    assert doc["traceEvents"]
+    lanes = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert lanes <= set(range(4))
+
+
+def test_run_command(tmp_path, capsys):
+    out = str(tmp_path / "cli_run")
+    assert main(["run", "--trace", "gcc", "--uops", "1500",
+                 "--scheme", "traditional", "--out", out,
+                 "--no-chrome"]) == 0
+    text = capsys.readouterr().out
+    assert "manifest.json" in text
+    assert (tmp_path / "cli_run" / "events.jsonl").exists()
+    assert not (tmp_path / "cli_run" / "trace.json").exists()
+
+
+def test_summarize_missing_artifacts(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(FileNotFoundError):
+        main(["summarize", str(empty)])

@@ -1,0 +1,172 @@
+"""Tests for the event bus and the engine's hook points."""
+
+import pytest
+
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.obs import EventBus, EventKind, MemorySink, instrument
+from repro.trace.builder import build_trace
+from repro.trace.workloads import profile_for, trace_seed
+from tests.engine.helpers import MicroTrace
+
+
+def collision_trace():
+    t = MicroTrace()
+    t.alu(dst=0)
+    for _ in range(4):
+        t.alu(dst=0, srcs=(0,))
+    t.store(0x4000, data_src=0)
+    t.load(dst=7, address=0x4000)
+    t.alu(dst=6, srcs=(7,))
+    return t.build()
+
+
+class TestEventBus:
+    def test_counts_without_subscribers(self):
+        bus = EventBus()
+        bus.emit(EventKind.SQUASH, 5, 1, 0x10)
+        bus.emit(EventKind.SQUASH, 6, 2, 0x14)
+        assert bus.counts == {EventKind.SQUASH: 2}
+
+    def test_kind_subscription_filters(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kind=EventKind.MISS)
+        bus.emit(EventKind.MISS, 1, level="l2")
+        bus.emit(EventKind.RETIRE, 2, 7)
+        assert [e.kind for e in seen] == [EventKind.MISS]
+        assert seen[0].fields["level"] == "l2"
+
+    def test_wildcard_sees_everything(self):
+        bus = EventBus()
+        sink = bus.attach(MemorySink())
+        bus.emit(EventKind.RENAME, 0, 0)
+        bus.emit(EventKind.ISSUE, 1, 0)
+        assert [e.kind for e in sink.events] == \
+               [EventKind.RENAME, EventKind.ISSUE]
+
+    def test_event_as_dict_drops_unset_identity(self):
+        bus = EventBus()
+        sink = bus.attach(MemorySink())
+        bus.emit(EventKind.MISS, 9, level="mem")
+        record = sink.events[0].as_dict()
+        assert record == {"kind": "miss", "cycle": 9, "level": "mem"}
+
+    def test_close_flushes_sinks(self):
+        flushed = []
+
+        class Sink:
+            def on_event(self, event):
+                pass
+
+            def close(self):
+                flushed.append(True)
+
+        bus = EventBus()
+        bus.attach(Sink())
+        bus.close()
+        assert flushed == [True]
+
+
+class TestMachineHooks:
+    def test_disabled_by_default(self):
+        machine = Machine(scheme=make_scheme("traditional"))
+        assert machine.obs is None
+        machine.run(collision_trace())  # must not raise nor emit
+
+    def test_lifecycle_events_cover_every_uop(self):
+        machine = Machine(scheme=make_scheme("traditional"))
+        sink = instrument(machine).attach(MemorySink())
+        result = machine.run(collision_trace())
+        counts = sink.counts()
+        assert counts[EventKind.RENAME] == result.retired_uops
+        assert counts[EventKind.RETIRE] == result.retired_uops
+        assert counts[EventKind.ISSUE] >= result.retired_uops
+
+    def test_collision_and_squash_counts_match_result(self):
+        machine = Machine(scheme=make_scheme("traditional"))
+        sink = instrument(machine).attach(MemorySink())
+        result = machine.run(collision_trace())
+        counts = sink.counts()
+        assert result.collision_penalties > 0
+        assert counts[EventKind.COLLISION] == result.collision_penalties
+        assert counts[EventKind.SQUASH] == result.squashed_issues
+
+    def test_retire_event_carries_lifecycle(self):
+        machine = Machine(scheme=make_scheme("traditional"))
+        sink = instrument(machine).attach(MemorySink())
+        machine.run(collision_trace())
+        for event in sink.of_kind(EventKind.RETIRE):
+            assert event.fields["rename_cycle"] <= event.cycle
+            assert event.fields["issue_cycle"] <= event.cycle
+            assert "uclass" in event.fields
+
+    def test_store_lifecycle_from_mob(self):
+        machine = Machine(scheme=make_scheme("traditional"))
+        sink = instrument(machine).attach(MemorySink())
+        machine.run(collision_trace())
+        counts = sink.counts()
+        assert counts[EventKind.STORE_TRACKED] == 1
+        assert counts[EventKind.STORE_DATA] == 1
+
+    def test_observed_run_matches_unobserved(self):
+        trace = build_trace(profile_for("gcc"), n_uops=3000,
+                            seed=trace_seed("gcc"), name="gcc")
+        plain = Machine(scheme=make_scheme("inclusive")).run(trace)
+        observed = Machine(scheme=make_scheme("inclusive"))
+        instrument(observed).attach(MemorySink())
+        result = observed.run(trace)
+        assert result.cycles == plain.cycles
+        assert result.squashed_issues == plain.squashed_issues
+
+
+class TestPredictorHooks:
+    def test_hitmiss_and_cht_families_emit(self):
+        trace = build_trace(profile_for("gcc"), n_uops=3000,
+                            seed=trace_seed("gcc"), name="gcc")
+        from repro.hitmiss.local import LocalHMP
+        machine = Machine(scheme=make_scheme("inclusive"), hmp=LocalHMP())
+        sink = instrument(machine).attach(MemorySink())
+        machine.run(trace)
+        families = {e.fields["family"]
+                    for e in sink.of_kind(EventKind.PREDICTOR_UPDATE)}
+        assert "hitmiss" in families
+        assert "cht" in families
+
+    def test_branch_family_emits(self):
+        from repro.predictors.bimodal import BimodalPredictor
+        trace = build_trace(profile_for("gcc"), n_uops=2000,
+                            seed=trace_seed("gcc"), name="gcc")
+        machine = Machine(scheme=make_scheme("traditional"),
+                          branch_predictor=BimodalPredictor(n_entries=512))
+        sink = instrument(machine).attach(MemorySink())
+        result = machine.run(trace)
+        branch_updates = [e for e in sink.of_kind(EventKind.PREDICTOR_UPDATE)
+                          if e.fields["family"] == "branch"]
+        assert len(branch_updates) == result.branches
+
+    def test_miss_events_match_hierarchy_counter(self):
+        trace = build_trace(profile_for("gcc"), n_uops=3000,
+                            seed=trace_seed("gcc"), name="gcc")
+        machine = Machine(scheme=make_scheme("traditional"))
+        sink = instrument(machine).attach(MemorySink())
+        machine.run(trace)
+        expected = machine.hierarchy.stats.get("l1_misses").value
+        assert len(sink.of_kind(EventKind.MISS)) == expected
+
+
+@pytest.mark.parametrize("policy", ["oblivious", "oracle"])
+def test_bank_conflict_events(policy):
+    from repro.common.config import BASELINE_MACHINE
+    import dataclasses
+    l1d = dataclasses.replace(BASELINE_MACHINE.memory.l1d, n_banks=2)
+    memory = dataclasses.replace(BASELINE_MACHINE.memory, l1d=l1d)
+    config = dataclasses.replace(BASELINE_MACHINE, memory=memory)
+    trace = build_trace(profile_for("gcc"), n_uops=4000,
+                        seed=trace_seed("gcc"), name="gcc")
+    machine = Machine(config=config, scheme=make_scheme("traditional"),
+                      bank_policy=policy)
+    sink = instrument(machine).attach(MemorySink())
+    result = machine.run(trace)
+    counts = sink.counts()
+    assert counts.get(EventKind.BANK_CONFLICT, 0) == result.bank_conflicts

@@ -1,0 +1,151 @@
+"""Tests for the unified metrics registry."""
+
+import json
+
+import pytest
+
+from repro.common.stats import StatGroup
+from repro.common.types import LoadCollisionClass
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.engine.results import SimResult
+from repro.obs import MetricsRegistry
+from repro.trace.builder import build_trace
+from repro.trace.workloads import profile_for, trace_seed
+
+
+def small_result():
+    result = SimResult(trace_name="t", scheme="traditional")
+    result.cycles = 100
+    result.retired_uops = 250
+    result.retired_loads = 40
+    result.collision_penalties = 3
+    result.load_classes[LoadCollisionClass.NOT_CONFLICTING] = 30
+    result.load_classes[LoadCollisionClass.AC_PC] = 10
+    result.stall_breakdown = {"operands": 12, "port": 4}
+    return result
+
+
+class TestCoreOps:
+    def test_set_and_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        reg.set("b.two", 2)
+        reg.set("a.one", 1)
+        assert list(reg.snapshot()) == ["a.one", "b.two"]
+
+    def test_set_rejects_non_numbers(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TypeError):
+            reg.set("x", "not a number")
+
+    def test_inc(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 4)
+        assert reg.get("hits") == 5
+
+    def test_mount_is_live(self):
+        group = StatGroup("memory")
+        counter = group.counter("hits")
+        reg = MetricsRegistry()
+        reg.mount("memory", group)
+        assert reg.snapshot()["memory.hits"] == 0
+        counter.add(7)
+        assert reg.snapshot()["memory.hits"] == 7
+
+    def test_mount_flattens_ratio_and_histogram(self):
+        group = StatGroup("g")
+        ratio = group.ratio("acc")
+        ratio.add(3, 4)
+        hist = group.histogram("lat")
+        hist.add(2, 10)
+        reg = MetricsRegistry()
+        reg.mount("g", group)
+        snap = reg.snapshot()
+        assert snap["g.acc.num"] == 3
+        assert snap["g.acc.ratio"] == pytest.approx(0.75)
+        assert snap["g.lat.total"] == 10
+        assert snap["g.lat.mean"] == pytest.approx(2.0)
+
+    def test_ingest_skips_non_numeric_leaves(self):
+        reg = MetricsRegistry()
+        reg.ingest("meta", {"n": 3, "label": "ignored", "sub": {"k": 1}})
+        snap = reg.snapshot()
+        assert snap == {"meta.n": 3, "meta.sub.k": 1}
+
+    def test_tree_nests_dotted_paths(self):
+        reg = MetricsRegistry()
+        reg.set("run.cycles", 9)
+        reg.set("run.loads.total", 2)
+        tree = reg.tree()
+        assert tree["run"]["cycles"] == 9
+        assert tree["run"]["loads"]["total"] == 2
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.set("a", 1)
+        reg.set("b.c", 2.5)
+        assert json.loads(reg.to_json()) == {"a": 1, "b.c": 2.5}
+
+
+class TestDiffMerge:
+    def test_diff_reports_changes_only(self):
+        before = {"cycles": 100, "ipc": 2.0, "same": 5}
+        after = {"cycles": 90, "ipc": 2.2, "same": 5}
+        delta = MetricsRegistry.diff(before, after)
+        assert delta == {"cycles": (100, 90), "ipc": (2.0, 2.2)}
+
+    def test_diff_handles_one_sided_paths(self):
+        delta = MetricsRegistry.diff({"only_a": 1}, {"only_b": 2})
+        assert delta == {"only_a": (1, None), "only_b": (None, 2)}
+
+    def test_merge_sums_leaves(self):
+        a = MetricsRegistry()
+        a.set("cycles", 100)
+        a.set("loads", 10)
+        b = MetricsRegistry()
+        b.set("cycles", 50)
+        b.set("stores", 3)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["cycles"] == 150
+        assert snap["loads"] == 10
+        assert snap["stores"] == 3
+
+
+class TestAdapters:
+    def test_from_result_core_paths(self):
+        reg = MetricsRegistry.from_result(small_result())
+        snap = reg.snapshot()
+        assert snap["run.cycles"] == 100
+        assert snap["run.retired_uops"] == 250
+        assert snap["run.ipc"] == pytest.approx(2.5)
+        assert snap["run.loads.classes.not-conflicting"] == 30
+        assert snap["run.loads.classes.AC-PC"] == 10
+        assert snap["run.stalls.operands"] == 12
+        assert snap["run.loads.frac_not_conflicting"] == pytest.approx(0.75)
+
+    def test_from_result_skips_empty_hitmiss(self):
+        snap = MetricsRegistry.from_result(small_result()).snapshot()
+        assert not any(p.startswith("run.hitmiss") for p in snap)
+
+    def test_from_machine_mounts_hierarchy(self):
+        trace = build_trace(profile_for("gcc"), n_uops=2000,
+                            seed=trace_seed("gcc"), name="gcc")
+        machine = Machine(scheme=make_scheme("inclusive"))
+        result = machine.run(trace)
+        snap = MetricsRegistry.from_machine(machine, result).snapshot()
+        assert snap["run.cycles"] == result.cycles
+        assert any(p.startswith("memory.") for p in snap)
+        assert snap["predictors.cht.storage_bits"] > 0
+
+    def test_from_result_matches_hitmiss_stats(self):
+        from repro.hitmiss.local import LocalHMP
+        trace = build_trace(profile_for("gcc"), n_uops=2000,
+                            seed=trace_seed("gcc"), name="gcc")
+        machine = Machine(scheme=make_scheme("traditional"), hmp=LocalHMP())
+        result = machine.run(trace)
+        snap = MetricsRegistry.from_result(result).snapshot()
+        assert result.hitmiss.total > 0
+        for cls, count in result.hitmiss.counts.items():
+            assert snap[f"run.hitmiss.classes.{cls.value}"] == count

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "banked_cache_study.py",
     "hitmiss_study.py",
     "disambiguation_study.py",
+    "observability_demo.py",
 ]
 
 
