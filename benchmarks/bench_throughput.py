@@ -32,6 +32,14 @@ from repro.engine.machine import Machine  # noqa: E402
 from repro.engine.ordering import make_scheme  # noqa: E402
 from repro.obs import EventBus, JsonlSink, instrument  # noqa: E402
 from repro.obs.sinks import git_revision  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    ExecutionPlan,
+    ResultCache,
+    SimJob,
+    load_or_build_trace,
+    run_jobs,
+    sim_job,
+)
 from repro.trace.builder import build_trace  # noqa: E402
 from repro.trace.workloads import profile_for, trace_seed  # noqa: E402
 
@@ -59,11 +67,40 @@ def _best_run(make_machine, trace, repeats: int) -> Dict[str, float]:
     return best
 
 
-def measure_schemes(trace, schemes, repeats: int) -> Dict[str, Dict]:
-    out: Dict[str, Dict] = {}
+@sim_job("bench-scheme")
+def _bench_scheme_leaf(trace_name: str, scheme: str, n_uops: int,
+                       repeats: int) -> Dict[str, float]:
+    """Time one scheme in an isolated process (trace built untimed).
+
+    Never cached (the job is marked non-cacheable): a wall-clock
+    measurement replayed from disk would be a lie.
+    """
+    trace = build_trace(profile_for(trace_name), n_uops=n_uops,
+                        seed=trace_seed(trace_name), name=trace_name)
+    return _best_run(lambda: Machine(scheme=make_scheme(scheme)),
+                     trace, repeats)
+
+
+def measure_schemes(trace, schemes, repeats: int, workers: int = 0,
+                    n_uops: Optional[int] = None) -> Dict[str, Dict]:
+    if workers > 1:
+        # One timing job per scheme; concurrent jobs share the machine,
+        # so expect a few percent more noise than the serial path.
+        jobs = [SimJob.make(_bench_scheme_leaf,
+                            key=("bench-scheme", trace.name, name),
+                            cacheable=False,
+                            trace_name=trace.name, scheme=name,
+                            n_uops=(n_uops if n_uops is not None
+                                    else len(trace)),
+                            repeats=repeats)
+                for name in schemes]
+        results = run_jobs(jobs, plan=ExecutionPlan(workers=workers))
+        out = dict(zip(schemes, results))
+    else:
+        out = {name: _best_run(lambda: Machine(scheme=make_scheme(name)),
+                               trace, repeats)
+               for name in schemes}
     for name in schemes:
-        out[name] = _best_run(lambda: Machine(scheme=make_scheme(name)),
-                              trace, repeats)
         print(f"  {name:14s} {out[name]['uops_per_sec']:>12,.0f} uops/sec"
               f"   ({out[name]['cycles']} cycles)")
     return out
@@ -107,13 +144,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=DEFAULT_SCHEMES, metavar="SCHEME")
     parser.add_argument("--out", default="BENCH_throughput.json")
     parser.add_argument("--skip-obs-overhead", action="store_true")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="time each scheme in its own worker "
+                             "process (slightly noisier; 0 = serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk trace cache (timings themselves "
+                             "are never cached)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir")
     args = parser.parse_args(argv)
 
     schemes = args.schemes if args.schemes else list(DEFAULT_SCHEMES)
     print(f"throughput benchmark: trace {args.trace!r}, "
           f"{args.uops} uops, best of {args.repeats}")
-    trace = build_trace(profile_for(args.trace), n_uops=args.uops,
-                        seed=trace_seed(args.trace), name=args.trace)
+    cache_dir = None if args.no_cache else args.cache_dir
+    cache = ResultCache(cache_dir) if cache_dir else None
+    trace = load_or_build_trace(profile_for(args.trace),
+                                n_uops=args.uops,
+                                seed=trace_seed(args.trace),
+                                name=args.trace, cache=cache)
 
     report: Dict[str, object] = {
         "benchmark": "throughput",
@@ -121,10 +170,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "n_uops": args.uops,
         "seed": trace_seed(args.trace),
         "repeats": args.repeats,
+        "workers": args.workers,
         "python": sys.version.split()[0],
         "git_rev": git_revision(),
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "schemes": measure_schemes(trace, schemes, args.repeats),
+        "schemes": measure_schemes(trace, schemes, args.repeats,
+                                   workers=args.workers,
+                                   n_uops=args.uops),
     }
     if not args.skip_obs_overhead:
         jsonl_path = args.out + ".events.tmp.jsonl"

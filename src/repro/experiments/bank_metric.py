@@ -30,6 +30,7 @@ from repro.experiments.harness import (
     get_trace,
     group_traces,
 )
+from repro.parallel import SimJob, run_jobs, sim_job
 
 PENALTIES = tuple(range(0, 11))
 
@@ -62,17 +63,32 @@ def evaluate(predictor: BankPredictor,
     return stats
 
 
+@sim_job("bank-metric")
+def _bank_trace_leaf(name: str, n_uops: int) -> Dict[str, BankStats]:
+    """One trace's load stream replayed through every bank predictor."""
+    stream = _load_stream(name, n_uops)
+    return {label: evaluate(factory(), stream)
+            for label, factory in PREDICTORS}
+
+
 def run_fig12(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
     """Measure the Figure 12 predictor profiles and metric curves."""
+    grid = [(group, name) for group in ("SpecInt95", "SpecFP95")
+            for name in group_traces(group, settings)]
+    jobs = [SimJob.make(_bank_trace_leaf, key=("bank-metric", name),
+                        name=name, n_uops=settings.n_uops)
+            for _, name in grid]
+    per_trace = run_jobs(jobs, settings)
+    by_group: Dict[str, List[Dict[str, BankStats]]] = {}
+    for (group, _), stats in zip(grid, per_trace):
+        by_group.setdefault(group, []).append(stats)
     out: Dict[str, Dict] = {}
     for group in ("SpecInt95", "SpecFP95"):
-        names = group_traces(group, settings)
         rows: List[Dict] = []
-        for label, factory in PREDICTORS:
+        for label, _ in PREDICTORS:
             total = BankStats()
-            for name in names:
-                total.merge(evaluate(factory(),
-                                     _load_stream(name, settings.n_uops)))
+            for stats in by_group[group]:
+                total.merge(stats[label])
             ratio = total.ratio
             curve = [metric(total.prediction_rate,
                             min(ratio, 1e9), p, approximate=True)

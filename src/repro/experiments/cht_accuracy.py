@@ -36,6 +36,7 @@ from repro.experiments.harness import (
     format_table,
     group_traces,
 )
+from repro.parallel import SimJob, run_jobs, sim_job
 from repro.trace.builder import build_trace
 from repro.trace.workloads import profile_for, trace_seed
 
@@ -161,21 +162,43 @@ CONFIGURATIONS: Tuple[Tuple[str, int, Callable[[], CollisionPredictor]], ...] = 
 )
 
 
+@sim_job("cht-accuracy")
+def _cht_trace_leaf(name: str, n_uops: int, warm: bool) -> List[Dict]:
+    """One trace: record ground truth, replay every CHT configuration.
+
+    Returns raw per-configuration *counts* (not fractions) so the
+    aggregation step can sum across traces exactly as the serial code
+    always has.
+    """
+    events = _collision_events(name, n_uops)
+    out: List[Dict] = []
+    for kind, size, factory in CONFIGURATIONS:
+        acc = replay(events, factory(), warm=warm)
+        out.append({"kind": kind, "entries": size,
+                    "conflicting": acc.conflicting, "ac_pc": acc.ac_pc,
+                    "ac_pnc": acc.ac_pnc, "anc_pc": acc.anc_pc,
+                    "anc_pnc": acc.anc_pnc})
+    return out
+
+
 def run_fig9(settings: ExperimentSettings = DEFAULT_SETTINGS,
              group: str = "SysmarkNT", warm: bool = True) -> Dict:
     """Sweep the CHT organisations/sizes over recorded events."""
     names = group_traces(group, settings)
-    streams = collision_events(names, settings)
+    jobs = [SimJob.make(_cht_trace_leaf, key=("cht-accuracy", name),
+                        name=name, n_uops=settings.n_uops, warm=warm)
+            for name in names]
+    per_trace = run_jobs(jobs, settings)
     rows: List[Dict] = []
-    for kind, size, factory in CONFIGURATIONS:
+    for i, (kind, size, _) in enumerate(CONFIGURATIONS):
         total = ChtAccuracy()
-        for _, events in streams:
-            acc = replay(events, factory(), warm=warm)
-            total.conflicting += acc.conflicting
-            total.ac_pc += acc.ac_pc
-            total.ac_pnc += acc.ac_pnc
-            total.anc_pc += acc.anc_pc
-            total.anc_pnc += acc.anc_pnc
+        for counts in per_trace:
+            cell = counts[i]
+            total.conflicting += cell["conflicting"]
+            total.ac_pc += cell["ac_pc"]
+            total.ac_pnc += cell["ac_pnc"]
+            total.anc_pc += cell["anc_pc"]
+            total.anc_pnc += cell["anc_pnc"]
         rows.append({"kind": kind, "entries": size, **total.as_dict()})
     return {"figure": "fig9", "group": group, "rows": rows}
 

@@ -25,6 +25,7 @@ from repro.experiments.harness import (
     get_trace,
     group_traces,
 )
+from repro.parallel import SimJob, run_jobs, sim_job
 
 #: Figure 5's trace groups (SpecFP95 is not shown in the paper's figure).
 FIG5_GROUPS = ("SysmarkNT", "SpecInt95", "Sysmark95", "Games", "TPC", "Java")
@@ -32,10 +33,10 @@ FIG5_GROUPS = ("SysmarkNT", "SpecInt95", "Sysmark95", "Games", "TPC", "Java")
 WINDOW_SWEEP = (8, 16, 32, 64, 128)
 
 
-def classify_trace(name: str, window: int = 32,
-                   settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
-    """Run one trace under Traditional ordering and return its mix."""
-    trace = get_trace(name, settings.n_uops)
+@sim_job("classify")
+def _classify_leaf(name: str, window: int, n_uops: int) -> Dict:
+    """One (trace x window) classification simulation — one job."""
+    trace = get_trace(name, n_uops)
     machine = Machine(config=BASELINE_MACHINE.with_window(window),
                       scheme=TraditionalOrdering())
     result = machine.run(trace)
@@ -48,18 +49,37 @@ def classify_trace(name: str, window: int = 32,
     }
 
 
+def _classify_job(name: str, window: int, n_uops: int) -> SimJob:
+    return SimJob.make(_classify_leaf, key=("classify", name, window),
+                       name=name, window=window, n_uops=n_uops)
+
+
+def classify_trace(name: str, window: int = 32,
+                   settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Run one trace under Traditional ordering and return its mix."""
+    return _classify_leaf(name, window, settings.n_uops)
+
+
+def _mean_mix(rows: Sequence[Dict]) -> Dict[str, float]:
+    n = len(rows)
+    return {
+        "ac": sum(r["ac"] for r in rows) / n,
+        "anc": sum(r["anc"] for r in rows) / n,
+        "no_conflict": sum(r["no_conflict"] for r in rows) / n,
+    }
+
+
 def run_fig5(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
     """Per-group classification mix at the 32-entry baseline window."""
-    groups: Dict[str, Dict[str, float]] = {}
-    for group in FIG5_GROUPS:
-        rows = [classify_trace(n, 32, settings)
-                for n in group_traces(group, settings)]
-        n = len(rows)
-        groups[group] = {
-            "ac": sum(r["ac"] for r in rows) / n,
-            "anc": sum(r["anc"] for r in rows) / n,
-            "no_conflict": sum(r["no_conflict"] for r in rows) / n,
-        }
+    grid = [(group, name) for group in FIG5_GROUPS
+            for name in group_traces(group, settings)]
+    jobs = [_classify_job(name, 32, settings.n_uops)
+            for _, name in grid]
+    results = run_jobs(jobs, settings)
+    by_group: Dict[str, List[Dict]] = {}
+    for (group, _), row in zip(grid, results):
+        by_group.setdefault(group, []).append(row)
+    groups = {group: _mean_mix(rows) for group, rows in by_group.items()}
     return {"figure": "fig5", "groups": groups}
 
 
@@ -86,16 +106,15 @@ def run_fig6(settings: ExperimentSettings = DEFAULT_SETTINGS,
              windows: Sequence[int] = WINDOW_SWEEP) -> Dict:
     """SysmarkNT classification across scheduling-window sizes."""
     names = group_traces("SysmarkNT", settings)
-    sweep: List[Dict] = []
-    for window in windows:
-        rows = [classify_trace(n, window, settings) for n in names]
-        n = len(rows)
-        sweep.append({
-            "window": window,
-            "ac": sum(r["ac"] for r in rows) / n,
-            "anc": sum(r["anc"] for r in rows) / n,
-            "no_conflict": sum(r["no_conflict"] for r in rows) / n,
-        })
+    grid = [(window, name) for window in windows for name in names]
+    jobs = [_classify_job(name, window, settings.n_uops)
+            for window, name in grid]
+    results = run_jobs(jobs, settings)
+    by_window: Dict[int, List[Dict]] = {}
+    for (window, _), row in zip(grid, results):
+        by_window.setdefault(window, []).append(row)
+    sweep = [{"window": window, **_mean_mix(by_window[window])}
+             for window in windows]
     return {"figure": "fig6", "sweep": sweep}
 
 

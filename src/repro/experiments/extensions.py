@@ -23,7 +23,7 @@ Registered in the CLI alongside fig5..fig12:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.common.config import BASELINE_MACHINE
 from repro.common.stats import geometric_mean
@@ -36,6 +36,7 @@ from repro.experiments.harness import (
     get_trace,
     group_traces,
 )
+from repro.parallel import SimJob, run_jobs, sim_job
 
 
 # --------------------------------------------------------------------------
@@ -46,6 +47,24 @@ PENALTY_SWEEP = (2, 8, 16)
 PENALTY_SCHEMES = ("opportunistic", "inclusive", "perfect")
 
 
+@sim_job("penalty-speedups")
+def _penalty_leaf(name: str, penalty: int,
+                  n_uops: int) -> Dict[str, float]:
+    """One (trace x collision-penalty) cell of the sensitivity sweep."""
+    config = replace(BASELINE_MACHINE,
+                     latency=replace(BASELINE_MACHINE.latency,
+                                     collision_penalty=penalty))
+    trace = get_trace(name, n_uops)
+    baseline = Machine(config=config,
+                       scheme=make_scheme("traditional")).run(trace)
+    out: Dict[str, float] = {}
+    for scheme in PENALTY_SCHEMES:
+        result = Machine(config=config,
+                         scheme=make_scheme(scheme)).run(trace)
+        out[scheme] = result.speedup_over(baseline)
+    return out
+
+
 def run_penalty_sweep(settings: ExperimentSettings = DEFAULT_SETTINGS,
                       penalties: Sequence[int] = PENALTY_SWEEP) -> Dict:
     """Scheme speedups under different collision penalties.
@@ -54,23 +73,23 @@ def run_penalty_sweep(settings: ExperimentSettings = DEFAULT_SETTINGS,
     (opportunistic) should widen as collisions get more expensive.
     """
     names = group_traces("SysmarkNT", settings)
-    rows: List[Dict] = []
-    for penalty in penalties:
-        config = replace(BASELINE_MACHINE,
-                         latency=replace(BASELINE_MACHINE.latency,
-                                         collision_penalty=penalty))
-        acc: Dict[str, List[float]] = {s: [] for s in PENALTY_SCHEMES}
-        for name in names:
-            trace = get_trace(name, settings.n_uops)
-            baseline = Machine(config=config,
-                               scheme=make_scheme("traditional")
-                               ).run(trace)
-            for scheme in PENALTY_SCHEMES:
-                result = Machine(config=config,
-                                 scheme=make_scheme(scheme)).run(trace)
-                acc[scheme].append(result.speedup_over(baseline))
-        rows.append({"penalty": penalty,
-                     **{s: geometric_mean(v) for s, v in acc.items()}})
+    grid = [(penalty, name) for penalty in penalties for name in names]
+    jobs = [SimJob.make(_penalty_leaf,
+                        key=("penalty-speedups", penalty, name),
+                        name=name, penalty=penalty,
+                        n_uops=settings.n_uops)
+            for penalty, name in grid]
+    results = run_jobs(jobs, settings)
+    by_penalty: Dict[int, Dict[str, List[float]]] = {}
+    for (penalty, _), speedups in zip(grid, results):
+        acc = by_penalty.setdefault(penalty,
+                                    {s: [] for s in PENALTY_SCHEMES})
+        for s in PENALTY_SCHEMES:
+            acc[s].append(speedups[s])
+    rows = [{"penalty": penalty,
+             **{s: geometric_mean(v)
+                for s, v in by_penalty[penalty].items()}}
+            for penalty in penalties]
     return {"figure": "ext-penalty", "rows": rows}
 
 
@@ -105,20 +124,35 @@ def _scheme_storage(scheme) -> int:
     return 0
 
 
+@sim_job("prior-art")
+def _prior_art_leaf(name: str, n_uops: int) -> Dict[str, Dict]:
+    """One trace against every prior-art scheme (+ storage budgets)."""
+    trace = get_trace(name, n_uops)
+    baseline = Machine(scheme=make_scheme("traditional")).run(trace)
+    speedups: Dict[str, float] = {}
+    storage: Dict[str, int] = {}
+    for scheme_name in PRIOR_ART_SCHEMES:
+        scheme = make_scheme(scheme_name)
+        result = Machine(scheme=scheme).run(trace)
+        speedups[scheme_name] = result.speedup_over(baseline)
+        storage[scheme_name] = _scheme_storage(scheme)
+    return {"speedups": speedups, "storage": storage}
+
+
 def run_prior_art(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
     """Compare the CHT schemes with store sets and the barrier."""
     names = (group_traces("SysmarkNT", settings)
              + group_traces("SpecInt95", settings))
+    jobs = [SimJob.make(_prior_art_leaf, key=("prior-art", name),
+                        name=name, n_uops=settings.n_uops)
+            for name in names]
+    results = run_jobs(jobs, settings)
     acc: Dict[str, List[float]] = {s: [] for s in PRIOR_ART_SCHEMES}
     storage: Dict[str, int] = {}
-    for name in names:
-        trace = get_trace(name, settings.n_uops)
-        baseline = Machine(scheme=make_scheme("traditional")).run(trace)
-        for scheme_name in PRIOR_ART_SCHEMES:
-            scheme = make_scheme(scheme_name)
-            result = Machine(scheme=scheme).run(trace)
-            acc[scheme_name].append(result.speedup_over(baseline))
-            storage[scheme_name] = _scheme_storage(scheme)
+    for leaf in results:
+        for s in PRIOR_ART_SCHEMES:
+            acc[s].append(leaf["speedups"][s])
+            storage[s] = leaf["storage"][s]
     rows = [{"scheme": s, "speedup": geometric_mean(v),
              "storage_bytes": storage[s] // 8}
             for s, v in acc.items()]
@@ -146,34 +180,46 @@ def render_prior_art(data: Dict) -> str:
 BANK_POLICIES = ("oblivious", "predicted", "oracle")
 
 
-def run_bank_perf(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
-    """Run the engine-level bank-steering comparison."""
+@sim_job("bank-perf")
+def _bank_perf_leaf(name: str, n_uops: int) -> Dict[str, Dict[str, int]]:
+    """One trace under the three bank-steering policies."""
     from repro.bank.address_based import AddressBankPredictor
     from repro.common.config import CacheConfig
 
     mem = replace(BASELINE_MACHINE.memory,
                   l1d=CacheConfig(size_bytes=16 * 1024, n_banks=2))
     config = replace(BASELINE_MACHINE, memory=mem)
+    trace = get_trace(name, n_uops)
+    cycles: Dict[str, int] = {}
+    conflicts: Dict[str, int] = {}
+    for policy in BANK_POLICIES:
+        predictor = (AddressBankPredictor()
+                     if policy == "predicted" else None)
+        machine = Machine(config=config,
+                          scheme=make_scheme("perfect"),
+                          bank_policy=policy,
+                          bank_predictor=predictor)
+        result = machine.run(trace)
+        cycles[policy] = result.cycles
+        conflicts[policy] = result.bank_conflicts
+    return {"cycles": cycles, "conflicts": conflicts}
+
+
+def run_bank_perf(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Run the engine-level bank-steering comparison."""
     names = group_traces("SysmarkNT", settings)
+    jobs = [SimJob.make(_bank_perf_leaf, key=("bank-perf", name),
+                        name=name, n_uops=settings.n_uops)
+            for name in names]
+    results = run_jobs(jobs, settings)
     rows: List[Dict] = []
     per_policy: Dict[str, List[float]] = {p: [] for p in BANK_POLICIES}
     conflicts: Dict[str, int] = {p: 0 for p in BANK_POLICIES}
-    for name in names:
-        trace = get_trace(name, settings.n_uops)
-        cycles: Dict[str, int] = {}
+    for leaf in results:
         for policy in BANK_POLICIES:
-            predictor = (AddressBankPredictor()
-                         if policy == "predicted" else None)
-            machine = Machine(config=config,
-                              scheme=make_scheme("perfect"),
-                              bank_policy=policy,
-                              bank_predictor=predictor)
-            result = machine.run(trace)
-            cycles[policy] = result.cycles
-            conflicts[policy] += result.bank_conflicts
-        for policy in BANK_POLICIES:
-            per_policy[policy].append(cycles["oblivious"]
-                                      / cycles[policy])
+            conflicts[policy] += leaf["conflicts"][policy]
+            per_policy[policy].append(leaf["cycles"]["oblivious"]
+                                      / leaf["cycles"][policy])
     for policy in BANK_POLICIES:
         rows.append({"policy": policy,
                      "speedup_vs_oblivious":
@@ -204,38 +250,61 @@ def render_bank_perf(data: Dict) -> str:
 PREFETCH_GROUPS = ("SpecFP95", "SysmarkNT")
 
 
-def run_prefetch(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
-    """Per-group miss rate and HMP coverage with/without prefetching."""
+@sim_job("prefetch")
+def _prefetch_leaf(name: str, with_pf: bool, n_uops: int) -> Dict:
+    """One (trace x prefetch on/off) run, reduced to plain counts."""
     from repro.hitmiss.local import LocalHMP
     from repro.memory.hierarchy import MemoryHierarchy
     from repro.memory.prefetch import StridePrefetcher
 
+    trace = get_trace(name, n_uops)
+    hierarchy = MemoryHierarchy(BASELINE_MACHINE.memory)
+    machine = Machine(scheme=make_scheme("perfect"),
+                      hmp=LocalHMP(), hierarchy=hierarchy)
+    if with_pf:
+        machine.prefetcher = StridePrefetcher(hierarchy, degree=2)
+    result = machine.run(trace)
+    return {
+        "loads": result.hitmiss.total,
+        "misses": round(result.hitmiss.miss_rate
+                        * result.hitmiss.total),
+        "caught": round(result.hitmiss.am_pm_fraction
+                        * result.hitmiss.total),
+        "cycles": result.cycles,
+    }
+
+
+def run_prefetch(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
+    """Per-group miss rate and HMP coverage with/without prefetching."""
+    grid = [(group, with_pf, name)
+            for group in PREFETCH_GROUPS
+            for with_pf in (False, True)
+            for name in group_traces(group, settings)]
+    jobs = [SimJob.make(_prefetch_leaf,
+                        key=("prefetch", group, with_pf, name),
+                        name=name, with_pf=with_pf,
+                        n_uops=settings.n_uops)
+            for group, with_pf, name in grid]
+    results = run_jobs(jobs, settings)
+    acc: Dict[Tuple[str, bool], Dict[str, int]] = {}
+    for (group, with_pf, _), leaf in zip(grid, results):
+        slot = acc.setdefault((group, with_pf),
+                              {"loads": 0, "misses": 0, "caught": 0,
+                               "cycles": 0})
+        for field in slot:
+            slot[field] += leaf[field]
     rows: List[Dict] = []
     for group in PREFETCH_GROUPS:
         for with_pf in (False, True):
-            miss_n = load_n = caught = missed = 0
-            cycles_ratio: List[float] = []
-            for name in group_traces(group, settings):
-                trace = get_trace(name, settings.n_uops)
-                hierarchy = MemoryHierarchy(BASELINE_MACHINE.memory)
-                machine = Machine(scheme=make_scheme("perfect"),
-                                  hmp=LocalHMP(), hierarchy=hierarchy)
-                if with_pf:
-                    machine.prefetcher = StridePrefetcher(hierarchy,
-                                                          degree=2)
-                result = machine.run(trace)
-                load_n += result.hitmiss.total
-                miss_n += round(result.hitmiss.miss_rate
-                                * result.hitmiss.total)
-                caught += round(result.hitmiss.am_pm_fraction
-                                * result.hitmiss.total)
-                cycles_ratio.append(result.cycles)
+            slot = acc[(group, with_pf)]
             rows.append({
                 "group": group,
                 "prefetch": "on" if with_pf else "off",
-                "miss_rate": miss_n / load_n if load_n else 0.0,
-                "hmp_coverage": caught / miss_n if miss_n else 0.0,
-                "cycles": sum(cycles_ratio),
+                "miss_rate": (slot["misses"] / slot["loads"]
+                              if slot["loads"] else 0.0),
+                "hmp_coverage": (slot["caught"] / slot["misses"]
+                                 if slot["misses"] else 0.0),
+                "cycles": slot["cycles"],
             })
     return {"figure": "ext-prefetch", "rows": rows}
 
@@ -258,22 +327,31 @@ def render_prefetch(data: Dict) -> str:
 # ext-smt: switch-on-miss multithreading
 # --------------------------------------------------------------------------
 
+@sim_job("smt-policy")
+def _smt_leaf(policy_name: str, n_uops: int) -> Dict:
+    """One switch policy over the fixed tpcc+jack trace pair."""
+    from repro.smt import CoarseGrainedMT, SwitchPolicy
+    policy = SwitchPolicy(policy_name)
+    traces = [get_trace(name, n_uops) for name in ("tpcc", "jack")]
+    result = CoarseGrainedMT(policy=policy).run(traces)
+    return {
+        "policy": policy.value,
+        "cycles": result.cycles,
+        "throughput": result.throughput,
+        "switches": result.switches,
+        "wasted": result.wasted_switches,
+    }
+
+
 def run_smt(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
     """Run the switch-on-miss multithreading comparison."""
-    from repro.smt import CoarseGrainedMT, SwitchPolicy
-    traces = [get_trace(name, settings.n_uops)
-              for name in ("tpcc", "jack")]
-    rows: List[Dict] = []
-    for policy in SwitchPolicy:
-        result = CoarseGrainedMT(policy=policy).run(traces)
-        rows.append({
-            "policy": policy.value,
-            "cycles": result.cycles,
-            "throughput": result.throughput,
-            "switches": result.switches,
-            "wasted": result.wasted_switches,
-        })
-    return {"figure": "ext-smt", "rows": rows}
+    from repro.smt import SwitchPolicy
+    jobs = [SimJob.make(_smt_leaf, key=("smt-policy", policy.value),
+                        policy_name=policy.value,
+                        n_uops=settings.n_uops)
+            for policy in SwitchPolicy]
+    rows = run_jobs(jobs, settings)
+    return {"figure": "ext-smt", "rows": list(rows)}
 
 
 def render_smt(data: Dict) -> str:

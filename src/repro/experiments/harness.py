@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.trace.builder import build_trace
 from repro.trace.trace import Trace
 from repro.trace.workloads import TRACE_GROUPS, profile_for, trace_seed
 
@@ -39,14 +38,40 @@ DEFAULT_SETTINGS = ExperimentSettings()
 
 
 @lru_cache(maxsize=128)
+def _master_trace(name: str, n_uops: int, seed: int, profile) -> Trace:
+    """The memoised pristine copy of one canonical trace.
+
+    Keyed on the full trace identity — name, budget, derived seed and
+    workload profile — so two callers whose profiles or seeds diverge
+    can never alias.  The uop list is frozen into a tuple: the master
+    must stay pristine for the lifetime of the process.
+    """
+    from repro.parallel.cache import ResultCache, load_or_build_trace
+    from repro.parallel.runner import active_plan
+
+    cache_dir = active_plan().effective_cache_dir
+    cache = ResultCache(cache_dir) if cache_dir else None
+    trace = load_or_build_trace(profile, n_uops=n_uops, seed=seed,
+                                name=name, cache=cache)
+    return Trace(name=trace.name, uops=tuple(trace.uops),
+                 group=trace.group, seed=trace.seed)
+
+
 def get_trace(name: str, n_uops: int) -> Trace:
     """Build (and memoise) the canonical trace for ``name``.
 
     The seed is derived from the trace name, so every experiment and
-    benchmark sees the identical uop stream.
+    benchmark sees the identical uop stream.  Each call returns a
+    *defensive copy* (fresh ``Trace`` wrapper and uop list around the
+    shared immutable uops): no experiment can mutate another's input
+    stream through the memoiser.  When the ambient
+    :class:`~repro.parallel.runner.ExecutionPlan` carries a cache
+    directory, cold builds go through the on-disk trace cache.
     """
-    return build_trace(profile_for(name), n_uops=n_uops,
-                       seed=trace_seed(name), name=name)
+    master = _master_trace(name, n_uops, trace_seed(name),
+                           profile_for(name))
+    return Trace(name=master.name, uops=list(master.uops),
+                 group=master.group, seed=master.seed)
 
 
 def group_traces(group: str,

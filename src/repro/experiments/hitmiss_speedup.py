@@ -30,6 +30,7 @@ from repro.hitmiss.local import LocalHMP
 from repro.hitmiss.oracle import AlwaysHitHMP, OracleHMP
 from repro.hitmiss.timing import TimingHMP
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.parallel import SimJob, run_jobs, sim_job
 
 #: The paper's Figure 11 machine: 4 integer / 2 memory units.
 FIG11_CONFIG = BASELINE_MACHINE.with_units(4, 2)
@@ -62,12 +63,11 @@ def _build_machine(kind: Optional[str],
                    hmp=hmp, hierarchy=hierarchy)
 
 
-def speedups_for_trace(name: str,
-                       config: MachineConfig = FIG11_CONFIG,
-                       settings: ExperimentSettings = DEFAULT_SETTINGS
-                       ) -> Dict[str, float]:
-    """HMP speedups over the always-hit baseline for one trace."""
-    trace = get_trace(name, settings.n_uops)
+@sim_job("hmp-speedups")
+def _hmp_speedups_leaf(name: str, config: MachineConfig,
+                       n_uops: int) -> Dict[str, float]:
+    """One trace's HMP speedups over always-hit — one job."""
+    trace = get_trace(name, n_uops)
     baseline = _build_machine(None, config).run(trace)
     out: Dict[str, float] = {}
     for kind in HMP_KINDS:
@@ -76,18 +76,34 @@ def speedups_for_trace(name: str,
     return out
 
 
+def speedups_for_trace(name: str,
+                       config: MachineConfig = FIG11_CONFIG,
+                       settings: ExperimentSettings = DEFAULT_SETTINGS
+                       ) -> Dict[str, float]:
+    """HMP speedups over the always-hit baseline for one trace."""
+    return _hmp_speedups_leaf(name, config, settings.n_uops)
+
+
 def run_fig11(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
     """Measure the Figure 11 speedups per group."""
     groups = {"SpecInt95": "SpecInt95", "SysmarkNT": "SysmarkNT"}
+    grid = [(label, name) for label, group in groups.items()
+            for name in group_traces(group, settings)]
+    jobs = [SimJob.make(_hmp_speedups_leaf, key=("hmp-speedups", name),
+                        name=name, config=FIG11_CONFIG,
+                        n_uops=settings.n_uops)
+            for _, name in grid]
+    results = run_jobs(jobs, settings)
     per_group: Dict[str, Dict[str, float]] = {}
-    for label, group in groups.items():
-        names = group_traces(group, settings)
-        acc: Dict[str, List[float]] = {k: [] for k in HMP_KINDS}
-        for name in names:
-            speedups = speedups_for_trace(name, settings=settings)
-            for k in HMP_KINDS:
-                acc[k].append(speedups[k])
-        per_group[label] = {k: geometric_mean(v) for k, v in acc.items()}
+    acc_by_label: Dict[str, Dict[str, List[float]]] = {}
+    for (label, _), speedups in zip(grid, results):
+        acc = acc_by_label.setdefault(label,
+                                      {k: [] for k in HMP_KINDS})
+        for k in HMP_KINDS:
+            acc[k].append(speedups[k])
+    for label in groups:
+        per_group[label] = {k: geometric_mean(v)
+                            for k, v in acc_by_label[label].items()}
     average = {
         k: geometric_mean([per_group[g][k] for g in per_group])
         for k in HMP_KINDS

@@ -32,6 +32,7 @@ from repro.hitmiss.base import HitMissPredictor, HitMissStats
 from repro.hitmiss.hybrid import HybridHMP
 from repro.hitmiss.local import LocalHMP
 from repro.hitmiss.oracle import AlwaysHitHMP
+from repro.parallel import SimJob, run_jobs, sim_job
 
 
 @dataclass(frozen=True)
@@ -103,19 +104,37 @@ PREDICTORS: Tuple[Tuple[str, Callable[[], HitMissPredictor]], ...] = (
 )
 
 
+@sim_job("hitmiss-accuracy")
+def _hitmiss_trace_leaf(name: str, n_uops: int,
+                        warm: bool) -> Dict[str, HitMissStats]:
+    """One trace: record the outcome stream, replay every predictor."""
+    events = _hitmiss_events(name, n_uops)
+    return {pred_label: replay(events, factory(), warm=warm)
+            for pred_label, factory in PREDICTORS}
+
+
 def run_fig10(settings: ExperimentSettings = DEFAULT_SETTINGS,
               warm: bool = True) -> Dict:
     """Measure the Figure 10 predictor accuracies per group."""
-    rows: List[Dict] = []
+    grid: List[Tuple[str, str]] = []
     for group_label, group_names in FIG10_GROUPS.items():
-        names: List[str] = []
         for g in group_names:
-            names.extend(group_traces(g, settings))
-        streams = hitmiss_events(names, settings)
-        for pred_label, factory in PREDICTORS:
+            for name in group_traces(g, settings):
+                grid.append((group_label, name))
+    jobs = [SimJob.make(_hitmiss_trace_leaf,
+                        key=("hitmiss-accuracy", name),
+                        name=name, n_uops=settings.n_uops, warm=warm)
+            for _, name in grid]
+    per_trace = run_jobs(jobs, settings)
+    by_group: Dict[str, List[Dict[str, HitMissStats]]] = {}
+    for (group_label, _), stats in zip(grid, per_trace):
+        by_group.setdefault(group_label, []).append(stats)
+    rows: List[Dict] = []
+    for group_label in FIG10_GROUPS:
+        for pred_label, _ in PREDICTORS:
             total = HitMissStats()
-            for _, events in streams:
-                total.merge(replay(events, factory(), warm=warm))
+            for stats in by_group[group_label]:
+                total.merge(stats[pred_label])
             rows.append({
                 "group": group_label,
                 "predictor": pred_label,

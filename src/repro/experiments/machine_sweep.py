@@ -20,7 +20,8 @@ from repro.experiments.harness import (
     format_table,
     group_traces,
 )
-from repro.experiments.ordering_speedup import SCHEMES, speedups_for_trace
+from repro.experiments.ordering_speedup import SCHEMES, speedup_job
+from repro.parallel import run_jobs
 
 #: (label, n_int, n_mem) — the Figure 8 x-axis.
 CONFIGS: Tuple[Tuple[str, int, int], ...] = (
@@ -39,25 +40,35 @@ FIG8_GROUPS: Dict[str, Tuple[str, ...]] = {
 
 
 def run_fig8(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:
-    """Sweep the Figure 8 machine configurations."""
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    """Sweep the Figure 8 machine configurations.
+
+    The full (config x group x trace) grid is flattened into one job
+    list up front, so a pooled run overlaps every cell of the sweep.
+    """
+    grid: List[Tuple[str, str, str]] = []
+    jobs = []
     for label, n_int, n_mem in CONFIGS:
         config = BASELINE_MACHINE.with_units(n_int, n_mem)
-        per_group: Dict[str, Dict[str, float]] = {}
         for group_label, group_names in FIG8_GROUPS.items():
-            traces: List[str] = []
             for g in group_names:
-                traces.extend(group_traces(g, settings))
-            per_scheme: Dict[str, List[float]] = {s: [] for s in SCHEMES}
-            for name in traces:
-                speedups = speedups_for_trace(name, config=config,
-                                              settings=settings)
-                for s in SCHEMES:
-                    per_scheme[s].append(speedups[s])
-            per_group[group_label] = {
-                s: geometric_mean(v) for s, v in per_scheme.items()
-            }
-        results[label] = per_group
+                for name in group_traces(g, settings):
+                    grid.append((label, group_label, name))
+                    jobs.append(speedup_job(name, config,
+                                            settings.n_uops, tag=label))
+    flat = run_jobs(jobs, settings)
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    acc: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
+    for (label, group_label, _), speedups in zip(grid, flat):
+        cell = acc.setdefault((label, group_label),
+                              {s: [] for s in SCHEMES})
+        for s in SCHEMES:
+            cell[s].append(speedups[s])
+    for label, _, _ in CONFIGS:
+        results[label] = {
+            group_label: {s: geometric_mean(v)
+                          for s, v in acc[(label, group_label)].items()}
+            for group_label in FIG8_GROUPS
+        }
     return {"figure": "fig8", "configs": results}
 
 

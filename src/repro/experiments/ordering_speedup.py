@@ -22,18 +22,18 @@ from repro.experiments.harness import (
     get_trace,
     group_traces,
 )
+from repro.parallel import SimJob, run_jobs, sim_job
 
 SCHEMES = ("postponing", "opportunistic", "inclusive", "exclusive",
            "perfect")
 
 
-def speedups_for_trace(name: str,
-                       config: MachineConfig = BASELINE_MACHINE,
-                       schemes: Sequence[str] = SCHEMES,
-                       settings: ExperimentSettings = DEFAULT_SETTINGS
-                       ) -> Dict[str, float]:
-    """Speedup over Traditional for each scheme on one trace."""
-    trace = get_trace(name, settings.n_uops)
+@sim_job("ordering-speedups")
+def _speedups_leaf(name: str, config: MachineConfig,
+                   schemes: Sequence[str], n_uops: int
+                   ) -> Dict[str, float]:
+    """One trace's speedups over Traditional — one job."""
+    trace = get_trace(name, n_uops)
     baseline = Machine(config=config,
                        scheme=make_scheme("traditional")).run(trace)
     out: Dict[str, float] = {}
@@ -44,13 +44,35 @@ def speedups_for_trace(name: str,
     return out
 
 
+def speedup_job(name: str, config: MachineConfig, n_uops: int,
+                schemes: Sequence[str] = SCHEMES,
+                tag: object = "") -> SimJob:
+    """A job computing one trace's per-scheme speedups under
+    ``config``."""
+    return SimJob.make(_speedups_leaf,
+                       key=("ordering-speedups", tag, name),
+                       name=name, config=config, schemes=tuple(schemes),
+                       n_uops=n_uops)
+
+
+def speedups_for_trace(name: str,
+                       config: MachineConfig = BASELINE_MACHINE,
+                       schemes: Sequence[str] = SCHEMES,
+                       settings: ExperimentSettings = DEFAULT_SETTINGS
+                       ) -> Dict[str, float]:
+    """Speedup over Traditional for each scheme on one trace."""
+    return _speedups_leaf(name, config, tuple(schemes), settings.n_uops)
+
+
 def run_fig7(settings: ExperimentSettings = DEFAULT_SETTINGS,
              group: str = "SysmarkNT") -> Dict:
     """Per-NT-trace speedups plus the group geometric mean."""
     names = group_traces(group, settings)
-    per_trace: Dict[str, Dict[str, float]] = {}
-    for name in names:
-        per_trace[name] = speedups_for_trace(name, settings=settings)
+    jobs = [speedup_job(name, BASELINE_MACHINE, settings.n_uops,
+                        tag="fig7")
+            for name in names]
+    results = run_jobs(jobs, settings)
+    per_trace = dict(zip(names, results))
     average = {
         scheme: geometric_mean([per_trace[n][scheme] for n in names])
         for scheme in SCHEMES

@@ -1,0 +1,279 @@
+"""Serial and pooled job execution with deterministic merging.
+
+``run_jobs(jobs)`` is the one entry point: it executes every job —
+in-process, or fanned out over a ``multiprocessing`` pool — and returns
+their results *in submission order*.  Completion order never leaks into
+results, so a grid run with ``workers=N`` is bit-identical to the
+serial run.
+
+Execution is configured by an ambient :class:`ExecutionPlan` (installed
+with the :func:`execution` context manager, usually by the CLI) so the
+experiment modules never thread worker/cache knobs through their
+signatures; calling ``run_jobs`` outside any context runs serially with
+no cache — exactly the pre-parallel behaviour.
+
+Failure semantics: the first failing job aborts the grid.  The original
+worker traceback and the job key are carried in :class:`JobFailure` —
+a worker that raises (or dies) surfaces, it never hangs the merge.
+``KeyboardInterrupt`` cancels outstanding jobs and tears the pool down
+before propagating.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.jobs import SimJob
+from repro.parallel.worker import (
+    ensure_runners_registered,
+    execute_one,
+    pool_initializer,
+    run_job_payload,
+)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How a grid of jobs should be executed.
+
+    ``workers <= 1`` runs serially in-process; ``cache_dir=None`` or
+    ``use_cache=False`` disables the disk cache.  The default plan is
+    therefore exactly the historical serial behaviour.
+    """
+
+    workers: int = 0
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    @property
+    def effective_cache_dir(self) -> Optional[str]:
+        return self.cache_dir if self.use_cache else None
+
+
+SERIAL_PLAN = ExecutionPlan()
+
+
+class JobFailure(RuntimeError):
+    """A job raised (or its worker died); carries the original context."""
+
+    def __init__(self, job: SimJob, detail: str) -> None:
+        super().__init__(
+            f"simulation job {job.describe()} failed:\n{detail}")
+        self.job = job
+        self.detail = detail
+
+
+@dataclass
+class JobRecord:
+    """Bookkeeping for one executed job (manifests, timing breakdowns)."""
+
+    kind: str
+    key: Tuple[object, ...]
+    wall_seconds: float
+    cache_hit: bool
+    worker: str  # "serial" or the worker pid
+    figure: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "key": list(self.key),
+            "wall_seconds": self.wall_seconds,
+            "cache_hit": self.cache_hit,
+            "worker": self.worker,
+            "figure": self.figure,
+        }
+
+
+@dataclass
+class RunReport:
+    """Accumulated job records for one :func:`execution` context."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    workers: int = 0
+    cache_dir: Optional[str] = None
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.n_cache_hits / self.n_jobs if self.records else 0.0
+
+    @property
+    def sim_seconds(self) -> float:
+        """Total in-job wall clock (summed across workers)."""
+        return sum(r.wall_seconds for r in self.records)
+
+    def worker_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-worker job counts and in-job wall clock."""
+        out: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            slot = out.setdefault(record.worker,
+                                  {"jobs": 0, "wall_seconds": 0.0,
+                                   "cache_hits": 0})
+            slot["jobs"] += 1
+            slot["wall_seconds"] += record.wall_seconds
+            slot["cache_hits"] += 1 if record.cache_hit else 0
+        return out
+
+    def tag(self, figure: str) -> None:
+        """Label all still-untagged records with ``figure``."""
+        for record in self.records:
+            if not record.figure:
+                record.figure = figure
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "n_jobs": self.n_jobs,
+            "n_cache_hits": self.n_cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "sim_seconds": self.sim_seconds,
+            "worker_breakdown": self.worker_breakdown(),
+            "jobs": [r.as_dict() for r in self.records],
+        }
+
+
+# Ambient plan/report stack.  A stack (not a single slot) so nested
+# contexts — e.g. a test wrapping CLI code that installs its own plan —
+# restore correctly.
+_ACTIVE: List[Tuple[ExecutionPlan, RunReport]] = []
+
+
+@contextlib.contextmanager
+def execution(plan: ExecutionPlan):
+    """Install ``plan`` as the ambient execution plan.
+
+    Yields the :class:`RunReport` that ``run_jobs`` calls inside the
+    context will append to.
+    """
+    report = RunReport(workers=plan.workers,
+                       cache_dir=plan.effective_cache_dir)
+    _ACTIVE.append((plan, report))
+    try:
+        yield report
+    finally:
+        _ACTIVE.pop()
+
+
+def active_plan() -> ExecutionPlan:
+    """The innermost installed plan (:data:`SERIAL_PLAN` outside any
+    :func:`execution` context)."""
+    return _ACTIVE[-1][0] if _ACTIVE else SERIAL_PLAN
+
+
+def active_report() -> Optional[RunReport]:
+    """The innermost context's report, or ``None`` outside any."""
+    return _ACTIVE[-1][1] if _ACTIVE else None
+
+
+def run_jobs(jobs: Sequence[SimJob], settings=None,
+             plan: Optional[ExecutionPlan] = None) -> List[object]:
+    """Execute ``jobs`` under ``plan`` (default: the ambient plan).
+
+    Returns one result per job, **in the order of ``jobs``** regardless
+    of completion order.  ``settings`` is folded into every cache key so
+    results computed under different experiment settings never alias.
+    """
+    if plan is None:
+        plan = active_plan()
+    report = active_report()
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    ensure_runners_registered()
+    if plan.parallel and len(jobs) > 1:
+        outcomes = _run_pooled(jobs, settings, plan)
+    else:
+        outcomes = _run_serial(jobs, settings, plan)
+    results: List[object] = []
+    for job, (result, record) in zip(jobs, outcomes):
+        if report is not None:
+            report.records.append(record)
+        results.append(result)
+    return results
+
+
+def _run_serial(jobs: Sequence[SimJob], settings,
+                plan: ExecutionPlan) -> List[Tuple[object, JobRecord]]:
+    cache_dir = plan.effective_cache_dir
+    cache = ResultCache(cache_dir) if cache_dir else None
+    out: List[Tuple[object, JobRecord]] = []
+    for job in jobs:
+        try:
+            result, wall, hit = execute_one(job, settings, cache)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            raise JobFailure(job, traceback.format_exc()) from exc
+        out.append((result, JobRecord(kind=job.kind, key=job.key,
+                                      wall_seconds=wall, cache_hit=hit,
+                                      worker="serial")))
+    return out
+
+
+def _run_pooled(jobs: Sequence[SimJob], settings,
+                plan: ExecutionPlan) -> List[Tuple[object, JobRecord]]:
+    n_workers = min(plan.workers, len(jobs), (os.cpu_count() or 1) * 2)
+    payloads = [(i, job, settings) for i, job in enumerate(jobs)]
+    slots: List[Optional[Tuple[object, JobRecord]]] = [None] * len(jobs)
+    executor = ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=pool_initializer,
+        initargs=(plan.effective_cache_dir,))
+    try:
+        future_to_job = {executor.submit(run_job_payload, p): p[1]
+                         for p in payloads}
+        pending = set(future_to_job)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                job = future_to_job[future]
+                try:
+                    payload = future.result()
+                except BrokenProcessPool as exc:
+                    raise JobFailure(
+                        job, f"worker process died unexpectedly "
+                             f"({exc}); the job was lost before it "
+                             f"could report a traceback") from exc
+                if not payload["ok"]:
+                    raise JobFailure(job, payload["traceback"])
+                record = JobRecord(kind=job.kind, key=job.key,
+                                   wall_seconds=payload["wall"],
+                                   cache_hit=payload["cache_hit"],
+                                   worker=str(payload["worker"]))
+                slots[payload["index"]] = (payload["result"], record)
+    except (JobFailure, KeyboardInterrupt):
+        # Abort the rest of the grid: drop queued jobs, stop waiting on
+        # running ones, then re-raise with the original context.
+        _shutdown(executor)
+        raise
+    else:
+        executor.shutdown(wait=True)
+    assert all(slot is not None for slot in slots)
+    return slots  # type: ignore[return-value]
+
+
+def _shutdown(executor: ProcessPoolExecutor) -> None:
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - pre-3.9 signature
+        executor.shutdown(wait=False)

@@ -1,0 +1,74 @@
+"""Code that runs inside pool worker processes.
+
+Kept separate from :mod:`repro.parallel.runner` so the pieces a child
+process needs are importable without dragging in pool management, and so
+the ``spawn`` start method (which re-imports modules rather than
+inheriting the parent's) finds everything it needs: the pool initializer
+re-imports :mod:`repro.experiments`, whose import registers every
+experiment job kind.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Dict, Optional, Tuple
+
+from repro.parallel.cache import ResultCache, cache_key
+from repro.parallel.jobs import SimJob
+
+#: Per-process cache handle, set up once by :func:`pool_initializer`.
+_WORKER_CACHE: Optional[ResultCache] = None
+
+
+def ensure_runners_registered() -> None:
+    """Import the modules whose import registers the standard job kinds."""
+    import repro.experiments  # noqa: F401
+
+
+def pool_initializer(cache_dir: Optional[str]) -> None:
+    """Run once in each worker: register runners, open the cache."""
+    global _WORKER_CACHE
+    ensure_runners_registered()
+    _WORKER_CACHE = ResultCache(cache_dir) if cache_dir else None
+
+
+def execute_one(job: SimJob, settings,
+                cache: Optional[ResultCache]
+                ) -> Tuple[object, float, bool]:
+    """Run one job (cache-aware): ``(result, wall_seconds, cache_hit)``."""
+    use_cache = cache is not None and job.cacheable
+    if use_cache:
+        key, material = cache_key(job, settings)
+        hit, payload = cache.load(key, material)
+        if hit:
+            return payload, 0.0, True
+    start = time.perf_counter()
+    result = job.run()
+    wall = time.perf_counter() - start
+    if use_cache:
+        cache.store(key, material, result)
+    return result, wall, False
+
+
+def run_job_payload(payload: Tuple[int, SimJob, object]
+                    ) -> Dict[str, object]:
+    """Pool entry point: execute one job, never raise.
+
+    Failures are returned as data (original traceback text + job key)
+    so the parent can cancel the rest of the grid and re-raise with
+    full context instead of hanging on a dead future.
+    ``KeyboardInterrupt`` propagates: the parent owns cancellation.
+    """
+    index, job, settings = payload
+    base = {"index": index, "worker": os.getpid()}
+    try:
+        result, wall, hit = execute_one(job, settings, _WORKER_CACHE)
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:
+        return {**base, "ok": False, "error": repr(exc),
+                "traceback": traceback.format_exc()}
+    return {**base, "ok": True, "result": result, "wall": wall,
+            "cache_hit": hit}

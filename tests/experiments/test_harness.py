@@ -13,10 +13,25 @@ from repro.experiments.harness import (
 
 
 class TestGetTrace:
-    def test_memoised(self):
+    def test_memoised_equal_but_not_aliased(self):
+        # The master trace is memoised (same contents), but callers get
+        # a defensive copy: handing out one shared mutable Trace let a
+        # mutation in one experiment corrupt every later experiment.
         a = get_trace("cd", 1200)
         b = get_trace("cd", 1200)
-        assert a is b
+        assert a is not b
+        assert a.uops is not b.uops
+        assert a.uops == b.uops
+        assert (a.name, a.group, a.seed) == (b.name, b.group, b.seed)
+
+    def test_mutating_cached_trace_does_not_poison_cache(self):
+        # Regression: mutate the list we got back, then re-fetch.
+        a = get_trace("cd", 1200)
+        pristine = list(a.uops)
+        a.uops.clear()
+        b = get_trace("cd", 1200)
+        assert b.uops == pristine
+        assert len(b.uops) > 0
 
     def test_distinct_budgets_distinct_traces(self):
         a = get_trace("cd", 1200)

@@ -1,0 +1,30 @@
+"""Tiny registered job runners used by the runner tests.
+
+They live in a real module (not a test body) because pooled workers
+resolve runners by re-importing the module recorded on the job — a
+closure defined inside a test function could never cross the process
+boundary.
+"""
+
+import time
+
+from repro.parallel import sim_job
+
+
+@sim_job("test-square")
+def square(x: int, delay: float = 0.0) -> int:
+    """Square ``x``; ``delay`` lets tests scramble completion order."""
+    if delay:
+        time.sleep(delay)
+    return x * x
+
+
+@sim_job("test-fail")
+def fail(x: int) -> int:
+    raise ValueError(f"boom on {x}")
+
+
+@sim_job("test-seeded")
+def seeded(label: str, derived_seed: int) -> int:
+    """Echo the injected per-job seed back to the caller."""
+    return derived_seed

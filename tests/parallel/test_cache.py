@@ -1,0 +1,192 @@
+"""Tests for the content-addressed result cache and its invalidation."""
+
+import os
+import pickle
+
+import pytest
+
+import repro.parallel.cache as cache_mod
+from repro.experiments.harness import ExperimentSettings
+from repro.parallel import (
+    ResultCache,
+    SimJob,
+    cache_key,
+    canonical,
+    key_material,
+    load_or_build_trace,
+)
+from repro.trace.workloads import profile_for, trace_seed
+
+
+def _job(**overrides):
+    fields = dict(kind="classify", key=("classify", "cd"),
+                  params=(("n_uops", 3000), ("name", "cd"),
+                          ("window", 32)))
+    fields.update(overrides)
+    return SimJob(**fields)
+
+
+class TestCanonical:
+    def test_primitives_pass_through(self):
+        assert canonical(3) == 3
+        assert canonical("x") == "x"
+        assert canonical(None) is None
+
+    def test_mappings_key_sorted(self):
+        assert (canonical({"b": 1, "a": 2})
+                == canonical({"a": 2, "b": 1}))
+
+    def test_dataclasses_carry_type_name(self):
+        rendered = canonical(ExperimentSettings(n_uops=1000))
+        assert "ExperimentSettings" in rendered["__dataclass__"]
+        assert rendered["fields"]["n_uops"] == 1000
+
+    def test_material_is_deterministic(self):
+        assert key_material("a", 1) == key_material("a", 1)
+        assert key_material("a", 1) != key_material("a", 2)
+
+
+class TestCacheKey:
+    def test_different_settings_different_key(self):
+        job = _job()
+        key_a, _ = cache_key(job, ExperimentSettings(n_uops=3000))
+        key_b, _ = cache_key(job, ExperimentSettings(n_uops=5000))
+        assert key_a != key_b
+
+    def test_different_params_different_key(self):
+        key_a, _ = cache_key(_job(), None)
+        key_b, _ = cache_key(_job(params=(("n_uops", 4000),
+                                          ("name", "cd"),
+                                          ("window", 32))), None)
+        assert key_a != key_b
+
+    def test_package_version_in_material(self):
+        _, material = cache_key(_job(), None)
+        assert cache_mod.PACKAGE_VERSION in material
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key, material = cache_key(_job(), None)
+        cache.store(key, material, {"cycles": 123})
+        hit, payload = cache.load(key, material)
+        assert hit and payload == {"cycles": 123}
+        assert cache.stats() == {"hits": 1, "misses": 0, "stores": 1}
+
+    def test_cold_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key, material = cache_key(_job(), None)
+        hit, payload = cache.load(key, material)
+        assert not hit and payload is None
+
+    def test_stale_settings_miss(self, tmp_path):
+        """A result stored under one ExperimentSettings never serves
+        a lookup made under different settings."""
+        cache = ResultCache(str(tmp_path))
+        job = _job()
+        key_a, mat_a = cache_key(job, ExperimentSettings(n_uops=3000))
+        cache.store(key_a, mat_a, "stale")
+        key_b, mat_b = cache_key(job, ExperimentSettings(n_uops=9000))
+        hit, _ = cache.load(key_b, mat_b)
+        assert not hit
+
+    def test_package_upgrade_invalidates(self, tmp_path, monkeypatch):
+        """Entries written by an older package version must miss."""
+        cache = ResultCache(str(tmp_path))
+        key, material = cache_key(_job(), None)
+        cache.store(key, material, "old-version-result")
+        monkeypatch.setattr(cache_mod, "PACKAGE_VERSION", "99.0.0")
+        new_key, new_material = cache_key(_job(), None)
+        assert new_key != key  # version is part of the address
+        hit, _ = cache.load(new_key, new_material)
+        assert not hit
+        # Even a forged lookup at the old address is rejected: the
+        # envelope's version field no longer matches the running code.
+        hit, _ = cache.load(key, material)
+        assert not hit
+
+    def test_corrupted_pickle_warns_and_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key, material = cache_key(_job(), None)
+        cache.store(key, material, "good")
+        path = os.path.join(str(tmp_path), key[:2], key + ".pkl")
+        with open(path, "wb") as handle:
+            handle.write(b"\x80\x04 this is not a pickle")
+        with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+            hit, payload = cache.load(key, material)
+        assert not hit and payload is None
+
+    def test_truncated_pickle_warns_and_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key, material = cache_key(_job(), None)
+        cache.store(key, material, list(range(100)))
+        path = os.path.join(str(tmp_path), key[:2], key + ".pkl")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning):
+            hit, _ = cache.load(key, material)
+        assert not hit
+
+    def test_material_collision_rejected(self, tmp_path):
+        """Same hash file but different material (copied between cache
+        dirs, hand-edited, ...) is treated as a miss, not served."""
+        cache = ResultCache(str(tmp_path))
+        key, material = cache_key(_job(), None)
+        envelope = {"schema": cache_mod.CACHE_SCHEMA,
+                    "version": cache_mod.PACKAGE_VERSION,
+                    "material": material + "-tampered",
+                    "payload": "evil"}
+        path = os.path.join(str(tmp_path), key[:2], key + ".pkl")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        hit, _ = cache.load(key, material)
+        assert not hit
+
+    def test_store_is_atomic_no_tmp_left(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key, material = cache_key(_job(), None)
+        cache.store(key, material, "x")
+        leftovers = [name for _, _, names in os.walk(str(tmp_path))
+                     for name in names if ".tmp." in name]
+        assert leftovers == []
+
+
+class TestTraceCache:
+    def test_corrupted_trace_entry_rebuilds(self, tmp_path):
+        """End-to-end fallback: corrupt the cached trace on disk, then
+        load again — a warning fires and the trace is rebuilt
+        identically."""
+        cache = ResultCache(str(tmp_path))
+        profile = profile_for("cd")
+        first = load_or_build_trace(profile, n_uops=1500,
+                                    seed=trace_seed("cd"), name="cd",
+                                    cache=cache)
+        assert cache.stores == 1
+        # Smash every entry in the cache directory.
+        for root, _, names in os.walk(str(tmp_path)):
+            for name in names:
+                with open(os.path.join(root, name), "wb") as handle:
+                    handle.write(b"garbage")
+        with pytest.warns(RuntimeWarning, match="re-simulation"):
+            rebuilt = load_or_build_trace(profile, n_uops=1500,
+                                          seed=trace_seed("cd"),
+                                          name="cd", cache=cache)
+        assert rebuilt.uops == first.uops
+
+    def test_cached_trace_identical_to_fresh_build(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        profile = profile_for("gcc")
+        built = load_or_build_trace(profile, n_uops=1500,
+                                    seed=trace_seed("gcc"), name="gcc",
+                                    cache=cache)
+        reloaded = load_or_build_trace(profile, n_uops=1500,
+                                       seed=trace_seed("gcc"),
+                                       name="gcc", cache=cache)
+        assert cache.hits == 1
+        assert reloaded.uops == built.uops
+        assert reloaded.name == built.name
+        assert reloaded.seed == built.seed

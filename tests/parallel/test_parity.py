@@ -1,0 +1,94 @@
+"""Serial/parallel/cached runs must be observably identical.
+
+The contract (docs/parallel.md): ``--workers N`` and ``--cache-dir``
+are execution knobs, never result knobs.  These tests pin it end to
+end through the real CLI: byte-identical ``--json`` artifacts, and a
+warm cache that answers without constructing a single ``Machine``.
+"""
+
+import filecmp
+import json
+
+import pytest
+
+import repro.experiments.classification as classification
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.harness import _master_trace
+
+SMALL = ["--uops", "2500", "--traces-per-group", "1"]
+
+
+def _run(figure, json_path, *extra):
+    rc = experiments_main([figure, *SMALL, "--json", str(json_path),
+                           *extra])
+    assert rc == 0
+
+
+@pytest.mark.parametrize("figure", ["classification", "hitmiss_speedup"])
+def test_json_byte_identical_serial_vs_workers(figure, tmp_path, capsys):
+    serial = tmp_path / "serial.json"
+    parallel = tmp_path / "parallel.json"
+    _run(figure, serial)
+    _run(figure, parallel, "--workers", "4")
+    capsys.readouterr()
+    assert filecmp.cmp(str(serial), str(parallel), shallow=False), \
+        "--workers changed the result payload"
+    # Sanity: the artifact actually contains figure data.
+    data = json.loads(serial.read_text())
+    assert data
+
+
+def test_json_byte_identical_serial_vs_cached(tmp_path, capsys):
+    plain = tmp_path / "plain.json"
+    cold = tmp_path / "cold.json"
+    warm = tmp_path / "warm.json"
+    cache = tmp_path / "cache"
+    _run("classification", plain)
+    _run("classification", cold, "--cache-dir", str(cache))
+    _run("classification", warm, "--cache-dir", str(cache))
+    capsys.readouterr()
+    assert filecmp.cmp(str(plain), str(cold), shallow=False)
+    assert filecmp.cmp(str(cold), str(warm), shallow=False)
+
+
+def test_warm_cache_constructs_zero_machines(tmp_path, monkeypatch,
+                                             capsys):
+    cache = tmp_path / "cache"
+    cold = tmp_path / "cold.json"
+    warm = tmp_path / "warm.json"
+    _run("classification", cold, "--cache-dir", str(cache))
+
+    class ForbiddenMachine:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError(
+                "Machine constructed during a fully warm cached run")
+
+    # Every classification simulation goes through this name; a warm
+    # run must serve all jobs from disk and never reach it.
+    monkeypatch.setattr(classification, "Machine", ForbiddenMachine)
+    _master_trace.cache_clear()  # drop in-process memo, hit the disk
+    _run("classification", warm, "--cache-dir", str(cache))
+    capsys.readouterr()
+    assert filecmp.cmp(str(cold), str(warm), shallow=False)
+
+
+def test_manifest_written_next_to_cache(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    _run("classification", tmp_path / "a.json", "--cache-dir",
+         str(cache))
+    _run("classification", tmp_path / "b.json", "--cache-dir",
+         str(cache))
+    capsys.readouterr()
+    manifest = json.loads((cache / "last_run_manifest.json").read_text())
+    parallel = manifest["extra"]["parallel"]
+    assert parallel["n_jobs"] > 0
+    assert parallel["cache_hit_rate"] == 1.0  # second run fully warm
+    assert manifest["wall_seconds"] > 0
+
+
+def test_no_cache_flag_bypasses_cache_dir(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    _run("classification", tmp_path / "a.json", "--cache-dir",
+         str(cache), "--no-cache")
+    capsys.readouterr()
+    assert not cache.exists()
