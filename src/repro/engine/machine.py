@@ -20,6 +20,7 @@ is delayed until the store's STD completes, plus the collision penalty.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import BASELINE_MACHINE, MachineConfig
@@ -119,11 +120,27 @@ class Machine:
         #: point and emits nothing; wire a bus (and the hierarchy's /
         #: predictors' hooks) with :func:`repro.obs.instrument`.
         self.obs = obs
+        #: The MOB class :meth:`run` instantiates.  Fault-injection
+        #: tests substitute :class:`repro.robust.faults.SabotagedMOB`
+        #: to prove the invariant oracle catches MOB defects.
+        self.mob_factory = MemoryOrderBuffer
 
     # ------------------------------------------------------------------
 
     def run(self, trace: Trace, max_cycles: Optional[int] = None) -> SimResult:
-        """Simulate ``trace`` to completion and return the measurements."""
+        """Simulate ``trace`` to completion and return the measurements.
+
+        With ``REPRO_CHECK_INVARIANTS`` set in the environment, every
+        un-instrumented run is transparently wrapped in the
+        :mod:`repro.robust.invariants` oracle (strict mode) — the CI
+        lever for "the whole suite runs violation-free".
+        """
+        if self.obs is None and os.environ.get("REPRO_CHECK_INVARIANTS"):
+            # Lazy import: repro.robust imports the engine at module
+            # level, so the engine must not import it back eagerly.
+            from repro.robust.invariants import checked_run
+            result, _ = checked_run(self, trace, max_cycles=max_cycles)
+            return result
         cfg = self.config
         lat = cfg.latency
         result = SimResult(trace_name=trace.name, scheme=self.scheme.name)
@@ -133,7 +150,7 @@ class Machine:
         obs = self.obs
         rob: List[InflightUop] = []
         window: List[InflightUop] = []
-        mob = MemoryOrderBuffer(obs=obs)
+        mob = self.mob_factory(obs=obs)
         regmap: Dict[int, InflightUop] = {}
         #: Loads that executed past an unknown matching STA, awaiting
         #: the store's resolution: (load, base_done, store record).
@@ -522,12 +539,14 @@ class Machine:
         # Store-to-load forwarding: with no incomplete overlapping
         # store in the way, a completed older store can supply the data
         # directly from the store queue.
-        if (lat.forward_latency is not None
-                and mob.forwarding_store(uop.seq, uop.mem, now)
-                is not None):
+        forward_from = (mob.forwarding_store(uop.seq, uop.mem, now)
+                        if lat.forward_latency is not None else None)
+        if forward_from is not None:
             result.forwarded_loads += 1
             if obs is not None:
-                obs.emit(EventKind.FORWARD, now, uop.seq, uop.pc)
+                obs.emit(EventKind.FORWARD, now, uop.seq, uop.pc,
+                         store_seq=forward_from.seq,
+                         store_pc=forward_from.sta.uop.pc)
             done = now + lat.forward_latency
             if info.collided:
                 done += lat.collision_penalty

@@ -93,7 +93,8 @@ class MemoryOrderBuffer:
                 if self.obs is not None:
                     self.obs.emit("store-data", std.rename_cycle,
                                   std.uop.seq, std.uop.pc,
-                                  sta_seq=record.seq)
+                                  sta_seq=record.seq,
+                                  mob_depth=len(self._stores))
                 return
         raise KeyError(f"no STA with seq {target} in the MOB")
 

@@ -32,6 +32,13 @@ class OrderingScheme(abc.ABC):
 
     name: str = "abstract"
     uses_cht = False
+    #: Guarantee flags consumed by the invariant checker
+    #: (:mod:`repro.robust.invariants`).  ``never_violates``: the
+    #: scheme waits for every older unknown-address STA, so a hidden
+    #: (AC-PNC) ordering violation is impossible.  ``never_collides``:
+    #: the scheme is an oracle — no load ever pays a collision at all.
+    never_violates = False
+    never_collides = False
 
     @abc.abstractmethod
     def may_dispatch(self, load: InflightUop, mob: MemoryOrderBuffer,
@@ -55,6 +62,7 @@ class TraditionalOrdering(OrderingScheme):
     """Scheme I: each load waits for all older STAs (P6-style)."""
 
     name = "traditional"
+    never_violates = True  # loads wait for every older STA
 
     def may_dispatch(self, load: InflightUop, mob: MemoryOrderBuffer,
                      now: int) -> bool:
@@ -98,6 +106,7 @@ class PostponingOrdering(_ChtScheme):
     """Scheme III: Traditional + predicted-colliding loads wait for STDs."""
 
     name = "postponing"
+    never_violates = True  # still waits for every older STA
 
     def may_dispatch(self, load: InflightUop, mob: MemoryOrderBuffer,
                      now: int) -> bool:
@@ -144,6 +153,8 @@ class PerfectOrdering(OrderingScheme):
     """Scheme VI: oracle disambiguation."""
 
     name = "perfect"
+    never_violates = True
+    never_collides = True  # the oracle never dispatches into a collision
 
     def may_dispatch(self, load: InflightUop, mob: MemoryOrderBuffer,
                      now: int) -> bool:

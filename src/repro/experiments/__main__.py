@@ -16,6 +16,25 @@ content-addressed on-disk result cache so repeated runs replay instead
 of re-simulating (see docs/parallel.md).  Both are output-invariant:
 the ``--json`` payload is byte-identical across serial, parallel and
 cached runs.
+
+Failed jobs are retried (``--retries``, with exponential backoff) and
+hung jobs time out (``--timeout``); worker deaths rebuild the pool and
+fall back to serial execution — see docs/robustness.md.  A figure
+whose jobs still fail after all that is recorded and skipped (or, with
+``--fail-fast``, aborts the remaining figures); either way every
+completed figure's data is still written to ``--json`` and the run
+manifest gains a ``healing`` section describing the degradation.
+``--chaos SPEC`` injects deterministic faults for testing the above.
+
+Exit codes
+----------
+
+==  ============================================================
+0   every requested figure completed
+2   usage error (bad figure, trace name, or flag value)
+3   degraded: at least one job/figure ultimately failed; partial
+    ``--json`` / manifest artifacts were still written
+==  ============================================================
 """
 
 from __future__ import annotations
@@ -39,7 +58,11 @@ from repro.experiments import (
     machine_sweep,
     ordering_speedup,
 )
-from repro.parallel import ExecutionPlan, RunReport, execution
+from repro.parallel import ExecutionPlan, JobFailure, RunReport, execution
+from repro.robust.faults import corrupt_cache, parse_chaos_spec
+
+#: Exit status when the run completed but lost at least one job/figure.
+EXIT_DEGRADED = 3
 
 RENDERERS: Dict[str, Callable] = {
     "fig5": classification.render_fig5,
@@ -105,6 +128,28 @@ def main(argv=None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir (neither read nor "
                              "write cache entries)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="re-run a failed/timed-out job up to N "
+                             "times with exponential backoff "
+                             "(default 2)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job timeout (pooled runs only); "
+                             "overdue jobs are killed and charged a "
+                             "retry")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop at the first figure whose jobs "
+                             "exhaust their retries instead of "
+                             "continuing with the remaining figures")
+    parser.add_argument("--chaos", metavar="SPEC", default=None,
+                        help="inject deterministic faults, e.g. "
+                             "'worker-kill,cache-corrupt' or "
+                             "'worker-kill=0.5,flip-cht=0.1' (see "
+                             "docs/robustness.md for the grammar)")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        metavar="SEED",
+                        help="seed for the --chaos fault plan "
+                             "(default 0)")
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="also write the raw result data as JSON "
                              "(a dict keyed by figure name)")
@@ -115,13 +160,38 @@ def main(argv=None) -> int:
                              "timing breakdowns, plus the raw data) "
                              "into DIR")
     args = parser.parse_args(argv)
+    if args.uops < 1:
+        parser.error(f"--uops must be >= 1, got {args.uops}")
+    if args.traces_per_group < 0:
+        parser.error("--traces-per-group must be >= 0, "
+                     f"got {args.traces_per_group}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    fault_plan = None
+    if args.chaos:
+        try:
+            fault_plan = parse_chaos_spec(args.chaos,
+                                          seed=args.chaos_seed)
+        except ValueError as exc:
+            parser.error(f"--chaos: {exc}")
 
     settings = ExperimentSettings(
         n_uops=args.uops,
         traces_per_group=(None if args.traces_per_group == 0
                           else args.traces_per_group))
     plan = ExecutionPlan(workers=args.workers, cache_dir=args.cache_dir,
-                         use_cache=not args.no_cache)
+                         use_cache=not args.no_cache,
+                         max_retries=args.retries,
+                         job_timeout=args.timeout,
+                         fault_plan=fault_plan)
+    if (fault_plan is not None and fault_plan.corrupt_cache_fraction
+            and plan.effective_cache_dir
+            and os.path.isdir(plan.effective_cache_dir)):
+        hit = corrupt_cache(plan.effective_cache_dir,
+                            fraction=fault_plan.corrupt_cache_fraction,
+                            seed=fault_plan.seed)
+        print(f"[chaos: corrupted {len(hit)} cache entries in "
+              f"{plan.effective_cache_dir}]")
 
     figures = _expand_figures(args.figure)
     collected: Dict[str, object] = {}
@@ -133,13 +203,36 @@ def main(argv=None) -> int:
         # perf_counter, not time.time: monotonic and immune to
         # wall-clock adjustments (NTP slew would skew the timings).
         start = time.perf_counter()
-        with execution(plan) as fig_report:
-            data = EXPERIMENTS[figure](settings)
+        failure = None
+        try:
+            with execution(plan) as fig_report:
+                data = EXPERIMENTS[figure](settings)
+        except JobFailure as exc:
+            failure = exc
         elapsed = time.perf_counter() - start
         fig_report.tag(figure)
-        report.records.extend(fig_report.records)
-        collected[figure] = data
+        report.extend(fig_report)
         timings[figure] = elapsed
+        if failure is not None:
+            # The figure is lost but the run keeps going: record the
+            # failure, surface it, and move on (unless --fail-fast).
+            report.failures.append({
+                "figure": figure,
+                "kind": failure.job.kind,
+                "key": list(failure.job.key),
+                "attempts": failure.attempts,
+                "error": failure.detail,
+            })
+            collected[figure] = {"error": str(failure)}
+            print(f"error: {figure}: job {failure.job.describe()} "
+                  f"failed after {failure.attempts} attempt(s)",
+                  file=sys.stderr)
+            if args.fail_fast:
+                print("[--fail-fast: skipping remaining figures]",
+                      file=sys.stderr)
+                break
+            continue
+        collected[figure] = data
         print(RENDERERS[figure](data))
         print(f"[{figure} done in {elapsed:.1f}s]")
         print()
@@ -162,6 +255,12 @@ def main(argv=None) -> int:
                                    total_wall)
         manifest.write(os.path.join(plan.effective_cache_dir,
                                     "last_run_manifest.json"))
+    if report.degraded:
+        n = len(report.failures)
+        print(f"error: run degraded: {n} failure(s); partial results "
+              "were written (see the manifest's 'healing' section)",
+              file=sys.stderr)
+        return EXIT_DEGRADED
     return 0
 
 
@@ -179,6 +278,12 @@ def _build_manifest(figures, timings: Dict[str, float],
     registry.set("parallel.cache_hit_rate", report.cache_hit_rate)
     registry.set("parallel.sim_seconds", report.sim_seconds)
     registry.set("parallel.wall_seconds", total_wall)
+    registry.set("healing.degraded", int(report.degraded))
+    registry.set("healing.retries", report.retries)
+    registry.set("healing.timeouts", report.timeouts)
+    registry.set("healing.pool_rebuilds", report.pool_rebuilds)
+    registry.set("healing.serial_fallbacks", report.serial_fallbacks)
+    registry.set("healing.failures", len(report.failures))
     for worker, stats in report.worker_breakdown().items():
         registry.ingest(f"workers.{worker}", stats)
 
@@ -194,6 +299,7 @@ def _build_manifest(figures, timings: Dict[str, float],
         phases=dict(timings),
         metrics=registry.snapshot(),
         extra={"figures": list(figures),
+               "healing": report.healing_summary(),
                "parallel": {
                    "workers": report.workers,
                    "cache_dir": report.cache_dir,

@@ -14,7 +14,12 @@ from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.trace.trace import Trace
-from repro.trace.workloads import TRACE_GROUPS, profile_for, trace_seed
+from repro.trace.workloads import (
+    TRACE_GROUPS,
+    profile_for,
+    resolve_trace_name,
+    trace_seed,
+)
 
 
 @dataclass(frozen=True)
@@ -67,7 +72,16 @@ def get_trace(name: str, n_uops: int) -> Trace:
     stream through the memoiser.  When the ambient
     :class:`~repro.parallel.runner.ExecutionPlan` carries a cache
     directory, cold builds go through the on-disk trace cache.
+
+    The name and budget are validated here — the boundary every
+    experiment, job and CLI path funnels through — so a typo'd trace
+    name fails with "did you mean" suggestions
+    (:class:`~repro.trace.workloads.UnknownTraceError`) instead of a
+    raw ``KeyError`` deep in a worker process.
     """
+    if n_uops < 1:
+        raise ValueError(f"n_uops must be >= 1, got {n_uops}")
+    name = resolve_trace_name(name)
     master = _master_trace(name, n_uops, trace_seed(name),
                            profile_for(name))
     return Trace(name=master.name, uops=list(master.uops),

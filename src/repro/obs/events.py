@@ -38,7 +38,9 @@ class EventKind:
     Bookkeeping
         ``STORE_TRACKED`` / ``STORE_DATA`` — a store entered the MOB /
         its STD arrived;
-        ``PREDICTOR_UPDATE`` — any predictor family trained.
+        ``PREDICTOR_UPDATE`` — any predictor family trained;
+        ``FAULT`` — a :mod:`repro.robust` fault wrapper perturbed the
+        machine (the chaos audit trail).
     """
 
     RENAME = "rename"
@@ -53,11 +55,12 @@ class EventKind:
     STORE_TRACKED = "store-tracked"
     STORE_DATA = "store-data"
     PREDICTOR_UPDATE = "predictor-update"
+    FAULT = "fault-injected"
 
     #: Every kind, in a stable presentation order.
     ALL = (RENAME, ISSUE, RETIRE, SQUASH, COLLISION, VIOLATION,
            BANK_CONFLICT, FORWARD, MISS, STORE_TRACKED, STORE_DATA,
-           PREDICTOR_UPDATE)
+           PREDICTOR_UPDATE, FAULT)
 
 
 class Event:

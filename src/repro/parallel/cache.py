@@ -42,6 +42,21 @@ CACHE_SCHEMA = 1
 PACKAGE_VERSION = repro.__version__
 
 
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid currently running?"""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - e.g. pid out of range
+        return False
+    return True
+
+
 def canonical(obj: object) -> object:
     """Reduce ``obj`` to JSON-encodable primitives, stably.
 
@@ -114,6 +129,12 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Test hook: called with ``(point, path)`` at named points of
+        #: the write protocol (currently ``"store:tmp-written"``,
+        #: between the temp-file write and the atomic rename).  Chaos
+        #: tests kill the process here to prove a mid-write death can
+        #: never leave a half-written ``.pkl`` behind.
+        self.fault_hook = None
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".pkl")
@@ -158,11 +179,39 @@ class ResultCache:
         try:
             with open(tmp, "wb") as handle:
                 pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            if self.fault_hook is not None:
+                self.fault_hook("store:tmp-written", tmp)
             os.replace(tmp, path)
             self.stores += 1
         finally:
             if os.path.exists(tmp):
                 os.remove(tmp)
+
+    def sweep_stale_tmp(self) -> list:
+        """Remove ``*.tmp.<pid>`` droppings of dead writer processes.
+
+        A worker killed between its temp-file write and the atomic
+        rename leaves the temp file behind (its ``finally`` never ran).
+        The entry itself is intact-or-absent either way; this reclaims
+        the disk.  Only files whose embedded pid is no longer alive are
+        touched, so live concurrent writers are never raced.  Returns
+        the removed paths.
+        """
+        removed = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for filename in filenames:
+                base, sep, pid_text = filename.rpartition(".tmp.")
+                if not sep or not pid_text.isdigit():
+                    continue
+                if _pid_alive(int(pid_text)):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    os.remove(path)
+                except OSError:  # pragma: no cover - racing removal
+                    continue
+                removed.append(path)
+        return removed
 
     def stats(self) -> Mapping[str, int]:
         return {"hits": self.hits, "misses": self.misses,

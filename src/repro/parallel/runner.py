@@ -12,19 +12,37 @@ experiment modules never thread worker/cache knobs through their
 signatures; calling ``run_jobs`` outside any context runs serially with
 no cache — exactly the pre-parallel behaviour.
 
-Failure semantics: the first failing job aborts the grid.  The original
-worker traceback and the job key are carried in :class:`JobFailure` —
-a worker that raises (or dies) surfaces, it never hangs the merge.
-``KeyboardInterrupt`` cancels outstanding jobs and tears the pool down
-before propagating.
+Failure semantics — the self-healing ladder:
+
+1. A job that raises is retried up to ``plan.max_retries`` times with
+   exponential backoff (``retry_backoff * 2**retry``); retries are
+   deferred, not slept in the merge loop, so other jobs keep draining.
+2. A worker-pool death (a worker segfaulted, was OOM-killed, or a
+   chaos plan ``os._exit``-ed it) loses *no finished work*: done
+   results are harvested, the pool is rebuilt, and unfinished jobs are
+   resubmitted — up to ``plan.max_pool_rebuilds`` times, after which
+   the remaining jobs fall back to serial in-process execution (where
+   process-level chaos faults never fire, by construction).
+3. With ``plan.job_timeout`` set, a heartbeat watchdog kills the pool
+   under any job running past its deadline and charges that job a
+   retry; queued-but-unstarted jobs are re-queued free of charge.
+4. A job that exhausts its retries either aborts the grid with
+   :class:`JobFailure` (default) or — with ``plan.allow_partial`` —
+   yields a :class:`FailedJob` placeholder so the rest of the grid
+   still completes; the run is then *degraded* and every failure is
+   recorded on the :class:`RunReport` for the manifest.
+
+``KeyboardInterrupt`` terminates worker processes (no orphans), drops
+queued jobs, and propagates.
 """
 
 from __future__ import annotations
 
 import contextlib
 import os
+import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -45,12 +63,46 @@ class ExecutionPlan:
 
     ``workers <= 1`` runs serially in-process; ``cache_dir=None`` or
     ``use_cache=False`` disables the disk cache.  The default plan is
-    therefore exactly the historical serial behaviour.
+    therefore exactly the historical serial behaviour: no retries, no
+    timeouts, fail on the first error.
+
+    Robustness knobs
+    ----------------
+    max_retries:
+        Per-job retry budget for jobs that raise or time out.
+    retry_backoff:
+        Base backoff in seconds; retry *n* of a job is deferred
+        ``retry_backoff * 2**(n-1)`` seconds.
+    job_timeout:
+        Per-job wall-clock budget in seconds (``None`` = unlimited).
+        Enforced by a heartbeat watchdog on the pooled path only.
+    heartbeat:
+        Watchdog poll interval in seconds.
+    allow_partial:
+        ``True`` replaces exhausted jobs with :class:`FailedJob`
+        placeholders instead of raising — the grid completes degraded.
+    max_pool_rebuilds:
+        Worker-pool deaths tolerated (rebuild + resubmit) before the
+        remaining jobs fall back to serial execution.
+    serial_fallback:
+        Whether that fallback is taken (``False`` raises instead).
+    fault_plan:
+        Optional :class:`repro.robust.faults.FaultPlan` shipped to the
+        workers — chaos-testing hook; process-level faults only ever
+        fire inside pool workers.
     """
 
     workers: int = 0
     cache_dir: Optional[str] = None
     use_cache: bool = True
+    max_retries: int = 0
+    retry_backoff: float = 0.1
+    job_timeout: Optional[float] = None
+    heartbeat: float = 0.25
+    allow_partial: bool = False
+    max_pool_rebuilds: int = 2
+    serial_fallback: bool = True
+    fault_plan: Optional[object] = None
 
     @property
     def parallel(self) -> bool:
@@ -67,11 +119,33 @@ SERIAL_PLAN = ExecutionPlan()
 class JobFailure(RuntimeError):
     """A job raised (or its worker died); carries the original context."""
 
-    def __init__(self, job: SimJob, detail: str) -> None:
+    def __init__(self, job: SimJob, detail: str, attempts: int = 1) -> None:
         super().__init__(
-            f"simulation job {job.describe()} failed:\n{detail}")
+            f"simulation job {job.describe()} failed "
+            f"after {attempts} attempt(s):\n{detail}")
         self.job = job
         self.detail = detail
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class FailedJob:
+    """Placeholder result for a job that exhausted its retries.
+
+    Only ever appears in ``run_jobs`` results under
+    ``plan.allow_partial``; consumers must test for it (or read the
+    report's ``failures``) before using grid results positionally.
+    """
+
+    kind: str
+    key: Tuple[object, ...]
+    error: str
+    attempts: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"status": "failed", "kind": self.kind,
+                "key": list(self.key), "error": self.error,
+                "attempts": self.attempts}
 
 
 @dataclass
@@ -84,6 +158,8 @@ class JobRecord:
     cache_hit: bool
     worker: str  # "serial" or the worker pid
     figure: str = ""
+    attempts: int = 1
+    status: str = "ok"  # "ok" | "failed"
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -93,6 +169,8 @@ class JobRecord:
             "cache_hit": self.cache_hit,
             "worker": self.worker,
             "figure": self.figure,
+            "attempts": self.attempts,
+            "status": self.status,
         }
 
 
@@ -103,6 +181,11 @@ class RunReport:
     records: List[JobRecord] = field(default_factory=list)
     workers: int = 0
     cache_dir: Optional[str] = None
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    failures: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def n_jobs(self) -> int:
@@ -121,6 +204,11 @@ class RunReport:
         """Total in-job wall clock (summed across workers)."""
         return sum(r.wall_seconds for r in self.records)
 
+    @property
+    def degraded(self) -> bool:
+        """Did any job ultimately fail (partial results)?"""
+        return bool(self.failures)
+
     def worker_breakdown(self) -> Dict[str, Dict[str, float]]:
         """Per-worker job counts and in-job wall clock."""
         out: Dict[str, Dict[str, float]] = {}
@@ -134,10 +222,35 @@ class RunReport:
         return out
 
     def tag(self, figure: str) -> None:
-        """Label all still-untagged records with ``figure``."""
+        """Label all still-untagged records (and failures) with
+        ``figure``."""
         for record in self.records:
             if not record.figure:
                 record.figure = figure
+        for failure in self.failures:
+            if not failure.get("figure"):
+                failure["figure"] = figure
+
+    def extend(self, other: "RunReport") -> None:
+        """Fold another report (e.g. one figure's) into this one."""
+        self.records.extend(other.records)
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.pool_rebuilds += other.pool_rebuilds
+        self.serial_fallbacks += other.serial_fallbacks
+        self.failures.extend(other.failures)
+
+    def healing_summary(self) -> Dict[str, object]:
+        """The manifest's ``degraded`` section: every self-healing
+        action taken and every job lost."""
+        return {
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallbacks": self.serial_fallbacks,
+            "failures": list(self.failures),
+        }
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -148,6 +261,7 @@ class RunReport:
             "cache_hit_rate": self.cache_hit_rate,
             "sim_seconds": self.sim_seconds,
             "worker_breakdown": self.worker_breakdown(),
+            "healing": self.healing_summary(),
             "jobs": [r.as_dict() for r in self.records],
         }
 
@@ -192,6 +306,8 @@ def run_jobs(jobs: Sequence[SimJob], settings=None,
     Returns one result per job, **in the order of ``jobs``** regardless
     of completion order.  ``settings`` is folded into every cache key so
     results computed under different experiment settings never alias.
+    Under ``plan.allow_partial``, exhausted jobs yield
+    :class:`FailedJob` placeholders instead of aborting the grid.
     """
     if plan is None:
         plan = active_plan()
@@ -200,80 +316,290 @@ def run_jobs(jobs: Sequence[SimJob], settings=None,
     if not jobs:
         return []
     ensure_runners_registered()
+    stats = RunReport(workers=plan.workers,
+                      cache_dir=plan.effective_cache_dir)
     if plan.parallel and len(jobs) > 1:
-        outcomes = _run_pooled(jobs, settings, plan)
+        outcomes = _run_pooled(jobs, settings, plan, stats)
     else:
-        outcomes = _run_serial(jobs, settings, plan)
+        outcomes = _run_serial(jobs, settings, plan, stats)
     results: List[object] = []
     for job, (result, record) in zip(jobs, outcomes):
         if report is not None:
             report.records.append(record)
         results.append(result)
+    if report is not None:
+        report.retries += stats.retries
+        report.timeouts += stats.timeouts
+        report.pool_rebuilds += stats.pool_rebuilds
+        report.serial_fallbacks += stats.serial_fallbacks
+        report.failures.extend(stats.failures)
     return results
 
 
-def _run_serial(jobs: Sequence[SimJob], settings,
-                plan: ExecutionPlan) -> List[Tuple[object, JobRecord]]:
+Outcome = Tuple[object, JobRecord]
+
+
+def _failed_outcome(job: SimJob, detail: str, attempts: int,
+                    plan: ExecutionPlan, stats: RunReport) -> Outcome:
+    """Record an exhausted job; raises unless partial results are on."""
+    if not plan.allow_partial:
+        raise JobFailure(job, detail, attempts)
+    stats.failures.append({"kind": job.kind, "key": list(job.key),
+                           "attempts": attempts, "error": detail,
+                           "figure": ""})
+    record = JobRecord(kind=job.kind, key=job.key, wall_seconds=0.0,
+                       cache_hit=False, worker="failed",
+                       attempts=attempts, status="failed")
+    placeholder = FailedJob(kind=job.kind, key=job.key,
+                            error=detail, attempts=attempts)
+    return placeholder, record
+
+
+def _run_serial(jobs: Sequence[SimJob], settings, plan: ExecutionPlan,
+                stats: RunReport) -> List[Outcome]:
     cache_dir = plan.effective_cache_dir
     cache = ResultCache(cache_dir) if cache_dir else None
-    out: List[Tuple[object, JobRecord]] = []
+    out: List[Outcome] = []
     for job in jobs:
+        out.append(_run_one_serial(job, settings, plan, cache, stats))
+    return out
+
+
+def _run_one_serial(job: SimJob, settings, plan: ExecutionPlan,
+                    cache: Optional[ResultCache],
+                    stats: RunReport) -> Outcome:
+    """One job on the serial path, honouring the retry budget.
+
+    Process-level chaos faults (kill/stall) never fire here — the
+    serial path is the safe harbour the pool falls back to.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
         try:
             result, wall, hit = execute_one(job, settings, cache)
         except KeyboardInterrupt:
             raise
-        except Exception as exc:
-            raise JobFailure(job, traceback.format_exc()) from exc
-        out.append((result, JobRecord(kind=job.kind, key=job.key,
-                                      wall_seconds=wall, cache_hit=hit,
-                                      worker="serial")))
-    return out
+        except Exception:
+            detail = traceback.format_exc()
+            if attempts <= plan.max_retries:
+                stats.retries += 1
+                _backoff(plan, attempts)
+                continue
+            return _failed_outcome(job, detail, attempts, plan, stats)
+        return result, JobRecord(kind=job.kind, key=job.key,
+                                 wall_seconds=wall, cache_hit=hit,
+                                 worker="serial", attempts=attempts)
 
 
-def _run_pooled(jobs: Sequence[SimJob], settings,
-                plan: ExecutionPlan) -> List[Tuple[object, JobRecord]]:
+def _backoff(plan: ExecutionPlan, attempts: int) -> None:
+    if plan.retry_backoff > 0:
+        time.sleep(plan.retry_backoff * (2 ** (attempts - 1)))
+
+
+@dataclass
+class _JobState:
+    """Watchdog bookkeeping for one not-yet-finished pooled job."""
+
+    index: int
+    job: SimJob
+    attempts: int = 0  # attempts handed to a worker so far
+    retries: int = 0   # error/timeout retries consumed
+
+
+def _run_pooled(jobs: Sequence[SimJob], settings, plan: ExecutionPlan,
+                stats: RunReport) -> List[Outcome]:
     n_workers = min(plan.workers, len(jobs), (os.cpu_count() or 1) * 2)
-    payloads = [(i, job, settings) for i, job in enumerate(jobs)]
-    slots: List[Optional[Tuple[object, JobRecord]]] = [None] * len(jobs)
-    executor = ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=pool_initializer,
-        initargs=(plan.effective_cache_dir,))
-    try:
-        future_to_job = {executor.submit(run_job_payload, p): p[1]
-                         for p in payloads}
-        pending = set(future_to_job)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                job = future_to_job[future]
+    slots: List[Optional[Outcome]] = [None] * len(jobs)
+    states = {i: _JobState(i, job) for i, job in enumerate(jobs)}
+    unfinished = set(states)
+    executor = _make_executor(n_workers, plan)
+    #: future -> (index, submission wall-clock time)
+    in_flight: Dict[Future, Tuple[int, float]] = {}
+    #: index -> earliest resubmission time (deferred retry backoff)
+    deferred: Dict[int, float] = {}
+
+    def submit(index: int) -> None:
+        state = states[index]
+        state.attempts += 1
+        payload = (index, state.job, settings, state.attempts)
+        in_flight[executor.submit(run_job_payload, payload)] = \
+            (index, time.monotonic())
+
+    def settle(index: int, outcome: Outcome) -> None:
+        slots[index] = outcome
+        unfinished.discard(index)
+
+    def handle_pool_death(resubmit: bool) -> None:
+        """Harvest done work, kill the pool, optionally rebuild it."""
+        nonlocal executor
+        for future, (index, _) in list(in_flight.items()):
+            if index not in unfinished:
+                continue
+            if future.done() and not future.cancelled():
                 try:
                     payload = future.result()
-                except BrokenProcessPool as exc:
-                    raise JobFailure(
-                        job, f"worker process died unexpectedly "
-                             f"({exc}); the job was lost before it "
-                             f"could report a traceback") from exc
-                if not payload["ok"]:
-                    raise JobFailure(job, payload["traceback"])
-                record = JobRecord(kind=job.kind, key=job.key,
-                                   wall_seconds=payload["wall"],
-                                   cache_hit=payload["cache_hit"],
-                                   worker=str(payload["worker"]))
-                slots[payload["index"]] = (payload["result"], record)
+                except BaseException:
+                    continue  # died with the pool; will resubmit
+                if payload.get("ok"):
+                    settle(index, _payload_outcome(states[index], payload))
+        in_flight.clear()
+        _shutdown(executor, kill=True)
+        if resubmit and unfinished:
+            executor = _make_executor(min(n_workers, len(unfinished)),
+                                      plan)
+            for index in sorted(unfinished):
+                if index not in deferred:
+                    submit(index)
+
+    def fail_attempt(index: int, detail: str, timed_out: bool) -> None:
+        state = states[index]
+        if timed_out:
+            stats.timeouts += 1
+        if state.retries < plan.max_retries:
+            state.retries += 1
+            stats.retries += 1
+            deferred[index] = (time.monotonic() + plan.retry_backoff
+                               * (2 ** (state.retries - 1)))
+        else:
+            settle(index, _failed_outcome(state.job, detail,
+                                          state.attempts, plan, stats))
+
+    try:
+        for index in range(len(jobs)):
+            submit(index)
+        while unfinished:
+            try:
+                now = time.monotonic()
+                for index, due in sorted(deferred.items()):
+                    if index in unfinished and due <= now:
+                        del deferred[index]
+                        submit(index)
+                timeout = (plan.heartbeat
+                           if plan.job_timeout is not None or deferred
+                           else None)
+                done, _ = wait(set(in_flight), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, _started = in_flight.pop(future)
+                    if index not in unfinished or future.cancelled():
+                        continue
+                    state = states[index]
+                    payload = future.result()
+                    if payload["ok"]:
+                        settle(index, _payload_outcome(state, payload))
+                    else:
+                        fail_attempt(index, payload["traceback"],
+                                     timed_out=False)
+                if plan.job_timeout is not None:
+                    _enforce_timeouts(plan, in_flight, unfinished,
+                                      states, submit, fail_attempt,
+                                      handle_pool_death)
+            except BrokenProcessPool:
+                # A worker died mid-grid (chaos kill, segfault, OOM).
+                # We cannot know which job killed it, so nobody is
+                # charged a retry; the rebuild budget bounds the loop,
+                # then the remaining jobs go serial — the safe harbour
+                # where process-level faults never fire.
+                if stats.pool_rebuilds >= plan.max_pool_rebuilds:
+                    if not plan.serial_fallback:
+                        survivor = states[min(unfinished)]
+                        raise JobFailure(
+                            survivor.job,
+                            "worker pool died repeatedly "
+                            f"({stats.pool_rebuilds} rebuilds) and "
+                            "serial fallback is disabled",
+                            survivor.attempts) from None
+                    handle_pool_death(resubmit=False)
+                    raise _SerialFallback() from None
+                stats.pool_rebuilds += 1
+                handle_pool_death(resubmit=True)
+    except _SerialFallback:
+        stats.serial_fallbacks += 1
+        cache_dir = plan.effective_cache_dir
+        cache = ResultCache(cache_dir) if cache_dir else None
+        for index in sorted(unfinished):
+            settle(index, _run_one_serial(states[index].job, settings,
+                                          plan, cache, stats))
     except (JobFailure, KeyboardInterrupt):
-        # Abort the rest of the grid: drop queued jobs, stop waiting on
-        # running ones, then re-raise with the original context.
-        _shutdown(executor)
+        # Abort the rest of the grid: terminate workers (no orphans),
+        # drop queued jobs, then re-raise with the original context.
+        _shutdown(executor, kill=True)
         raise
     else:
         executor.shutdown(wait=True)
+    if plan.effective_cache_dir:
+        ResultCache(plan.effective_cache_dir).sweep_stale_tmp()
     assert all(slot is not None for slot in slots)
     return slots  # type: ignore[return-value]
 
 
-def _shutdown(executor: ProcessPoolExecutor) -> None:
+class _SerialFallback(Exception):
+    """Internal control flow: the pool is done for, go serial."""
+
+
+def _payload_outcome(state: _JobState, payload: Dict[str, object]) -> Outcome:
+    record = JobRecord(kind=state.job.kind, key=state.job.key,
+                       wall_seconds=payload["wall"],
+                       cache_hit=payload["cache_hit"],
+                       worker=str(payload["worker"]),
+                       attempts=state.attempts)
+    return payload["result"], record
+
+
+def _enforce_timeouts(plan, in_flight, unfinished, states, submit,
+                      fail_attempt, handle_pool_death) -> None:
+    """Kill the pool under any job past its deadline.
+
+    The deadline is measured from submission; a queued job that never
+    started is simply cancelled and re-queued free of charge (its
+    ``future.cancel()`` succeeds), so only genuinely running overdue
+    jobs are charged a timeout.
+    """
+    now = time.monotonic()
+    overdue_running = []
+    for future, (index, started) in list(in_flight.items()):
+        if index not in unfinished or future.done():
+            continue
+        if now - started <= plan.job_timeout:
+            continue
+        if future.cancel():
+            del in_flight[future]
+            submit(index)  # was only queued; fresh deadline, no charge
+        else:
+            overdue_running.append(index)
+    if overdue_running:
+        for index in overdue_running:
+            fail_attempt(
+                index,
+                f"job exceeded its {plan.job_timeout}s timeout "
+                f"(attempt {states[index].attempts}); its worker was "
+                f"killed", timed_out=True)
+        # The only way to stop a running job is to kill its worker —
+        # which kills the whole pool; finished siblings are harvested
+        # and the rest resubmitted.  Deliberate, so not a "rebuild".
+        handle_pool_death(resubmit=True)
+
+
+def _make_executor(n_workers: int,
+                   plan: ExecutionPlan) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=max(1, n_workers),
+        initializer=pool_initializer,
+        initargs=(plan.effective_cache_dir, plan.fault_plan))
+
+
+def _shutdown(executor: ProcessPoolExecutor, kill: bool = False) -> None:
+    if kill:
+        # Terminate live workers so a cancelled grid leaves no orphan
+        # processes burning CPU on jobs nobody will collect.
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - racing process exit
+                pass
     try:
-        executor.shutdown(wait=False, cancel_futures=True)
+        executor.shutdown(wait=True, cancel_futures=True)
     except TypeError:  # pragma: no cover - pre-3.9 signature
-        executor.shutdown(wait=False)
+        executor.shutdown(wait=True)

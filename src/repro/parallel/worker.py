@@ -6,6 +6,12 @@ the ``spawn`` start method (which re-imports modules rather than
 inheriting the parent's) finds everything it needs: the pool initializer
 re-imports :mod:`repro.experiments`, whose import registers every
 experiment job kind.
+
+Chaos support: the initializer also receives the plan's optional
+:class:`repro.robust.faults.FaultPlan`; each job consults it immediately
+before execution, which is where seeded worker kills (``os._exit``) and
+stalls fire.  Process-level faults *only* exist on this side of the
+fork — the runner's serial path never applies them.
 """
 
 from __future__ import annotations
@@ -21,17 +27,23 @@ from repro.parallel.jobs import SimJob
 #: Per-process cache handle, set up once by :func:`pool_initializer`.
 _WORKER_CACHE: Optional[ResultCache] = None
 
+#: Per-process chaos plan (``None`` outside chaos runs).
+_WORKER_FAULTS = None
+
 
 def ensure_runners_registered() -> None:
     """Import the modules whose import registers the standard job kinds."""
     import repro.experiments  # noqa: F401
 
 
-def pool_initializer(cache_dir: Optional[str]) -> None:
-    """Run once in each worker: register runners, open the cache."""
-    global _WORKER_CACHE
+def pool_initializer(cache_dir: Optional[str],
+                     fault_plan=None) -> None:
+    """Run once in each worker: register runners, open the cache,
+    install the chaos plan (if any)."""
+    global _WORKER_CACHE, _WORKER_FAULTS
     ensure_runners_registered()
     _WORKER_CACHE = ResultCache(cache_dir) if cache_dir else None
+    _WORKER_FAULTS = fault_plan
 
 
 def execute_one(job: SimJob, settings,
@@ -52,17 +64,25 @@ def execute_one(job: SimJob, settings,
     return result, wall, False
 
 
-def run_job_payload(payload: Tuple[int, SimJob, object]
+def run_job_payload(payload: Tuple[int, SimJob, object, int]
                     ) -> Dict[str, object]:
     """Pool entry point: execute one job, never raise.
 
+    ``payload`` is ``(index, job, settings, attempt)`` — the attempt
+    number (1-based) lets a seeded kill fault fire on the first attempt
+    and spare the retry, the self-healing happy path.
+
     Failures are returned as data (original traceback text + job key)
-    so the parent can cancel the rest of the grid and re-raise with
-    full context instead of hanging on a dead future.
-    ``KeyboardInterrupt`` propagates: the parent owns cancellation.
+    so the parent can retry or abort with full context instead of
+    hanging on a dead future.  ``KeyboardInterrupt`` propagates: the
+    parent owns cancellation.
     """
-    index, job, settings = payload
-    base = {"index": index, "worker": os.getpid()}
+    index, job, settings, attempt = payload
+    base = {"index": index, "worker": os.getpid(), "attempt": attempt}
+    if _WORKER_FAULTS is not None:
+        # May os._exit (the parent sees a dead pool) or sleep (the
+        # parent's watchdog sees an overdue job).
+        _WORKER_FAULTS.pre_job_fault(job, attempt, in_worker=True)
     try:
         result, wall, hit = execute_one(job, settings, _WORKER_CACHE)
     except KeyboardInterrupt:

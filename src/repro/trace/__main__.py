@@ -16,7 +16,12 @@ import sys
 from repro.trace import trace_io
 from repro.trace.builder import build_trace
 from repro.trace.trace import summarize
-from repro.trace.workloads import TRACE_GROUPS, profile_for, trace_seed
+from repro.trace.workloads import (
+    TRACE_GROUPS,
+    UnknownTraceError,
+    profile_for,
+    trace_seed,
+)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -26,6 +31,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _build(args: argparse.Namespace):
+    if args.uops < 1:
+        raise ValueError(f"--uops must be >= 1, got {args.uops}")
     return build_trace(profile_for(args.name, code_scale=args.code_scale),
                        n_uops=args.uops, seed=trace_seed(args.name),
                        name=args.name)
@@ -80,7 +87,11 @@ def main(argv=None) -> int:
     p_show.set_defaults(fn=_cmd_show)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (UnknownTraceError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -295,17 +295,62 @@ TRACE_GROUPS: Dict[str, List[str]] = {
 }
 
 
+class UnknownTraceError(KeyError):
+    """An unknown trace name, with "did you mean" suggestions.
+
+    Subclasses :class:`KeyError` so pre-existing callers that caught
+    the raw error keep working; ``__str__`` is overridden because
+    ``KeyError`` would repr-quote the whole message.
+    """
+
+    def __init__(self, name: str) -> None:
+        import difflib
+        known = known_trace_names()
+        suggestions = difflib.get_close_matches(name, known, n=3,
+                                                cutoff=0.5)
+        message = f"unknown trace name {name!r}."
+        if suggestions:
+            message += " Did you mean: " + ", ".join(suggestions) + "?"
+        message += (" Known traces: "
+                    + "; ".join(f"{group}: {', '.join(names)}"
+                                for group, names in TRACE_GROUPS.items()))
+        super().__init__(message)
+        self.name = name
+        self.suggestions = suggestions
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+def known_trace_names() -> List[str]:
+    """Every valid trace name, in group declaration order."""
+    return [name for names in TRACE_GROUPS.values() for name in names]
+
+
+def resolve_trace_name(name: str) -> str:
+    """Validate a trace name, raising :class:`UnknownTraceError` (with
+    suggestions) when it is not one of the paper's traces."""
+    for names in TRACE_GROUPS.values():
+        if name in names:
+            return name
+    raise UnknownTraceError(name)
+
+
 def group_names() -> List[str]:
     """The seven trace-group names, in declaration order."""
     return list(TRACE_GROUPS)
 
 
 def group_of(trace_name: str) -> str:
-    """The group a trace name belongs to (KeyError when unknown)."""
+    """The group a trace name belongs to.
+
+    Raises :class:`UnknownTraceError` (a :class:`KeyError`) with
+    "did you mean" suggestions for unknown names.
+    """
     for group, names in TRACE_GROUPS.items():
         if trace_name in names:
             return group
-    raise KeyError(f"unknown trace name {trace_name!r}")
+    raise UnknownTraceError(trace_name)
 
 
 def profile_for(trace_name: str, code_scale: int = 1) -> WorkloadProfile:

@@ -28,3 +28,32 @@ def fail(x: int) -> int:
 def seeded(label: str, derived_seed: int) -> int:
     """Echo the injected per-job seed back to the caller."""
     return derived_seed
+
+
+@sim_job("test-flaky")
+def flaky(counter_file: str, fail_times: int) -> int:
+    """Fail the first ``fail_times`` calls, then succeed.
+
+    Attempts are counted in a file so the count survives process
+    boundaries (each pooled retry may land in a different worker).
+    """
+    import os
+
+    count = 0
+    if os.path.exists(counter_file):
+        with open(counter_file, "r", encoding="utf-8") as handle:
+            count = int(handle.read() or 0)
+    count += 1
+    with open(counter_file, "w", encoding="utf-8") as handle:
+        handle.write(str(count))
+    if count <= fail_times:
+        raise ValueError(f"flaky failure #{count}")
+    return count
+
+
+@sim_job("test-interrupt")
+def interrupt(after: float = 0.0) -> None:
+    """Simulate the user hitting Ctrl-C inside a worker."""
+    if after:
+        time.sleep(after)
+    raise KeyboardInterrupt

@@ -154,6 +154,51 @@ class TestResultCache:
                      for name in names if ".tmp." in name]
         assert leftovers == []
 
+    def test_mid_write_process_kill_is_atomic(self, tmp_path):
+        """A writer killed between temp write and rename leaves the
+        entry absent (never half-written); the sweep reclaims the
+        temp dropping once the writer is dead."""
+        import subprocess
+        import sys
+
+        script = (
+            "import os, sys\n"
+            "sys.path.insert(0, sys.argv[1])\n"
+            "from repro.parallel import ResultCache\n"
+            "cache = ResultCache(sys.argv[2])\n"
+            "cache.fault_hook = lambda point, path: os._exit(86)\n"
+            "cache.store('ab' + '0' * 62, 'material', {'v': 1})\n"
+        )
+        src = os.path.join(os.path.dirname(cache_mod.__file__),
+                           "..", "..")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, os.path.abspath(src),
+             str(tmp_path)], timeout=60)
+        assert proc.returncode == 86  # it really died at the hook
+        pkls = [n for _, _, names in os.walk(str(tmp_path))
+                for n in names if n.endswith(".pkl")]
+        tmps = [n for _, _, names in os.walk(str(tmp_path))
+                for n in names if ".tmp." in n]
+        assert pkls == []  # the entry never became visible
+        assert len(tmps) == 1  # the orphaned temp file survived
+        removed = ResultCache(str(tmp_path)).sweep_stale_tmp()
+        assert len(removed) == 1
+        assert not any(".tmp." in n for _, _, names
+                       in os.walk(str(tmp_path)) for n in names)
+
+    def test_sweep_spares_live_writers(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        mine = tmp_path / f"entry.pkl.tmp.{os.getpid()}"
+        mine.write_bytes(b"partial")
+        dead = tmp_path / "entry.pkl.tmp.999999999"
+        dead.write_bytes(b"partial")
+        unrelated = tmp_path / "notes.txt"
+        unrelated.write_text("keep me")
+        removed = cache.sweep_stale_tmp()
+        assert removed == [str(dead)]
+        assert mine.exists()  # this process is alive: never raced
+        assert unrelated.exists()
+
 
 class TestTraceCache:
     def test_corrupted_trace_entry_rebuilds(self, tmp_path):

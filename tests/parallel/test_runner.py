@@ -1,9 +1,12 @@
 """Tests for job execution: ordering, failure surfacing, reporting."""
 
+import multiprocessing
+
 import pytest
 
 from repro.parallel import (
     ExecutionPlan,
+    FailedJob,
     JobFailure,
     SERIAL_PLAN,
     SimJob,
@@ -149,3 +152,95 @@ class TestExecutionContext:
             run_jobs(_squares([1, 2]))
         assert warm.n_cache_hits == 2
         assert warm.cache_hit_rate == 1.0
+
+
+def _flaky_job(tmp_path, fail_times, tag="a"):
+    return SimJob.make(_grid_jobs.flaky, key=("flaky", tag),
+                       counter_file=str(tmp_path / f"count-{tag}"),
+                       fail_times=fail_times)
+
+
+class TestRetries:
+    def test_serial_retry_then_succeed(self, tmp_path):
+        plan = ExecutionPlan(workers=0, max_retries=2,
+                             retry_backoff=0.0)
+        with execution(plan) as report:
+            results = run_jobs([_flaky_job(tmp_path, fail_times=2)])
+        assert results == [3]  # succeeded on the third attempt
+        assert report.retries == 2
+        assert report.records[0].attempts == 3
+        assert report.records[0].status == "ok"
+
+    def test_pooled_retry_then_succeed(self, tmp_path):
+        plan = ExecutionPlan(workers=2, max_retries=2,
+                             retry_backoff=0.01)
+        with execution(plan) as report:
+            results = run_jobs([_flaky_job(tmp_path, 2, "p")]
+                               + _squares([1, 2]))
+        assert results == [3, 1, 4]
+        assert report.retries == 2
+
+    def test_retries_exhausted_still_fails(self, tmp_path):
+        plan = ExecutionPlan(workers=0, max_retries=1,
+                             retry_backoff=0.0)
+        with execution(plan):
+            with pytest.raises(JobFailure) as excinfo:
+                run_jobs([_flaky_job(tmp_path, fail_times=5)])
+        assert excinfo.value.attempts == 2
+        assert "after 2 attempt(s)" in str(excinfo.value)
+
+    def test_default_plan_does_not_retry(self, tmp_path):
+        # Historical behaviour is the default: first failure aborts.
+        with pytest.raises(JobFailure) as excinfo:
+            run_jobs([_flaky_job(tmp_path, fail_times=1)])
+        assert excinfo.value.attempts == 1
+
+
+class TestPartialResults:
+    def test_failed_jobs_become_placeholders(self):
+        plan = ExecutionPlan(workers=0, allow_partial=True)
+        jobs = _squares([2]) \
+            + [SimJob.make(_grid_jobs.fail, key=("fail", 9), x=9)] \
+            + _squares([3])
+        with execution(plan) as report:
+            results = run_jobs(jobs)
+        assert results[0] == 4 and results[2] == 9
+        placeholder = results[1]
+        assert isinstance(placeholder, FailedJob)
+        assert placeholder.key == ("fail", 9)
+        assert "boom on 9" in placeholder.error
+        assert report.degraded
+        assert [f["key"] for f in report.failures] == [["fail", 9]]
+        statuses = [r.status for r in report.records]
+        assert statuses == ["ok", "failed", "ok"]
+
+    def test_as_dict_round_trips(self):
+        placeholder = FailedJob(kind="k", key=("a", 1), error="e",
+                                attempts=2)
+        assert placeholder.as_dict()["status"] == "failed"
+
+
+class TestCancellation:
+    def test_keyboard_interrupt_leaves_no_orphan_workers(self):
+        # Ctrl-C lands in a worker mid-grid while other jobs are still
+        # running; the runner must re-raise it *and* tear the whole
+        # pool down (no orphaned worker processes keep burning CPU).
+        import time as _time
+
+        jobs = [SimJob.make(_grid_jobs.interrupt, key=("int",),
+                            after=0.1)] \
+            + _squares([1, 2, 3], delays=[30.0, 30.0, 30.0])
+        start = _time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            run_jobs(jobs, plan=ExecutionPlan(workers=4))
+        for child in multiprocessing.active_children():
+            child.join(timeout=10)
+        assert not [c for c in multiprocessing.active_children()
+                    if c.is_alive()]
+        # Teardown must have *killed* the 30s sleepers, not waited
+        # them out.
+        assert _time.monotonic() - start < 15.0
+
+    def test_keyboard_interrupt_serial_propagates(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_jobs([SimJob.make(_grid_jobs.interrupt, key=("int",))])

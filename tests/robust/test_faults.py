@@ -1,0 +1,234 @@
+"""Deterministic fault injection: plans, chaos specs, saboteur wiring."""
+
+import pytest
+
+from repro.cht.full import FullCHT
+from repro.common.config import MemoryConfig
+from repro.engine.machine import Machine
+from repro.engine.ordering import make_scheme
+from repro.hitmiss.oracle import AlwaysHitHMP
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.parallel import ResultCache, SimJob
+from repro.robust import (
+    FaultPlan,
+    FaultyBankPredictor,
+    FaultyCHT,
+    FaultyHMP,
+    LatencyFaultHierarchy,
+    apply_fault_plan,
+    corrupt_cache,
+    parse_chaos_spec,
+)
+from repro.bank.base import BankPrediction, BankPredictor
+from tests.parallel import _grid_jobs
+
+
+def _jobs(n=16):
+    return [SimJob.make(_grid_jobs.square, key=("sq", x), x=x)
+            for x in range(n)]
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(seed=7, kill_fraction=0.5, stall_fraction=0.5)
+        first = [(plan.kills(j, 1), plan.stalls(j)) for j in _jobs()]
+        second = [(plan.kills(j, 1), plan.stalls(j)) for j in _jobs()]
+        assert first == second
+        assert any(k for k, _ in first)
+        assert not all(k for k, _ in first)
+
+    def test_different_seeds_fault_different_jobs(self):
+        a = FaultPlan(seed=1, kill_fraction=0.5)
+        b = FaultPlan(seed=2, kill_fraction=0.5)
+        assert [a.kills(j, 1) for j in _jobs(64)] \
+            != [b.kills(j, 1) for j in _jobs(64)]
+
+    def test_kill_attempts_spares_the_retry(self):
+        plan = FaultPlan(seed=0, kill_fraction=1.0, kill_attempts=1)
+        job = _jobs(1)[0]
+        assert plan.kills(job, 1)
+        assert not plan.kills(job, 2)
+
+    def test_target_kinds_confine_process_faults(self):
+        plan = FaultPlan(seed=0, kill_fraction=1.0,
+                         target_kinds=("some-other-kind",))
+        job = _jobs(1)[0]
+        assert not plan.targets(job)
+        assert not plan.kills(job, 1)
+        assert not plan.stalls(job)
+
+    def test_pre_job_fault_never_fires_outside_a_worker(self):
+        # kill_fraction=1.0 would os._exit(); surviving this call *is*
+        # the assertion that the serial path is a safe harbour.
+        plan = FaultPlan(seed=0, kill_fraction=1.0)
+        plan.pre_job_fault(_jobs(1)[0], attempt=1, in_worker=False)
+
+    def test_wants_flags_and_as_dict(self):
+        assert not FaultPlan().wants_process_faults
+        assert not FaultPlan().wants_machine_faults
+        assert FaultPlan(kill_fraction=0.1).wants_process_faults
+        assert FaultPlan(flip_hmp=0.1).wants_machine_faults
+        assert FaultPlan(extra_load_latency=5).wants_machine_faults
+        out = FaultPlan(seed=3, target_kinds=("a",)).as_dict()
+        assert out["seed"] == 3
+        assert out["target_kinds"] == ["a"]
+
+
+class TestParseChaosSpec:
+    def test_defaults_per_fault(self):
+        plan = parse_chaos_spec("worker-kill,cache-corrupt", seed=9)
+        assert plan.seed == 9
+        assert plan.kill_fraction == 0.3
+        assert plan.corrupt_cache_fraction == 0.5
+        assert plan.stall_fraction == 0.0
+
+    def test_explicit_values_and_kinds(self):
+        plan = parse_chaos_spec(
+            "worker-kill=0.5, worker-stall=0.25, stall-seconds=0.01, "
+            "flip-cht=0.1, flip-hmp=0.2, flip-bank=0.3, latency=7, "
+            "kind=classification, kind=ordering-speedups")
+        assert plan.kill_fraction == 0.5
+        assert plan.stall_fraction == 0.25
+        assert plan.stall_seconds == 0.01
+        assert plan.flip_cht == 0.1
+        assert plan.flip_hmp == 0.2
+        assert plan.flip_bank == 0.3
+        assert plan.extra_load_latency == 7
+        assert plan.target_kinds == ("classification",
+                                     "ordering-speedups")
+
+    def test_unknown_fault_is_rejected_with_roster(self):
+        with pytest.raises(ValueError, match="choose from"):
+            parse_chaos_spec("worker-kil")
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            parse_chaos_spec("worker-kill=1.5")
+
+    def test_non_numeric_fraction(self):
+        with pytest.raises(ValueError, match="numeric"):
+            parse_chaos_spec("worker-kill=lots")
+
+    def test_kind_requires_a_value(self):
+        with pytest.raises(ValueError, match="needs a job kind"):
+            parse_chaos_spec("kind=")
+
+
+class TestCorruptCache:
+    def _populate(self, tmp_path, n=8):
+        cache = ResultCache(str(tmp_path))
+        keys = []
+        for i in range(n):
+            key, material = f"{i:02x}{'0' * 62}", f"material-{i}"
+            cache.store(key, material, {"value": i})
+            keys.append((key, material))
+        return cache, keys
+
+    def test_corrupts_deterministically(self, tmp_path):
+        self._populate(tmp_path)
+        first = corrupt_cache(str(tmp_path), fraction=0.5, seed=4)
+        second = corrupt_cache(str(tmp_path), fraction=0.5, seed=4)
+        assert first == second
+        assert 0 < len(first) < 8
+
+    def test_full_fraction_corrupts_everything(self, tmp_path):
+        self._populate(tmp_path)
+        assert len(corrupt_cache(str(tmp_path), fraction=1.0)) == 8
+
+    def test_missing_dir_is_a_noop(self, tmp_path):
+        assert corrupt_cache(str(tmp_path / "nope")) == []
+
+    def test_cache_degrades_corrupted_entries_to_misses(self, tmp_path):
+        cache, keys = self._populate(tmp_path)
+        corrupt_cache(str(tmp_path), fraction=1.0)
+        for key, material in keys:
+            with pytest.warns(RuntimeWarning, match="corrupted"):
+                hit, payload = cache.load(key, material)
+            assert not hit and payload is None
+        # Re-store over the garbage and the entry is healthy again.
+        cache.store(*keys[0], payload={"value": 0})
+        hit, payload = cache.load(*keys[0])
+        assert hit and payload == {"value": 0}
+
+
+class _FixedBank(BankPredictor):
+    n_banks = 4
+
+    def predict(self, pc):
+        return BankPrediction(bank=1)
+
+    def update(self, pc, bank, address=None):
+        pass
+
+
+class TestPredictorFaultWrappers:
+    def test_hmp_flips_every_prediction_at_fraction_one(self):
+        faulty = FaultyHMP(AlwaysHitHMP(), flip_fraction=1.0)
+        assert faulty.predict_hit(0x40) is False  # AlwaysHit flipped
+        assert faulty.flips == 1
+        faulty.update(0x40, hit=True)  # delegation must not raise
+
+    def test_hmp_never_flips_at_fraction_zero(self):
+        faulty = FaultyHMP(AlwaysHitHMP(), flip_fraction=0.0)
+        assert all(faulty.predict_hit(pc) for pc in range(0, 400, 4))
+        assert faulty.flips == 0
+
+    def test_cht_flip_inverts_collision_bit(self):
+        clean = FullCHT(n_entries=64, ways=2)
+        faulty = FaultyCHT(FullCHT(n_entries=64, ways=2),
+                           flip_fraction=1.0)
+        assert faulty.lookup(0x80).colliding \
+            is not clean.lookup(0x80).colliding
+        assert faulty.flips == 1
+        faulty.train(0x80, collided=True)
+        assert faulty.storage_bits == clean.storage_bits
+
+    def test_bank_derangement_stays_in_range(self):
+        faulty = FaultyBankPredictor(_FixedBank(), flip_fraction=1.0)
+        prediction = faulty.predict(0x10)
+        assert prediction.predicted
+        assert prediction.bank != 1
+        assert 0 <= prediction.bank < 4
+        assert faulty.flips == 1
+
+    def test_latency_fault_adds_cycles(self):
+        hierarchy = MemoryHierarchy(MemoryConfig())
+        baseline = hierarchy.load(0x1000, now=0).latency
+        faulty = LatencyFaultHierarchy(MemoryHierarchy(MemoryConfig()),
+                                       extra=11)
+        outcome = faulty.load(0x1000, now=0)
+        assert outcome.latency == baseline + 11
+        assert faulty.injected == 1
+        assert faulty.config is faulty._inner.config  # delegation
+
+    def test_apply_fault_plan_wraps_components(self):
+        machine = Machine(scheme=make_scheme("inclusive"))
+        plan = FaultPlan(flip_hmp=0.1, flip_cht=0.1,
+                         extra_load_latency=3)
+        apply_fault_plan(machine, plan)
+        assert isinstance(machine.hmp, FaultyHMP)
+        assert isinstance(machine.scheme.cht, FaultyCHT)
+        assert isinstance(machine.hierarchy, LatencyFaultHierarchy)
+
+    def test_apply_noop_plan_leaves_machine_alone(self):
+        machine = Machine(scheme=make_scheme("inclusive"))
+        hmp, cht = machine.hmp, machine.scheme.cht
+        apply_fault_plan(machine, FaultPlan())
+        assert machine.hmp is hmp
+        assert machine.scheme.cht is cht
+
+
+class TestFaultedRunsStayCorrect:
+    def test_flipped_predictions_cannot_break_invariants(self):
+        # Predictor flips perturb speculation only; the machine's
+        # recovery must absorb them with zero invariant violations.
+        from repro.experiments.harness import get_trace
+        from repro.robust import checked_run
+
+        machine = Machine(scheme=make_scheme("inclusive"))
+        apply_fault_plan(machine, FaultPlan(seed=5, flip_cht=0.2,
+                                            flip_hmp=0.2,
+                                            extra_load_latency=3))
+        _, checker = checked_run(machine, get_trace("gcc", 2000))
+        assert checker.ok
+        assert machine.scheme.cht.flips > 0
