@@ -132,6 +132,92 @@ def measure_obs_overhead(trace, scheme: str, repeats: int,
     }
 
 
+def _best_replay(run, repeats: int, n_events: int) -> Dict[str, float]:
+    """Fastest of ``repeats`` timings of one predictor replay."""
+    best: Optional[float] = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None or elapsed < best else best
+    assert best is not None
+    return {"wall_seconds": best, "uops_per_sec": n_events / best}
+
+
+def measure_fastpath(n_events: int, repeats: int) -> Dict[str, object]:
+    """Per-backend throughput of the predictor-only replay sweeps.
+
+    These are the table-indexed hot loops the ``repro.fastpath`` batch
+    kernels target; each sweep replays the same synthetic event grid
+    through a fresh predictor under both backends and reports the
+    vectorized/reference speedup.
+    """
+    from repro.fastpath import HAS_NUMPY
+    if not HAS_NUMPY:
+        print("  fastpath: numpy unavailable, skipping")
+        return {"skipped": "numpy unavailable"}
+
+    from repro.bank.history import make_predictor_a
+    from repro.cht.tagless import TaglessCHT
+    from repro.experiments.bank_metric import evaluate
+    from repro.experiments.cht_accuracy import EventArrayCache, LoadEvent
+    from repro.experiments.cht_accuracy import replay as cht_replay
+    from repro.experiments.hitmiss_stats import HitMissEvent
+    from repro.experiments.hitmiss_stats import replay as hm_replay
+    from repro.fastpath.tracegen import (
+        synthesize_bank_grid,
+        synthesize_collision_grid,
+        synthesize_outcome_grid,
+    )
+    from repro.hitmiss.hybrid import HybridHMP
+    from repro.hitmiss.local import LocalHMP
+
+    # ~1k static load sites, as a 2K-entry CHT would see on real code.
+    pcs, cf, co, dist = synthesize_collision_grid(1, n_events, n_pcs=1021)
+    cht_events = [LoadEvent(pc=p, conflicting=c, collided=k, distance=d)
+                  for p, c, k, d in zip(pcs, cf, co, dist)]
+    pcs, hits = synthesize_outcome_grid(2, n_events)
+    hm_events = [HitMissEvent(pc=p, line=p >> 6, now=i, hit=h)
+                 for i, (p, h) in enumerate(zip(pcs, hits))]
+    bank_stream = synthesize_bank_grid(3, n_events)
+
+    # The Figure 9 pattern: one recorded stream replayed through the
+    # whole tagless size ladder (conversion shared, like the harness).
+    tagless_sizes = (2048, 4096, 8192, 16384, 32768)
+
+    def cht_sweep(backend: str) -> None:
+        shared = EventArrayCache(cht_events)
+        for size in tagless_sizes:
+            cht_replay(cht_events,
+                       TaglessCHT(n_entries=size, backend=backend),
+                       arrays=shared)
+
+    sweeps = {
+        "cht_tagless_sizes": (cht_sweep, n_events * len(tagless_sizes)),
+        "hmp_local_2k": (lambda backend: hm_replay(
+            hm_events, LocalHMP(n_entries=2048, history_bits=8,
+                                backend=backend)), n_events),
+        "hmp_hybrid": (lambda backend: hm_replay(
+            hm_events, HybridHMP(backend=backend)), n_events),
+        "bank_predictor_a": (lambda backend: evaluate(
+            make_predictor_a(backend=backend), bank_stream), n_events),
+    }
+    out: Dict[str, object] = {"n_events": n_events}
+    for name, (run, n_replayed) in sweeps.items():
+        ref = _best_replay(lambda: run("reference"), repeats, n_replayed)
+        vec = _best_replay(lambda: run("vectorized"), repeats, n_replayed)
+        speedup = ref["wall_seconds"] / vec["wall_seconds"]
+        out[name] = {
+            "reference_uops_per_sec": ref["uops_per_sec"],
+            "vectorized_uops_per_sec": vec["uops_per_sec"],
+            "speedup": speedup,
+        }
+        print(f"  {name:18s} ref {ref['uops_per_sec']:>12,.0f}"
+              f"  vec {vec['uops_per_sec']:>12,.0f} uops/sec"
+              f"   ({speedup:.1f}x)")
+    return out
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", default="gcc")
@@ -144,6 +230,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=DEFAULT_SCHEMES, metavar="SCHEME")
     parser.add_argument("--out", default="BENCH_throughput.json")
     parser.add_argument("--skip-obs-overhead", action="store_true")
+    parser.add_argument("--skip-fastpath", action="store_true",
+                        help="skip the per-backend predictor sweeps")
+    parser.add_argument("--fastpath-events", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_BENCH_FASTPATH_EVENTS", "200000")),
+                        help="events per fastpath predictor sweep")
     parser.add_argument("--workers", type=int, default=0, metavar="N",
                         help="time each scheme in its own worker "
                              "process (slightly noisier; 0 = serial)")
@@ -178,6 +270,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    workers=args.workers,
                                    n_uops=args.uops),
     }
+    if not args.skip_fastpath:
+        print("fastpath predictor sweeps "
+              f"({args.fastpath_events} events each):")
+        report["fastpath"] = measure_fastpath(args.fastpath_events,
+                                              args.repeats)
     if not args.skip_obs_overhead:
         jsonl_path = args.out + ".events.tmp.jsonl"
         try:

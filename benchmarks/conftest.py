@@ -4,13 +4,41 @@ Every benchmark regenerates one of the paper's figures with a reduced
 budget (the full budget lives in ``python -m repro.experiments``).  The
 ``bench_settings`` fixture controls that budget; raise it via the
 ``REPRO_BENCH_UOPS`` environment variable for slower, smoother numbers.
+
+Benchmarks never touch a persistent :class:`~repro.parallel.cache.
+ResultCache`: cache keys embed the package version, which ordinary code
+edits do not change, so a directory reused across runs would serve
+results computed by *old* code.  The autouse ``bench_cache`` fixture
+scopes every benchmark's cache to a per-test pytest tmp path instead —
+always a cold start, no stale entries by construction.
 """
 
+import contextlib
 import os
 
 import pytest
 
 from repro.experiments.harness import ExperimentSettings
+from repro.parallel import ExecutionPlan, execution
+
+
+@contextlib.contextmanager
+def scoped_cache(cache_dir):
+    """Install ``cache_dir`` as the ambient throwaway result cache.
+
+    The plan is otherwise the serial default, so benchmark timing
+    semantics are unchanged; only cold trace/result builds inside the
+    context go through the (fresh) on-disk cache.
+    """
+    with execution(ExecutionPlan(cache_dir=str(cache_dir))):
+        yield str(cache_dir)
+
+
+@pytest.fixture(autouse=True)
+def bench_cache(tmp_path):
+    """Fresh tmp-scoped cache per benchmark test (see module docstring)."""
+    with scoped_cache(tmp_path / "repro-cache") as cache_dir:
+        yield cache_dir
 
 
 @pytest.fixture(scope="session")

@@ -67,6 +67,11 @@ from repro.bank import (
     make_predictor_c,
     metric,
 )
+from repro.fastpath import (
+    default_backend,
+    set_default_backend,
+    use_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -105,5 +110,8 @@ __all__ = [
     "make_predictor_b",
     "make_predictor_c",
     "metric",
+    "default_backend",
+    "set_default_backend",
+    "use_backend",
     "__version__",
 ]

@@ -47,11 +47,14 @@ class HistoryBankPredictor(BankPredictor):
 
     def __init__(self, components: Sequence[BinaryPredictor],
                  weights: Optional[Sequence[float]] = None,
-                 abstain_threshold: float = 0.0) -> None:
+                 abstain_threshold: float = 0.0,
+                 backend: Optional[str] = None) -> None:
         self._chooser = WeightedChooser(components, weights,
                                         threshold=0.0,
-                                        confidence_scaled=True)
+                                        confidence_scaled=True,
+                                        backend=backend)
         self.abstain_threshold = abstain_threshold
+        self.backend = self._chooser.backend
 
     def predict(self, pc: int) -> BankPrediction:
         p = self._chooser.predict(pc)
@@ -74,38 +77,45 @@ class HistoryBankPredictor(BankPredictor):
         return self._chooser.storage_bits
 
 
-def _local() -> LocalPredictor:
-    return LocalPredictor(n_entries=512, history_bits=8)
+def _local(backend: Optional[str] = None) -> LocalPredictor:
+    return LocalPredictor(n_entries=512, history_bits=8, backend=backend)
 
 
-def _gshare() -> GSharePredictor:
-    return GSharePredictor(history_bits=11)
+def _gshare(backend: Optional[str] = None) -> GSharePredictor:
+    return GSharePredictor(history_bits=11, backend=backend)
 
 
-def _gskew() -> GSkewPredictor:
-    return GSkewPredictor(history_bits=17, bank_entries=1024)
+def _gskew(backend: Optional[str] = None) -> GSkewPredictor:
+    return GSkewPredictor(history_bits=17, bank_entries=1024,
+                          backend=backend)
 
 
-def make_predictor_a(abstain_threshold: float = 0.9) -> HistoryBankPredictor:
+def make_predictor_a(abstain_threshold: float = 0.9,
+                     backend: Optional[str] = None) -> HistoryBankPredictor:
     """Predictor A = local + gshare + gskew (equal weights)."""
-    return HistoryBankPredictor([_local(), _gshare(), _gskew()],
-                                abstain_threshold=abstain_threshold)
+    return HistoryBankPredictor(
+        [_local(backend), _gshare(backend), _gskew(backend)],
+        abstain_threshold=abstain_threshold, backend=backend)
 
 
-def make_predictor_b(abstain_threshold: float = 0.6) -> HistoryBankPredictor:
+def make_predictor_b(abstain_threshold: float = 0.6,
+                     backend: Optional[str] = None) -> HistoryBankPredictor:
     """Predictor B = local + gshare + bimodal (equal weights)."""
-    return HistoryBankPredictor([_local(), _gshare(),
-                                 BimodalPredictor(n_entries=1024)],
-                                abstain_threshold=abstain_threshold)
+    return HistoryBankPredictor(
+        [_local(backend), _gshare(backend),
+         BimodalPredictor(n_entries=1024, backend=backend)],
+        abstain_threshold=abstain_threshold, backend=backend)
 
 
-def make_predictor_c(abstain_threshold: float = 0.65) -> HistoryBankPredictor:
+def make_predictor_c(abstain_threshold: float = 0.65,
+                     backend: Optional[str] = None) -> HistoryBankPredictor:
     """Predictor C = local + 2*gshare + gskew (gshare double weight).
 
     The heavier gshare weight plus a lower abstain threshold gives C the
     higher prediction rate (~70 %) Figure 12 reports, at accuracy
     comparable to A.
     """
-    return HistoryBankPredictor([_local(), _gshare(), _gskew()],
-                                weights=[1.0, 2.0, 1.0],
-                                abstain_threshold=abstain_threshold)
+    return HistoryBankPredictor(
+        [_local(backend), _gshare(backend), _gskew(backend)],
+        weights=[1.0, 2.0, 1.0],
+        abstain_threshold=abstain_threshold, backend=backend)

@@ -54,7 +54,24 @@ def _load_stream(name: str, n_uops: int) -> Tuple[Tuple[int, int], ...]:
 
 def evaluate(predictor: BankPredictor,
              stream: Sequence[Tuple[int, int]]) -> BankStats:
-    """Replay the loads through ``predictor`` (predict → train)."""
+    """Replay the loads through ``predictor`` (predict → train).
+
+    A predictor constructed with ``backend="vectorized"`` replays
+    through the batch kernels of :mod:`repro.fastpath` — by contract
+    bit-identical to the scalar loop below (pinned by
+    ``tests/fastpath/``).
+    """
+    import repro.fastpath as fastpath
+    if fastpath.enabled(predictor):
+        from repro.fastpath import bank as fp_bank
+        if fp_bank.supports(predictor):
+            pcs, banks = fp_bank.stream_arrays(stream, LINE_BYTES, N_BANKS)
+            predicted = fp_bank.replay_banks(predictor, pcs, banks)
+            stats = BankStats()
+            stats.loads = len(stream)
+            stats.predicted = int((predicted != -1).sum())
+            stats.correct = int((predicted == banks).sum())
+            return stats
     stats = BankStats()
     for pc, address in stream:
         bank = (address // LINE_BYTES) % N_BANKS

@@ -78,7 +78,17 @@ def replay(events: Sequence[HitMissEvent], hmp: HitMissPredictor,
     ``warm=True`` trains on one full pass first and measures the
     second, emulating the steady state the paper's 30M-instruction
     traces reach (cold-start mispredictions amortised away).
+
+    A predictor constructed with ``backend="vectorized"`` replays
+    through the batch kernels of :mod:`repro.fastpath` — by contract
+    bit-identical to the scalar loop below (pinned by
+    ``tests/fastpath/``).
     """
+    import repro.fastpath as fastpath
+    if fastpath.enabled(hmp):
+        from repro.fastpath import hitmiss as fp_hitmiss
+        if fp_hitmiss.supports(hmp):
+            return _replay_vectorized(events, hmp, warm)
     if warm:
         for event in events:
             hmp.update(event.pc, event.hit, event.line, event.now)
@@ -87,6 +97,23 @@ def replay(events: Sequence[HitMissEvent], hmp: HitMissPredictor,
         predicted_hit = hmp.predict_hit(event.pc, event.line, event.now)
         stats.record(event.hit, predicted_hit)
         hmp.update(event.pc, event.hit, event.line, event.now)
+    return stats
+
+
+def _replay_vectorized(events: Sequence[HitMissEvent],
+                       hmp: HitMissPredictor, warm: bool) -> HitMissStats:
+    """The fastpath replay: batch kernels plus vectorized accounting."""
+    from repro.common.types import HitMissClass
+    from repro.fastpath.hitmiss import event_arrays, replay_hits
+    pcs, hits = event_arrays(events)
+    if warm:  # predictions are pure, so a discarded replay trains
+        replay_hits(hmp, pcs, hits)
+    predicted = replay_hits(hmp, pcs, hits)
+    stats = HitMissStats()
+    stats.counts[HitMissClass.AH_PH] = int((hits & predicted).sum())
+    stats.counts[HitMissClass.AH_PM] = int((hits & ~predicted).sum())
+    stats.counts[HitMissClass.AM_PH] = int((~hits & predicted).sum())
+    stats.counts[HitMissClass.AM_PM] = int((~hits & ~predicted).sum())
     return stats
 
 

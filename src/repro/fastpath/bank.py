@@ -1,0 +1,54 @@
+"""Batch replay kernel for the history-based bank predictors.
+
+``HistoryBankPredictor`` wraps a confidence-scaled ``WeightedChooser``
+over binary components and abstains below a confidence threshold; its
+batch replay reuses the chooser kernel's (outcome, confidence, valid)
+channels and applies the abstain rule vectorized.  The combined vote is
+accumulated in float64 in the exact component order of the scalar
+chooser, so confidences — and therefore abstain decisions — match bit
+for bit.
+
+Differential tests: ``tests/fastpath/test_bank_diff.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.bank.history import HistoryBankPredictor
+from repro.fastpath import predictors as fp_predictors
+
+
+def supports(predictor) -> bool:
+    """True when ``replay_banks`` has an exact batch kernel."""
+    return (type(predictor) is HistoryBankPredictor
+            and fp_predictors.supports(predictor._chooser))
+
+
+def stream_arrays(stream, line_bytes: int = 64,
+                  n_banks: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    """Decompose a (pc, address) load stream into (pcs, banks)."""
+    n = len(stream)
+    pcs = np.fromiter((pc for pc, _ in stream), dtype=np.int64, count=n)
+    addresses = np.fromiter((address for _, address in stream),
+                            dtype=np.int64, count=n)
+    banks = (addresses // line_bytes) % n_banks
+    return pcs, banks
+
+
+def replay_banks(predictor: HistoryBankPredictor, pcs: np.ndarray,
+                 banks: np.ndarray) -> np.ndarray:
+    """predict→update the whole load stream.
+
+    Returns the per-event predicted bank as an int array with ``-1``
+    for abstentions, leaving component state exactly as the scalar
+    loop would.
+    """
+    pcs = np.asarray(pcs, dtype=np.int64)
+    outcomes = np.asarray(banks, dtype=np.int64) == 1
+    out, conf, valid = fp_predictors.weighted_replay(
+        predictor._chooser, pcs, outcomes)
+    predicts = valid & ~(conf < predictor.abstain_threshold)
+    return np.where(predicts, np.where(out, 1, 0), -1)

@@ -1,0 +1,53 @@
+"""Batch replay kernels for the hit-miss predictors.
+
+``LocalHMP`` and ``HybridHMP`` are thin adapters over binary predictors
+of the *miss* event, so their batch replay is a direct delegation to
+:func:`repro.fastpath.predictors.replay` with inverted outcomes.
+
+Differential tests: ``tests/fastpath/test_hmp_diff.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.fastpath import predictors as fp_predictors
+from repro.hitmiss.hybrid import HybridHMP
+from repro.hitmiss.local import LocalHMP
+
+
+def supports(hmp) -> bool:
+    """True when ``replay_hits`` has an exact batch kernel for ``hmp``."""
+    kind = type(hmp)
+    if kind is LocalHMP:
+        return fp_predictors.supports(hmp._miss_predictor)
+    if kind is HybridHMP:
+        return fp_predictors.supports(hmp._chooser)
+    return False
+
+
+def event_arrays(events) -> Tuple[np.ndarray, np.ndarray]:
+    """Decompose ``HitMissEvent`` records into (pcs, hits) arrays."""
+    n = len(events)
+    pcs = np.fromiter((e.pc for e in events), dtype=np.int64, count=n)
+    hits = np.fromiter((e.hit for e in events), dtype=bool, count=n)
+    return pcs, hits
+
+
+def replay_hits(hmp, pcs: np.ndarray, hits: np.ndarray) -> np.ndarray:
+    """predict_hit→update the whole stream; returns per-event
+    ``predicted_hit``, leaving the predictor state exactly as the
+    scalar loop would."""
+    pcs = np.asarray(pcs, dtype=np.int64)
+    misses = ~np.asarray(hits, dtype=bool)
+    kind = type(hmp)
+    if kind is LocalHMP:
+        predicted_miss, _ = fp_predictors.replay(hmp._miss_predictor,
+                                                 pcs, misses)
+    elif kind is HybridHMP:
+        predicted_miss, _ = fp_predictors.replay(hmp._chooser, pcs, misses)
+    else:
+        raise TypeError(f"no batch kernel for {kind.__name__}")
+    return ~predicted_miss

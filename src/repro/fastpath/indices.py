@@ -1,0 +1,93 @@
+"""Vectorized mirrors of :mod:`repro.common.bits`.
+
+Every function here computes, over whole event arrays at once, exactly
+what its scalar counterpart computes per call; the differential tests in
+``tests/fastpath/test_indices.py`` pin that equivalence element-wise.
+
+All internal arithmetic runs on ``uint64`` arrays: the widest scalar
+intermediate is ``(pc >> 2) * _MIX`` which fits comfortably, and the
+unsigned dtype sidesteps numpy's signed/unsigned promotion pitfalls.
+Results are returned as ``int64`` so they can be used directly as table
+indices and mixed with Python ints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bits import _MIX, ilog2
+
+_U64 = np.uint64
+
+
+def as_u64(values) -> np.ndarray:
+    """Coerce a sequence of non-negative ints to a uint64 array."""
+    return np.asarray(values, dtype=_U64)
+
+
+def fold_arr(values: np.ndarray, n_bits: int) -> np.ndarray:
+    """XOR-fold each element down to ``n_bits`` bits (= ``bits.fold``)."""
+    if n_bits <= 0:
+        raise ValueError("n_bits must be positive")
+    v = as_u64(values).copy()
+    m = _U64((1 << n_bits) - 1)
+    shift = _U64(n_bits)
+    folded = np.zeros_like(v)
+    # The scalar loop runs while value != 0; folding in extra zero
+    # chunks is an XOR no-op, so a fixed 64/n_bits-pass loop is exact.
+    while bool(np.any(v)):
+        folded ^= v & m
+        v >>= shift
+    return folded.astype(np.int64)
+
+
+def pc_index_arr(pcs: np.ndarray, n_entries: int, shift: int = 2) -> np.ndarray:
+    """Per-element ``bits.pc_index``."""
+    pcs = as_u64(pcs)
+    if n_entries <= 1:
+        return np.zeros(len(pcs), dtype=np.int64)
+    mixed = ((pcs >> _U64(shift)) * _U64(_MIX)) & _U64(0xFFFFFFFF)
+    return fold_arr(mixed >> _U64(8), ilog2(n_entries))
+
+
+def gshare_index_arr(pcs: np.ndarray, histories: np.ndarray,
+                     n_entries: int, shift: int = 2) -> np.ndarray:
+    """Per-element ``bits.gshare_index`` (history may vary per event)."""
+    n_bits = ilog2(n_entries)
+    folded_pc = fold_arr(as_u64(pcs) >> _U64(shift), n_bits)
+    folded_hist = fold_arr(histories, n_bits)
+    return (folded_pc ^ folded_hist) & ((1 << n_bits) - 1)
+
+
+def _h_arr(values: np.ndarray, n_bits: int) -> np.ndarray:
+    """Per-element ``bits._h`` on uint64 arrays of n_bits-wide values."""
+    v = as_u64(values)
+    m = _U64((1 << n_bits) - 1)
+    msb = (v >> _U64(n_bits - 1)) & _U64(1)
+    second = ((v >> _U64(n_bits - 2)) & _U64(1)) if n_bits >= 2 else np.zeros_like(v)
+    return ((v << _U64(1)) & m) | (msb ^ second)
+
+
+def _h_inv_arr(values: np.ndarray, n_bits: int) -> np.ndarray:
+    """Per-element ``bits._h_inv``."""
+    v = as_u64(values)
+    lsb = v & _U64(1)
+    msb = (v >> _U64(n_bits - 1)) & _U64(1)
+    return (v >> _U64(1)) | ((lsb ^ msb) << _U64(n_bits - 1))
+
+
+def skew_index_arr(pcs: np.ndarray, histories: np.ndarray, bank: int,
+                   n_entries: int, shift: int = 2) -> np.ndarray:
+    """Per-element ``bits.skew_index`` for one gskew bank."""
+    n_bits = ilog2(n_entries)
+    v1 = as_u64(fold_arr(as_u64(pcs) >> _U64(shift), n_bits))
+    v2 = as_u64(fold_arr(histories, n_bits))
+    if bank == 0:
+        out = _h_arr(v1, n_bits) ^ _h_inv_arr(v2, n_bits) ^ v2
+    elif bank == 1:
+        out = _h_arr(v1, n_bits) ^ _h_inv_arr(v2, n_bits) ^ v1
+    elif bank == 2:
+        out = _h_arr(v2, n_bits) ^ _h_inv_arr(v1, n_bits) ^ v2
+    else:
+        raise ValueError("gskew has exactly three banks")
+    return out.astype(np.int64)

@@ -1,0 +1,266 @@
+"""Batch replay kernels for the binary predictor families.
+
+Each kernel consumes a (pc, outcome) event stream, returns the exact
+per-event ``(outcome, confidence)`` the scalar predict→update loop
+would have produced, and leaves the predictor object's tables and
+history registers in the exact state the scalar loop would have left
+them in (so scalar use, or the next batch, can continue seamlessly).
+
+Exactness rests on the replay structure: training depends only on the
+pre-recorded outcome stream, never on the predictions, so every table
+index and history register is computable up front and the counter
+evolution reduces to the scans in :mod:`repro.fastpath.scan`.  The one
+exception is gskew's *partial update* (whether a bank trains depends on
+the other banks' current counters), which gets a scalar fixup loop over
+precomputed indices instead of a scan.
+
+Differential tests: ``tests/fastpath/test_predictor_diff.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.common import bits
+from repro.fastpath.indices import (
+    fold_arr,
+    gshare_index_arr,
+    pc_index_arr,
+    skew_index_arr,
+)
+from repro.fastpath.scan import clamped_walk, global_history_walk, history_walk
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.chooser import MajorityChooser, WeightedChooser
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.gskew import GSkewPredictor
+from repro.predictors.local import LocalPredictor
+
+#: Predictor types with a dedicated batch kernel.  Matched with
+#: ``type() is`` — a subclass may override predict/update semantics,
+#: in which case only the reference backend is authoritative.
+_LEAF_KERNELS = {}
+
+
+def supports(predictor) -> bool:
+    """True when ``replay`` has an exact batch kernel for ``predictor``."""
+    kind = type(predictor)
+    if kind in (MajorityChooser, WeightedChooser):
+        return all(supports(c) for c in predictor.components)
+    return kind in _LEAF_KERNELS
+
+
+def _table_values(table) -> np.ndarray:
+    return np.fromiter((c.value for c in table), dtype=np.int64,
+                       count=len(table))
+
+
+def _writeback(table, values: np.ndarray) -> None:
+    for cell, value in zip(table, values.tolist()):
+        cell.value = value
+
+
+def _counter_confidence(before: np.ndarray, threshold: int,
+                        max_value: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``SaturatingCounter.prediction``/``confidence``.
+
+    Integer-by-integer float64 division matches the scalar Python
+    division bit for bit.
+    """
+    outcome = before >= threshold
+    up_span = max_value - threshold
+    lo_span = threshold - 1
+    conf_up = (np.ones(len(before), dtype=np.float64) if up_span == 0
+               else (before - threshold) / up_span)
+    conf_lo = (np.ones(len(before), dtype=np.float64) if lo_span == 0
+               else (threshold - 1 - before) / lo_span)
+    return outcome, np.where(outcome, conf_up, conf_lo)
+
+
+def _counter_replay(table, indices: np.ndarray, outcomes: np.ndarray,
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Train a homogeneous counter table along ``indices``; return the
+    per-event (prediction, confidence) read just before each train."""
+    max_value = table[0]._max
+    threshold = table[0]._threshold
+    steps = np.where(outcomes, 1, -1)
+    before, _, final = clamped_walk(indices, steps, _table_values(table),
+                                    max_value)
+    _writeback(table, final)
+    return _counter_confidence(before, threshold, max_value)
+
+
+def _bimodal_replay(pred: BimodalPredictor, pcs: np.ndarray,
+                    outcomes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    indices = pc_index_arr(pcs, pred.n_entries)
+    return _counter_replay(pred._table, indices, outcomes)
+
+
+def _local_replay(pred: LocalPredictor, pcs: np.ndarray,
+                  outcomes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    hist_idx = pc_index_arr(pcs, pred.n_entries)
+    initial = np.asarray(pred._histories, dtype=np.int64)
+    hist_before, hist_final = history_walk(hist_idx, outcomes, initial,
+                                           pred.history_bits)
+    pred._histories[:] = hist_final.tolist()
+    pattern_idx = fold_arr(hist_before, bits.ilog2(pred.pattern_entries))
+    return _counter_replay(pred._pattern, pattern_idx, outcomes)
+
+
+def _gshare_replay(pred: GSharePredictor, pcs: np.ndarray,
+                   outcomes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    hist_before, hist_final = global_history_walk(
+        outcomes, pred._history, pred.history_bits)
+    pred._history = hist_final
+    indices = gshare_index_arr(pcs, hist_before, pred.n_entries)
+    return _counter_replay(pred._table, indices, outcomes)
+
+
+def _gskew_replay(pred: GSkewPredictor, pcs: np.ndarray,
+                  outcomes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized index/history precompute + scalar partial-update fixup.
+
+    The e-gskew partial update couples the three banks (a dissenting
+    bank is left alone only when the *majority* was correct), so the
+    counter evolution is not a per-cell scan; the fixup loop runs over
+    plain Python lists with all indices precomputed, which is still
+    several times cheaper than the full scalar object path.
+    """
+    hist_before, hist_final = global_history_walk(
+        outcomes, pred._history, pred.history_bits)
+    pred._history = hist_final
+    index_lists = [
+        skew_index_arr(pcs, hist_before, b, pred.bank_entries).tolist()
+        for b in range(pred.N_BANKS)
+    ]
+    banks = [[cell.value for cell in bank] for bank in pred._banks]
+    max_value = pred._banks[0][0]._max
+    threshold = pred._banks[0][0]._threshold
+    outcome_list = outcomes.tolist()
+    n = len(outcome_list)
+    out = np.empty(n, dtype=bool)
+    conf = np.empty(n, dtype=np.float64)
+    for j in range(n):
+        cells = [(bank, idx[j]) for bank, idx in zip(banks, index_lists)]
+        votes = [bank[i] >= threshold for bank, i in cells]
+        ayes = votes[0] + votes[1] + votes[2]
+        predicted = ayes >= 2
+        out[j] = predicted
+        conf[j] = 1.0 if ayes in (0, 3) else 0.5
+        outcome = outcome_list[j]
+        for vote, (bank, i) in zip(votes, cells):
+            if predicted == outcome and vote != outcome:
+                continue  # leave the dissenting bank alone
+            if outcome:
+                if bank[i] < max_value:
+                    bank[i] += 1
+            elif bank[i] > 0:
+                bank[i] -= 1
+    for bank_cells, values in zip(pred._banks, banks):
+        for cell, value in zip(bank_cells, values):
+            cell.value = value
+    return out, conf
+
+
+_LEAF_KERNELS.update({
+    BimodalPredictor: _bimodal_replay,
+    LocalPredictor: _local_replay,
+    GSharePredictor: _gshare_replay,
+    GSkewPredictor: _gskew_replay,
+})
+
+
+def _majority_replay(chooser: MajorityChooser, pcs: np.ndarray,
+                     outcomes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    component_outcomes = [
+        _replay_one(c, pcs, outcomes)[0] for c in chooser.components
+    ]
+    n = len(chooser.components)
+    ayes = np.zeros(len(pcs), dtype=np.int64)
+    for votes in component_outcomes:
+        ayes += votes
+    outcome = ayes * 2 > n
+    margin = np.abs(2 * ayes - n) / n
+    return outcome, margin
+
+
+def _weighted_replay(chooser: WeightedChooser, pcs: np.ndarray,
+                     outcomes: np.ndarray,
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (outcome, confidence, valid) — the chooser may abstain."""
+    n = len(pcs)
+    total = np.zeros(n, dtype=np.float64)
+    scale = 0.0
+    for component, weight in zip(chooser.components, chooser.weights):
+        comp_out, comp_conf = _replay_one(component, pcs, outcomes)
+        if chooser.confidence_scaled:
+            w = weight * comp_conf
+        else:
+            w = np.full(n, weight * 1.0)
+        total = total + np.where(comp_out, w, -w)
+        scale += abs(weight)
+    if scale == 0.0:
+        valid = np.zeros(n, dtype=bool)
+        return valid.copy(), np.zeros(n, dtype=np.float64), valid
+    abs_total = np.abs(total)
+    valid = ~(abs_total < chooser.threshold)
+    outcome = total > 0
+    confidence = abs_total / scale
+    # Abstentions mirror NO_PREDICTION: outcome False, confidence 0.
+    return (np.where(valid, outcome, False),
+            np.where(valid, confidence, 0.0), valid)
+
+
+def _replay_one(predictor, pcs: np.ndarray,
+                outcomes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    kind = type(predictor)
+    if kind is MajorityChooser:
+        return _majority_replay(predictor, pcs, outcomes)
+    if kind is WeightedChooser:
+        out, conf, _ = _weighted_replay(predictor, pcs, outcomes)
+        return out, conf
+    return _LEAF_KERNELS[kind](predictor, pcs, outcomes)
+
+
+def replay(predictor, pcs, outcomes,
+           batch_size: int = 16384) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched predict→update replay of a whole (pc, outcome) stream.
+
+    Events are processed in fixed-size chunks; all cross-chunk
+    dependencies (counter tables, history registers) flow through the
+    predictor object's own state, which every kernel reads at chunk
+    entry and writes back exactly at chunk exit.
+    """
+    pcs = np.asarray(pcs, dtype=np.int64)
+    outcomes = np.asarray(outcomes, dtype=bool)
+    if not supports(predictor):
+        raise TypeError(f"no batch kernel for {type(predictor).__name__}")
+    n = len(pcs)
+    out = np.empty(n, dtype=bool)
+    conf = np.empty(n, dtype=np.float64)
+    for lo in range(0, n, batch_size):
+        hi = min(lo + batch_size, n)
+        out[lo:hi], conf[lo:hi] = _replay_one(
+            predictor, pcs[lo:hi], outcomes[lo:hi])
+    return out, conf
+
+
+def weighted_replay(chooser: WeightedChooser, pcs, outcomes,
+                    batch_size: int = 16384,
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`replay` for a WeightedChooser, keeping the abstain
+    (``valid``) channel that bank prediction needs."""
+    pcs = np.asarray(pcs, dtype=np.int64)
+    outcomes = np.asarray(outcomes, dtype=bool)
+    if not supports(chooser):
+        raise TypeError("unsupported chooser component")
+    n = len(pcs)
+    out = np.empty(n, dtype=bool)
+    conf = np.empty(n, dtype=np.float64)
+    valid = np.empty(n, dtype=bool)
+    for lo in range(0, n, batch_size):
+        hi = min(lo + batch_size, n)
+        out[lo:hi], conf[lo:hi], valid[lo:hi] = _weighted_replay(
+            chooser, pcs[lo:hi], outcomes[lo:hi])
+    return out, conf, valid

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.common import bits
+from repro.fastpath.backend import resolve_backend
 from repro.predictors.base import BinaryPredictor, Prediction
 from repro.predictors.counters import SaturatingCounter
 
@@ -14,12 +15,17 @@ class BimodalPredictor(BinaryPredictor):
 
     Used standalone (predictor component "bimodal" of section 2.3's
     predictor B) and as the second level of the two-level predictors.
+
+    ``backend`` selects the replay fast path (``repro.fastpath``); the
+    scalar ``predict``/``update`` API is identical on both backends.
     """
 
-    def __init__(self, n_entries: int = 2048, counter_bits: int = 2) -> None:
+    def __init__(self, n_entries: int = 2048, counter_bits: int = 2,
+                 backend: str | None = None) -> None:
         bits.ilog2(n_entries)  # validate power of two
         self.n_entries = n_entries
         self.counter_bits = counter_bits
+        self.backend = resolve_backend(backend)
         self._table: List[SaturatingCounter] = [
             SaturatingCounter(counter_bits) for _ in range(n_entries)
         ]

@@ -11,15 +11,21 @@ from __future__ import annotations
 from typing import List
 
 from repro.common import bits
+from repro.fastpath.backend import resolve_backend
 from repro.predictors.base import BinaryPredictor, Prediction
 from repro.predictors.counters import SaturatingCounter
 
 
 class GSharePredictor(BinaryPredictor):
-    """PC xor global-history indexed counter table."""
+    """PC xor global-history indexed counter table.
+
+    ``backend`` selects the replay fast path (``repro.fastpath``); the
+    scalar ``predict``/``update`` API is identical on both backends.
+    """
 
     def __init__(self, history_bits: int = 11, n_entries: int | None = None,
-                 counter_bits: int = 2) -> None:
+                 counter_bits: int = 2, backend: str | None = None) -> None:
+        self.backend = resolve_backend(backend)
         self.history_bits = history_bits
         self.n_entries = (1 << history_bits) if n_entries is None else n_entries
         bits.ilog2(self.n_entries)

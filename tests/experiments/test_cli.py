@@ -119,6 +119,7 @@ class TestExitCodeContract:
         assert "--fail-fast" in capsys.readouterr().err
 
 
+@pytest.mark.slow
 class TestChaosSmoke:
     def test_chaos_run_heals_to_clean_results(self, tmp_path, capsys):
         """The CI chaos smoke in miniature: a kill-chaos grid completes

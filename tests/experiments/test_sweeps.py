@@ -24,6 +24,7 @@ from repro.experiments.machine_sweep import (
 TINY = ExperimentSettings(n_uops=2500, traces_per_group=1)
 
 
+@pytest.mark.slow
 class TestFig8Harness:
     @pytest.fixture(scope="class")
     def data(self):

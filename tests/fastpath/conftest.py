@@ -1,0 +1,12 @@
+"""The differential-equivalence suite needs numpy; when the
+environment does not provide it, ignore the directory's modules
+instead of erroring at import time (module-level importorskip aborts
+collection in a conftest)."""
+
+try:
+    import numpy  # noqa: F401
+    _HAS_NUMPY = True
+except ImportError:
+    _HAS_NUMPY = False
+
+collect_ignore_glob = [] if _HAS_NUMPY else ["test_*.py", "helpers.py"]

@@ -1,0 +1,42 @@
+"""Shared pieces of the differential-equivalence harness.
+
+The contract every test here enforces: a batch kernel must be
+*bit-identical* to the scalar reference — same prediction stream, same
+confidences (exact float equality), same table/counter/history state
+afterwards.  Anything weaker would let the vectorized backend silently
+drift the figures.
+"""
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.chooser import MajorityChooser, WeightedChooser
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.gskew import GSkewPredictor
+from repro.predictors.local import LocalPredictor
+
+
+def predictor_state(predictor):
+    """Full mutable state of a predictor tree, as plain data."""
+    if isinstance(predictor, BimodalPredictor):
+        return [c.value for c in predictor._table]
+    if isinstance(predictor, LocalPredictor):
+        return (list(predictor._histories),
+                [c.value for c in predictor._pattern])
+    if isinstance(predictor, GSharePredictor):
+        return (predictor._history, [c.value for c in predictor._table])
+    if isinstance(predictor, GSkewPredictor):
+        return (predictor._history,
+                [[c.value for c in bank] for bank in predictor._banks])
+    if isinstance(predictor, (MajorityChooser, WeightedChooser)):
+        return [predictor_state(c) for c in predictor.components]
+    raise TypeError(f"no state extractor for {type(predictor).__name__}")
+
+
+def scalar_binary_replay(predictor, pcs, outcomes):
+    """The reference predict→update loop over a (pc, outcome) stream."""
+    outs, confs = [], []
+    for pc, outcome in zip(pcs, outcomes):
+        p = predictor.predict(pc)
+        outs.append(p.outcome)
+        confs.append(p.confidence)
+        predictor.update(pc, outcome)
+    return outs, confs

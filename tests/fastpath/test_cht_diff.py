@@ -1,0 +1,107 @@
+"""Differential equivalence: tagless CHT batch replay vs. scalar."""
+
+import numpy as np
+import pytest
+
+from repro.cht.tagless import TaglessCHT
+from repro.experiments.cht_accuracy import LoadEvent, replay
+from repro.fastpath.cht import event_arrays, tagless_replay
+from repro.fastpath.tracegen import synthesize_collision_grid
+
+
+def _events(seed, n=4000):
+    pcs, conflicting, collided, distances = synthesize_collision_grid(seed, n)
+    return [LoadEvent(pc=pc, conflicting=cf, collided=co, distance=d)
+            for pc, cf, co, d in zip(pcs, conflicting, collided, distances)]
+
+
+def _cht_state(cht):
+    return ([c.value for c in cht._counters], list(cht._distances))
+
+
+class TestKernel:
+    @pytest.mark.parametrize("seed", (41, 42))
+    @pytest.mark.parametrize("counter_bits", (1, 2))
+    def test_lookup_stream_and_state_identical(self, seed, counter_bits):
+        events = _events(seed)
+        reference = TaglessCHT(n_entries=512, counter_bits=counter_bits,
+                               backend="reference")
+        vectorized = TaglessCHT(n_entries=512, counter_bits=counter_bits,
+                                backend="vectorized")
+        expected = []
+        for event in events:
+            expected.append(reference.lookup(event.pc).colliding)
+            reference.train(event.pc, event.collided,
+                            event.distance if event.collided else None)
+        pcs, _, collided, distances = event_arrays(events)
+        got = tagless_replay(vectorized, pcs, collided, distances)
+        assert got.tolist() == expected
+        assert _cht_state(vectorized) == _cht_state(reference)
+
+    def test_distance_sidecar_min_update_and_reset(self):
+        # Alternating collide/clear traffic exercises both sidecar
+        # branches (min-update and the reset-on-not-predicting).
+        pcs = [0x40, 0x40, 0x80, 0x40, 0x80, 0x80, 0x40]
+        collided = [True, True, True, False, False, True, False]
+        distances = [9, 4, 7, 0, 0, 2, 0]
+        reference = TaglessCHT(n_entries=64, counter_bits=1,
+                               track_distance=True)
+        vectorized = TaglessCHT(n_entries=64, counter_bits=1,
+                                track_distance=True)
+        for pc, co, d in zip(pcs, collided, distances):
+            reference.train(pc, co, d if co else None)
+        tagless_replay(vectorized, np.array(pcs, dtype=np.int64),
+                       np.array(collided, dtype=bool),
+                       np.array([d if co else -1
+                                 for co, d in zip(collided, distances)],
+                                dtype=np.int64))
+        assert _cht_state(vectorized) == _cht_state(reference)
+
+    @pytest.mark.parametrize("batch_size", (1, 13, 4096))
+    def test_chunking_is_invisible(self, batch_size):
+        events = _events(43, 1500)
+        reference = TaglessCHT(n_entries=256)
+        vectorized = TaglessCHT(n_entries=256)
+        pcs, _, collided, distances = event_arrays(events)
+        expected = tagless_replay(reference, pcs, collided, distances)
+        got = tagless_replay(vectorized, pcs, collided, distances,
+                             batch_size=batch_size)
+        assert got.tolist() == expected.tolist()
+        assert _cht_state(vectorized) == _cht_state(reference)
+
+
+class TestHarnessDispatch:
+    @pytest.mark.parametrize("warm", (False, True))
+    @pytest.mark.parametrize("track_distance", (False, True))
+    def test_replay_accuracy_identical(self, warm, track_distance):
+        events = _events(44)
+        reference = TaglessCHT(n_entries=512, counter_bits=1,
+                               track_distance=track_distance,
+                               backend="reference")
+        vectorized = TaglessCHT(n_entries=512, counter_bits=1,
+                                track_distance=track_distance,
+                                backend="vectorized")
+        assert replay(events, vectorized, warm=warm) \
+            == replay(events, reference, warm=warm)
+        assert _cht_state(vectorized) == _cht_state(reference)
+
+    def test_shared_array_cache_replay_identical(self):
+        # The fig9 leaf shares one EventArrayCache across the whole
+        # configuration ladder; results must match per-call conversion.
+        from repro.experiments.cht_accuracy import EventArrayCache
+        events = _events(46)
+        shared = EventArrayCache(events)
+        for entries in (256, 1024):
+            reference = TaglessCHT(n_entries=entries, backend="reference")
+            vectorized = TaglessCHT(n_entries=entries,
+                                    backend="vectorized")
+            assert replay(events, vectorized, arrays=shared) \
+                == replay(events, reference)
+            assert _cht_state(vectorized) == _cht_state(reference)
+
+    def test_reference_backend_takes_scalar_path(self):
+        # Sanity: the accuracy object is the same dataclass either way.
+        events = _events(45, 500)
+        acc = replay(events, TaglessCHT(n_entries=128,
+                                        backend="reference"))
+        assert acc.conflicting == sum(1 for e in events if e.conflicting)

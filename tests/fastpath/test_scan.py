@@ -1,0 +1,121 @@
+"""Exactness of the counter and history scans vs. the scalar cells."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common import bits
+from repro.fastpath.scan import (
+    clamped_walk,
+    global_history_walk,
+    history_walk,
+)
+from repro.predictors.counters import SaturatingCounter
+
+
+def _scalar_counter_walk(cell_ids, steps, initial, counter_bits):
+    cells = [SaturatingCounter(counter_bits, initial=v) for v in initial]
+    before = []
+    for cell_id, step in zip(cell_ids, steps):
+        before.append(cells[cell_id].value)
+        cells[cell_id].train(step > 0)
+    return before, [c.value for c in cells]
+
+
+class TestClampedWalk:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_saturating_counters(self, seed):
+        rng = random.Random(seed)
+        counter_bits = rng.choice([1, 2, 3])
+        max_value = (1 << counter_bits) - 1
+        n_cells = rng.choice([1, 2, 16, 64])
+        n = rng.randrange(0, 600)
+        cell_ids = [rng.randrange(n_cells) for _ in range(n)]
+        steps = [rng.choice([1, -1]) for _ in range(n)]
+        initial = [rng.randrange(max_value + 1) for _ in range(n_cells)]
+        exp_before, exp_final = _scalar_counter_walk(
+            cell_ids, steps, initial, counter_bits)
+        before, after, final = clamped_walk(
+            np.array(cell_ids, dtype=np.int64),
+            np.array(steps, dtype=np.int64),
+            np.array(initial, dtype=np.int64), max_value)
+        assert before.tolist() == exp_before
+        assert final.tolist() == exp_final
+        clipped = np.clip(before + np.array(steps, dtype=np.int64),
+                          0, max_value)
+        assert after.tolist() == clipped.tolist()
+
+    def test_empty_stream_is_identity(self):
+        initial = np.array([0, 3, 1], dtype=np.int64)
+        before, after, final = clamped_walk(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            initial, 3)
+        assert len(before) == 0 and len(after) == 0
+        assert final.tolist() == [0, 3, 1]
+
+    def test_single_cell_saturation_run(self):
+        n = 50
+        before, _, final = clamped_walk(
+            np.zeros(n, dtype=np.int64), np.ones(n, dtype=np.int64),
+            np.array([0], dtype=np.int64), 3)
+        assert before.tolist() == [0, 1, 2] + [3] * (n - 3)
+        assert final.tolist() == [3]
+
+    def test_untouched_cells_keep_initial_values(self):
+        before, _, final = clamped_walk(
+            np.array([2, 2], dtype=np.int64),
+            np.array([1, 1], dtype=np.int64),
+            np.array([1, 2, 0, 3], dtype=np.int64), 3)
+        assert final.tolist() == [1, 2, 2, 3]
+
+
+class TestHistoryWalk:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_shift_history(self, seed):
+        rng = random.Random(seed + 50)
+        length = rng.choice([1, 4, 8, 11, 20])
+        n_groups = rng.choice([1, 3, 32])
+        n = rng.randrange(0, 500)
+        group_ids = [rng.randrange(n_groups) for _ in range(n)]
+        outcomes = [rng.random() < 0.5 for _ in range(n)]
+        initial = [rng.randrange(1 << length) for _ in range(n_groups)]
+        registers = list(initial)
+        expected = []
+        for group, outcome in zip(group_ids, outcomes):
+            expected.append(registers[group])
+            registers[group] = bits.shift_history(registers[group],
+                                                  outcome, length)
+        before, final = history_walk(
+            np.array(group_ids, dtype=np.int64),
+            np.array(outcomes, dtype=bool),
+            np.array(initial, dtype=np.int64), length)
+        assert before.tolist() == expected
+        assert final.tolist() == registers
+
+    def test_initial_history_bits_shift_out(self):
+        # A register starting at all-ones must lose one initial bit per
+        # event until only the event window remains.
+        length = 4
+        outcomes = [False] * 6
+        before, final = history_walk(
+            np.zeros(6, dtype=np.int64), np.array(outcomes, dtype=bool),
+            np.array([0b1111], dtype=np.int64), length)
+        assert before.tolist() == [0b1111, 0b1110, 0b1100, 0b1000, 0, 0]
+        assert final.tolist() == [0]
+
+
+class TestGlobalHistoryWalk:
+    def test_matches_scalar_register(self):
+        rng = random.Random(99)
+        outcomes = [rng.random() < 0.5 for _ in range(700)]
+        history = 0b1011
+        expected = []
+        register = history
+        for outcome in outcomes:
+            expected.append(register)
+            register = bits.shift_history(register, outcome, 11)
+        before, final = global_history_walk(
+            np.array(outcomes, dtype=bool), history, 11)
+        assert before.tolist() == expected
+        assert final == register

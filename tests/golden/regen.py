@@ -1,0 +1,34 @@
+"""Regenerate the golden fixtures.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Only run this when an output change is *intended* (a new figure field,
+a deliberate model fix); review the fixture diff like any other code
+change.  An unintended diff here means the refactor changed results.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__),
+                                "..", "..", "src"))
+
+from tests.golden import _manifest  # noqa: E402
+
+
+def main() -> int:
+    os.makedirs(_manifest.FIXTURE_DIR, exist_ok=True)
+    for name, compute in _manifest.FIXTURES.items():
+        path = _manifest.fixture_path(name)
+        text = _manifest.render(compute())
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {os.path.relpath(path)} ({len(text)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

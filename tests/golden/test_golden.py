@@ -1,0 +1,50 @@
+"""Golden-fixture regression tests: harness output is byte-identical.
+
+Each committed fixture under ``fixtures/`` is the canonical rendering
+of one harness output at a tiny seeded budget.  Refactors (like the
+vectorized fast path) must reproduce every byte; an intended change is
+made visible by regenerating the fixtures
+(``PYTHONPATH=src python tests/golden/regen.py``) and reviewing the
+diff.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.golden import _manifest
+
+_REGEN = "PYTHONPATH=src python tests/golden/regen.py"
+
+
+@pytest.mark.parametrize("name", sorted(_manifest.FIXTURES))
+def test_output_matches_fixture_bytes(name):
+    path = _manifest.fixture_path(name)
+    assert os.path.exists(path), \
+        f"missing golden fixture {path}; generate it with: {_REGEN}"
+    with open(path, "rb") as handle:
+        expected = handle.read()
+    got = _manifest.render(_manifest.FIXTURES[name]()).encode("utf-8")
+    assert got == expected, (
+        f"golden fixture {name!r} drifted. If this change is intended, "
+        f"regenerate with: {_REGEN} and review the fixture diff.")
+
+
+def test_fixture_files_are_canonical_json():
+    """Committed bytes are exactly the canonical rendering of their own
+    parsed content — nobody hand-edited a fixture."""
+    for name in _manifest.FIXTURES:
+        with open(_manifest.fixture_path(name), encoding="utf-8") as handle:
+            text = handle.read()
+        assert _manifest.render(json.loads(text)) == text
+
+
+def test_trace_fixture_is_small_enough_to_review():
+    payload = json.loads(
+        open(_manifest.fixture_path("trace_cd_300"),
+             encoding="utf-8").read())
+    # The builder finishes its last macro bundle, so the stream runs a
+    # little past the budget — but must stay review-sized.
+    n_budget = _manifest.GOLDEN_TRACE[1]
+    assert n_budget <= len(payload["uops"]) <= 2 * n_budget

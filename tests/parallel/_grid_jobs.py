@@ -51,6 +51,18 @@ def flaky(counter_file: str, fail_times: int) -> int:
     return count
 
 
+@sim_job("test-from-file")
+def from_file(value_file: str) -> int:
+    """Return the integer currently stored in ``value_file``.
+
+    Stands in for "what the current code computes": rewriting the file
+    between runs simulates a code edit that changes the result without
+    changing the cache key.
+    """
+    with open(value_file, "r", encoding="utf-8") as handle:
+        return int(handle.read())
+
+
 @sim_job("test-interrupt")
 def interrupt(after: float = 0.0) -> None:
     """Simulate the user hitting Ctrl-C inside a worker."""

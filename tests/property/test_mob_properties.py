@@ -1,0 +1,151 @@
+"""Property-based tests for MOB store-forwarding and conflict queries.
+
+Each property rebuilds the answer with a brute-force model over the
+generated store population and checks the MOB agrees, across random
+store counts, overlap patterns, and STA/STD completion timings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.engine.inflight import UNKNOWN, InflightUop
+from repro.engine.mob import MemoryOrderBuffer
+
+#: Small pools force frequent address overlap and timing coincidence.
+addresses = st.integers(min_value=0, max_value=7).map(lambda s: 0x100 + 4 * s)
+sizes = st.sampled_from([1, 2, 4, 8])
+cycles = st.one_of(st.just(UNKNOWN), st.integers(min_value=0, max_value=12))
+
+store_specs = st.lists(
+    st.tuples(addresses, sizes, cycles, cycles), min_size=0, max_size=8)
+
+
+def build_mob(specs):
+    """A MOB holding one store per spec, seqs 0, 2, 4, ... in order."""
+    mob = MemoryOrderBuffer()
+    records = []
+    for i, (address, size, sta_done, std_done) in enumerate(specs):
+        seq = 2 * i
+        sta = InflightUop(Uop(seq=seq, pc=0x1000 + seq, uclass=UopClass.STA,
+                              mem=MemAccess(address, size)), [])
+        std = InflightUop(Uop(seq=seq + 1, pc=0x1001 + seq,
+                              uclass=UopClass.STD, sta_seq=seq), [])
+        sta.data_ready = sta_done
+        std.data_ready = std_done
+        mob.insert_sta(sta)
+        mob.attach_std(std)
+        records.append(mob.store_by_seq(seq))
+    return mob, records
+
+
+def known(cycle, now):
+    return cycle != UNKNOWN and cycle <= now
+
+
+class TestCollisionAndForwarding:
+    @given(store_specs, addresses, sizes,
+           st.integers(min_value=0, max_value=12))
+    @settings(max_examples=120, deadline=None)
+    def test_colliding_store_is_nearest_incomplete_overlap(
+            self, specs, load_address, load_size, now):
+        mob, records = build_mob(specs)
+        load_seq = 2 * len(specs)  # younger than every store
+        mem = MemAccess(load_address, load_size)
+        record, distance = mob.colliding_store(load_seq, mem, now)
+        expected = None
+        expected_distance = None
+        for d, r in enumerate(reversed(records), start=1):
+            complete = (known(r.sta.data_ready, now)
+                        and known(r.std.data_ready, now))
+            if r.mem.overlaps(mem) and not complete:
+                expected, expected_distance = r, d
+                break
+        assert record is expected
+        assert distance == expected_distance
+
+    @given(store_specs, addresses, sizes,
+           st.integers(min_value=0, max_value=12))
+    @settings(max_examples=120, deadline=None)
+    def test_forwarding_store_is_nearest_complete_overlap(
+            self, specs, load_address, load_size, now):
+        mob, records = build_mob(specs)
+        load_seq = 2 * len(specs)
+        mem = MemAccess(load_address, load_size)
+        got = mob.forwarding_store(load_seq, mem, now)
+        expected = None
+        for r in reversed(records):
+            complete = (known(r.sta.data_ready, now)
+                        and known(r.std.data_ready, now))
+            if r.mem.overlaps(mem) and complete:
+                expected = r
+                break
+        assert got is expected
+        if got is not None:
+            # A forwardable store really has its data.
+            assert got.complete(now) and got.mem.overlaps(mem)
+
+    @given(store_specs, addresses, sizes,
+           st.integers(min_value=0, max_value=12))
+    @settings(max_examples=120, deadline=None)
+    def test_forwarding_never_hides_a_nearer_collision(
+            self, specs, load_address, load_size, now):
+        """When no store collides, the forwarded store (if any) is the
+        nearest overlap outright — data can be used safely."""
+        mob, _ = build_mob(specs)
+        load_seq = 2 * len(specs)
+        mem = MemAccess(load_address, load_size)
+        colliding, _ = mob.colliding_store(load_seq, mem, now)
+        forwarding = mob.forwarding_store(load_seq, mem, now)
+        if colliding is None and forwarding is not None:
+            nearer = [r for r in mob.older_stores(load_seq)
+                      if r.seq > forwarding.seq and r.mem.overlaps(mem)]
+            assert nearer == []
+
+
+class TestConflictQueries:
+    @given(store_specs, addresses, sizes,
+           st.integers(min_value=0, max_value=12))
+    @settings(max_examples=120, deadline=None)
+    def test_unknown_sta_queries_agree_with_model(
+            self, specs, load_address, load_size, now):
+        mob, records = build_mob(specs)
+        load_seq = 2 * len(specs)
+        mem = MemAccess(load_address, load_size)
+        unknown = [r for r in records if not known(r.sta.data_ready, now)]
+        assert mob.has_unknown_sta(load_seq, now) == bool(unknown)
+        assert mob.matching_unknown_sta(load_seq, mem, now) \
+            == any(r.mem.overlaps(mem) for r in unknown)
+        # Matching-among-unknown implies conflicting.
+        if mob.matching_unknown_sta(load_seq, mem, now):
+            assert mob.has_unknown_sta(load_seq, now)
+
+    @given(store_specs, st.integers(min_value=0, max_value=12))
+    @settings(max_examples=120, deadline=None)
+    def test_distance_one_equals_all_older_complete(self, specs, now):
+        mob, _ = build_mob(specs)
+        load_seq = 2 * len(specs)
+        assert mob.complete_beyond_distance(load_seq, now, 1) \
+            == mob.all_older_complete(load_seq, now)
+
+    @given(store_specs, st.integers(min_value=0, max_value=12),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=120, deadline=None)
+    def test_complete_beyond_distance_monotone(self, specs, now, distance):
+        """Raising the bypass distance only relaxes the wait condition."""
+        mob, _ = build_mob(specs)
+        load_seq = 2 * len(specs)
+        if mob.complete_beyond_distance(load_seq, now, distance):
+            assert mob.complete_beyond_distance(load_seq, now, distance + 1)
+
+
+class TestLifecycle:
+    @given(store_specs, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=80, deadline=None)
+    def test_remove_retired_keeps_unretired_stds(self, specs, seq):
+        mob, records = build_mob(specs)
+        survivors = [r for r in records if r.std.uop.seq >= seq]
+        mob.remove_retired(seq)
+        assert len(mob) == len(survivors)
+        for r in survivors:
+            assert mob.store_by_seq(r.seq) is r

@@ -12,6 +12,11 @@ import sys
 
 import pytest
 
+#: Subprocess-per-example makes this the suite's slowest module; CI's
+#: coverage-gated step deselects it (-m "not slow") and a dedicated
+#: step runs the slow residue.
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 FAST_EXAMPLES = [

@@ -11,6 +11,10 @@ between groups, qualitative ranges), not exact values.
 
 import pytest
 
+#: Builds and simulates every workload group up front; CI's
+#: coverage-gated step deselects it (-m "not slow").
+pytestmark = pytest.mark.slow
+
 from repro.engine.machine import Machine
 from repro.engine.ordering import make_scheme
 from repro.trace.builder import build_trace
