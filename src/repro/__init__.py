@@ -17,7 +17,11 @@ run on:
 * :mod:`repro.predictors` / :mod:`repro.memory` / :mod:`repro.common`
   — the branch-predictor, cache and utility substrates;
 * :mod:`repro.experiments` — one harness per paper figure
-  (``python -m repro.experiments --help``).
+  (``python -m repro.experiments --help``);
+* :mod:`repro.api` — the unified :class:`~repro.api.PredictorSpec`
+  construction registry for every predictor family;
+* :mod:`repro.serve` — an async micro-batching prediction service over
+  sharded sessions (``python -m repro.serve --help``).
 
 Quickstart::
 
@@ -75,7 +79,16 @@ from repro.fastpath import (
 
 __version__ = "1.0.0"
 
+from repro.api import (  # noqa: E402 - needs __version__ for cache keys
+    PredictorSpec,
+    build_predictor,
+    spec_for,
+)
+
 __all__ = [
+    "PredictorSpec",
+    "build_predictor",
+    "spec_for",
     "BASELINE_MACHINE",
     "CacheConfig",
     "ExecUnitConfig",

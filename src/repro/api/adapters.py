@@ -1,0 +1,107 @@
+"""Family-specific predictors as :class:`~repro.common.types.LoadPredictor`.
+
+:class:`~repro.predictors.base.BinaryPredictor` already satisfies the
+protocol verbatim.  The CHT, hit-miss and bank families speak richer
+native dialects (``lookup``/``train``, ``predict_hit``,
+``BankPrediction``); the wrappers here project each onto the protocol's
+binary (pc → outcome) shape:
+
+========== ============================ ==========================
+family     ``predict(pc)`` outcome      ``update(pc, outcome)``
+========== ============================ ==========================
+cht        load will collide            resolved collision
+hitmiss    load will *miss* L1          resolved miss
+bank (2)   access goes to bank 1        resolved bank == 1
+========== ============================ ==========================
+
+:func:`as_load_predictor` picks the right wrapper (or returns the
+object unchanged when it already conforms).
+"""
+
+from __future__ import annotations
+
+from repro.bank.base import BankPredictor
+from repro.cht.base import CollisionPredictor
+from repro.common.types import LoadPredictor
+from repro.hitmiss.base import HitMissPredictor
+from repro.predictors.base import NO_PREDICTION, Prediction
+
+
+class CollisionLoadPredictor:
+    """A :class:`CollisionPredictor` through the protocol lens."""
+
+    def __init__(self, inner: CollisionPredictor) -> None:
+        self.inner = inner
+
+    def predict(self, pc: int) -> Prediction:
+        p = self.inner.lookup(pc)
+        return Prediction(outcome=p.colliding)
+
+    def update(self, pc: int, outcome: bool) -> None:
+        self.inner.train(pc, outcome)
+
+    def __repr__(self) -> str:
+        return f"CollisionLoadPredictor({self.inner!r})"
+
+
+class HitMissLoadPredictor:
+    """A :class:`HitMissPredictor` through the protocol lens.
+
+    The protocol outcome is the *miss* event (the rare, interesting
+    one), matching the internal convention of :mod:`repro.hitmiss`.
+    """
+
+    def __init__(self, inner: HitMissPredictor) -> None:
+        self.inner = inner
+
+    def predict(self, pc: int) -> Prediction:
+        return Prediction(outcome=not self.inner.predict_hit(pc))
+
+    def update(self, pc: int, outcome: bool) -> None:
+        self.inner.update(pc, not outcome)
+
+    def __repr__(self) -> str:
+        return f"HitMissLoadPredictor({self.inner!r})"
+
+
+class BankLoadPredictor:
+    """A two-bank :class:`BankPredictor` through the protocol lens.
+
+    An abstention maps to :data:`~repro.predictors.base.NO_PREDICTION`
+    (invalid, zero confidence), mirroring the chooser convention.
+    """
+
+    def __init__(self, inner: BankPredictor) -> None:
+        if inner.n_banks != 2:
+            raise ValueError("the binary protocol covers two-bank "
+                             f"predictors; got n_banks={inner.n_banks}")
+        self.inner = inner
+
+    def predict(self, pc: int) -> Prediction:
+        p = self.inner.predict(pc)
+        if not p.predicted:
+            return NO_PREDICTION
+        return Prediction(outcome=p.bank == 1, confidence=p.confidence)
+
+    def update(self, pc: int, outcome: bool) -> None:
+        self.inner.update(pc, 1 if outcome else 0)
+
+    def __repr__(self) -> str:
+        return f"BankLoadPredictor({self.inner!r})"
+
+
+def as_load_predictor(obj: object) -> LoadPredictor:
+    """Project any predictor-family object onto the protocol.
+
+    Objects that already conform (every ``BinaryPredictor``, or a
+    previously wrapped adapter) pass through unchanged.
+    """
+    if isinstance(obj, CollisionPredictor):
+        return CollisionLoadPredictor(obj)
+    if isinstance(obj, HitMissPredictor):
+        return HitMissLoadPredictor(obj)
+    if isinstance(obj, BankPredictor):
+        return BankLoadPredictor(obj)
+    if isinstance(obj, LoadPredictor):
+        return obj
+    raise TypeError(f"{type(obj).__name__} does not map onto LoadPredictor")

@@ -1,0 +1,157 @@
+"""Deprecated construction shims: old per-class kwargs → specs.
+
+Before :mod:`repro.api`, call sites constructed predictors through each
+class's own keyword vocabulary (``TaglessCHT(n_entries=...,
+counter_bits=...)``, ``make_predictor_a(abstain_threshold=...)``, …).
+The shims here keep that vocabulary importable — one factory per legacy
+constructor, accepting exactly the old keywords — while funnelling
+every construction through :func:`repro.api.build_predictor` and
+emitting a :class:`DeprecationWarning` naming the replacement spec.
+
+The mapping is table-driven (:data:`LEGACY_KINDS`) so the equivalence
+is testable: for every shim, ``tests/api/test_shims.py`` asserts
+``shim(**old_kwargs).spec == legacy_spec(name, old_kwargs)`` and that
+the warning fires.  :func:`legacy_spec` is the pure (non-warning) half,
+mirrored by the migration table in ``docs/api.md``.
+
+In-repo code must not call these — CI runs the migrated harnesses with
+``-W error::DeprecationWarning`` so a regression onto a shim fails the
+build.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.api.spec import PredictorSpec, build_predictor, spec_for
+
+#: legacy constructor name -> (spec kind, old kwarg -> spec param).
+LEGACY_KINDS: Dict[str, Tuple[str, Dict[str, str]]] = {
+    "AlwaysPredictor": ("binary.always", {"outcome": "outcome"}),
+    "BimodalPredictor": ("binary.bimodal",
+                         {"n_entries": "size", "counter_bits": "bits"}),
+    "LocalPredictor": ("binary.local",
+                       {"n_entries": "size", "history_bits": "history",
+                        "counter_bits": "bits"}),
+    "GSharePredictor": ("binary.gshare",
+                        {"history_bits": "history", "counter_bits": "bits"}),
+    "GSkewPredictor": ("binary.gskew",
+                       {"history_bits": "history", "bank_entries": "size",
+                        "counter_bits": "bits"}),
+    "TaglessCHT": ("cht.tagless",
+                   {"n_entries": "size", "counter_bits": "bits",
+                    "track_distance": "track_distance"}),
+    "TaggedOnlyCHT": ("cht.tagged",
+                      {"n_entries": "size", "ways": "ways",
+                       "track_distance": "track_distance",
+                       "tag_bits": "tag_bits"}),
+    "FullCHT": ("cht.full",
+                {"n_entries": "size", "ways": "ways",
+                 "counter_bits": "bits",
+                 "track_distance": "track_distance"}),
+    "CombinedCHT": ("cht.combined",
+                    {"tagged_entries": "tagged_size", "ways": "ways",
+                     "tagless_entries": "tagless_size", "mode": "mode",
+                     "track_distance": "track_distance"}),
+    "StoreSetPredictor": ("cht.storesets",
+                          {"ssit_entries": "ssit_size",
+                           "lfst_entries": "lfst_size"}),
+    "LocalHMP": ("hmp.local",
+                 {"n_entries": "size", "history_bits": "history",
+                  "counter_bits": "bits"}),
+    "HybridHMP": ("hmp.hybrid",
+                  {"local_entries": "local_size",
+                   "local_history": "local_history",
+                   "gshare_history": "gshare_history",
+                   "gskew_history": "gskew_history",
+                   "gskew_entries": "gskew_size"}),
+    "make_predictor_a": ("bank.a", {"abstain_threshold": "abstain"}),
+    "make_predictor_b": ("bank.b", {"abstain_threshold": "abstain"}),
+    "make_predictor_c": ("bank.c", {"abstain_threshold": "abstain"}),
+    "AddressBankPredictor": ("bank.address",
+                             {"n_banks": "banks",
+                              "line_bytes": "line_bytes"}),
+}
+
+
+def legacy_spec(name: str, kwargs: Mapping[str, object]) -> PredictorSpec:
+    """The spec equivalent of ``name(**kwargs)`` — pure, no warning."""
+    try:
+        kind, kwarg_map = LEGACY_KINDS[name]
+    except KeyError:
+        known = ", ".join(sorted(LEGACY_KINDS))
+        raise KeyError(f"no legacy mapping for {name!r}; known: {known}"
+                       ) from None
+    params = {}
+    for old_name, value in kwargs.items():
+        if old_name not in kwarg_map:
+            raise TypeError(f"{name}() got an unexpected keyword argument "
+                            f"{old_name!r}")
+        params[kwarg_map[old_name]] = value
+    return spec_for(kind, **params)
+
+
+def _shimmed(name: str, backend: Optional[str] = None, **kwargs: object):
+    spec = legacy_spec(name, kwargs)
+    warnings.warn(
+        f"repro.api.shims.{_SHIM_NAMES[name]}() is deprecated; construct "
+        f"through repro.api instead: build_predictor(spec_for("
+        f"{spec.kind!r}, ...))",
+        DeprecationWarning, stacklevel=3)
+    return build_predictor(spec, backend=backend)
+
+
+#: legacy constructor name -> the shim function name exported here.
+_SHIM_NAMES = {
+    "AlwaysPredictor": "always_predictor",
+    "BimodalPredictor": "bimodal_predictor",
+    "LocalPredictor": "local_predictor",
+    "GSharePredictor": "gshare_predictor",
+    "GSkewPredictor": "gskew_predictor",
+    "TaglessCHT": "tagless_cht",
+    "TaggedOnlyCHT": "tagged_only_cht",
+    "FullCHT": "full_cht",
+    "CombinedCHT": "combined_cht",
+    "StoreSetPredictor": "store_set_predictor",
+    "LocalHMP": "local_hmp",
+    "HybridHMP": "hybrid_hmp",
+    "make_predictor_a": "bank_predictor_a",
+    "make_predictor_b": "bank_predictor_b",
+    "make_predictor_c": "bank_predictor_c",
+    "AddressBankPredictor": "address_bank_predictor",
+}
+
+
+def _make_shim(legacy_name: str):
+    def shim(backend: Optional[str] = None, **kwargs: object):
+        return _shimmed(legacy_name, backend=backend, **kwargs)
+
+    shim.__name__ = _SHIM_NAMES[legacy_name]
+    shim.__qualname__ = shim.__name__
+    shim.__doc__ = (f"Deprecated: ``{legacy_name}(**old_kwargs)`` by way of "
+                    f"the spec API (kind ``{LEGACY_KINDS[legacy_name][0]}``).")
+    shim.legacy_name = legacy_name
+    return shim
+
+
+always_predictor = _make_shim("AlwaysPredictor")
+bimodal_predictor = _make_shim("BimodalPredictor")
+local_predictor = _make_shim("LocalPredictor")
+gshare_predictor = _make_shim("GSharePredictor")
+gskew_predictor = _make_shim("GSkewPredictor")
+tagless_cht = _make_shim("TaglessCHT")
+tagged_only_cht = _make_shim("TaggedOnlyCHT")
+full_cht = _make_shim("FullCHT")
+combined_cht = _make_shim("CombinedCHT")
+store_set_predictor = _make_shim("StoreSetPredictor")
+local_hmp = _make_shim("LocalHMP")
+hybrid_hmp = _make_shim("HybridHMP")
+bank_predictor_a = _make_shim("make_predictor_a")
+bank_predictor_b = _make_shim("make_predictor_b")
+bank_predictor_c = _make_shim("make_predictor_c")
+address_bank_predictor = _make_shim("AddressBankPredictor")
+
+#: Every shim function, keyed by legacy constructor name (test surface).
+SHIMS = {name: globals()[shim_name]
+         for name, shim_name in _SHIM_NAMES.items()}

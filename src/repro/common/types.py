@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Protocol, Tuple, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.predictors.base import Prediction
 
 
 class UopClass(enum.IntEnum):
@@ -137,6 +140,33 @@ def is_store_address(uop: Uop) -> bool:
 def is_store_data(uop: Uop) -> bool:
     """Module-level predicate mirror of :attr:`Uop.is_std`."""
     return uop.uclass == UopClass.STD
+
+
+@runtime_checkable
+class LoadPredictor(Protocol):
+    """The one shape every per-load predictor reduces to.
+
+    ``predict(pc)`` answers a binary question about the load at ``pc``
+    with a :class:`~repro.predictors.base.Prediction`; ``update(pc,
+    outcome)`` trains with the resolved outcome, in the same stream
+    order (global-history predictors rely on it).  What the binary
+    outcome *means* is family-specific — "will miss" for hit-miss
+    predictors, "will collide" for CHTs, "goes to bank 1" for two-bank
+    predictors — and the adapters of :mod:`repro.api.adapters` bring
+    each family's native API onto this protocol.
+
+    The protocol is structural and ``runtime_checkable``:
+    ``isinstance(obj, LoadPredictor)`` verifies the two methods exist
+    (signatures are a static-checking concern).
+    """
+
+    def predict(self, pc: int) -> "Prediction":
+        """Predict the binary outcome for the load at ``pc``."""
+        ...  # pragma: no cover - protocol stub
+
+    def update(self, pc: int, outcome: bool) -> None:
+        """Train with the resolved outcome for ``pc``."""
+        ...  # pragma: no cover - protocol stub
 
 
 class LoadCollisionClass(enum.Enum):

@@ -13,15 +13,10 @@ candidates.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.bank.address_based import AddressBankPredictor
+from repro.api import PredictorSpec, build_predictor, spec_for
 from repro.bank.base import BankPredictor, BankStats
-from repro.bank.history import (
-    make_predictor_a,
-    make_predictor_b,
-    make_predictor_c,
-)
 from repro.bank.metric import metric
 from repro.experiments.harness import (
     DEFAULT_SETTINGS,
@@ -34,11 +29,14 @@ from repro.parallel import SimJob, run_jobs, sim_job
 
 PENALTIES = tuple(range(0, 11))
 
-PREDICTORS: Tuple[Tuple[str, Callable[[], BankPredictor]], ...] = (
-    ("A", make_predictor_a),
-    ("B", make_predictor_b),
-    ("C", make_predictor_c),
-    ("Addr", AddressBankPredictor),
+#: (label, spec) — Figure 12's contenders as
+#: :class:`~repro.api.spec.PredictorSpec` values built through
+#: :func:`repro.api.build_predictor`.
+PREDICTORS: Tuple[Tuple[str, PredictorSpec], ...] = (
+    ("A", spec_for("bank.a")),
+    ("B", spec_for("bank.b")),
+    ("C", spec_for("bank.c")),
+    ("Addr", spec_for("bank.address")),
 )
 
 N_BANKS = 2
@@ -84,8 +82,8 @@ def evaluate(predictor: BankPredictor,
 def _bank_trace_leaf(name: str, n_uops: int) -> Dict[str, BankStats]:
     """One trace's load stream replayed through every bank predictor."""
     stream = _load_stream(name, n_uops)
-    return {label: evaluate(factory(), stream)
-            for label, factory in PREDICTORS}
+    return {label: evaluate(build_predictor(spec), stream)
+            for label, spec in PREDICTORS}
 
 
 def run_fig12(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict:

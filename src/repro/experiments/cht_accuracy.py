@@ -21,12 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from repro.api import PredictorSpec, build_predictor, spec_for
 from repro.cht.base import CollisionPredictor
-from repro.cht.combined import CombinedCHT
-from repro.cht.full import FullCHT
-from repro.cht.tagged import TaggedOnlyCHT
 from repro.cht.tagless import TaglessCHT
 from repro.engine.machine import Machine
 from repro.engine.ordering import TraditionalOrdering
@@ -199,16 +197,19 @@ def _replay_vectorized(events: Sequence[LoadEvent], cht: TaglessCHT,
     return acc
 
 
-#: (organisation label, size label, factory) — the Figure 9 sweep.
-CONFIGURATIONS: Tuple[Tuple[str, int, Callable[[], CollisionPredictor]], ...] = tuple(
-    [("full", n, (lambda n=n: FullCHT(n_entries=n, ways=4, counter_bits=2)))
+#: (organisation label, size label, spec) — the Figure 9 sweep.  Every
+#: configuration is a :class:`~repro.api.spec.PredictorSpec`, so the
+#: sweep is serialisable and each table is built with
+#: :func:`repro.api.build_predictor`.
+CONFIGURATIONS: Tuple[Tuple[str, int, PredictorSpec], ...] = tuple(
+    [("full", n, spec_for("cht.full", size=n, ways=4, bits=2))
      for n in (128, 256, 512, 1024, 2048)]
-    + [("tagless", n, (lambda n=n: TaglessCHT(n_entries=n, counter_bits=1)))
+    + [("tagless", n, spec_for("cht.tagless", size=n, bits=1))
        for n in (2048, 4096, 8192, 16384, 32768)]
-    + [("tagged-only", n, (lambda n=n: TaggedOnlyCHT(n_entries=n, ways=4)))
+    + [("tagged-only", n, spec_for("cht.tagged", size=n, ways=4))
        for n in (128, 256, 512, 1024, 2048)]
-    + [("combined", n, (lambda n=n: CombinedCHT(tagged_entries=n, ways=4,
-                                                tagless_entries=4096)))
+    + [("combined", n, spec_for("cht.combined", tagged_size=n, ways=4,
+                                tagless_size=4096))
        for n in (128, 256, 512, 1024, 2048)]
 )
 
@@ -224,8 +225,9 @@ def _cht_trace_leaf(name: str, n_uops: int, warm: bool) -> List[Dict]:
     events = _collision_events(name, n_uops)
     shared = EventArrayCache(events)
     out: List[Dict] = []
-    for kind, size, factory in CONFIGURATIONS:
-        acc = replay(events, factory(), warm=warm, arrays=shared)
+    for kind, size, spec in CONFIGURATIONS:
+        acc = replay(events, build_predictor(spec), warm=warm,
+                     arrays=shared)
         out.append({"kind": kind, "entries": size,
                     "conflicting": acc.conflicting, "ac_pc": acc.ac_pc,
                     "ac_pnc": acc.ac_pnc, "anc_pc": acc.anc_pc,

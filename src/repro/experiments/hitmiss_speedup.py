@@ -11,8 +11,9 @@ gap.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
+from repro.api import build_predictor, spec_for
 from repro.common.config import BASELINE_MACHINE, MachineConfig
 from repro.common.stats import geometric_mean
 from repro.engine.machine import Machine
@@ -25,9 +26,7 @@ from repro.experiments.harness import (
     group_traces,
 )
 from repro.hitmiss.base import HitMissPredictor
-from repro.hitmiss.hybrid import HybridHMP
-from repro.hitmiss.local import LocalHMP
-from repro.hitmiss.oracle import AlwaysHitHMP, OracleHMP
+from repro.hitmiss.oracle import OracleHMP
 from repro.hitmiss.timing import TimingHMP
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.parallel import SimJob, run_jobs, sim_job
@@ -38,19 +37,28 @@ FIG11_CONFIG = BASELINE_MACHINE.with_units(4, 2)
 HMP_KINDS = ("local", "chooser", "local+timing", "perfect")
 
 
+#: Spec of the table-based local predictor Figure 11 builds on.
+_LOCAL_SPEC = spec_for("hmp.local", size=2048, history=8)
+
+
 def _build_machine(kind: Optional[str],
                    config: MachineConfig) -> Machine:
-    """A perfect-disambiguation machine with the requested HMP."""
+    """A perfect-disambiguation machine with the requested HMP.
+
+    Table-backed predictors are constructed through
+    :func:`repro.api.build_predictor`; the timing wrapper and the
+    oracle close over live machine state, so they stay bespoke.
+    """
     hierarchy = MemoryHierarchy(config.memory)
     hmp: HitMissPredictor
     if kind is None:
-        hmp = AlwaysHitHMP()
+        hmp = build_predictor(spec_for("hmp.always-hit"))
     elif kind == "local":
-        hmp = LocalHMP(n_entries=2048, history_bits=8)
+        hmp = build_predictor(_LOCAL_SPEC)
     elif kind == "chooser":
-        hmp = HybridHMP()
+        hmp = build_predictor(spec_for("hmp.hybrid"))
     elif kind == "local+timing":
-        hmp = TimingHMP(LocalHMP(n_entries=2048, history_bits=8),
+        hmp = TimingHMP(build_predictor(_LOCAL_SPEC),
                         mshr=hierarchy.mshr, serviced=hierarchy.serviced)
     elif kind == "perfect":
         hmp = OracleHMP(lambda pc, line, now:

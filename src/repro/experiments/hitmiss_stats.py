@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from repro.api import PredictorSpec, build_predictor, spec_for
 from repro.engine.machine import Machine
 from repro.experiments.harness import (
     DEFAULT_SETTINGS,
@@ -29,8 +30,6 @@ from repro.experiments.harness import (
     group_traces,
 )
 from repro.hitmiss.base import HitMissPredictor, HitMissStats
-from repro.hitmiss.hybrid import HybridHMP
-from repro.hitmiss.local import LocalHMP
 from repro.hitmiss.oracle import AlwaysHitHMP
 from repro.parallel import SimJob, run_jobs, sim_job
 
@@ -125,9 +124,12 @@ FIG10_GROUPS: Dict[str, Tuple[str, ...]] = {
     "Others": ("Games", "Java", "TPC"),
 }
 
-PREDICTORS: Tuple[Tuple[str, Callable[[], HitMissPredictor]], ...] = (
-    ("local", lambda: LocalHMP(n_entries=2048, history_bits=8)),
-    ("chooser", lambda: HybridHMP()),
+#: (label, spec) — Figure 10's two contenders, as
+#: :class:`~repro.api.spec.PredictorSpec` values built through
+#: :func:`repro.api.build_predictor`.
+PREDICTORS: Tuple[Tuple[str, PredictorSpec], ...] = (
+    ("local", spec_for("hmp.local", size=2048, history=8)),
+    ("chooser", spec_for("hmp.hybrid")),
 )
 
 
@@ -136,8 +138,8 @@ def _hitmiss_trace_leaf(name: str, n_uops: int,
                         warm: bool) -> Dict[str, HitMissStats]:
     """One trace: record the outcome stream, replay every predictor."""
     events = _hitmiss_events(name, n_uops)
-    return {pred_label: replay(events, factory(), warm=warm)
-            for pred_label, factory in PREDICTORS}
+    return {pred_label: replay(events, build_predictor(spec), warm=warm)
+            for pred_label, spec in PREDICTORS}
 
 
 def run_fig10(settings: ExperimentSettings = DEFAULT_SETTINGS,

@@ -14,6 +14,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.fastpath import predictors as fp_predictors
+from repro.hitmiss.binary import BinaryHMP
 from repro.hitmiss.hybrid import HybridHMP
 from repro.hitmiss.local import LocalHMP
 
@@ -21,7 +22,7 @@ from repro.hitmiss.local import LocalHMP
 def supports(hmp) -> bool:
     """True when ``replay_hits`` has an exact batch kernel for ``hmp``."""
     kind = type(hmp)
-    if kind is LocalHMP:
+    if kind in (LocalHMP, BinaryHMP):
         return fp_predictors.supports(hmp._miss_predictor)
     if kind is HybridHMP:
         return fp_predictors.supports(hmp._chooser)
@@ -43,7 +44,7 @@ def replay_hits(hmp, pcs: np.ndarray, hits: np.ndarray) -> np.ndarray:
     pcs = np.asarray(pcs, dtype=np.int64)
     misses = ~np.asarray(hits, dtype=bool)
     kind = type(hmp)
-    if kind is LocalHMP:
+    if kind in (LocalHMP, BinaryHMP):
         predicted_miss, _ = fp_predictors.replay(hmp._miss_predictor,
                                                  pcs, misses)
     elif kind is HybridHMP:

@@ -41,6 +41,16 @@ class EventKind:
         ``PREDICTOR_UPDATE`` — any predictor family trained;
         ``FAULT`` — a :mod:`repro.robust` fault wrapper perturbed the
         machine (the chaos audit trail).
+    Serving (:mod:`repro.serve`; ``cycle`` carries a microsecond
+    monotonic timestamp instead of a simulated cycle)
+        ``SERVE_ENQUEUE`` — a request was admitted to a shard queue
+        (fields: ``shard``, ``depth``);
+        ``SERVE_FLUSH`` — a shard flushed one micro-batch (fields:
+        ``shard``, ``batch``, ``depth``, ``vectorized``);
+        ``SERVE_REJECT`` — admission control turned a request away
+        with a retry-after (fields: ``shard``, ``depth``);
+        ``SERVE_DRAIN`` — a shard finished draining at shutdown
+        (fields: ``shard``, ``served``).
     """
 
     RENAME = "rename"
@@ -56,11 +66,16 @@ class EventKind:
     STORE_DATA = "store-data"
     PREDICTOR_UPDATE = "predictor-update"
     FAULT = "fault-injected"
+    SERVE_ENQUEUE = "serve-enqueue"
+    SERVE_FLUSH = "serve-flush"
+    SERVE_REJECT = "serve-reject"
+    SERVE_DRAIN = "serve-drain"
 
     #: Every kind, in a stable presentation order.
     ALL = (RENAME, ISSUE, RETIRE, SQUASH, COLLISION, VIOLATION,
            BANK_CONFLICT, FORWARD, MISS, STORE_TRACKED, STORE_DATA,
-           PREDICTOR_UPDATE, FAULT)
+           PREDICTOR_UPDATE, FAULT, SERVE_ENQUEUE, SERVE_FLUSH,
+           SERVE_REJECT, SERVE_DRAIN)
 
 
 class Event:

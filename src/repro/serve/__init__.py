@@ -1,0 +1,61 @@
+"""repro.serve — async micro-batching prediction service.
+
+An asyncio front end over the predictor families: sessions are sharded
+across single-writer workers (no locks), requests coalesce into
+micro-batches executed on the :mod:`repro.fastpath` kernels with a
+scalar reference fallback, bounded queues reject with ``retry-after``
+under load, and session state snapshots/restores through the
+:mod:`repro.parallel.cache` envelope machinery.
+
+Entry points::
+
+    from repro.serve import PredictionService, ServeConfig
+    from repro.serve import PredictRequest, PredictResponse
+
+    async with PredictionService(ServeConfig(n_shards=4)) as svc:
+        await svc.open_session("s", spec_for("hmp.hybrid"))
+        r = await svc.request(PredictRequest("s", op="step",
+                                             pc=0x40, outcome=1))
+
+or from a shell: ``python -m repro.serve serve`` / ``bench``.
+"""
+
+from repro.serve.batch import ServeInvariantViolation, invariants_enabled
+from repro.serve.config import ServeConfig
+from repro.serve.net import JsonlClient, serve_stdio, serve_tcp
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_CLOSED,
+    ERR_INTERNAL,
+    ERR_RETRY,
+    ERR_UNKNOWN_SESSION,
+    PredictRequest,
+    PredictResponse,
+    ProtocolError,
+    RetryAfter,
+)
+from repro.serve.service import PredictionService, stable_shard_hash
+from repro.serve.snapshot import load_snapshot, save_snapshot, snapshot_key
+
+__all__ = [
+    "ERR_BAD_REQUEST",
+    "ERR_CLOSED",
+    "ERR_INTERNAL",
+    "ERR_RETRY",
+    "ERR_UNKNOWN_SESSION",
+    "JsonlClient",
+    "PredictRequest",
+    "PredictResponse",
+    "PredictionService",
+    "ProtocolError",
+    "RetryAfter",
+    "ServeConfig",
+    "ServeInvariantViolation",
+    "invariants_enabled",
+    "load_snapshot",
+    "save_snapshot",
+    "serve_stdio",
+    "serve_tcp",
+    "snapshot_key",
+    "stable_shard_hash",
+]

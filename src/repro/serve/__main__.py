@@ -1,0 +1,113 @@
+"""CLI for the prediction service.
+
+``python -m repro.serve serve``  — run the JSONL service over TCP
+(default) or stdio.
+
+``python -m repro.serve bench``  — closed-loop load generator; writes
+``BENCH_serve.json`` comparing scalar per-request execution against
+vectorized micro-batching (see :mod:`repro.serve.bench`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import asyncio
+
+from repro.serve.bench import run_bench, write_report
+from repro.serve.config import ServeConfig
+from repro.serve.service import PredictionService
+
+
+def _add_config_flags(parser: "argparse.ArgumentParser") -> None:
+    parser.add_argument("--shards", type=int, default=4,
+                        help="number of single-writer worker shards")
+    parser.add_argument("--max-batch", type=int, default=256,
+                        help="micro-batch flush size")
+    parser.add_argument("--max-delay-us", type=int, default=500,
+                        help="micro-batch flush deadline (µs)")
+    parser.add_argument("--queue-depth", type=int, default=8192,
+                        help="bounded per-shard queue depth")
+
+
+async def _run_serve(args: "argparse.Namespace") -> int:
+    config = ServeConfig(
+        n_shards=args.shards, max_batch=args.max_batch,
+        max_delay_us=args.max_delay_us, queue_depth=args.queue_depth,
+        backend=args.backend)
+    service = PredictionService(config)
+    await service.start()
+    try:
+        if args.stdio:
+            from repro.serve.net import serve_stdio
+            await serve_stdio(service)
+        else:
+            from repro.serve.net import serve_tcp
+            server = await serve_tcp(service, args.host, args.port)
+            addrs = ", ".join(str(sock.getsockname())
+                              for sock in server.sockets or [])
+            print(f"repro.serve listening on {addrs}", file=sys.stderr)
+            async with server:
+                await server.serve_forever()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await service.stop()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Micro-batching load-prediction service")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = sub.add_parser("serve", help="run the JSONL service")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7199)
+    serve_p.add_argument("--stdio", action="store_true",
+                        help="serve over stdin/stdout instead of TCP")
+    serve_p.add_argument("--backend", default=None,
+                        choices=("reference", "vectorized"),
+                        help="fast-path backend (default: process default)")
+    _add_config_flags(serve_p)
+
+    bench_p = sub.add_parser("bench", help="closed-loop load generator")
+    bench_p.add_argument("--seconds", type=float, default=10.0,
+                         help="wall-clock duration per side")
+    bench_p.add_argument("--clients", type=int, default=64,
+                         help="concurrent closed-loop clients")
+    bench_p.add_argument("--window", type=int, default=1024,
+                         help="pipelined requests outstanding per client "
+                              "(= kernel run length)")
+    bench_p.add_argument("--spec", default="hmp.hybrid",
+                         help="PredictorSpec kind each session serves")
+    bench_p.add_argument("--shards", type=int, default=2)
+    bench_p.add_argument("--max-batch", type=int, default=4096)
+    bench_p.add_argument("--max-delay-us", type=int, default=2000)
+    bench_p.add_argument("--queue-depth", type=int, default=65536)
+    bench_p.add_argument("--backend", default="both",
+                         choices=("both", "reference", "vectorized"),
+                         help="which side(s) to run")
+    bench_p.add_argument("--out", default="BENCH_serve.json",
+                         help="report path")
+
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        return asyncio.run(_run_serve(args))
+
+    report = run_bench(
+        seconds=args.seconds, clients=args.clients, window=args.window,
+        spec_kind=args.spec, n_shards=args.shards,
+        max_batch=args.max_batch, max_delay_us=args.max_delay_us,
+        queue_depth=args.queue_depth, sides=args.backend)
+    path = write_report(report, args.out)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

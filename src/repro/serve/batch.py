@@ -1,0 +1,188 @@
+"""Micro-batch execution: kernels when possible, scalar always right.
+
+A flushed micro-batch mixes sessions and ops.  Execution groups it by
+session (sessions are independent, so reordering *across* sessions is
+unobservable; order *within* a session is preserved exactly), then
+splits each session's run at non-``step`` ops:
+
+* maximal runs of ``step`` requests go to the vectorized
+  batch-of-heterogeneous-PCs kernel
+  (:func:`repro.fastpath.batchapi.replay_steps`) when the session's
+  backend is vectorized, numpy is importable, the predictor has an
+  exact kernel, and the run is long enough to amortise setup;
+* everything else — short runs, pure ``predict``/``update`` ops,
+  predictors without kernels, the reference backend — replays through
+  :func:`scalar_steps` / the per-op appliers below, which *are* the
+  semantics.
+
+The service's correctness invariant is the package-wide one: batched
+results and post-batch predictor state bit-identical to the sequential
+scalar replay of the same per-session request stream.  Under
+``REPRO_CHECK_INVARIANTS=1`` every kernel dispatch is shadowed by a
+scalar replay on a deep copy and both results and state are compared
+(:class:`ServeInvariantViolation` on any mismatch) — the serving
+counterpart of :mod:`repro.robust`'s engine oracle.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+from typing import List, Optional, Sequence, Tuple
+
+from repro.serve.protocol import PredictRequest
+
+#: Same switch as the engine oracle (:mod:`repro.robust.invariants`).
+_CHECK_ENV = "REPRO_CHECK_INVARIANTS"
+
+
+class ServeInvariantViolation(AssertionError):
+    """A kernel-executed batch diverged from the scalar replay."""
+
+
+def invariants_enabled() -> bool:
+    """Whether ``REPRO_CHECK_INVARIANTS`` arms the batching oracle."""
+    return os.environ.get(_CHECK_ENV, "") not in ("", "0")
+
+
+# --------------------------------------------------------------------------
+# Scalar reference appliers (the semantics)
+# --------------------------------------------------------------------------
+
+
+def apply_predict(family: str, predictor: object, pc: int) -> int:
+    """Pure lookup, family-coded int result."""
+    if family == "binary":
+        return int(predictor.predict(pc).outcome)
+    if family == "cht":
+        return int(predictor.lookup(pc).colliding)
+    if family == "hitmiss":
+        return int(predictor.predict_hit(pc))
+    if family == "bank":
+        p = predictor.predict(pc)
+        return p.bank if p.predicted else -1
+    raise ValueError(f"unknown predictor family {family!r}")
+
+
+def apply_update(family: str, predictor: object, pc: int, outcome: int,
+                 distance: Optional[int] = None,
+                 address: Optional[int] = None) -> None:
+    """Train only."""
+    if family == "binary":
+        predictor.update(pc, bool(outcome))
+    elif family == "cht":
+        predictor.train(pc, bool(outcome),
+                        distance if (outcome and distance is not None
+                                     and distance >= 1) else None)
+    elif family == "hitmiss":
+        predictor.update(pc, bool(outcome))
+    elif family == "bank":
+        predictor.update(pc, int(outcome), address)
+    else:
+        raise ValueError(f"unknown predictor family {family!r}")
+
+
+def apply_step(family: str, predictor: object, pc: int, outcome: int,
+               distance: Optional[int] = None,
+               address: Optional[int] = None) -> int:
+    """predict-then-update — one event of the streaming protocol."""
+    result = apply_predict(family, predictor, pc)
+    apply_update(family, predictor, pc, outcome,
+                 distance=distance, address=address)
+    return result
+
+
+def scalar_steps(family: str, predictor: object, pcs: Sequence[int],
+                 outcomes: Sequence[int],
+                 distances: Optional[Sequence[int]] = None) -> List[int]:
+    """The sequential scalar replay of one step run — the reference the
+    kernels (and the differential suite) are measured against.
+
+    ``distances`` uses the ``-1 = none`` coding of
+    :mod:`repro.fastpath.batchapi`.
+    """
+    out = []
+    for i, (pc, outcome) in enumerate(zip(pcs, outcomes)):
+        distance = None
+        if distances is not None and distances[i] >= 1:
+            distance = distances[i]
+        out.append(apply_step(family, predictor, pc, int(outcome),
+                              distance=distance))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Run execution (kernel dispatch + invariant oracle)
+# --------------------------------------------------------------------------
+
+
+def _kernel_eligible(family: str, predictor: object,
+                     backend: str) -> bool:
+    if backend != "vectorized":
+        return False
+    import repro.fastpath as fastpath
+    if not fastpath.HAS_NUMPY:
+        return False
+    from repro.fastpath import batchapi
+    return batchapi.supports_steps(family, predictor)
+
+
+def execute_steps(session, requests: Sequence[PredictRequest],
+                  backend: str, min_kernel_run: int = 8) -> Tuple[List[int], bool]:
+    """Execute one same-session run of ``step`` requests.
+
+    Returns ``(results, used_kernel)``.  The kernel path is taken only
+    when it is exact for this predictor and the run is long enough;
+    under ``REPRO_CHECK_INVARIANTS=1`` it is shadow-checked against
+    :func:`scalar_steps` on a deep copy of the pre-batch state.
+    """
+    n = len(requests)
+    pcs = [r.pc for r in requests]
+    outcomes = [0 if r.outcome is None else int(r.outcome)
+                for r in requests]
+    distances = [-1 if r.distance is None else int(r.distance)
+                 for r in requests]
+    use_kernel = (n >= max(1, min_kernel_run)
+                  and _kernel_eligible(session.family, session.predictor,
+                                       backend))
+    if not use_kernel:
+        return scalar_steps(session.family, session.predictor, pcs,
+                            outcomes, distances), False
+
+    check = invariants_enabled()
+    shadow = copy.deepcopy(session.predictor) if check else None
+
+    from repro.fastpath import batchapi
+    import numpy as np
+    results = batchapi.replay_steps(
+        session.family, session.predictor,
+        np.asarray(pcs, dtype=np.int64),
+        np.asarray(outcomes, dtype=np.int64),
+        np.asarray(distances, dtype=np.int64)).tolist()
+
+    if check:
+        expect = scalar_steps(session.family, shadow, pcs, outcomes,
+                              distances)
+        if results != expect:
+            raise ServeInvariantViolation(
+                f"session {session.session_id!r} ({session.spec.kind}): "
+                f"kernel batch results diverge from scalar replay at "
+                f"index {next(i for i, (a, b) in enumerate(zip(results, expect)) if a != b)} "
+                f"of {n}")
+        state, shadow_state = _state_bytes(session.predictor), _state_bytes(shadow)
+        if (state is not None and shadow_state is not None
+                and state != shadow_state):
+            raise ServeInvariantViolation(
+                f"session {session.session_id!r} ({session.spec.kind}): "
+                f"kernel batch left different predictor state than the "
+                f"scalar replay ({n} steps)")
+    return results, True
+
+
+def _state_bytes(predictor: object) -> Optional[bytes]:
+    """Canonical state fingerprint; None when unpicklable."""
+    try:
+        return pickle.dumps(predictor, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:  # pragma: no cover - exotic predictor state
+        return None

@@ -1,0 +1,230 @@
+"""Closed-loop load generator for the prediction service.
+
+``python -m repro.serve bench`` drives two service instances over the
+same deterministic workload and writes ``BENCH_serve.json``:
+
+* **scalar** — ``max_batch=1`` on the reference backend: every request
+  is executed individually, the per-request baseline;
+* **vectorized** — micro-batching on the vectorized backend: requests
+  coalesce into batches and same-session step runs execute on the
+  :mod:`repro.fastpath` kernels.
+
+Each of the ``clients`` keeps a *window* of pipelined step requests
+outstanding against its own session (closed loop: a new window is
+submitted only when the previous one completed), which is what lets
+micro-batches fill: a client submits its whole window back-to-back
+without yielding, so the window lands contiguously in the shard queue
+and becomes one same-session kernel run.  Window size therefore *is*
+the kernel run length — the default (1024) sits where the
+:mod:`repro.fastpath` kernels have amortised their setup.
+``retry-after`` rejections are honoured with the advertised backoff
+and retried — backpressure is part of the measured protocol, not an
+error.
+
+Latency is sampled (1 request in 16), submit→response on the asyncio
+clock, so measurement cost doesn't distort the throughput being
+measured; the report carries p50/p90/p99 and throughput (completed
+requests per second), plus the service's own batch statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List
+
+import asyncio
+
+from repro.api import spec_for
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import ERR_RETRY, PredictRequest
+from repro.serve.service import PredictionService
+
+#: Distinct load PCs per client session (enough to exercise tables,
+#: few enough that predictors warm up within a short run).
+N_PCS = 48
+
+#: Fraction of "rare" outcomes (misses / collisions / bank 1).
+RARE_RATE = 0.25
+
+
+def _request_stream(session_id: str, family: str, seed: int):
+    """Deterministic infinite step-request stream for one client."""
+    rng = random.Random(seed)
+    seq = 0
+    while True:
+        pc = 0x1000 + 4 * rng.randrange(N_PCS)
+        rare = rng.random() < RARE_RATE
+        if family == "hitmiss":
+            outcome = 0 if rare else 1  # outcome lane is "hit"
+        else:  # binary / cht / bank share the 0/1 coding
+            outcome = 1 if rare else 0
+        distance = 1 + rng.randrange(4) if (family == "cht" and rare) else None
+        yield PredictRequest(session_id=session_id, op="step", pc=pc,
+                             outcome=outcome, distance=distance, seq=seq)
+        seq += 1
+
+
+#: Latency sample rate: 1 request in ``1 << _SAMPLE_SHIFT``.
+_SAMPLE_SHIFT = 4
+
+
+def make_windows(session_id: str, family: str, seed: int,
+                 window: int, n_windows: int = 4
+                 ) -> List[List[PredictRequest]]:
+    """Deterministic request windows for one client, built before the
+    clock starts — request construction stays off the measured path."""
+    stream = _request_stream(session_id, family, seed)
+    return [[next(stream) for _ in range(window)]
+            for _ in range(n_windows)]
+
+
+async def _client(service: PredictionService,
+                  windows: List[List[PredictRequest]], deadline: float,
+                  latencies: List[float],
+                  counters: Dict[str, int]) -> None:
+    loop = asyncio.get_running_loop()
+    loop_time = loop.time
+    submit = service.submit
+    sample_mask = (1 << _SAMPLE_SHIFT) - 1
+    sent = 0
+
+    def _submit_sampled(request: PredictRequest) -> "asyncio.Future":
+        t0 = loop_time()
+        future = submit(request)
+        future.add_done_callback(
+            lambda f: latencies.append(loop_time() - t0))
+        return future
+
+    while loop_time() < deadline:
+        batch = windows[sent % len(windows)]
+        sent += 1
+        outstanding = []
+        for i, request in enumerate(batch):
+            if i & sample_mask == 0:
+                outstanding.append(_submit_sampled(request))
+            else:
+                outstanding.append(submit(request))
+        # Await sequentially rather than gather(): responses resolve in
+        # admission order per session, so after the first await the
+        # rest are done futures — no per-future wakeup callbacks.
+        responses = [await f for f in outstanding]
+        # Honour the backpressure contract: back off and retry rejects.
+        retries = [req for req, resp in zip(batch, responses)
+                   if resp.error == ERR_RETRY]
+        while retries and loop_time() < deadline:
+            counters["rejected"] += len(retries)
+            await asyncio.sleep(service.config.retry_after_us / 1e6)
+            redone = [await f for f in [submit(r) for r in retries]]
+            retries = [req for req, resp in zip(retries, redone)
+                       if resp.error == ERR_RETRY]
+        counters["completed"] += sum(
+            1 for resp in responses if resp.ok)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+async def run_side(label: str, config: ServeConfig, spec_kind: str,
+                   seconds: float, clients: int,
+                   window: int) -> Dict[str, object]:
+    """Run one bench side; returns its report dict."""
+    spec = spec_for(spec_kind)
+    family = spec.family
+    latencies: List[float] = []
+    counters = {"completed": 0, "rejected": 0}
+    workloads = [make_windows(f"bench-{i}", family, seed=9000 + i,
+                              window=window) for i in range(clients)]
+    service = PredictionService(config)
+    await service.start()
+    try:
+        for i in range(clients):
+            await service.open_session(f"bench-{i}", spec)
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        deadline = t0 + seconds
+        await asyncio.gather(*(
+            _client(service, workloads[i], deadline=deadline,
+                    latencies=latencies, counters=counters)
+            for i in range(clients)))
+        elapsed = loop.time() - t0
+    finally:
+        await service.stop()
+    from repro.fastpath.backend import resolve_backend
+    latencies.sort()
+    stats = service.stats()
+    return {
+        "label": label,
+        "requested_backend": config.backend,
+        "effective_backend": resolve_backend(config.backend),
+        "max_batch": config.max_batch,
+        "max_delay_us": config.max_delay_us,
+        "n_shards": config.n_shards,
+        "clients": clients,
+        "window": window,
+        "seconds": round(elapsed, 3),
+        "completed": counters["completed"],
+        "rejected": counters["rejected"],
+        "throughput_rps": (counters["completed"] / elapsed
+                           if elapsed > 0 else 0.0),
+        "latency_us": {
+            "p50": round(_percentile(latencies, 0.50) * 1e6, 1),
+            "p90": round(_percentile(latencies, 0.90) * 1e6, 1),
+            "p99": round(_percentile(latencies, 0.99) * 1e6, 1),
+        },
+        "service": stats["totals"],
+    }
+
+
+def run_bench(seconds: float = 10.0, clients: int = 64,
+              window: int = 1024, spec_kind: str = "hmp.hybrid",
+              n_shards: int = 2, max_batch: int = 4096,
+              max_delay_us: int = 2000, queue_depth: int = 65536,
+              sides: str = "both") -> Dict[str, object]:
+    """Run the configured sides and assemble the report.
+
+    ``sides``: ``"both"`` (default), ``"reference"`` (scalar baseline
+    only) or ``"vectorized"`` (micro-batching side only).
+    """
+    report: Dict[str, object] = {
+        "bench": "repro.serve",
+        "spec": spec_for(spec_kind).to_json_dict(),
+        "generated_unix": int(time.time()),
+        "sides": {},
+    }
+    if sides in ("both", "reference"):
+        scalar_config = ServeConfig(
+            n_shards=n_shards, max_batch=1, max_delay_us=0,
+            queue_depth=queue_depth, backend="reference")
+        report["sides"]["scalar"] = asyncio.run(run_side(
+            "scalar per-request", scalar_config, spec_kind, seconds,
+            clients, window))
+    if sides in ("both", "vectorized"):
+        vector_config = ServeConfig(
+            n_shards=n_shards, max_batch=max_batch,
+            max_delay_us=max_delay_us, queue_depth=queue_depth,
+            backend="vectorized")
+        report["sides"]["vectorized"] = asyncio.run(run_side(
+            "vectorized micro-batching", vector_config, spec_kind,
+            seconds, clients, window))
+    if "scalar" in report["sides"] and "vectorized" in report["sides"]:
+        scalar_rps = report["sides"]["scalar"]["throughput_rps"]
+        vector_rps = report["sides"]["vectorized"]["throughput_rps"]
+        report["speedup"] = (vector_rps / scalar_rps
+                             if scalar_rps > 0 else 0.0)
+    return report
+
+
+def write_report(report: Dict[str, object],
+                 path: str = "BENCH_serve.json") -> str:
+    """Write the bench report as sorted, indented JSON; return *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,61 @@
+"""Service tuning knobs, in one picklable value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Sharding, batching and backpressure parameters.
+
+    Attributes
+    ----------
+    n_shards:
+        Number of single-writer worker shards.  Sessions are pinned to
+        ``shard = stable_hash(session_id) % n_shards``, so predictor
+        tables are only ever touched from their shard's task and need
+        no locks.
+    max_batch / max_delay_us:
+        The micro-batch flush policy: a shard flushes as soon as it has
+        coalesced ``max_batch`` requests, or ``max_delay_us``
+        microseconds after the first request of the batch arrived —
+        whichever comes first.  ``max_batch=1`` disables coalescing
+        (the scalar per-request baseline of ``bench``).
+    queue_depth:
+        Bound of each shard's admission queue.  A full queue rejects
+        with ``retry-after`` (backpressure) instead of buffering
+        without limit.
+    retry_after_us:
+        The backoff hint attached to a rejection.
+    backend:
+        ``"reference"`` / ``"vectorized"`` fast-path switch forwarded
+        to every predictor built by the service; ``None`` defers to
+        the process default (:mod:`repro.fastpath.backend`).
+    min_kernel_run:
+        Shortest same-session step run worth dispatching to a numpy
+        kernel; shorter runs replay through the scalar reference loop
+        (kernel setup costs more than it saves).
+    """
+
+    n_shards: int = 4
+    max_batch: int = 256
+    max_delay_us: int = 500
+    queue_depth: int = 8192
+    retry_after_us: int = 1000
+    backend: Optional[str] = None
+    min_kernel_run: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.max_delay_us < 0 or self.retry_after_us < 0:
+            raise ValueError("delays must be non-negative")
+
+    def with_backend(self, backend: Optional[str]) -> "ServeConfig":
+        return replace(self, backend=backend)

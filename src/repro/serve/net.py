@@ -1,0 +1,163 @@
+"""JSONL transport: the service over TCP sockets or stdio.
+
+One JSON request per line in, one JSON response per line out (see
+:mod:`repro.serve.protocol`).  Responses to pipelined requests come
+back in completion order — clients correlate by ``seq`` — except that
+per-session ordering is still the service's admission order.
+
+The transport is deliberately thin: framing, decode errors in-band,
+``open``'s spec parsing.  Everything interesting (batching,
+backpressure, sharding) lives behind
+:class:`~repro.serve.service.PredictionService`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+import asyncio
+
+from repro.api import PredictorSpec
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    PredictRequest,
+    PredictResponse,
+    ProtocolError,
+)
+from repro.serve.service import PredictionService
+
+
+async def _dispatch(service: PredictionService,
+                    request: PredictRequest) -> PredictResponse:
+    """Map one decoded request onto the service API."""
+    sid = request.session_id
+    try:
+        if request.op == "ping":
+            return PredictResponse(session_id=sid, seq=request.seq)
+        if request.op == "open":
+            if request.spec is None:
+                return PredictResponse(
+                    session_id=sid, seq=request.seq, ok=False,
+                    error=f"{ERR_BAD_REQUEST}: open requires spec")
+            spec = PredictorSpec.from_json_dict(request.spec)
+            await service.open_session(sid, spec)
+            return PredictResponse(session_id=sid, seq=request.seq)
+        if request.op == "close":
+            served = await service.close_session(sid)
+            return PredictResponse(session_id=sid, seq=request.seq,
+                                   result=served)
+        return await service.request(request)
+    except Exception as exc:
+        return PredictResponse(
+            session_id=sid, seq=request.seq, ok=False,
+            error=f"{ERR_BAD_REQUEST}: {type(exc).__name__}: {exc}")
+
+
+async def handle_connection(service: PredictionService,
+                            reader: "asyncio.StreamReader",
+                            writer: "asyncio.StreamWriter") -> None:
+    """Serve one JSONL peer until EOF."""
+    write_lock = asyncio.Lock()
+    pending = set()
+
+    async def _respond(request: PredictRequest) -> None:
+        response = await _dispatch(service, request)
+        async with write_lock:
+            writer.write((response.to_json() + "\n").encode("utf-8"))
+            await writer.drain()
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                request = PredictRequest.from_json(text)
+            except ProtocolError as exc:
+                async with write_lock:
+                    writer.write((PredictResponse(
+                        session_id="?", ok=False,
+                        error=f"{ERR_BAD_REQUEST}: {exc}").to_json()
+                        + "\n").encode("utf-8"))
+                    await writer.drain()
+                continue
+            # Pipelining: don't await the response before reading the
+            # next line, or a single slow batch would stall the socket.
+            task = asyncio.ensure_future(_respond(request))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, RuntimeError):  # pragma: no cover
+            pass
+
+
+async def serve_tcp(service: PredictionService, host: str,
+                    port: int) -> "asyncio.AbstractServer":
+    """Start (and return) a TCP server bound to ``host:port``."""
+
+    async def _handler(reader, writer):
+        await handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(_handler, host, port)
+
+
+async def serve_stdio(service: PredictionService,
+                      stdin=None, stdout=None) -> None:
+    """Serve JSONL over stdin/stdout until EOF (for pipes/tests)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    loop = asyncio.get_running_loop()
+    while True:
+        line = await loop.run_in_executor(None, stdin.readline)
+        if not line:
+            break
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            request = PredictRequest.from_json(text)
+            response = await _dispatch(service, request)
+        except ProtocolError as exc:
+            response = PredictResponse(session_id="?", ok=False,
+                                       error=f"{ERR_BAD_REQUEST}: {exc}")
+        stdout.write(response.to_json() + "\n")
+        stdout.flush()
+
+
+class JsonlClient:
+    """Minimal asyncio client for the JSONL transport (tests/tools).
+
+    Sends requests and awaits responses one at a time; ``seq``
+    correlation is the caller's business when pipelining by hand.
+    """
+
+    def __init__(self, reader: "asyncio.StreamReader",
+                 writer: "asyncio.StreamWriter") -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "JsonlClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def roundtrip(self, request: PredictRequest) -> PredictResponse:
+        self.writer.write((request.to_json() + "\n").encode("utf-8"))
+        await self.writer.drain()
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return PredictResponse.from_json(line.decode("utf-8"))
+
+    async def close(self) -> None:
+        self.writer.close()
+        await self.writer.wait_closed()

@@ -1,0 +1,200 @@
+"""Wire protocol of the prediction service: typed requests/responses.
+
+One JSON object per line, both over TCP and stdio.  A request addresses
+a *session* (an isolated predictor instance, built from a
+:class:`~repro.api.spec.PredictorSpec`) and names one of the ops:
+
+``open``
+    Create the session; ``spec`` carries the predictor spec as its
+    JSON dict.  Idempotent for an identical spec.
+``close``
+    Tear the session down (response carries the served count).
+``predict``
+    Pure lookup for ``pc``; no training.
+``update``
+    Train with the resolved ``outcome`` for ``pc``; no result.
+``step``
+    predict-then-update — the per-load streaming op the paper's
+    predictors live on, and the one micro-batches coalesce onto the
+    :mod:`repro.fastpath` kernels.
+``ping``
+    Liveness/roundtrip probe.
+
+``outcome``/``result`` use the family-coded int64 lanes documented in
+:mod:`repro.fastpath.batchapi` (hit-miss speaks in terms of *hit*;
+bank results use ``-1`` for an abstention).  ``distance`` is the CHT
+collision distance (``None``/-1 = none); ``address`` feeds
+address-based bank predictors.
+
+Failures are in-band: ``ok=false`` with an ``error`` string.  The
+admission-control rejection (``error="retry-after"``) additionally
+carries ``retry_after_us`` — the backpressure contract clients must
+honour (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+#: Ops that address predictor state through a pc.
+DATA_OPS = ("predict", "update", "step")
+#: Session/service control ops.
+CONTROL_OPS = ("open", "close", "ping")
+OPS = DATA_OPS + CONTROL_OPS
+
+#: ``error`` strings the service emits.
+ERR_RETRY = "retry-after"
+ERR_UNKNOWN_SESSION = "unknown-session"
+ERR_BAD_REQUEST = "bad-request"
+ERR_CLOSED = "closed"
+ERR_INTERNAL = "internal"
+
+
+class ProtocolError(ValueError):
+    """A malformed request/response line."""
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One client request.
+
+    ``seq`` is a client-chosen correlation id, echoed verbatim in the
+    response; the service imposes no meaning on it (ordering is by
+    arrival, per session).
+    """
+
+    session_id: str
+    op: str = "step"
+    pc: int = 0
+    outcome: Optional[int] = None
+    distance: Optional[int] = None
+    address: Optional[int] = None
+    spec: Optional[Mapping] = field(default=None, compare=False)
+    seq: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ProtocolError(f"unknown op {self.op!r}; expected one "
+                                f"of {OPS}")
+        if not self.session_id:
+            raise ProtocolError("session_id must be non-empty")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"session_id": self.session_id,
+                                  "op": self.op, "seq": self.seq}
+        if self.op in DATA_OPS:
+            out["pc"] = self.pc
+        for name in ("outcome", "distance", "address"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.spec is not None:
+            out["spec"] = dict(self.spec)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]
+                       ) -> "PredictRequest":
+        if not isinstance(payload, Mapping):
+            raise ProtocolError(f"request must be an object, "
+                                f"got {type(payload).__name__}")
+        try:
+            return cls(
+                session_id=str(payload["session_id"]),
+                op=str(payload.get("op", "step")),
+                pc=int(payload.get("pc", 0)),
+                outcome=_opt_int(payload.get("outcome")),
+                distance=_opt_int(payload.get("distance")),
+                address=_opt_int(payload.get("address")),
+                spec=payload.get("spec"),
+                seq=int(payload.get("seq", -1)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed request {payload!r}: {exc}"
+                                ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "PredictRequest":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request is not JSON: {exc}") from None
+        return cls.from_json_dict(payload)
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    """The service's answer to one request."""
+
+    session_id: str
+    seq: int = -1
+    ok: bool = True
+    result: Optional[int] = None
+    error: Optional[str] = None
+    retry_after_us: Optional[int] = None
+
+    def to_json_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"session_id": self.session_id,
+                                  "seq": self.seq, "ok": self.ok}
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        if self.retry_after_us is not None:
+            out["retry_after_us"] = self.retry_after_us
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]
+                       ) -> "PredictResponse":
+        try:
+            return cls(
+                session_id=str(payload["session_id"]),
+                seq=int(payload.get("seq", -1)),
+                ok=bool(payload.get("ok", True)),
+                result=_opt_int(payload.get("result")),
+                error=payload.get("error"),
+                retry_after_us=_opt_int(payload.get("retry_after_us")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed response {payload!r}: {exc}"
+                                ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "PredictResponse":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"response is not JSON: {exc}") from None
+        return cls.from_json_dict(payload)
+
+
+def _opt_int(value: object) -> Optional[int]:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)) and int(value) == value:
+        return int(value)
+    raise ProtocolError(f"expected an integer, got {value!r}")
+
+
+class RetryAfter(Exception):
+    """Raised (in-process) / signalled (on the wire) by admission
+    control when a shard queue is full: back off ``retry_after_us``
+    microseconds and resubmit."""
+
+    def __init__(self, retry_after_us: int) -> None:
+        super().__init__(f"shard queue full; retry after "
+                         f"{retry_after_us} us")
+        self.retry_after_us = retry_after_us

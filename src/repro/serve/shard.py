@@ -1,0 +1,332 @@
+"""A single-writer worker shard: bounded queue → micro-batches.
+
+Each shard owns the sessions hashed onto it and is the only task that
+ever touches their predictor tables — the lock-free invariant the
+sharding exists for.  Its loop:
+
+1. block on the first queued item;
+2. coalesce more items until ``max_batch`` or ``max_delay_us`` after
+   the first item (the flush policy);
+3. execute the batch: controls are barriers, data requests group by
+   session with per-session order preserved, maximal ``step`` runs go
+   to the fast-path kernels (:mod:`repro.serve.batch`);
+4. resolve each item's future with its :class:`PredictResponse`.
+
+Admission happens on the *caller's* side (:meth:`Shard.try_submit`):
+a full queue returns a ``retry-after`` rejection instead of blocking,
+which is the whole backpressure story — nothing in the service ever
+buffers unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import EventKind
+from repro.serve.batch import apply_predict, apply_update, execute_steps
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_UNKNOWN_SESSION,
+    PredictRequest,
+    PredictResponse,
+)
+from repro.serve.session import Session
+
+
+def _now_us() -> int:
+    return time.monotonic_ns() // 1000
+
+
+class _Item:
+    """One queued request with its response future."""
+
+    __slots__ = ("request", "future")
+
+    def __init__(self, request: PredictRequest,
+                 future: "asyncio.Future[PredictResponse]") -> None:
+        self.request = request
+        self.future = future
+
+
+class _Control:
+    """A barrier op executed by the shard task (open/close/snapshot/
+    restore/drain).  ``payload`` is op-specific; the future resolves
+    with the op's result."""
+
+    __slots__ = ("op", "payload", "future")
+
+    def __init__(self, op: str, payload: object,
+                 future: "asyncio.Future") -> None:
+        self.op = op
+        self.payload = payload
+        self.future = future
+
+
+class Shard:
+    """One worker shard (see module docstring)."""
+
+    def __init__(self, index: int, config: ServeConfig, obs=None) -> None:
+        self.index = index
+        self.config = config
+        self.obs = obs
+        self.sessions: Dict[str, Session] = {}
+        #: Created in :meth:`start`, inside the running loop — keeps
+        #: construction loop-agnostic on every supported Python.
+        self.queue: Optional["asyncio.Queue"] = None
+        self.task: Optional["asyncio.Task"] = None
+        self.served = 0
+        self.batches = 0
+        self.kernel_batches = 0
+        self.rejected = 0
+        self.max_batch_seen = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.task is None:
+            self.queue = asyncio.Queue(maxsize=self.config.queue_depth)
+            self.task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"repro-serve-shard-{self.index}")
+
+    async def drain(self) -> None:
+        """Process everything already admitted, then stop the task."""
+        if self.task is None:
+            return
+        future = asyncio.get_running_loop().create_future()
+        await self.queue.put(_Control("drain", None, future))
+        await future
+        await self.task
+        self.task = None
+        if self.obs is not None:
+            self.obs.emit(EventKind.SERVE_DRAIN, _now_us(),
+                          shard=self.index, served=self.served)
+
+    # -- admission (runs on the caller's task) ------------------------------
+
+    def try_submit(self, request: PredictRequest,
+                   future: "asyncio.Future[PredictResponse]") -> bool:
+        """Admit a data request, or reject with ``retry-after``."""
+        try:
+            self.queue.put_nowait(_Item(request, future))
+        except asyncio.QueueFull:
+            self.rejected += 1
+            if self.obs is not None:
+                self.obs.emit(EventKind.SERVE_REJECT, _now_us(),
+                              shard=self.index, depth=self.queue.qsize())
+            return False
+        if self.obs is not None:
+            self.obs.emit(EventKind.SERVE_ENQUEUE, _now_us(),
+                          shard=self.index, depth=self.queue.qsize())
+        return True
+
+    async def control(self, op: str, payload: object = None) -> object:
+        """Enqueue a barrier op and await its result.
+
+        Controls use a (briefly) blocking put: they are rare,
+        client-serialised, and must not be lost to backpressure.
+        """
+        future = asyncio.get_running_loop().create_future()
+        await self.queue.put(_Control(op, payload, future))
+        return await future
+
+    # -- the single-writer loop ---------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        delay_s = self.config.max_delay_us / 1e6
+        draining = False
+        while not draining:
+            batch: List[object] = [await self.queue.get()]
+            if delay_s > 0 and self.config.max_batch > 1:
+                deadline = loop.time() + delay_s
+                while len(batch) < self.config.max_batch:
+                    try:
+                        batch.append(self.queue.get_nowait())
+                        continue
+                    except asyncio.QueueEmpty:
+                        pass
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(await asyncio.wait_for(
+                            self.queue.get(), remaining))
+                    except asyncio.TimeoutError:
+                        break
+            draining = self._execute(batch)
+        # Drain residue: everything admitted before the drain barrier.
+        residue: List[object] = []
+        while True:
+            try:
+                residue.append(self.queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        if residue:
+            self._execute(residue)
+
+    def _execute(self, batch: List[object]) -> bool:
+        """Run one flushed batch; returns True when draining started."""
+        self.batches += 1
+        self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        draining = False
+        used_kernel = False
+        # Controls are barriers: flush accumulated data groups first.
+        pending: List[_Item] = []
+        for entry in batch:
+            if isinstance(entry, _Item):
+                pending.append(entry)
+                continue
+            used_kernel |= self._execute_data(pending)
+            pending = []
+            if entry.op == "drain":
+                draining = True
+                entry.future.set_result(None)
+            else:
+                self._execute_control(entry)
+        used_kernel |= self._execute_data(pending)
+        if used_kernel:
+            self.kernel_batches += 1
+        if self.obs is not None:
+            self.obs.emit(EventKind.SERVE_FLUSH, _now_us(),
+                          shard=self.index, batch=len(batch),
+                          depth=self.queue.qsize(),
+                          vectorized=used_kernel)
+        return draining
+
+    # -- data requests -------------------------------------------------------
+
+    def _execute_data(self, items: List[_Item]) -> bool:
+        """Group by session, execute, resolve futures.  Returns True
+        when any group went through a fast-path kernel."""
+        if not items:
+            return False
+        by_session: Dict[str, List[_Item]] = {}
+        for item in items:
+            by_session.setdefault(item.request.session_id, []).append(item)
+        used_kernel = False
+        backend = self._backend_name()
+        for session_id, group in by_session.items():
+            session = self.sessions.get(session_id)
+            if session is None:
+                for item in group:
+                    item.future.set_result(PredictResponse(
+                        session_id=session_id, seq=item.request.seq,
+                        ok=False, error=ERR_UNKNOWN_SESSION))
+                continue
+            used_kernel |= self._execute_session(session, group, backend)
+        return used_kernel
+
+    def _backend_name(self) -> str:
+        from repro.fastpath.backend import resolve_backend
+        return resolve_backend(self.config.backend)
+
+    def _execute_session(self, session: Session, group: List[_Item],
+                         backend: str) -> bool:
+        """Execute one session's slice of the batch, in arrival order,
+        splitting maximal ``step`` runs out for the kernels."""
+        used_kernel = False
+        run: List[_Item] = []
+        try:
+            for item in group:
+                if item.request.op == "step":
+                    run.append(item)
+                    continue
+                used_kernel |= self._flush_run(session, run, backend)
+                run = []
+                self._apply_single(session, item)
+            used_kernel |= self._flush_run(session, run, backend)
+        except Exception as exc:  # surface, don't kill the shard
+            for item in group:
+                if not item.future.done():
+                    item.future.set_result(PredictResponse(
+                        session_id=session.session_id,
+                        seq=item.request.seq, ok=False,
+                        error=f"{ERR_INTERNAL}: {type(exc).__name__}: "
+                              f"{exc}"))
+        return used_kernel
+
+    def _flush_run(self, session: Session, run: List[_Item],
+                   backend: str) -> bool:
+        if not run:
+            return False
+        results, used_kernel = execute_steps(
+            session, [item.request for item in run], backend,
+            self.config.min_kernel_run)
+        session.served += len(run)
+        self.served += len(run)
+        sid = session.session_id
+        for item, result in zip(run, results):
+            item.future.set_result(PredictResponse(
+                session_id=sid, seq=item.request.seq, result=result))
+        return used_kernel
+
+    def _apply_single(self, session: Session, item: _Item) -> None:
+        request = item.request
+        if request.op == "predict":
+            result: Optional[int] = apply_predict(
+                session.family, session.predictor, request.pc)
+        elif request.op == "update":
+            if request.outcome is None:
+                item.future.set_result(PredictResponse(
+                    session_id=session.session_id, seq=request.seq,
+                    ok=False,
+                    error=f"{ERR_BAD_REQUEST}: update requires outcome"))
+                return
+            apply_update(session.family, session.predictor, request.pc,
+                         int(request.outcome), distance=request.distance,
+                         address=request.address)
+            result = None
+        else:  # pragma: no cover - op validation happens at decode
+            item.future.set_result(PredictResponse(
+                session_id=session.session_id, seq=request.seq, ok=False,
+                error=f"{ERR_BAD_REQUEST}: unexpected op {request.op!r}"))
+            return
+        session.served += 1
+        self.served += 1
+        item.future.set_result(PredictResponse(
+            session_id=session.session_id, seq=request.seq, result=result))
+
+    # -- control ops ---------------------------------------------------------
+
+    def _execute_control(self, entry: _Control) -> None:
+        try:
+            if entry.op == "open":
+                session_id, spec = entry.payload
+                existing = self.sessions.get(session_id)
+                if existing is not None and existing.spec != spec:
+                    raise ValueError(
+                        f"session {session_id!r} already open with a "
+                        f"different spec ({existing.spec.kind})")
+                if existing is None:
+                    self.sessions[session_id] = Session(
+                        session_id, spec, backend=self.config.backend)
+                entry.future.set_result(None)
+            elif entry.op == "close":
+                session = self.sessions.pop(entry.payload, None)
+                entry.future.set_result(
+                    session.served if session is not None else None)
+            elif entry.op == "snapshot":
+                entry.future.set_result({
+                    session_id: session.state_dict()
+                    for session_id, session in self.sessions.items()})
+            elif entry.op == "restore":
+                for session_id, state in entry.payload.items():
+                    self.sessions[session_id] = Session.from_state_dict(
+                        session_id, state)
+                entry.future.set_result(None)
+            else:
+                raise ValueError(f"unknown control op {entry.op!r}")
+        except Exception as exc:
+            entry.future.set_exception(exc)
+
+    def stats(self) -> Dict[str, int]:
+        return {"sessions": len(self.sessions), "served": self.served,
+                "batches": self.batches,
+                "kernel_batches": self.kernel_batches,
+                "rejected": self.rejected,
+                "max_batch": self.max_batch_seen,
+                "depth": self.queue.qsize() if self.queue else 0}

@@ -1,0 +1,78 @@
+"""Legacy-kwargs shims: every shim warns and maps to the same spec."""
+
+import pickle
+
+import pytest
+
+from repro.api import build_predictor, spec_for
+from repro.api.shims import LEGACY_KINDS, SHIMS, legacy_spec
+
+#: Representative old-style kwargs per legacy constructor, exercising
+#: every mapped keyword at a non-default value where possible.
+LEGACY_CALLS = {
+    "AlwaysPredictor": {"outcome": True},
+    "BimodalPredictor": {"n_entries": 512, "counter_bits": 3},
+    "LocalPredictor": {"n_entries": 1024, "history_bits": 6,
+                       "counter_bits": 2},
+    "GSharePredictor": {"history_bits": 9, "counter_bits": 2},
+    "GSkewPredictor": {"history_bits": 12, "bank_entries": 512,
+                       "counter_bits": 2},
+    "TaglessCHT": {"n_entries": 2048, "counter_bits": 2,
+                   "track_distance": True},
+    "TaggedOnlyCHT": {"n_entries": 512, "ways": 2, "tag_bits": 12},
+    "FullCHT": {"n_entries": 1024, "ways": 2, "counter_bits": 1},
+    "CombinedCHT": {"tagged_entries": 512, "ways": 2,
+                    "tagless_entries": 2048, "mode": "safe"},
+    "StoreSetPredictor": {"ssit_entries": 2048, "lfst_entries": 512},
+    "LocalHMP": {"n_entries": 1024, "history_bits": 4},
+    "HybridHMP": {"local_entries": 256, "gshare_history": 4},
+    "make_predictor_a": {"abstain_threshold": 0.8},
+    "make_predictor_b": {},
+    "make_predictor_c": {"abstain_threshold": 0.7},
+    "AddressBankPredictor": {"n_banks": 2, "line_bytes": 32},
+}
+
+
+def test_every_legacy_kind_has_a_shim_and_a_call():
+    assert set(SHIMS) == set(LEGACY_KINDS) == set(LEGACY_CALLS)
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY_KINDS))
+def test_shim_warns_and_maps_to_equivalent_spec(name):
+    kwargs = LEGACY_CALLS[name]
+    expected = legacy_spec(name, kwargs)
+    with pytest.warns(DeprecationWarning, match=expected.kind):
+        predictor = SHIMS[name](**kwargs)
+    # The shim constructed through the registry: same spec, and the
+    # object is bit-identical (state-wise) to a direct spec build.
+    assert predictor.spec == expected
+    direct = build_predictor(expected)
+    assert type(predictor) is type(direct)
+    assert pickle.dumps(predictor) == pickle.dumps(direct)
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY_KINDS))
+def test_legacy_defaults_equal_spec_defaults(name):
+    """Calling a shim with *no* kwargs lands on the registry defaults —
+    the old constructor defaults and the spec defaults are one set."""
+    kind, _ = LEGACY_KINDS[name]
+    assert legacy_spec(name, {}) == spec_for(kind)
+
+
+def test_legacy_spec_rejects_unknown_kwargs():
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        legacy_spec("TaglessCHT", {"n_rows": 4})
+
+
+def test_legacy_spec_rejects_unknown_constructor():
+    with pytest.raises(KeyError, match="no legacy mapping"):
+        legacy_spec("FancyCHT", {})
+
+
+def test_shim_equivalence_table_is_total():
+    """Every mapped old kwarg names a real spec param of its kind."""
+    from repro.api import kind_info
+    for name, (kind, kwarg_map) in LEGACY_KINDS.items():
+        defaults = kind_info(kind).defaults_dict
+        for old, new in kwarg_map.items():
+            assert new in defaults, (name, old, new)

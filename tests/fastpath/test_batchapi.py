@@ -1,0 +1,66 @@
+"""The uniform serving kernel facade: supports_steps / replay_steps."""
+
+import random
+
+import pytest
+
+from repro.api import build_predictor, spec_for
+from repro.serve.batch import scalar_steps
+
+numpy = pytest.importorskip("numpy")
+
+from repro.fastpath import batchapi  # noqa: E402 - after numpy gate
+
+#: (kind, kernel-backed) — facade coverage over every family.
+KINDS = [
+    ("binary.bimodal", True),
+    ("binary.local", True),
+    ("binary.gshare", True),
+    ("binary.gskew", True),
+    ("hmp.local", True),
+    ("hmp.gshare", True),
+    ("hmp.hybrid", True),
+    ("cht.tagless", True),
+    ("cht.tagged", False),
+    ("cht.full", False),
+    ("bank.a", True),
+    ("bank.address", False),
+]
+
+
+@pytest.mark.parametrize("kind,expected", KINDS)
+def test_supports_steps(kind, expected):
+    spec = spec_for(kind)
+    predictor = build_predictor(spec)
+    assert batchapi.supports_steps(spec.family, predictor) is expected
+
+
+@pytest.mark.parametrize("kind", [k for k, s in KINDS if s])
+def test_replay_steps_matches_scalar(kind):
+    spec = spec_for(kind)
+    rng = random.Random(hash(kind) & 0xFFFF)
+    n = 300
+    pcs = [0x100 + 4 * rng.randrange(8) for _ in range(n)]
+    outcomes = [rng.randrange(2) for _ in range(n)]
+    distances = [(1 + rng.randrange(3)) if (spec.family == "cht" and o)
+                 else -1 for o in outcomes]
+
+    kernel_predictor = build_predictor(spec, backend="vectorized")
+    got = batchapi.replay_steps(
+        spec.family, kernel_predictor,
+        numpy.asarray(pcs, dtype=numpy.int64),
+        numpy.asarray(outcomes, dtype=numpy.int64),
+        numpy.asarray(distances, dtype=numpy.int64)).tolist()
+
+    scalar_predictor = build_predictor(spec, backend="reference")
+    expected = scalar_steps(spec.family, scalar_predictor, pcs, outcomes,
+                            distances)
+    assert got == expected
+
+
+def test_replay_steps_unknown_family():
+    with pytest.raises(ValueError):
+        batchapi.replay_steps("weather", object(),
+                              numpy.zeros(1, dtype=numpy.int64),
+                              numpy.zeros(1, dtype=numpy.int64),
+                              numpy.zeros(1, dtype=numpy.int64))

@@ -1,0 +1,40 @@
+"""Bench smoke: tiny closed-loop runs on both sides produce a report."""
+
+import json
+
+from repro.serve.bench import make_windows, run_bench, write_report
+
+
+def test_make_windows_is_deterministic():
+    a = make_windows("s", "hitmiss", seed=3, window=16)
+    b = make_windows("s", "hitmiss", seed=3, window=16)
+    assert a == b
+    assert len(a) == 4 and all(len(w) == 16 for w in a)
+    assert all(r.op == "step" for w in a for r in w)
+
+
+def test_bench_both_sides_and_report(tmp_path):
+    report = run_bench(seconds=0.3, clients=4, window=64,
+                       spec_kind="hmp.local", n_shards=2,
+                       max_batch=512, max_delay_us=500,
+                       queue_depth=4096, sides="both")
+    assert set(report["sides"]) == {"scalar", "vectorized"}
+    for side in report["sides"].values():
+        assert side["completed"] > 0
+        assert side["throughput_rps"] > 0
+        assert {"p50", "p90", "p99"} <= set(side["latency_us"])
+    assert report["speedup"] > 0
+    assert report["sides"]["scalar"]["effective_backend"] == "reference"
+
+    path = write_report(report, str(tmp_path / "BENCH_serve.json"))
+    loaded = json.loads(open(path).read())
+    assert loaded["bench"] == "repro.serve"
+    assert loaded["spec"]["kind"] == "hmp.local"
+
+
+def test_bench_single_side():
+    report = run_bench(seconds=0.2, clients=2, window=32,
+                       spec_kind="hmp.local", n_shards=1,
+                       sides="reference")
+    assert set(report["sides"]) == {"scalar"}
+    assert "speedup" not in report

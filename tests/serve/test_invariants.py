@@ -1,0 +1,112 @@
+"""The serving invariant oracle: kernel divergence must be caught.
+
+Under ``REPRO_CHECK_INVARIANTS=1`` every kernel-executed run is
+shadow-replayed scalar on a copy of the pre-batch predictor; both the
+results and the post-run predictor state must match bit-for-bit.  These
+tests prove the oracle *fails* when the kernel misbehaves — an oracle
+that cannot fail verifies nothing.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import spec_for
+from repro.serve import PredictRequest, PredictionService, ServeConfig
+from repro.serve.batch import (
+    ServeInvariantViolation,
+    execute_steps,
+    invariants_enabled,
+)
+from repro.serve.session import Session
+
+numpy = pytest.importorskip("numpy")
+
+
+def _requests(n=32):
+    return [PredictRequest("s", op="step", pc=0x40 + 4 * (i % 3),
+                           outcome=i % 2, seq=i) for i in range(n)]
+
+
+def test_invariants_enabled_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK_INVARIANTS", raising=False)
+    assert not invariants_enabled()
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "0")
+    assert not invariants_enabled()
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    assert invariants_enabled()
+
+
+def test_clean_kernel_passes_under_invariants(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    session = Session("s", spec_for("hmp.local", size=64, history=2),
+                      backend="vectorized")
+    results, used_kernel = execute_steps(session, _requests(),
+                                         "vectorized", min_kernel_run=4)
+    assert used_kernel
+    assert len(results) == 32
+
+
+def test_corrupted_results_raise(monkeypatch):
+    from repro.fastpath import batchapi
+    real = batchapi.replay_steps
+
+    def lying_kernel(family, predictor, pcs, outcomes, extras):
+        out = numpy.array(real(family, predictor, pcs, outcomes, extras))
+        out[5] ^= 1  # flip one prediction
+        return out
+
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    monkeypatch.setattr(batchapi, "replay_steps", lying_kernel)
+    session = Session("s", spec_for("hmp.local", size=64, history=2),
+                      backend="vectorized")
+    with pytest.raises(ServeInvariantViolation, match="index 5"):
+        execute_steps(session, _requests(), "vectorized",
+                      min_kernel_run=4)
+
+
+def test_corrupted_state_raises(monkeypatch):
+    from repro.fastpath import batchapi
+    real = batchapi.replay_steps
+
+    def state_scrambling_kernel(family, predictor, pcs, outcomes, extras):
+        out = real(family, predictor, pcs, outcomes, extras)
+        predictor.update(0x9999, False)  # extra, unreplayed training
+        return out
+
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    monkeypatch.setattr(batchapi, "replay_steps", state_scrambling_kernel)
+    session = Session("s", spec_for("hmp.local", size=64, history=2),
+                      backend="vectorized")
+    with pytest.raises(ServeInvariantViolation, match="state"):
+        execute_steps(session, _requests(), "vectorized",
+                      min_kernel_run=4)
+
+
+def test_divergence_surfaces_in_band_not_fatally(monkeypatch):
+    """Through the full service, a violation resolves the affected
+    requests with an internal error and the shard survives."""
+    from repro.fastpath import batchapi
+
+    def broken_kernel(family, predictor, pcs, outcomes, extras):
+        raise ServeInvariantViolation("synthetic divergence")
+
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    monkeypatch.setattr(batchapi, "replay_steps", broken_kernel)
+
+    async def main():
+        config = ServeConfig(n_shards=1, backend="vectorized",
+                             min_kernel_run=4)
+        async with PredictionService(config) as service:
+            await service.open_session("s", spec_for("hmp.local",
+                                                     size=64))
+            responses = await asyncio.gather(*[
+                service.submit(r) for r in _requests(16)])
+            assert all(not r.ok for r in responses)
+            assert all("ServeInvariantViolation" in r.error
+                       for r in responses)
+            # The shard is still alive and serving.
+            ping = await service.request(PredictRequest(
+                "s", op="predict", pc=0x40))
+            assert ping.ok
+    asyncio.run(main())

@@ -1,0 +1,77 @@
+"""Wire-protocol codecs: requests/responses as JSON lines."""
+
+import pytest
+
+from repro.serve.protocol import (
+    ERR_RETRY,
+    PredictRequest,
+    PredictResponse,
+    ProtocolError,
+    RetryAfter,
+)
+
+
+def test_request_round_trip():
+    req = PredictRequest(session_id="s", op="step", pc=0x40, outcome=1,
+                         distance=3, seq=7)
+    again = PredictRequest.from_json(req.to_json())
+    assert again == req
+
+
+def test_request_drops_absent_fields():
+    req = PredictRequest(session_id="s", op="predict", pc=4)
+    payload = req.to_json_dict()
+    assert "outcome" not in payload
+    assert "distance" not in payload
+    assert "address" not in payload
+    assert "spec" not in payload
+
+
+def test_request_control_ops_omit_pc():
+    assert "pc" not in PredictRequest(session_id="s",
+                                      op="ping").to_json_dict()
+
+
+def test_request_carries_spec_dict():
+    from repro.api import spec_for
+    spec = spec_for("hmp.local").to_json_dict()
+    req = PredictRequest(session_id="s", op="open", spec=spec)
+    again = PredictRequest.from_json(req.to_json())
+    assert again.spec == spec
+
+
+def test_request_validates_op_and_session():
+    with pytest.raises(ProtocolError):
+        PredictRequest(session_id="s", op="explode")
+    with pytest.raises(ProtocolError):
+        PredictRequest(session_id="")
+
+
+def test_request_from_bad_json():
+    with pytest.raises(ProtocolError):
+        PredictRequest.from_json("{nope")
+    with pytest.raises(ProtocolError):
+        PredictRequest.from_json('["not", "an", "object"]')
+    with pytest.raises(ProtocolError):
+        PredictRequest.from_json('{"op": "step"}')  # no session_id
+    with pytest.raises(ProtocolError):
+        PredictRequest.from_json(
+            '{"session_id": "s", "pc": "forty"}')
+
+
+def test_response_round_trip():
+    resp = PredictResponse(session_id="s", seq=3, ok=False,
+                           error=ERR_RETRY, retry_after_us=500)
+    again = PredictResponse.from_json(resp.to_json())
+    assert again == resp
+
+
+def test_response_result_zero_survives():
+    resp = PredictResponse(session_id="s", result=0)
+    assert PredictResponse.from_json(resp.to_json()).result == 0
+
+
+def test_retry_after_exception_carries_backoff():
+    exc = RetryAfter(1500)
+    assert exc.retry_after_us == 1500
+    assert "1500" in str(exc)
