@@ -31,6 +31,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.engine.machine import Machine  # noqa: E402
 from repro.engine.ordering import make_scheme  # noqa: E402
 from repro.obs import EventBus, JsonlSink, instrument  # noqa: E402
+from repro.obs.provenance import collect_provenance  # noqa: E402
 from repro.obs.sinks import git_revision  # noqa: E402
 from repro.parallel import (  # noqa: E402
     ExecutionPlan,
@@ -266,6 +267,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "python": sys.version.split()[0],
         "git_rev": git_revision(),
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        # Full run provenance (host, platform, numpy, cpu count) so
+        # history rows from different machines are distinguishable.
+        "provenance": collect_provenance(),
         "schemes": measure_schemes(trace, schemes, args.repeats,
                                    workers=args.workers,
                                    n_uops=args.uops),

@@ -6,8 +6,14 @@ collect named counters uniformly and render them into the paper's tables.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+try:  # numpy accelerates bulk recording; the scalar path is the semantics
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
 
 
 class Counter:
@@ -115,7 +121,235 @@ class Histogram:
         return f"Histogram({self.name}, n={self.total})"
 
 
-StatValue = Union[Counter, RatioStat, Histogram]
+class StreamingHistogram:
+    """Log-bucketed (HDR-style) streaming histogram for latency-like values.
+
+    Positive samples land in geometric buckets ``index =
+    floor(log(value) / log(1 + 2*rel_error))``; a bucket is represented
+    by the geometric mean of its edges, so any reported quantile is
+    within a factor of ``(1 + 2*rel_error)**0.5 <= 1 + rel_error`` of
+    some exact sample — a *relative* error bound of ``rel_error``
+    (default 1%), independent of the value's magnitude.  Zero and
+    negative samples are counted in a dedicated underflow bucket that
+    reports as ``0.0``.
+
+    Properties the serve tier and the bench harness rely on:
+
+    * **bounded memory** — O(#occupied buckets), never O(#samples): a
+      nanosecond-to-hour latency range occupies at most ~1.6k buckets
+      at the default resolution, however many samples stream through;
+    * **mergeable** — :meth:`merge` adds another histogram's buckets;
+      the operation is associative and commutative, so per-shard /
+      per-process histograms combine into fleet totals losslessly;
+    * **cheap recording** — one ``math.log`` + dict update per sample
+      on the scalar path; :meth:`record_many` vectorizes whole numpy
+      arrays (one ``log`` + ``bincount`` pass) when numpy is present.
+    """
+
+    DEFAULT_REL_ERROR = 0.01
+
+    __slots__ = ("name", "rel_error", "_log_base", "_bins", "_zeros",
+                 "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str = "",
+                 rel_error: float = DEFAULT_REL_ERROR) -> None:
+        if not 0.0 < rel_error < 1.0:
+            raise ValueError("rel_error must be in (0, 1)")
+        self.name = name
+        self.rel_error = rel_error
+        self._log_base = math.log1p(2.0 * rel_error)
+        self._bins: Dict[int, int] = {}
+        self._zeros = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, value: float, n: int = 1) -> None:
+        """Record ``value`` (``n`` times)."""
+        if n <= 0:
+            return
+        self._count += n
+        value = float(value)
+        self._sum += value * n
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value <= 0.0:
+            self._zeros += n
+            return
+        index = math.floor(math.log(value) / self._log_base)
+        self._bins[index] = self._bins.get(index, 0) + n
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Bulk-record; one vectorized pass when numpy is available."""
+        if _np is not None:
+            arr = _np.asarray(list(values) if not isinstance(
+                values, _np.ndarray) else values, dtype=float)
+            if arr.size == 0:
+                return
+            self._count += int(arr.size)
+            self._sum += float(arr.sum())
+            self._min = min(self._min, float(arr.min()))
+            self._max = max(self._max, float(arr.max()))
+            positive = arr[arr > 0.0]
+            self._zeros += int(arr.size - positive.size)
+            if positive.size:
+                indices = _np.floor(
+                    _np.log(positive) / self._log_base).astype(_np.int64)
+                uniques, counts = _np.unique(indices, return_counts=True)
+                for index, count in zip(uniques.tolist(), counts.tolist()):
+                    self._bins[index] = self._bins.get(index, 0) + count
+            return
+        for value in values:
+            self.record(value)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:  # Histogram-compatible alias
+        return self._count
+
+    @property
+    def n_buckets(self) -> int:
+        """Occupied buckets — the memory footprint, in O(1) units."""
+        return len(self._bins) + (1 if self._zeros else 0)
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def _bucket_value(self, index: int) -> float:
+        """Representative value: geometric mean of the bucket edges."""
+        return math.exp((index + 0.5) * self._log_base)
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], within ``rel_error``.
+
+        The reported value is clamped to the observed ``[min, max]`` so
+        extreme quantiles of near-degenerate distributions never report
+        outside the recorded range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._count:
+            return 0.0
+        threshold = q * self._count
+        running = self._zeros
+        if running >= threshold and self._zeros:
+            return 0.0
+        for index in sorted(self._bins):
+            running += self._bins[index]
+            if running >= threshold:
+                return min(max(self._bucket_value(index), self._min),
+                           self._max)
+        return self._max
+
+    def quantiles(self, qs: Iterable[float]) -> Dict[float, float]:
+        return {q: self.quantile(q) for q in qs}
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard latency-report quartet."""
+        return {"p50": self.quantile(0.50), "p90": self.quantile(0.90),
+                "p99": self.quantile(0.99), "p999": self.quantile(0.999)}
+
+    # -- combination / persistence ------------------------------------------
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Add ``other``'s buckets into this histogram (in place).
+
+        Requires an identical ``rel_error`` (same bucket boundaries);
+        associative and commutative up to float summation of ``_sum``.
+        """
+        if abs(other.rel_error - self.rel_error) > 1e-12:
+            raise ValueError(
+                f"cannot merge histograms with different resolutions "
+                f"({self.rel_error} vs {other.rel_error})")
+        for index, count in other._bins.items():
+            self._bins[index] = self._bins.get(index, 0) + count
+        self._zeros += other._zeros
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def copy(self) -> "StreamingHistogram":
+        out = StreamingHistogram(self.name, self.rel_error)
+        out._bins = dict(self._bins)
+        out._zeros = self._zeros
+        out._count = self._count
+        out._sum = self._sum
+        out._min = self._min
+        out._max = self._max
+        return out
+
+    def reset(self) -> None:
+        self._bins.clear()
+        self._zeros = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe state; :meth:`from_dict` round-trips it."""
+        return {
+            "rel_error": self.rel_error,
+            "count": self._count,
+            "zeros": self._zeros,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "bins": {str(k): v for k, v in sorted(self._bins.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object],
+                  name: str = "") -> "StreamingHistogram":
+        out = cls(name, rel_error=float(data.get(
+            "rel_error", cls.DEFAULT_REL_ERROR)))
+        out._bins = {int(k): int(v)
+                     for k, v in dict(data.get("bins", {})).items()}
+        out._zeros = int(data.get("zeros", 0))
+        out._count = int(data.get("count", 0))
+        out._sum = float(data.get("sum", 0.0))
+        minimum, maximum = data.get("min"), data.get("max")
+        out._min = float(minimum) if minimum is not None else math.inf
+        out._max = float(maximum) if maximum is not None else -math.inf
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric summary (what registry snapshots report)."""
+        out = {"count": float(self._count), "mean": self.mean(),
+               "min": self.min, "max": self.max}
+        out.update(self.percentiles())
+        return out
+
+    def __repr__(self) -> str:
+        return (f"StreamingHistogram({self.name!r}, n={self._count}, "
+                f"buckets={self.n_buckets})")
+
+
+StatValue = Union[Counter, RatioStat, Histogram, StreamingHistogram]
 
 
 class StatGroup:
@@ -138,6 +372,11 @@ class StatGroup:
 
     def histogram(self, name: str) -> Histogram:
         return self._register(name, Histogram(name))
+
+    def streaming(self, name: str,
+                  rel_error: float = StreamingHistogram.DEFAULT_REL_ERROR
+                  ) -> StreamingHistogram:
+        return self._register(name, StreamingHistogram(name, rel_error))
 
     def child(self, name: str) -> "StatGroup":
         if name in self._children:
@@ -175,6 +414,8 @@ class StatGroup:
                 out[name] = stat.value
             elif isinstance(stat, RatioStat):
                 out[name] = {"num": stat.num, "den": stat.den, "ratio": stat.ratio}
+            elif isinstance(stat, StreamingHistogram):
+                out[name] = stat.summary()
             else:
                 out[name] = dict(stat.items())
         for child_name, child in self._children.items():

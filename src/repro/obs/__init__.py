@@ -7,7 +7,16 @@ Three pieces:
 * :mod:`repro.obs.registry` — a unified, namespaced metrics registry
   with snapshot/diff/merge and JSON export;
 * :mod:`repro.obs.sinks` — JSONL event logs, Chrome ``trace_event``
-  export (opens in Perfetto), and the run-manifest artifact.
+  export (opens in Perfetto), and the run-manifest artifact;
+* :mod:`repro.obs.trace` — per-request spans: minted at protocol
+  decode, staged through queue/batch/kernel/reply, aggregated into
+  streaming histograms and exportable as Chrome traces;
+* :mod:`repro.obs.timeseries` — a periodic exporter sampling any
+  metrics source into JSONL rows and a Prometheus text file;
+* :mod:`repro.obs.gate` — the perf-regression gate over
+  ``BENCH_history.jsonl`` (``python -m repro.obs gate``);
+* :mod:`repro.obs.provenance` — the git/host/version context stamped
+  into every bench artifact.
 
 :func:`instrument` wires a bus into every observable component of a
 machine; :func:`observed_run` is the one-call "run this trace and leave
@@ -23,6 +32,7 @@ from typing import Optional, Tuple
 from repro.obs.events import Event, EventBus, EventKind
 from repro.obs.profile import PhaseProfiler
 from repro.obs.registry import MetricsRegistry
+from repro.obs.provenance import collect_provenance
 from repro.obs.sinks import (
     ChromeTraceSink,
     JsonlSink,
@@ -31,6 +41,14 @@ from repro.obs.sinks import (
     events_to_chrome_trace,
     git_revision,
     read_jsonl,
+)
+from repro.obs.timeseries import TimeSeriesExporter, to_prometheus
+from repro.obs.trace import (
+    RequestTracer,
+    Span,
+    read_spans,
+    spans_to_chrome_trace,
+    summarize_spans,
 )
 
 __all__ = [
@@ -43,9 +61,17 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "RunManifest",
+    "RequestTracer",
+    "Span",
+    "TimeSeriesExporter",
+    "collect_provenance",
     "events_to_chrome_trace",
     "git_revision",
     "read_jsonl",
+    "read_spans",
+    "spans_to_chrome_trace",
+    "summarize_spans",
+    "to_prometheus",
     "instrument",
     "observed_run",
 ]

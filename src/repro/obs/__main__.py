@@ -7,6 +7,10 @@ Commands::
     diff A B                # compare the metrics of two run artifacts
     export EVENTS [-o OUT]  # events.jsonl -> Chrome trace_event JSON
     run [--trace gcc ...]   # run one observed simulation end to end
+    trace SPANS [-o OUT]    # per-stage summary of a spans.jsonl
+                            # (+ optional Chrome trace export)
+    gate REPORT             # append to BENCH_history.jsonl and gate
+                            # against a committed perf baseline
 
 Examples::
 
@@ -14,6 +18,9 @@ Examples::
     python -m repro.obs summarize obs_run
     python -m repro.obs diff obs_base obs_run
     python -m repro.obs export obs_run/events.jsonl -o perfetto.json
+    python -m repro.obs trace serve_spans.jsonl -o spans.trace.json
+    python -m repro.obs gate BENCH_serve.json \
+        --baseline benchmarks/baselines/serve_smoke.json
 """
 
 from __future__ import annotations
@@ -104,6 +111,89 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import (
+        read_spans,
+        render_span_summary,
+        spans_to_chrome_trace,
+        summarize_spans,
+    )
+    spans = read_spans(args.spans)
+    print(render_span_summary(summarize_spans(spans), n_spans=len(spans)))
+    if spans:
+        slowest = sorted(spans, key=lambda s: s.total_us,
+                         reverse=True)[:args.slowest]
+        print()
+        print(f"slowest {len(slowest)} requests:")
+        for span in slowest:
+            stages = "  ".join(f"{stage}={duration}us" for stage, _,
+                               duration in span.stage_durations())
+            print(f"  #{span.trace_id} {span.session_id}"
+                  f"[{span.seq}] total={span.total_us}us  {stages}")
+    if args.out is not None:
+        document = spans_to_chrome_trace(spans)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.write("\n")
+        print(f"\nwrote {len(document['traceEvents'])} trace events to "
+              f"{args.out} (open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    from repro.obs import gate as gatemod
+
+    with open(args.report, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    try:
+        metrics = gatemod.extract_metrics(report)
+    except ValueError as exc:
+        print(f"gate: {exc}", file=sys.stderr)
+        return 2
+    if not metrics:
+        print(f"gate: no gateable metrics in {args.report}",
+              file=sys.stderr)
+        return 2
+
+    if not args.no_append:
+        row = gatemod.history_row(report, source=args.report)
+        gatemod.append_history(args.history, row)
+        print(f"gate: appended {len(metrics)} metrics to {args.history} "
+              f"(git {str(row['provenance'].get('git_rev'))[:12]}, "
+              f"host {row['provenance'].get('hostname')})")
+
+    if args.baseline is None:
+        print("gate: no --baseline given; history-only mode, passing")
+        return 0
+    if args.update_baseline or not os.path.exists(args.baseline):
+        baseline = gatemod.make_baseline(
+            report, tolerance=(args.tolerance if args.tolerance
+                               is not None
+                               else gatemod.DEFAULT_TOLERANCE))
+        gatemod.write_baseline(args.baseline, baseline)
+        print(f"gate: wrote baseline {args.baseline} "
+              f"({len(metrics)} metrics); passing")
+        return 0
+
+    baseline = gatemod.load_baseline(args.baseline)
+    note = gatemod.machine_note(report.get("provenance"), baseline)
+    if note:
+        print(note, file=sys.stderr)
+    violations = gatemod.compare(metrics, baseline,
+                                 tolerance=args.tolerance)
+    gated = [name for name in baseline.get("metrics", {})
+             if name in metrics]
+    if violations:
+        print(f"gate: FAIL — {len(violations)} of {len(gated)} gated "
+              f"metrics regressed beyond tolerance:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"gate: ok — {len(gated)} gated metrics within tolerance "
+          f"of {args.baseline}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     # Imported lazily: artifact inspection must not pay engine imports.
     from repro.engine.machine import Machine
@@ -153,6 +243,32 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--lanes", type=int, default=16,
                    help="pseudo-threads to spread uops over (default 16)")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("trace",
+                       help="summarize a request-span JSONL log")
+    p.add_argument("spans", help="spans.jsonl written by a RequestTracer")
+    p.add_argument("-o", "--out", default=None,
+                   help="also export a Chrome trace_event JSON here")
+    p.add_argument("--slowest", type=int, default=5,
+                   help="how many slowest requests to detail (default 5)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("gate",
+                       help="append bench history and gate vs baseline")
+    p.add_argument("report", help="BENCH_serve.json or "
+                                  "BENCH_throughput.json")
+    p.add_argument("--history", default="BENCH_history.jsonl",
+                   help="append-only trajectory file "
+                        "(default BENCH_history.jsonl)")
+    p.add_argument("--baseline", default=None,
+                   help="committed baseline JSON; created when missing")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="relative tolerance override (e.g. 0.5 = 50%%)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from this report and pass")
+    p.add_argument("--no-append", action="store_true",
+                   help="gate only; do not touch the history file")
+    p.set_defaults(func=cmd_gate)
 
     p = sub.add_parser("run", help="run one observed simulation")
     p.add_argument("--trace", default="gcc",

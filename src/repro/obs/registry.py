@@ -23,7 +23,13 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.common.stats import Counter, Histogram, RatioStat, StatGroup
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    RatioStat,
+    StatGroup,
+    StreamingHistogram,
+)
 
 Number = float  # registry leaves are ints or floats; both are accepted
 
@@ -54,6 +60,10 @@ def _flatten_into(out: Dict[str, Number], prefix: str,
         out[prefix + ".mean"] = value.mean()
         out[prefix + ".p50"] = value.percentile(0.5)
         out[prefix + ".p90"] = value.percentile(0.9)
+        return
+    if isinstance(value, StreamingHistogram):
+        for key, number in value.summary().items():
+            out[f"{prefix}.{key}"] = number
         return
     if isinstance(value, StatGroup):
         _flatten_into(out, prefix, value.as_dict())
@@ -156,9 +166,34 @@ class MetricsRegistry:
         return out
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Sum ``other``'s numeric leaves into this registry's values."""
+        """Sum ``other``'s numeric leaves into this registry's values.
+
+        Mounted :class:`StreamingHistogram` sources merge *losslessly*
+        (bucket-by-bucket, not by summing quantile leaves): the merged
+        histogram's quantiles keep the per-histogram relative-error
+        bound, which summing ``p99`` columns would not.
+        """
+        merged_prefixes: List[str] = []
+        for path, source in other._mounts:
+            if not isinstance(source, StreamingHistogram):
+                continue
+            mine = self._streaming_mount(path)
+            if mine is None:
+                self.mount(path, source.copy())
+            else:
+                mine.merge(source)
+            merged_prefixes.append(path + ".")
         for path, value in other.snapshot().items():
+            if any(path.startswith(prefix) for prefix in merged_prefixes):
+                continue
             self._values[path] = self._values.get(path, 0) + value
+
+    def _streaming_mount(self, path: str) -> Optional[StreamingHistogram]:
+        for mount_path, source in self._mounts:
+            if mount_path == path and isinstance(source,
+                                                 StreamingHistogram):
+                return source
+        return None
 
     # -- export -------------------------------------------------------------
 

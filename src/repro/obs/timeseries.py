@@ -1,0 +1,164 @@
+"""Periodic time-series export of metrics snapshots.
+
+:class:`TimeSeriesExporter` samples a metrics *source* — any zero-arg
+callable returning a flat ``{dotted.path: number}`` mapping, e.g.
+``MetricsRegistry(...).snapshot`` or
+``PredictionService.metrics_snapshot`` — every ``interval_ms`` from a
+daemon thread (so it works identically under asyncio services, sync
+benches and tests) into:
+
+* a **JSONL stream**: one ``{"t": unix_seconds, "metrics": {...}}``
+  row per sample, append-only — the substrate ``python -m repro.serve
+  top`` tails and offline analysis replays;
+* a **Prometheus text file**, atomically rewritten per sample so a
+  node-exporter-style textfile collector (or a human with ``cat``)
+  always sees one consistent scrape.
+
+Both outputs are optional; :meth:`sample_once` is the synchronous core
+the thread loops on, usable directly when a caller wants to control
+cadence itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from typing import Callable, Dict, List, Mapping, Optional
+
+Number = float
+MetricsSource = Callable[[], Mapping[str, Number]]
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(path: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted metric path into a Prometheus metric name."""
+    name = _PROM_BAD.sub("_", f"{prefix}_{path}" if prefix else path)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def to_prometheus(snapshot: Mapping[str, Number],
+                  prefix: str = "repro",
+                  timestamp_ms: Optional[int] = None) -> str:
+    """Render a flat snapshot in the Prometheus text exposition format.
+
+    Everything is exported as an untyped gauge — the snapshot is a
+    point-in-time view; rate() belongs to the scraper.
+    """
+    lines: List[str] = []
+    for path in sorted(snapshot):
+        value = snapshot[path]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        name = prometheus_name(path, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        stamp = f" {timestamp_ms}" if timestamp_ms is not None else ""
+        lines.append(f"{name} {float(value):g}{stamp}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def read_timeseries(path: str) -> List[Dict[str, object]]:
+    """Load the JSONL rows written by :class:`TimeSeriesExporter`."""
+    rows: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+class TimeSeriesExporter:
+    """Background sampler: source → JSONL rows + Prometheus textfile."""
+
+    def __init__(self, source: MetricsSource, interval_ms: int = 500,
+                 jsonl_path: Optional[str] = None,
+                 prom_path: Optional[str] = None,
+                 prefix: str = "repro") -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.source = source
+        self.interval_ms = interval_ms
+        self.jsonl_path = jsonl_path
+        self.prom_path = prom_path
+        self.prefix = prefix
+        self.n_samples = 0
+        #: Samples the background loop skipped because the source
+        #: raised (e.g. a service mid-shutdown); the loop keeps going.
+        self.n_errors = 0
+        self._jsonl = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- one sample ---------------------------------------------------------
+
+    def sample_once(self) -> Dict[str, object]:
+        """Take one sample, write it to the configured outputs, and
+        return the row."""
+        t = time.time()
+        metrics = dict(self.source())
+        row = {"t": t, "metrics": metrics}
+        if self.jsonl_path is not None:
+            if self._jsonl is None:
+                self._jsonl = open(self.jsonl_path, "a", encoding="utf-8")
+            self._jsonl.write(json.dumps(row))
+            self._jsonl.write("\n")
+            self._jsonl.flush()
+        if self.prom_path is not None:
+            text = to_prometheus(metrics, prefix=self.prefix,
+                                 timestamp_ms=int(t * 1000))
+            tmp = self.prom_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, self.prom_path)
+        self.n_samples += 1
+        return row
+
+    # -- the background loop ------------------------------------------------
+
+    def start(self) -> "TimeSeriesExporter":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-obs-timeseries",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        interval = self.interval_ms / 1000.0
+        while not self._stop.wait(interval):
+            try:
+                self.sample_once()
+            except Exception:
+                # A transient source failure (service draining, file
+                # contention) must not end the telemetry stream.
+                self.n_errors += 1
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the loop; take one last sample so short runs are never
+        empty, then close the JSONL handle."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_sample:
+            try:
+                self.sample_once()
+            except Exception:  # pragma: no cover - source already gone
+                pass
+        if self._jsonl is not None:
+            self._jsonl.close()
+            self._jsonl = None
+
+    def __enter__(self) -> "TimeSeriesExporter":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

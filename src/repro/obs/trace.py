@@ -1,0 +1,269 @@
+"""Per-request tracing: spans, stage marks, and trace export.
+
+A :class:`Span` is minted when a request enters the system (at protocol
+decode on the wire paths, at ``submit`` for in-process callers) and is
+carried alongside the request through every stage of its life:
+
+``decode → queue → batch → kernel|predict → reply``
+
+Each stage is closed with :meth:`Span.mark`: the mark's timestamp ends
+the named stage and starts the next one, so a finished span is a gap-
+free timeline of where the request's microseconds went — queue sojourn
+(``queue``) and service time (``kernel``/``predict``) fall out as two
+different named stages instead of one conflated "latency" scalar.
+
+:class:`RequestTracer` owns sampling (1 request in ``2**sample_shift``;
+untraced requests cost one integer increment), a bounded ring of
+finished spans, and per-stage :class:`~repro.common.stats.
+StreamingHistogram` aggregates.  Finished spans export to the same
+Chrome ``trace_event`` JSON the simulator uses (one request per
+pseudo-thread track, one slice per stage — opens in Perfetto), to
+JSONL, and to the ``python -m repro.obs trace`` summary view.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.stats import StreamingHistogram
+
+#: The canonical stage order of a served request.  Spans may use a
+#: subset (e.g. ``predict`` instead of ``kernel``); unknown stages are
+#: carried through and summarised like any other.
+STAGES = ("decode", "queue", "batch", "kernel", "predict", "reply")
+
+
+def now_us() -> int:
+    """Monotonic microseconds — the span clock."""
+    return time.monotonic_ns() // 1000
+
+
+class Span:
+    """One traced request: a start time plus ordered stage marks."""
+
+    __slots__ = ("trace_id", "session_id", "seq", "start_us", "marks",
+                 "done")
+
+    def __init__(self, trace_id: int, session_id: str = "",
+                 seq: int = -1, start_us: Optional[int] = None) -> None:
+        self.trace_id = trace_id
+        self.session_id = session_id
+        self.seq = seq
+        self.start_us = start_us if start_us is not None else now_us()
+        self.marks: List[Tuple[str, int]] = []
+        self.done = False
+
+    def mark(self, stage: str, t_us: Optional[int] = None) -> None:
+        """Close ``stage`` now (it began at the previous mark)."""
+        self.marks.append((stage, t_us if t_us is not None else now_us()))
+
+    @property
+    def end_us(self) -> int:
+        return self.marks[-1][1] if self.marks else self.start_us
+
+    @property
+    def total_us(self) -> int:
+        return self.end_us - self.start_us
+
+    def stage_durations(self) -> List[Tuple[str, int, int]]:
+        """``[(stage, start_us, duration_us)]`` — gap-free timeline."""
+        out: List[Tuple[str, int, int]] = []
+        prev = self.start_us
+        for stage, t in self.marks:
+            out.append((stage, prev, max(0, t - prev)))
+            prev = t
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"trace_id": self.trace_id, "session_id": self.session_id,
+                "seq": self.seq, "start_us": self.start_us,
+                "marks": [[stage, t] for stage, t in self.marks]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Span":
+        span = cls(int(data.get("trace_id", -1)),
+                   str(data.get("session_id", "")),
+                   int(data.get("seq", -1)),
+                   start_us=int(data.get("start_us", 0)))
+        for stage, t in data.get("marks", []):
+            span.marks.append((str(stage), int(t)))
+        return span
+
+    def __repr__(self) -> str:
+        stages = "→".join(stage for stage, _ in self.marks)
+        return (f"Span({self.trace_id}, {self.session_id!r}#{self.seq}, "
+                f"{stages}, {self.total_us}us)")
+
+
+class RequestTracer:
+    """Mints, samples and aggregates request spans (module docstring).
+
+    ``sample_shift`` selects 1 request in ``2**sample_shift`` for
+    tracing (0 = every request).  Finished spans land in a bounded ring
+    (``keep`` newest) and fold into per-stage streaming histograms, so
+    memory stays O(keep + stages·buckets) at any request volume.
+    """
+
+    def __init__(self, sample_shift: int = 6, keep: int = 4096,
+                 rel_error: float = StreamingHistogram.DEFAULT_REL_ERROR
+                 ) -> None:
+        if sample_shift < 0:
+            raise ValueError("sample_shift must be >= 0")
+        self.sample_shift = sample_shift
+        self._mask = (1 << sample_shift) - 1
+        self.rel_error = rel_error
+        self._counter = 0
+        self._next_id = 0
+        self.started = 0
+        self.finished = 0
+        self.spans: "deque[Span]" = deque(maxlen=max(1, keep))
+        self.stage_hists: Dict[str, StreamingHistogram] = {}
+        self.total_hist = StreamingHistogram("total_us", rel_error)
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def start(self, session_id: str = "", seq: int = -1,
+              force: bool = False) -> Optional[Span]:
+        """Mint a span for this request, or ``None`` when not sampled."""
+        self._counter += 1
+        if not force and (self._counter & self._mask):
+            return None
+        self._next_id += 1
+        self.started += 1
+        return Span(self._next_id, session_id, seq)
+
+    def finish(self, span: Optional[Span]) -> None:
+        """Fold a finished span into the ring and the aggregates.
+
+        Idempotent per span, so error paths may finish defensively.
+        """
+        if span is None or span.done:
+            return
+        span.done = True
+        self.finished += 1
+        self.spans.append(span)
+        for stage, _, duration in span.stage_durations():
+            hist = self.stage_hists.get(stage)
+            if hist is None:
+                hist = self.stage_hists[stage] = StreamingHistogram(
+                    stage, self.rel_error)
+            hist.record(duration)
+        self.total_hist.record(span.total_us)
+
+    # -- aggregates ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """``{stage: {count, mean, min, max, p50, p90, p99, p999}}``
+        in canonical stage order, plus ``total``."""
+        out: Dict[str, Dict[str, float]] = {}
+        known = [s for s in STAGES if s in self.stage_hists]
+        extra = sorted(s for s in self.stage_hists if s not in STAGES)
+        for stage in known + extra:
+            out[stage] = self.stage_hists[stage].summary()
+        if self.total_hist.count:
+            out["total"] = self.total_hist.summary()
+        return out
+
+    def counters(self) -> Dict[str, int]:
+        return {"requests_seen": self._counter, "spans_started":
+                self.started, "spans_finished": self.finished,
+                "sample_every": 1 << self.sample_shift}
+
+    # -- export -------------------------------------------------------------
+
+    def write_jsonl(self, path: str) -> int:
+        """One span object per line; returns the number written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.as_dict()))
+                handle.write("\n")
+        return len(self.spans)
+
+    def chrome_document(self) -> Dict[str, object]:
+        return spans_to_chrome_trace(self.spans)
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_document(), handle)
+            handle.write("\n")
+
+
+# --------------------------------------------------------------------------
+# Offline span processing (the ``repro.obs trace`` CLI view)
+# --------------------------------------------------------------------------
+
+
+def read_spans(path: str) -> List[Span]:
+    """Load a spans JSONL written by :meth:`RequestTracer.write_jsonl`."""
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+#: Chrome trace pid reserved for request spans (the simulator pipeline
+#: uses pid 1; keeping them distinct lets both land in one Perfetto UI).
+SPAN_PID = 2
+
+
+def spans_to_chrome_trace(spans: Iterable[Span],
+                          n_lanes: int = 32) -> Dict[str, object]:
+    """Chrome ``trace_event`` document: one slice per stage, requests
+    spread over ``n_lanes`` pseudo-thread tracks."""
+    spans = list(spans)
+    origin = min((s.start_us for s in spans), default=0)
+    events: List[Dict[str, object]] = [{
+        "ph": "M", "pid": SPAN_PID, "tid": 0, "name": "process_name",
+        "args": {"name": "repro.serve requests"},
+    }]
+    for lane in range(min(n_lanes, max(1, len(spans)))):
+        events.append({"ph": "M", "pid": SPAN_PID, "tid": lane,
+                       "name": "thread_name",
+                       "args": {"name": f"request lane {lane}"}})
+    for span in spans:
+        lane = span.trace_id % n_lanes
+        for stage, start, duration in span.stage_durations():
+            events.append({
+                "ph": "X", "pid": SPAN_PID, "tid": lane,
+                "name": stage, "cat": "request",
+                "ts": start - origin, "dur": max(1, duration),
+                "args": {"trace_id": span.trace_id,
+                         "session": span.session_id, "seq": span.seq},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"time_unit": "1us"}}
+
+
+def summarize_spans(spans: Iterable[Span],
+                    rel_error: float = StreamingHistogram.DEFAULT_REL_ERROR
+                    ) -> Dict[str, Dict[str, float]]:
+    """Per-stage summary of an offline span collection."""
+    tracer = RequestTracer(sample_shift=0, keep=1, rel_error=rel_error)
+    for span in spans:
+        tracer.finish(span)
+    return tracer.summary()
+
+
+def render_span_summary(summary: Mapping[str, Mapping[str, float]],
+                        n_spans: int = 0) -> str:
+    """Aligned text table of a :func:`summarize_spans` result."""
+    if not summary:
+        return "spans: (none recorded)"
+    header = (f"{'stage':10s} {'count':>8s} {'mean_us':>10s} "
+              f"{'p50_us':>10s} {'p90_us':>10s} {'p99_us':>10s} "
+              f"{'p999_us':>10s}")
+    lines = [f"spans: {n_spans} traced requests" if n_spans else "spans:",
+             header, "-" * len(header)]
+    for stage, stats in summary.items():
+        lines.append(
+            f"{stage:10s} {int(stats['count']):>8d} "
+            f"{stats['mean']:>10.1f} {stats['p50']:>10.1f} "
+            f"{stats['p90']:>10.1f} {stats['p99']:>10.1f} "
+            f"{stats['p999']:>10.1f}")
+    return "\n".join(lines)

@@ -1,17 +1,27 @@
 """CLI for the prediction service.
 
 ``python -m repro.serve serve``  — run the JSONL service over TCP
-(default) or stdio.
+(default) or stdio.  With ``--metrics-dir DIR`` a background
+:class:`~repro.obs.timeseries.TimeSeriesExporter` samples the live
+metrics registry into ``DIR/metrics.jsonl`` (one JSON object per
+sample) and ``DIR/metrics.prom`` (Prometheus text exposition).
 
 ``python -m repro.serve bench``  — closed-loop load generator; writes
 ``BENCH_serve.json`` comparing scalar per-request execution against
-vectorized micro-batching (see :mod:`repro.serve.bench`).
+vectorized micro-batching, with queue-sojourn/service-time separation
+and a telemetry on/off overhead comparison (see
+:mod:`repro.serve.bench`).
+
+``python -m repro.serve top``    — live terminal dashboard over the
+exported metrics stream (rps, queue depth, batch-size distribution,
+per-stage latency); run it next to a ``serve --metrics-dir`` process.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import asyncio
@@ -36,8 +46,21 @@ async def _run_serve(args: "argparse.Namespace") -> int:
     config = ServeConfig(
         n_shards=args.shards, max_batch=args.max_batch,
         max_delay_us=args.max_delay_us, queue_depth=args.queue_depth,
-        backend=args.backend)
+        backend=args.backend, telemetry=not args.no_telemetry,
+        trace_sample_shift=args.trace_sample_shift)
     service = PredictionService(config)
+    exporter = None
+    if args.metrics_dir:
+        from repro.obs.timeseries import TimeSeriesExporter
+        os.makedirs(args.metrics_dir, exist_ok=True)
+        exporter = TimeSeriesExporter(
+            service.metrics_snapshot,
+            interval_ms=args.metrics_interval_ms,
+            jsonl_path=os.path.join(args.metrics_dir, "metrics.jsonl"),
+            prom_path=os.path.join(args.metrics_dir, "metrics.prom"))
+        exporter.start()
+        print(f"exporting metrics to {args.metrics_dir} every "
+              f"{args.metrics_interval_ms}ms", file=sys.stderr)
     await service.start()
     try:
         if args.stdio:
@@ -55,6 +78,8 @@ async def _run_serve(args: "argparse.Namespace") -> int:
         pass
     finally:
         await service.stop()
+        if exporter is not None:
+            exporter.stop()
     return 0
 
 
@@ -72,6 +97,14 @@ def main(argv=None) -> int:
     serve_p.add_argument("--backend", default=None,
                         choices=("reference", "vectorized"),
                         help="fast-path backend (default: process default)")
+    serve_p.add_argument("--no-telemetry", action="store_true",
+                        help="disable per-request span tracing")
+    serve_p.add_argument("--trace-sample-shift", type=int, default=6,
+                        help="trace 1 request in 2**N (0 = all)")
+    serve_p.add_argument("--metrics-dir", default=None,
+                        help="export metrics.jsonl + metrics.prom here")
+    serve_p.add_argument("--metrics-interval-ms", type=int, default=500,
+                        help="time-series sampling period")
     _add_config_flags(serve_p)
 
     bench_p = sub.add_parser("bench", help="closed-loop load generator")
@@ -91,18 +124,41 @@ def main(argv=None) -> int:
     bench_p.add_argument("--backend", default="both",
                          choices=("both", "reference", "vectorized"),
                          help="which side(s) to run")
+    bench_p.add_argument("--warmup", type=float, default=0.1,
+                         help="fraction of the run excluded from "
+                              "latency quantiles (cold start)")
+    bench_p.add_argument("--no-telemetry-compare", action="store_true",
+                         help="skip the extra telemetry-off side")
     bench_p.add_argument("--out", default="BENCH_serve.json",
                          help="report path")
+
+    top_p = sub.add_parser("top", help="live metrics dashboard")
+    top_p.add_argument("--metrics-dir", default=None,
+                       help="directory a serve --metrics-dir writes to")
+    top_p.add_argument("--path", default=None,
+                       help="explicit metrics.jsonl path (overrides "
+                            "--metrics-dir)")
+    top_p.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period (seconds)")
+    top_p.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
 
     args = parser.parse_args(argv)
     if args.command == "serve":
         return asyncio.run(_run_serve(args))
+    if args.command == "top":
+        from repro.serve.top import run_top
+        path = args.path or os.path.join(args.metrics_dir or ".",
+                                         "metrics.jsonl")
+        return run_top(path, interval_s=args.interval, once=args.once)
 
     report = run_bench(
         seconds=args.seconds, clients=args.clients, window=args.window,
         spec_kind=args.spec, n_shards=args.shards,
         max_batch=args.max_batch, max_delay_us=args.max_delay_us,
-        queue_depth=args.queue_depth, sides=args.backend)
+        queue_depth=args.queue_depth, sides=args.backend,
+        warmup_frac=args.warmup,
+        telemetry_compare=not args.no_telemetry_compare)
     path = write_report(report, args.out)
     print(json.dumps(report, indent=2, sort_keys=True))
     print(f"wrote {path}", file=sys.stderr)

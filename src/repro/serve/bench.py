@@ -1,13 +1,16 @@
 """Closed-loop load generator for the prediction service.
 
-``python -m repro.serve bench`` drives two service instances over the
-same deterministic workload and writes ``BENCH_serve.json``:
+``python -m repro.serve bench`` drives service instances over the same
+deterministic workload and writes ``BENCH_serve.json``:
 
 * **scalar** — ``max_batch=1`` on the reference backend: every request
   is executed individually, the per-request baseline;
 * **vectorized** — micro-batching on the vectorized backend: requests
   coalesce into batches and same-session step runs execute on the
-  :mod:`repro.fastpath` kernels.
+  :mod:`repro.fastpath` kernels;
+* **vectorized_no_telemetry** — the vectorized side again with span
+  tracing disabled, so the report carries an explicit telemetry
+  on/off throughput comparison (``telemetry_overhead``).
 
 Each of the ``clients`` keeps a *window* of pipelined step requests
 outstanding against its own session (closed loop: a new window is
@@ -21,25 +24,46 @@ the kernel run length — the default (1024) sits where the
 and retried — backpressure is part of the measured protocol, not an
 error.
 
-Latency is sampled (1 request in 16), submit→response on the asyncio
-clock, so measurement cost doesn't distort the throughput being
-measured; the report carries p50/p90/p99 and throughput (completed
-requests per second), plus the service's own batch statistics.
+Latency accounting (the report's JSON schema, ``schema: 2``):
+
+* ``latency_us`` — client-observed submit→response on the asyncio
+  clock, sampled 1-in-16 into a bounded
+  :class:`~repro.common.stats.StreamingHistogram` (memory stays
+  O(buckets) however many requests complete; quantiles carry the
+  histogram's 1% relative-error bound).  **Closed-loop caveat**: under
+  saturation this number is almost entirely *queue sojourn* — time
+  spent waiting in the shard queue behind the caller's own outstanding
+  window — not execution time.  Treat it as a load-level indicator,
+  not a service-speed headline.
+* ``queue_us`` / ``service_us`` — the two components separated, from
+  the per-request tracer's stage histograms: ``queue_us`` is admission
+  →flush sojourn, ``service_us`` is kernel/predict execution alone.
+* Samples completing inside the ``warmup_seconds`` window (default
+  10% of the run) are excluded from all reported quantiles — cold
+  predictor tables and interpreter warm-up would otherwise pollute the
+  tail.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import statistics
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import asyncio
 
 from repro.api import spec_for
+from repro.common.stats import StreamingHistogram
+from repro.obs.provenance import collect_provenance
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import ERR_RETRY, PredictRequest
 from repro.serve.service import PredictionService
+
+#: Report schema: 2 adds queue/service separation, warmup exclusion,
+#: provenance and the telemetry on/off comparison.
+BENCH_SCHEMA = 2
 
 #: Distinct load PCs per client session (enough to exercise tables,
 #: few enough that predictors warm up within a short run).
@@ -82,7 +106,7 @@ def make_windows(session_id: str, family: str, seed: int,
 
 async def _client(service: PredictionService,
                   windows: List[List[PredictRequest]], deadline: float,
-                  latencies: List[float],
+                  latencies: StreamingHistogram, warmup_until: float,
                   counters: Dict[str, int]) -> None:
     loop = asyncio.get_running_loop()
     loop_time = loop.time
@@ -92,9 +116,14 @@ async def _client(service: PredictionService,
 
     def _submit_sampled(request: PredictRequest) -> "asyncio.Future":
         t0 = loop_time()
+
+        def _record(f: "asyncio.Future") -> None:
+            t1 = loop_time()
+            if t1 >= warmup_until:  # cold-start samples stay out
+                latencies.record(t1 - t0)
+
         future = submit(request)
-        future.add_done_callback(
-            lambda f: latencies.append(loop_time() - t0))
+        future.add_done_callback(_record)
         return future
 
     while loop_time() < deadline:
@@ -123,21 +152,35 @@ async def _client(service: PredictionService,
             1 for resp in responses if resp.ok)
 
 
-def _percentile(sorted_values: List[float], q: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1,
-                max(0, int(round(q * (len(sorted_values) - 1)))))
-    return sorted_values[index]
+def _quantiles_us(hist: StreamingHistogram) -> Dict[str, float]:
+    """p50/p90/p99/p999 of a seconds-valued histogram, in µs."""
+    return {name: round(value * 1e6, 1)
+            for name, value in hist.percentiles().items()}
+
+
+def _stage_us(summary: Dict[str, Dict[str, float]],
+              stages: List[str]) -> Optional[Dict[str, float]]:
+    """Tracer stage quantiles (already µs) for the first present stage."""
+    for stage in stages:
+        stats = summary.get(stage)
+        if stats and stats.get("count"):
+            return {"stage": stage,
+                    "count": int(stats["count"]),
+                    "mean": round(stats["mean"], 1),
+                    "p50": round(stats["p50"], 1),
+                    "p90": round(stats["p90"], 1),
+                    "p99": round(stats["p99"], 1),
+                    "p999": round(stats["p999"], 1)}
+    return None
 
 
 async def run_side(label: str, config: ServeConfig, spec_kind: str,
-                   seconds: float, clients: int,
-                   window: int) -> Dict[str, object]:
+                   seconds: float, clients: int, window: int,
+                   warmup_frac: float = 0.1) -> Dict[str, object]:
     """Run one bench side; returns its report dict."""
     spec = spec_for(spec_kind)
     family = spec.family
-    latencies: List[float] = []
+    latencies = StreamingHistogram("client_latency_s")
     counters = {"completed": 0, "rejected": 0}
     workloads = [make_windows(f"bench-{i}", family, seed=9000 + i,
                               window=window) for i in range(clients)]
@@ -149,17 +192,19 @@ async def run_side(label: str, config: ServeConfig, spec_kind: str,
         loop = asyncio.get_running_loop()
         t0 = loop.time()
         deadline = t0 + seconds
+        warmup_seconds = max(0.0, warmup_frac) * seconds
         await asyncio.gather(*(
             _client(service, workloads[i], deadline=deadline,
-                    latencies=latencies, counters=counters)
+                    latencies=latencies,
+                    warmup_until=t0 + warmup_seconds,
+                    counters=counters)
             for i in range(clients)))
         elapsed = loop.time() - t0
     finally:
         await service.stop()
     from repro.fastpath.backend import resolve_backend
-    latencies.sort()
     stats = service.stats()
-    return {
+    side: Dict[str, object] = {
         "label": label,
         "requested_backend": config.backend,
         "effective_backend": resolve_backend(config.backend),
@@ -169,33 +214,47 @@ async def run_side(label: str, config: ServeConfig, spec_kind: str,
         "clients": clients,
         "window": window,
         "seconds": round(elapsed, 3),
+        "warmup_seconds": round(warmup_seconds, 3),
         "completed": counters["completed"],
         "rejected": counters["rejected"],
         "throughput_rps": (counters["completed"] / elapsed
                            if elapsed > 0 else 0.0),
-        "latency_us": {
-            "p50": round(_percentile(latencies, 0.50) * 1e6, 1),
-            "p90": round(_percentile(latencies, 0.90) * 1e6, 1),
-            "p99": round(_percentile(latencies, 0.99) * 1e6, 1),
-        },
+        "latency_us": _quantiles_us(latencies),
+        "latency_samples": latencies.count,
+        "latency_note": ("closed-loop submit->response including queue "
+                         "sojourn; see queue_us/service_us for the "
+                         "separated components"),
+        "telemetry": config.telemetry,
         "service": stats["totals"],
     }
+    if service.tracer is not None:
+        summary = service.tracer.summary()
+        side["queue_us"] = _stage_us(summary, ["queue"])
+        side["service_us"] = _stage_us(summary, ["kernel", "predict"])
+        side["trace"] = service.tracer.counters()
+    return side
 
 
 def run_bench(seconds: float = 10.0, clients: int = 64,
               window: int = 1024, spec_kind: str = "hmp.hybrid",
               n_shards: int = 2, max_batch: int = 4096,
               max_delay_us: int = 2000, queue_depth: int = 65536,
-              sides: str = "both") -> Dict[str, object]:
+              sides: str = "both", warmup_frac: float = 0.1,
+              telemetry_compare: bool = True) -> Dict[str, object]:
     """Run the configured sides and assemble the report.
 
     ``sides``: ``"both"`` (default), ``"reference"`` (scalar baseline
-    only) or ``"vectorized"`` (micro-batching side only).
+    only) or ``"vectorized"`` (micro-batching side only).  With
+    ``telemetry_compare`` (and a vectorized side), the vectorized
+    configuration runs once more with telemetry off and the report
+    gains a ``telemetry_overhead`` on/off comparison.
     """
     report: Dict[str, object] = {
         "bench": "repro.serve",
+        "schema": BENCH_SCHEMA,
         "spec": spec_for(spec_kind).to_json_dict(),
         "generated_unix": int(time.time()),
+        "provenance": collect_provenance(),
         "sides": {},
     }
     if sides in ("both", "reference"):
@@ -204,7 +263,7 @@ def run_bench(seconds: float = 10.0, clients: int = 64,
             queue_depth=queue_depth, backend="reference")
         report["sides"]["scalar"] = asyncio.run(run_side(
             "scalar per-request", scalar_config, spec_kind, seconds,
-            clients, window))
+            clients, window, warmup_frac))
     if sides in ("both", "vectorized"):
         vector_config = ServeConfig(
             n_shards=n_shards, max_batch=max_batch,
@@ -212,7 +271,58 @@ def run_bench(seconds: float = 10.0, clients: int = 64,
             backend="vectorized")
         report["sides"]["vectorized"] = asyncio.run(run_side(
             "vectorized micro-batching", vector_config, spec_kind,
-            seconds, clients, window))
+            seconds, clients, window, warmup_frac))
+        if telemetry_compare:
+            # Machine drift between two back-to-back multi-second runs
+            # can exceed the effect being measured (this box drifts by
+            # double-digit percents between adjacent runs), so the
+            # on/off comparison runs as short paired rounds in ABBA
+            # order — the arm that goes first alternates per round, so
+            # linear drift and run-position effects hit both arms
+            # equally — and pools each arm's completions.
+            dark_config = ServeConfig(
+                n_shards=n_shards, max_batch=max_batch,
+                max_delay_us=max_delay_us, queue_depth=queue_depth,
+                backend="vectorized", telemetry=False)
+            rounds = 9
+            round_seconds = max(seconds / rounds, 0.05)
+            arms = {"on": vector_config, "off": dark_config}
+            per_round = []
+            dark_side = None
+            for i in range(rounds):
+                order = ("on", "off") if i % 2 == 0 else ("off", "on")
+                rps = {}
+                for arm in order:
+                    side = asyncio.run(run_side(
+                        f"vectorized, telemetry {arm}", arms[arm],
+                        spec_kind, round_seconds, clients, window,
+                        warmup_frac))
+                    rps[arm] = side["throughput_rps"]
+                    if arm == "off":
+                        dark_side = side
+                per_round.append(rps)
+            report["sides"]["vectorized_no_telemetry"] = dark_side
+            # Each round's arms are adjacent in time, so the per-round
+            # ratio is drift-immune; the median across rounds then
+            # discards the outlier rounds this box produces.
+            fracs = sorted(1.0 - r["on"] / r["off"] for r in per_round
+                           if r["off"] > 0)
+            overhead = fracs[len(fracs) // 2] if fracs else 0.0
+            report["telemetry_overhead"] = {
+                "on_rps": statistics.median(r["on"] for r in per_round),
+                "off_rps": statistics.median(r["off"] for r in per_round),
+                # Positive = telemetry costs throughput.
+                "overhead_frac": overhead,
+                "rounds": rounds,
+                "round_seconds": round_seconds,
+                "per_round": [
+                    {"on_rps": round(r["on"], 1),
+                     "off_rps": round(r["off"], 1)} for r in per_round],
+                "sample_shift": ServeConfig().trace_sample_shift,
+                "note": ("median of per-round on/off ratios, arms "
+                         "paired in ABBA order; immune to machine "
+                         "drift between rounds"),
+            }
     if "scalar" in report["sides"] and "vectorized" in report["sides"]:
         scalar_rps = report["sides"]["scalar"]["throughput_rps"]
         vector_rps = report["sides"]["vectorized"]["throughput_rps"]

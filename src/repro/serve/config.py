@@ -37,6 +37,19 @@ class ServeConfig:
         Shortest same-session step run worth dispatching to a numpy
         kernel; shorter runs replay through the scalar reference loop
         (kernel setup costs more than it saves).
+    telemetry:
+        Whether the service mints per-request spans
+        (:class:`repro.obs.trace.RequestTracer`).  Untraced requests
+        cost one integer increment; the acceptance budget for default
+        sampling is <= 5% bench throughput (see ``docs/
+        observability.md``).
+    trace_sample_shift:
+        Trace 1 request in ``2**trace_sample_shift`` (0 = every
+        request).  The default (6 -> 1/64) keeps tracing overhead in
+        the noise at bench rates while still filling the per-stage
+        histograms within a second.
+    trace_keep:
+        Finished spans retained in the tracer ring for export.
     """
 
     n_shards: int = 4
@@ -46,6 +59,9 @@ class ServeConfig:
     retry_after_us: int = 1000
     backend: Optional[str] = None
     min_kernel_run: int = 8
+    telemetry: bool = True
+    trace_sample_shift: int = 6
+    trace_keep: int = 4096
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -56,6 +72,8 @@ class ServeConfig:
             raise ValueError("queue_depth must be >= 1")
         if self.max_delay_us < 0 or self.retry_after_us < 0:
             raise ValueError("delays must be non-negative")
+        if self.trace_sample_shift < 0:
+            raise ValueError("trace_sample_shift must be >= 0")
 
     def with_backend(self, backend: Optional[str]) -> "ServeConfig":
         return replace(self, backend=backend)

@@ -28,30 +28,52 @@ from repro.serve.protocol import (
 from repro.serve.service import PredictionService
 
 
-async def _dispatch(service: PredictionService,
-                    request: PredictRequest) -> PredictResponse:
+def _decode_span(service: PredictionService, request: PredictRequest):
+    """Mint the request's span at protocol decode (or ``None`` when
+    telemetry is off / this request is not sampled)."""
+    tracer = service.tracer
+    if tracer is None:
+        return None
+    span = tracer.start(request.session_id, request.seq)
+    if span is not None:
+        span.mark("decode")
+    return span
+
+
+async def _dispatch(service: PredictionService, request: PredictRequest,
+                    span=None) -> PredictResponse:
     """Map one decoded request onto the service API."""
     sid = request.session_id
     try:
         if request.op == "ping":
-            return PredictResponse(session_id=sid, seq=request.seq)
-        if request.op == "open":
+            response = PredictResponse(session_id=sid, seq=request.seq)
+        elif request.op == "open":
             if request.spec is None:
-                return PredictResponse(
+                response = PredictResponse(
                     session_id=sid, seq=request.seq, ok=False,
                     error=f"{ERR_BAD_REQUEST}: open requires spec")
-            spec = PredictorSpec.from_json_dict(request.spec)
-            await service.open_session(sid, spec)
-            return PredictResponse(session_id=sid, seq=request.seq)
-        if request.op == "close":
+            else:
+                spec = PredictorSpec.from_json_dict(request.spec)
+                await service.open_session(sid, spec)
+                response = PredictResponse(session_id=sid,
+                                           seq=request.seq)
+        elif request.op == "close":
             served = await service.close_session(sid)
-            return PredictResponse(session_id=sid, seq=request.seq,
-                                   result=served)
-        return await service.request(request)
+            response = PredictResponse(session_id=sid, seq=request.seq,
+                                       result=served)
+        else:
+            # Data path: the span rides the queue with the request and
+            # the owning shard closes it at reply time.
+            return await service.request(request, span=span)
     except Exception as exc:
-        return PredictResponse(
+        response = PredictResponse(
             session_id=sid, seq=request.seq, ok=False,
             error=f"{ERR_BAD_REQUEST}: {type(exc).__name__}: {exc}")
+    # Control ops never reach a shard; close their spans here.
+    if span is not None and service.tracer is not None:
+        span.mark("reply")
+        service.tracer.finish(span)
+    return response
 
 
 async def handle_connection(service: PredictionService,
@@ -61,8 +83,8 @@ async def handle_connection(service: PredictionService,
     write_lock = asyncio.Lock()
     pending = set()
 
-    async def _respond(request: PredictRequest) -> None:
-        response = await _dispatch(service, request)
+    async def _respond(request: PredictRequest, span=None) -> None:
+        response = await _dispatch(service, request, span=span)
         async with write_lock:
             writer.write((response.to_json() + "\n").encode("utf-8"))
             await writer.drain()
@@ -87,7 +109,8 @@ async def handle_connection(service: PredictionService,
                 continue
             # Pipelining: don't await the response before reading the
             # next line, or a single slow batch would stall the socket.
-            task = asyncio.ensure_future(_respond(request))
+            task = asyncio.ensure_future(
+                _respond(request, _decode_span(service, request)))
             pending.add(task)
             task.add_done_callback(pending.discard)
         if pending:
@@ -125,7 +148,9 @@ async def serve_stdio(service: PredictionService,
             continue
         try:
             request = PredictRequest.from_json(text)
-            response = await _dispatch(service, request)
+            response = await _dispatch(service, request,
+                                       span=_decode_span(service,
+                                                         request))
         except ProtocolError as exc:
             response = PredictResponse(session_id="?", ok=False,
                                        error=f"{ERR_BAD_REQUEST}: {exc}")

@@ -30,6 +30,9 @@ from typing import Dict, List, Optional
 import asyncio
 
 from repro.api import PredictorSpec
+from repro.common.stats import StreamingHistogram
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import RequestTracer
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import (
     ERR_CLOSED,
@@ -52,7 +55,15 @@ class PredictionService:
                  obs=None) -> None:
         self.config = config if config is not None else ServeConfig()
         self.obs = obs
-        self.shards: List[Shard] = [Shard(i, self.config, obs)
+        #: Per-request span tracer (``None`` when telemetry is off).
+        #: Spans are minted here for in-process callers and at protocol
+        #: decode by the transports (:mod:`repro.serve.net`).
+        self.tracer: Optional[RequestTracer] = (
+            RequestTracer(sample_shift=self.config.trace_sample_shift,
+                          keep=self.config.trace_keep)
+            if self.config.telemetry else None)
+        self.shards: List[Shard] = [Shard(i, self.config, obs,
+                                          tracer=self.tracer)
                                     for i in range(self.config.n_shards)]
         #: session_id → shard, memoised (SHA-256 per submit is real
         #: money on the hot path; routing is deterministic, so caching
@@ -112,32 +123,51 @@ class PredictionService:
 
     # -- the data path -------------------------------------------------------
 
-    def submit(self, request: PredictRequest
+    def submit(self, request: PredictRequest, span=None
                ) -> "asyncio.Future[PredictResponse]":
         """Admit one request; never blocks.
 
         The returned future resolves with the response.  Rejections
         (service closed, shard queue full) resolve it immediately —
         callers distinguish them by ``response.error``.
+
+        ``span`` is the request's trace span when the transport minted
+        one at protocol decode; in-process callers leave it ``None``
+        and sampling happens here (with a zero-length ``decode`` stage,
+        so every span carries the same stage vocabulary).
         """
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[PredictResponse]" = loop.create_future()
+        tracer = self.tracer
+        if span is None and tracer is not None and self._accepting:
+            span = tracer.start(request.session_id, request.seq)
+            if span is not None:
+                span.mark("decode")
         if not self._accepting:
             future.set_result(PredictResponse(
                 session_id=request.session_id, seq=request.seq, ok=False,
                 error=ERR_CLOSED))
+            self._finish_rejected(span)
             return future
         shard = self.shard_of(request.session_id)
-        if not shard.try_submit(request, future):
+        if not shard.try_submit(request, future, span):
             future.set_result(PredictResponse(
                 session_id=request.session_id, seq=request.seq, ok=False,
                 error="retry-after",
                 retry_after_us=self.config.retry_after_us))
+            self._finish_rejected(span)
         return future
 
-    async def request(self, request: PredictRequest) -> PredictResponse:
+    def _finish_rejected(self, span) -> None:
+        """A rejected request's span ends at the admission edge."""
+        if span is not None and self.tracer is not None:
+            span.mark("reply")
+            self.tracer.finish(span)
+
+    async def request(self, request: PredictRequest,
+                      span=None) -> PredictResponse:
         """Submit and await one request."""
-        return await self.submit(request)
+        return await self.submit(request, span=span)
 
     # -- snapshot / restore ---------------------------------------------------
 
@@ -186,3 +216,40 @@ class PredictionService:
                     "backend": self.config.backend,
                 },
                 "totals": totals, "shards": per_shard}
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A :class:`MetricsRegistry` view of the live service.
+
+        Served/batch/reject totals and queue depths as gauges, the
+        merged batch-size distribution and — when telemetry is on —
+        the per-stage request-latency histograms as mounted streaming
+        histograms, so registry snapshot/diff/merge (and the
+        time-series exporter built on them) see the service like any
+        other instrumented subsystem.
+        """
+        reg = MetricsRegistry("serve")
+        stats = self.stats()
+        for key, value in stats["totals"].items():
+            reg.set(f"serve.{key}", value)
+        reg.set("serve.queue_depth",
+                sum(s["depth"] for s in stats["shards"]))
+        for i, shard_stats in enumerate(stats["shards"]):
+            reg.set(f"serve.shards.{i}.depth", shard_stats["depth"])
+            reg.set(f"serve.shards.{i}.served", shard_stats["served"])
+        batch_sizes = StreamingHistogram("batch_size")
+        for shard in self.shards:
+            batch_sizes.merge(shard.batch_sizes)
+        if batch_sizes.count:
+            reg.mount("serve.batch_size", batch_sizes)
+        if self.tracer is not None:
+            for key, value in self.tracer.counters().items():
+                reg.set(f"trace.{key}", value)
+            for stage, hist in self.tracer.stage_hists.items():
+                reg.mount(f"trace.stage_us.{stage}", hist)
+            if self.tracer.total_hist.count:
+                reg.mount("trace.total_us", self.tracer.total_hist)
+        return reg
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat snapshot — the time-series exporter's source."""
+        return self.metrics_registry().snapshot()

@@ -24,6 +24,7 @@ import asyncio
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.stats import StreamingHistogram
 from repro.obs.events import EventKind
 from repro.serve.batch import apply_predict, apply_update, execute_steps
 from repro.serve.config import ServeConfig
@@ -42,14 +43,18 @@ def _now_us() -> int:
 
 
 class _Item:
-    """One queued request with its response future."""
+    """One queued request with its response future and (optional)
+    trace span — the span rides the queue with the request so every
+    stage mark lands on the right timeline."""
 
-    __slots__ = ("request", "future")
+    __slots__ = ("request", "future", "span")
 
     def __init__(self, request: PredictRequest,
-                 future: "asyncio.Future[PredictResponse]") -> None:
+                 future: "asyncio.Future[PredictResponse]",
+                 span=None) -> None:
         self.request = request
         self.future = future
+        self.span = span
 
 
 class _Control:
@@ -69,10 +74,15 @@ class _Control:
 class Shard:
     """One worker shard (see module docstring)."""
 
-    def __init__(self, index: int, config: ServeConfig, obs=None) -> None:
+    def __init__(self, index: int, config: ServeConfig, obs=None,
+                 tracer=None) -> None:
         self.index = index
         self.config = config
         self.obs = obs
+        self.tracer = tracer
+        #: Micro-batch size distribution (one record per flush) for the
+        #: live dashboard; bounded memory whatever the flush rate.
+        self.batch_sizes = StreamingHistogram("batch_size")
         self.sessions: Dict[str, Session] = {}
         #: Created in :meth:`start`, inside the running loop — keeps
         #: construction loop-agnostic on every supported Python.
@@ -108,10 +118,11 @@ class Shard:
     # -- admission (runs on the caller's task) ------------------------------
 
     def try_submit(self, request: PredictRequest,
-                   future: "asyncio.Future[PredictResponse]") -> bool:
+                   future: "asyncio.Future[PredictResponse]",
+                   span=None) -> bool:
         """Admit a data request, or reject with ``retry-after``."""
         try:
-            self.queue.put_nowait(_Item(request, future))
+            self.queue.put_nowait(_Item(request, future, span))
         except asyncio.QueueFull:
             self.rejected += 1
             if self.obs is not None:
@@ -172,6 +183,12 @@ class Shard:
         """Run one flushed batch; returns True when draining started."""
         self.batches += 1
         self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        self.batch_sizes.record(len(batch))
+        # Coalescing is over: the queue stage of every traced request
+        # in this flush ends here.
+        for entry in batch:
+            if isinstance(entry, _Item) and entry.span is not None:
+                entry.span.mark("queue")
         draining = False
         used_kernel = False
         # Controls are barriers: flush accumulated data groups first.
@@ -216,6 +233,7 @@ class Shard:
                     item.future.set_result(PredictResponse(
                         session_id=session_id, seq=item.request.seq,
                         ok=False, error=ERR_UNKNOWN_SESSION))
+                    self._finish_span(item)
                 continue
             used_kernel |= self._execute_session(session, group, backend)
         return used_kernel
@@ -247,25 +265,42 @@ class Shard:
                         seq=item.request.seq, ok=False,
                         error=f"{ERR_INTERNAL}: {type(exc).__name__}: "
                               f"{exc}"))
+                self._finish_span(item)
         return used_kernel
+
+    def _finish_span(self, item: _Item) -> None:
+        """Close a traced request's timeline (idempotent)."""
+        if item.span is not None and not item.span.done:
+            item.span.mark("reply")
+            if self.tracer is not None:
+                self.tracer.finish(item.span)
 
     def _flush_run(self, session: Session, run: List[_Item],
                    backend: str) -> bool:
         if not run:
             return False
+        spans = [item.span for item in run if item.span is not None]
+        for span in spans:
+            span.mark("batch")
         results, used_kernel = execute_steps(
             session, [item.request for item in run], backend,
             self.config.min_kernel_run)
+        stage = "kernel" if used_kernel else "predict"
+        for span in spans:
+            span.mark(stage)
         session.served += len(run)
         self.served += len(run)
         sid = session.session_id
         for item, result in zip(run, results):
             item.future.set_result(PredictResponse(
                 session_id=sid, seq=item.request.seq, result=result))
+            self._finish_span(item)
         return used_kernel
 
     def _apply_single(self, session: Session, item: _Item) -> None:
         request = item.request
+        if item.span is not None:
+            item.span.mark("batch")
         if request.op == "predict":
             result: Optional[int] = apply_predict(
                 session.family, session.predictor, request.pc)
@@ -275,6 +310,7 @@ class Shard:
                     session_id=session.session_id, seq=request.seq,
                     ok=False,
                     error=f"{ERR_BAD_REQUEST}: update requires outcome"))
+                self._finish_span(item)
                 return
             apply_update(session.family, session.predictor, request.pc,
                          int(request.outcome), distance=request.distance,
@@ -284,11 +320,15 @@ class Shard:
             item.future.set_result(PredictResponse(
                 session_id=session.session_id, seq=request.seq, ok=False,
                 error=f"{ERR_BAD_REQUEST}: unexpected op {request.op!r}"))
+            self._finish_span(item)
             return
+        if item.span is not None:
+            item.span.mark("predict")
         session.served += 1
         self.served += 1
         item.future.set_result(PredictResponse(
             session_id=session.session_id, seq=request.seq, result=result))
+        self._finish_span(item)
 
     # -- control ops ---------------------------------------------------------
 

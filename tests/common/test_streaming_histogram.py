@@ -1,0 +1,202 @@
+"""StreamingHistogram: quantile accuracy, merging, bounded memory.
+
+The histogram promises quantiles within ``rel_error`` of the exact
+sorted-sample values using O(#buckets) memory — these tests check the
+promise against exact sorts, on both the numpy bulk path and the pure
+scalar path, and the algebraic properties (merge associativity,
+serialisation round-trips) the registry machinery relies on.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.common.stats import StatGroup, StreamingHistogram
+
+try:
+    import numpy as np
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None
+    HAS_NUMPY = False
+
+
+def exact_quantile(sorted_values, q):
+    """Nearest-rank quantile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def assert_within_rel_error(hist, sorted_values, quantiles=(0.5, 0.9, 0.99)):
+    # One bucket spans a (1 + 2e) ratio, so the representative is
+    # within a factor (1 + 2e)^(1/2) ~ (1 + e) of any member; allow a
+    # hair extra for rank discretisation at the sample sizes used.
+    bound = 2.5 * hist.rel_error
+    for q in quantiles:
+        exact = exact_quantile(sorted_values, q)
+        approx = hist.quantile(q)
+        assert approx == pytest.approx(exact, rel=bound), (
+            f"q={q}: {approx} vs exact {exact}")
+
+
+class TestAccuracy:
+    def test_quantiles_within_bound_scalar_path(self):
+        rng = random.Random(7)
+        hist = StreamingHistogram("lat")
+        values = [rng.lognormvariate(3.0, 1.5) for _ in range(20000)]
+        for v in values:
+            hist.record(v)
+        assert_within_rel_error(hist, sorted(values))
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="needs numpy")
+    def test_quantiles_within_bound_bulk_million(self):
+        # The acceptance-criteria case: 10^6 samples, p50/p90/p99
+        # within the documented relative-error bound of an exact sort,
+        # with memory proportional to the bucket count only.
+        rng = np.random.default_rng(11)
+        values = rng.lognormal(mean=4.0, sigma=2.0, size=1_000_000)
+        hist = StreamingHistogram("lat")
+        hist.record_many(values)
+        assert hist.count == 1_000_000
+        assert_within_rel_error(hist, sorted(values.tolist()),
+                                quantiles=(0.5, 0.9, 0.99, 0.999))
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="needs numpy")
+    def test_bulk_and_scalar_paths_agree(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(scale=100.0, size=5000)
+        bulk = StreamingHistogram("b")
+        bulk.record_many(values)
+        scalar = StreamingHistogram("s")
+        for v in values.tolist():
+            scalar.record(v)
+        assert bulk.count == scalar.count
+        assert bulk._bins == scalar._bins
+
+    def test_bounded_memory(self):
+        # 10^5 values across six orders of magnitude: the bucket count
+        # stays O(log(range)/log(1+2e)), nowhere near the sample count.
+        rng = random.Random(1)
+        hist = StreamingHistogram("mem")
+        for _ in range(100_000):
+            hist.record(10 ** rng.uniform(-2, 4))
+        assert len(hist._bins) < 1500
+        assert hist.count == 100_000
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = StreamingHistogram("clamp")
+        hist.record(10.0)
+        hist.record(10.0)
+        assert hist.quantile(0.0) == pytest.approx(10.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        hist = StreamingHistogram("e")
+        assert hist.count == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_zeros_and_negatives_underflow_bucket(self):
+        hist = StreamingHistogram("z")
+        hist.record(0.0)
+        hist.record(-5.0)
+        hist.record(100.0)
+        assert hist.count == 3
+        assert hist.min <= 0.0
+        # Half the mass is non-positive, so the median is the
+        # underflow representative (0), not 100.
+        assert hist.quantile(0.4) == 0.0
+
+    def test_weighted_record(self):
+        hist = StreamingHistogram("w")
+        hist.record(5.0, n=10)
+        assert hist.count == 10
+        assert hist.sum == pytest.approx(50.0)
+
+    def test_percentile_keys(self):
+        hist = StreamingHistogram("p")
+        for i in range(1, 101):
+            hist.record(float(i))
+        pcts = hist.percentiles()
+        assert set(pcts) == {"p50", "p90", "p99", "p999"}
+        assert pcts["p50"] <= pcts["p90"] <= pcts["p99"] <= pcts["p999"]
+
+
+class TestMerge:
+    def _filled(self, seed, n=3000):
+        rng = random.Random(seed)
+        hist = StreamingHistogram("m")
+        values = [rng.lognormvariate(2.0, 1.0) for _ in range(n)]
+        for v in values:
+            hist.record(v)
+        return hist, values
+
+    def test_merge_equals_union(self):
+        a, va = self._filled(1)
+        b, vb = self._filled(2)
+        a.merge(b)
+        assert a.count == len(va) + len(vb)
+        assert_within_rel_error(a, sorted(va + vb))
+
+    def test_merge_associative_and_commutative(self):
+        parts = [self._filled(seed)[0] for seed in (1, 2, 3)]
+        left = parts[0].copy()
+        left.merge(parts[1])
+        left.merge(parts[2])
+        right = parts[2].copy()
+        right.merge(parts[1])
+        right.merge(parts[0])
+        assert left._bins == right._bins
+        assert left.count == right.count
+        assert left.sum == pytest.approx(right.sum)
+        for q in (0.5, 0.9, 0.99):
+            assert left.quantile(q) == pytest.approx(right.quantile(q))
+
+    def test_merge_rejects_mismatched_resolution(self):
+        a = StreamingHistogram("a", rel_error=0.01)
+        b = StreamingHistogram("b", rel_error=0.05)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_empty_is_identity(self):
+        a, va = self._filled(4)
+        before = dict(a._bins)
+        a.merge(StreamingHistogram("empty"))
+        assert a._bins == before
+        assert a.count == len(va)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        a, _ = TestMerge()._filled(9)
+        b = StreamingHistogram.from_dict(a.as_dict())
+        assert b.count == a.count
+        assert b._bins == a._bins
+        assert b.min == a.min and b.max == a.max
+        for q in (0.5, 0.99):
+            assert b.quantile(q) == a.quantile(q)
+
+    def test_as_dict_is_json_safe(self):
+        import json
+        a, _ = TestMerge()._filled(10)
+        text = json.dumps(a.as_dict())
+        b = StreamingHistogram.from_dict(json.loads(text))
+        assert b.count == a.count
+
+
+class TestStatGroupIntegration:
+    def test_streaming_factory_and_as_dict(self):
+        group = StatGroup("g")
+        hist = group.streaming("latency")
+        assert hist is group.streaming("latency")  # memoised
+        hist.record(3.0)
+        hist.record(30.0)
+        out = group.as_dict()
+        assert out["latency"]["count"] == 2
+        assert "p50" in out["latency"]

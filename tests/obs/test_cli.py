@@ -88,3 +88,38 @@ def test_summarize_missing_artifacts(tmp_path):
     empty.mkdir()
     with pytest.raises(FileNotFoundError):
         main(["summarize", str(empty)])
+
+
+def _spans_file(tmp_path, n=6):
+    from repro.obs.trace import RequestTracer
+    tracer = RequestTracer(sample_shift=0)
+    for i in range(n):
+        span = tracer.start("cli", i)
+        for stage, offset in (("decode", 5), ("queue", 200),
+                              ("batch", 210), ("kernel", 700),
+                              ("reply", 705)):
+            span.mark(stage, span.start_us + offset)
+        tracer.finish(span)
+    path = tmp_path / "spans.jsonl"
+    tracer.write_jsonl(str(path))
+    return path
+
+
+def test_trace_summary_view(tmp_path, capsys):
+    path = _spans_file(tmp_path)
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    for stage in ("decode", "queue", "batch", "kernel", "reply"):
+        assert stage in out
+    assert "slowest" in out
+    assert "p99_us" in out
+
+
+def test_trace_chrome_export(tmp_path, capsys):
+    path = _spans_file(tmp_path)
+    out_path = tmp_path / "requests.trace.json"
+    assert main(["trace", str(path), "--out", str(out_path)]) == 0
+    document = json.loads(out_path.read_text())
+    slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in slices} == {"decode", "queue", "batch",
+                                           "kernel", "reply"}

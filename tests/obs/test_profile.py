@@ -1,0 +1,78 @@
+"""PhaseProfiler: phase accounting for the simulator's own wall-clock."""
+
+import time
+
+import pytest
+
+from repro.obs.profile import PhaseProfiler
+
+
+class TestPhases:
+    def test_phase_records_elapsed(self):
+        prof = PhaseProfiler()
+        with prof.phase("work"):
+            time.sleep(0.01)
+        assert prof.timings["work"] >= 0.01
+        assert prof.timings["work"] < 1.0
+
+    def test_reentering_a_phase_accumulates(self):
+        prof = PhaseProfiler()
+        for _ in range(3):
+            with prof.phase("loop"):
+                time.sleep(0.002)
+        assert set(prof.timings) == {"loop"}
+        assert prof.timings["loop"] >= 0.006
+
+    def test_phases_are_independent_buckets(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            pass
+        with prof.phase("b"):
+            time.sleep(0.005)
+        assert prof.timings["b"] > prof.timings["a"] >= 0.0
+
+    def test_exception_inside_phase_still_counts(self):
+        prof = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.phase("broken"):
+                time.sleep(0.002)
+                raise RuntimeError("boom")
+        assert prof.timings["broken"] >= 0.002
+
+    def test_nested_phases_both_record(self):
+        prof = PhaseProfiler()
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                time.sleep(0.002)
+        assert prof.timings["outer"] >= prof.timings["inner"] >= 0.002
+
+
+class TestTotals:
+    def test_accounted_is_sum_of_phases(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            time.sleep(0.002)
+        with prof.phase("b"):
+            time.sleep(0.002)
+        assert prof.accounted == pytest.approx(
+            prof.timings["a"] + prof.timings["b"])
+
+    def test_total_covers_accounted(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            time.sleep(0.002)
+        assert prof.total >= prof.accounted
+
+    def test_as_dict_is_a_copy(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            pass
+        out = prof.as_dict()
+        out["a"] = 999.0
+        assert prof.timings["a"] != 999.0
+
+    def test_repr_names_phases(self):
+        prof = PhaseProfiler()
+        with prof.phase("simulate"):
+            pass
+        assert "simulate" in repr(prof)

@@ -149,3 +149,68 @@ class TestAdapters:
         assert result.hitmiss.total > 0
         for cls, count in result.hitmiss.counts.items():
             assert snap[f"run.hitmiss.classes.{cls.value}"] == count
+
+
+class TestStreamingHistogramMounts:
+    def _hist(self, values, name="lat"):
+        from repro.common.stats import StreamingHistogram
+        hist = StreamingHistogram(name)
+        for v in values:
+            hist.record(v)
+        return hist
+
+    def test_mounted_histogram_flattens_to_summary_leaves(self):
+        reg = MetricsRegistry()
+        reg.mount("svc.latency", self._hist([10.0, 20.0, 30.0]))
+        snap = reg.snapshot()
+        assert snap["svc.latency.count"] == 3
+        for leaf in ("mean", "min", "max", "p50", "p90", "p99", "p999"):
+            assert f"svc.latency.{leaf}" in snap
+
+    def test_diff_over_histogram_leaves(self):
+        reg = MetricsRegistry()
+        hist = self._hist([10.0])
+        reg.mount("svc.latency", hist)
+        before = reg.snapshot()
+        hist.record(10.0)
+        after = reg.snapshot()
+        delta = MetricsRegistry.diff(before, after)
+        assert delta["svc.latency.count"] == (1.0, 2.0)
+
+    def test_merge_is_lossless_not_quantile_summing(self):
+        # Merging registries must combine histogram *buckets*; summing
+        # the flattened p50 leaves (the naive approach) would double
+        # every quantile.
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.mount("svc.latency", self._hist([100.0] * 50))
+        b.mount("svc.latency", self._hist([200.0] * 50))
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["svc.latency.count"] == 100
+        # Median of the union sits at one of the modes — not at
+        # 100+200 (leaf summing) nor outside [100, 200].
+        assert 95.0 <= snap["svc.latency.p50"] <= 205.0
+        assert snap["svc.latency.max"] == pytest.approx(200.0)
+
+    def test_merge_mounts_missing_histogram_copy(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        source = self._hist([5.0, 15.0])
+        b.mount("svc.latency", source)
+        a.merge(b)
+        assert a.snapshot()["svc.latency.count"] == 2
+        # A copy was mounted: mutating the source must not leak into a.
+        source.record(25.0)
+        assert a.snapshot()["svc.latency.count"] == 2
+
+    def test_merge_still_sums_plain_gauges(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.set("served", 10)
+        b.set("served", 5)
+        b.mount("svc.latency", self._hist([1.0]))
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["served"] == 15
+        assert snap["svc.latency.count"] == 1

@@ -1,0 +1,111 @@
+"""Time-series exporter: JSONL stream, Prometheus text, sampling loop."""
+
+import json
+import threading
+import time
+
+from repro.obs.timeseries import (
+    TimeSeriesExporter,
+    prometheus_name,
+    read_timeseries,
+    to_prometheus,
+)
+
+
+class TestPrometheusFormat:
+    def test_name_sanitisation(self):
+        assert prometheus_name("serve.queue_depth") == \
+            "repro_serve_queue_depth"
+        assert prometheus_name("trace.stage_us.kernel.p99") == \
+            "repro_trace_stage_us_kernel_p99"
+        assert prometheus_name("weird-name!x", prefix="p") == \
+            "p_weird_name_x"
+
+    def test_exposition_shape(self):
+        text = to_prometheus({"a.one": 1.5, "b.two": 2},
+                             timestamp_ms=1234)
+        lines = text.strip().splitlines()
+        assert "# TYPE repro_a_one gauge" in lines
+        assert "repro_a_one 1.5 1234" in lines
+        assert "repro_b_two 2 1234" in lines
+        assert text.endswith("\n")
+
+
+class TestExporter:
+    def test_sample_once_appends_jsonl_and_rewrites_prom(self, tmp_path):
+        jsonl = tmp_path / "m.jsonl"
+        prom = tmp_path / "m.prom"
+        state = {"v": 0.0}
+
+        def source():
+            state["v"] += 1.0
+            return {"counter": state["v"]}
+
+        exporter = TimeSeriesExporter(source, interval_ms=10_000,
+                                      jsonl_path=str(jsonl),
+                                      prom_path=str(prom))
+        exporter.sample_once()
+        exporter.sample_once()
+        rows = read_timeseries(str(jsonl))
+        assert [r["metrics"]["counter"] for r in rows] == [1.0, 2.0]
+        assert all("t" in r for r in rows)
+        # prom file is a full rewrite: only the latest value present.
+        text = prom.read_text()
+        assert "repro_counter 2" in text and "repro_counter 1" not in text
+
+    def test_background_loop_samples_and_final_flush(self, tmp_path):
+        jsonl = tmp_path / "m.jsonl"
+        calls = []
+
+        def source():
+            calls.append(time.monotonic())
+            return {"x": float(len(calls))}
+
+        exporter = TimeSeriesExporter(source, interval_ms=20,
+                                      jsonl_path=str(jsonl))
+        with exporter:
+            time.sleep(0.15)
+        assert len(calls) >= 3  # ~7 expected; generous for slow CI
+        rows = read_timeseries(str(jsonl))
+        # stop() takes one final sample, so the file matches the calls.
+        assert len(rows) == len(calls)
+        assert rows[-1]["metrics"]["x"] == float(len(calls))
+
+    def test_stop_is_idempotent_and_joins_thread(self, tmp_path):
+        exporter = TimeSeriesExporter(lambda: {"x": 1.0},
+                                      interval_ms=10,
+                                      jsonl_path=str(tmp_path / "m.jsonl"))
+        exporter.start()
+        exporter.stop()
+        exporter.stop()
+        assert not any(t.name == "repro-obs-timeseries"
+                       for t in threading.enumerate())
+
+    def test_source_errors_do_not_kill_the_loop(self, tmp_path):
+        jsonl = tmp_path / "m.jsonl"
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] % 2 == 0:
+                raise RuntimeError("transient")
+            return {"n": float(state["n"])}
+
+        exporter = TimeSeriesExporter(flaky, interval_ms=10,
+                                      jsonl_path=str(jsonl))
+        exporter.start()
+        time.sleep(0.1)
+        exporter.stop(final_sample=False)
+        assert exporter.n_errors >= 1
+        rows = read_timeseries(str(jsonl))
+        assert rows, "loop kept sampling through source errors"
+        assert all(r["metrics"]["n"] % 2 == 1 for r in rows)
+
+
+class TestReader:
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(json.dumps({"t": 1.0, "metrics": {"a": 2}})
+                        + "\n\n")
+        rows = read_timeseries(str(path))
+        assert len(rows) == 1 and rows[0]["metrics"]["a"] == 2

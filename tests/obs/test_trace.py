@@ -1,0 +1,153 @@
+"""Span/RequestTracer semantics and the trace export formats."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    SPAN_PID,
+    STAGES,
+    RequestTracer,
+    Span,
+    read_spans,
+    render_span_summary,
+    spans_to_chrome_trace,
+    summarize_spans,
+)
+
+
+def make_span(trace_id=1, session="s", seq=0, start=1000,
+              stages=(("decode", 1010), ("queue", 1500),
+                      ("batch", 1520), ("kernel", 1900),
+                      ("reply", 1910))):
+    span = Span(trace_id, session, seq, start_us=start)
+    for stage, t in stages:
+        span.mark(stage, t)
+    return span
+
+
+class TestSpan:
+    def test_mark_closes_stage_gap_free(self):
+        span = make_span()
+        durations = span.stage_durations()
+        assert [d[0] for d in durations] == ["decode", "queue", "batch",
+                                             "kernel", "reply"]
+        # Gap-free: each stage starts where the previous ended.
+        prev_end = span.start_us
+        for _, start, duration in durations:
+            assert start == prev_end
+            prev_end = start + duration
+        assert prev_end == span.end_us
+
+    def test_queue_and_service_are_separate_stages(self):
+        span = make_span()
+        by_stage = {s: d for s, _, d in span.stage_durations()}
+        assert by_stage["queue"] == 490   # sojourn
+        assert by_stage["kernel"] == 380  # service
+        assert span.total_us == 910
+
+    def test_non_monotonic_mark_clamps_to_zero(self):
+        span = Span(1, "s", 0, start_us=100)
+        span.mark("a", 90)  # clock went "backwards" (clamped, not negative)
+        assert span.stage_durations() == [("a", 100, 0)]
+
+    def test_round_trip(self):
+        span = make_span()
+        clone = Span.from_dict(json.loads(json.dumps(span.as_dict())))
+        assert clone.as_dict() == span.as_dict()
+        assert clone.stage_durations() == span.stage_durations()
+
+
+class TestTracerSampling:
+    def test_shift_zero_traces_everything(self):
+        tracer = RequestTracer(sample_shift=0)
+        spans = [tracer.start("s", i) for i in range(10)]
+        assert all(s is not None for s in spans)
+        assert tracer.counters()["sample_every"] == 1
+
+    def test_shift_two_traces_one_in_four(self):
+        tracer = RequestTracer(sample_shift=2)
+        spans = [tracer.start("s", i) for i in range(64)]
+        assert sum(1 for s in spans if s is not None) == 16
+        assert tracer.counters()["requests_seen"] == 64
+        assert tracer.counters()["sample_every"] == 4
+
+    def test_force_overrides_sampling(self):
+        tracer = RequestTracer(sample_shift=10)
+        assert tracer.start("s", 0, force=True) is not None
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            RequestTracer(sample_shift=-1)
+
+
+class TestTracerAggregation:
+    def _traced(self, n=8):
+        tracer = RequestTracer(sample_shift=0, keep=4)
+        for i in range(n):
+            span = tracer.start("s", i)
+            base = 1000 * i
+            for stage, offset in (("decode", 5), ("queue", 105),
+                                  ("batch", 110), ("predict", 210),
+                                  ("reply", 215)):
+                span.mark(stage, span.start_us + offset)
+            tracer.finish(span)
+        return tracer
+
+    def test_ring_is_bounded_but_hists_see_all(self):
+        tracer = self._traced(8)
+        assert len(tracer.spans) == 4  # keep=4 ring
+        assert tracer.finished == 8
+        assert tracer.stage_hists["queue"].count == 8
+
+    def test_summary_has_canonical_stage_order(self):
+        summary = self._traced().summary()
+        stages = [s for s in summary if s != "total"]
+        assert stages == [s for s in STAGES if s in stages]
+        assert summary["queue"]["p50"] == pytest.approx(100, rel=0.05)
+        assert summary["total"]["count"] == 8
+
+    def test_finish_is_idempotent(self):
+        tracer = RequestTracer(sample_shift=0)
+        span = tracer.start("s", 0)
+        span.mark("reply")
+        tracer.finish(span)
+        tracer.finish(span)
+        assert tracer.finished == 1
+        assert tracer.stage_hists["reply"].count == 1
+
+    def test_finish_none_is_noop(self):
+        tracer = RequestTracer(sample_shift=0)
+        tracer.finish(None)
+        assert tracer.finished == 0
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = TestTracerAggregation()._traced(3)
+        path = tmp_path / "spans.jsonl"
+        assert tracer.write_jsonl(str(path)) == 3
+        spans = read_spans(str(path))
+        assert len(spans) == 3
+        assert spans[0].marks == list(tracer.spans[0].marks)
+
+    def test_chrome_trace_has_stage_slices(self):
+        spans = [make_span(trace_id=i, seq=i) for i in range(3)]
+        doc = spans_to_chrome_trace(spans)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {"decode", "queue",
+                                               "batch", "kernel",
+                                               "reply"}
+        assert all(e["pid"] == SPAN_PID for e in slices)
+        # ts is origin-relative so Perfetto opens at t=0.
+        assert min(e["ts"] for e in slices) == 0
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in metas)
+
+    def test_summarize_and_render(self):
+        spans = [make_span(trace_id=i) for i in range(4)]
+        summary = summarize_spans(spans)
+        assert summary["queue"]["count"] == 4
+        text = render_span_summary(summary, n_spans=4)
+        assert "queue" in text and "p99_us" in text
+        assert render_span_summary({}) == "spans: (none recorded)"

@@ -1,8 +1,13 @@
-"""Bench smoke: tiny closed-loop runs on both sides produce a report."""
+"""Bench smoke: tiny closed-loop runs produce a schema-2 report."""
 
 import json
 
-from repro.serve.bench import make_windows, run_bench, write_report
+from repro.serve.bench import (
+    BENCH_SCHEMA,
+    make_windows,
+    run_bench,
+    write_report,
+)
 
 
 def test_make_windows_is_deterministic():
@@ -17,14 +22,22 @@ def test_bench_both_sides_and_report(tmp_path):
     report = run_bench(seconds=0.3, clients=4, window=64,
                        spec_kind="hmp.local", n_shards=2,
                        max_batch=512, max_delay_us=500,
-                       queue_depth=4096, sides="both")
+                       queue_depth=4096, sides="both",
+                       telemetry_compare=False)
+    assert report["schema"] == BENCH_SCHEMA
     assert set(report["sides"]) == {"scalar", "vectorized"}
     for side in report["sides"].values():
         assert side["completed"] > 0
         assert side["throughput_rps"] > 0
-        assert {"p50", "p90", "p99"} <= set(side["latency_us"])
+        assert {"p50", "p90", "p99", "p999"} <= set(side["latency_us"])
+        # Bounded accounting: quantiles come from a streaming
+        # histogram over a sampled subset, not an unbounded list.
+        assert 0 < side["latency_samples"] <= side["completed"]
+        assert side["warmup_seconds"] > 0
     assert report["speedup"] > 0
     assert report["sides"]["scalar"]["effective_backend"] == "reference"
+    for key in ("git_rev", "hostname", "python", "numpy", "cpu_count"):
+        assert key in report["provenance"]
 
     path = write_report(report, str(tmp_path / "BENCH_serve.json"))
     loaded = json.loads(open(path).read())
@@ -32,9 +45,39 @@ def test_bench_both_sides_and_report(tmp_path):
     assert loaded["spec"]["kind"] == "hmp.local"
 
 
+def test_bench_separates_queue_sojourn_from_service_time():
+    report = run_bench(seconds=0.3, clients=4, window=64,
+                       spec_kind="hmp.local", n_shards=1,
+                       sides="reference", telemetry_compare=False)
+    side = report["sides"]["scalar"]
+    assert side["telemetry"] is True
+    assert side["queue_us"]["stage"] == "queue"
+    assert side["service_us"]["stage"] in ("kernel", "predict")
+    # Under a closed loop the queue sojourn dominates; service time is
+    # the per-request execution alone — orders of magnitude apart.
+    assert side["queue_us"]["p50"] > side["service_us"]["p50"]
+    assert "queue sojourn" in side["latency_note"]
+
+
+def test_bench_telemetry_overhead_comparison():
+    report = run_bench(seconds=0.2, clients=2, window=32,
+                       spec_kind="hmp.local", n_shards=1,
+                       sides="vectorized", telemetry_compare=True)
+    assert set(report["sides"]) == {"vectorized",
+                                    "vectorized_no_telemetry"}
+    dark = report["sides"]["vectorized_no_telemetry"]
+    assert dark["telemetry"] is False
+    assert "queue_us" not in dark  # no tracer → no stage split
+    overhead = report["telemetry_overhead"]
+    assert overhead["on_rps"] > 0 and overhead["off_rps"] > 0
+    assert "overhead_frac" in overhead
+    assert overhead["sample_shift"] >= 0
+
+
 def test_bench_single_side():
     report = run_bench(seconds=0.2, clients=2, window=32,
                        spec_kind="hmp.local", n_shards=1,
-                       sides="reference")
+                       sides="reference", telemetry_compare=False)
     assert set(report["sides"]) == {"scalar"}
     assert "speedup" not in report
+    assert "telemetry_overhead" not in report

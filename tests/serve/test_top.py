@@ -1,0 +1,77 @@
+"""The ``repro.serve top`` dashboard: frame rendering and file tailing."""
+
+import io
+import json
+
+from repro.serve.top import render_frame, run_top
+
+
+def sample(t, **metrics):
+    return {"t": t, "metrics": metrics}
+
+
+class TestRenderFrame:
+    def test_first_frame_shows_dashes_for_rates(self):
+        frame = render_frame(None, sample(100.0, **{
+            "serve.served": 500.0, "serve.queue_depth": 3.0}))
+        assert "throughput" in frame
+        assert "-" in frame  # no previous sample → no rate yet
+        assert "500" in frame
+
+    def test_rate_between_samples(self):
+        prev = sample(100.0, **{"serve.served": 1000.0})
+        curr = sample(102.0, **{"serve.served": 5000.0})
+        frame = render_frame(prev, curr)
+        assert "2,000" in frame  # (5000-1000)/2s
+
+    def test_batch_and_stage_sections(self):
+        curr = sample(10.0, **{
+            "serve.served": 1.0,
+            "serve.batch_size.count": 4.0,
+            "serve.batch_size.mean": 32.0,
+            "serve.batch_size.p50": 30.0,
+            "serve.batch_size.p99": 60.0,
+            "trace.stage_us.queue.count": 9.0,
+            "trace.stage_us.queue.mean": 120.0,
+            "trace.stage_us.queue.p50": 100.0,
+            "trace.stage_us.queue.p99": 400.0,
+            "trace.stage_us.kernel.count": 9.0,
+            "trace.stage_us.kernel.p50": 50.0,
+        })
+        frame = render_frame(None, curr)
+        assert "batch size" in frame
+        lines = frame.splitlines()
+        queue_row = next(i for i, l in enumerate(lines)
+                         if l.strip().startswith("queue"))
+        kernel_row = next(i for i, l in enumerate(lines)
+                          if l.strip().startswith("kernel"))
+        assert queue_row < kernel_row  # canonical pipeline order
+
+    def test_counter_reset_clamps_rate_to_zero(self):
+        prev = sample(1.0, **{"serve.served": 900.0})
+        curr = sample(2.0, **{"serve.served": 10.0})  # restarted service
+        frame = render_frame(prev, curr)
+        assert "0.0 rps" in frame
+
+
+class TestRunTop:
+    def _write(self, path, rows):
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+
+    def test_once_renders_latest_sample(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        self._write(path, [
+            sample(1.0, **{"serve.served": 100.0}),
+            sample(2.0, **{"serve.served": 600.0}),
+        ])
+        out = io.StringIO()
+        assert run_top(str(path), once=True, out=out) == 0
+        text = out.getvalue()
+        assert "repro.serve top" in text
+        assert "500" in text  # rate from the last two samples
+
+    def test_once_with_missing_file_fails(self, tmp_path):
+        assert run_top(str(tmp_path / "none.jsonl"), once=True,
+                       out=io.StringIO()) == 1
