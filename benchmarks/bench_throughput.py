@@ -107,6 +107,49 @@ def measure_schemes(trace, schemes, repeats: int, workers: int = 0,
     return out
 
 
+def measure_engine_backends(trace, schemes, repeats: int) -> Dict[str, object]:
+    """Per-backend throughput of whole-machine replay (docs/engine.md).
+
+    Pits ``Machine.run(backend="reference")`` against the event-driven
+    array kernel on the same trace, per scheme.  Unlike the fastpath
+    sweeps these replay the *full* §3.1 machine, so the speedup is
+    bounded by the shared scalar hierarchy/predictor calls.
+    """
+    from repro.fastpath import HAS_NUMPY
+    if not HAS_NUMPY:
+        print("  engine: numpy unavailable, skipping")
+        return {"skipped": "numpy unavailable"}
+
+    def timed(backend: str, scheme: str) -> Dict[str, float]:
+        best: Optional[Dict[str, float]] = None
+        for _ in range(max(1, repeats)):
+            machine = Machine(scheme=make_scheme(scheme))
+            start = time.perf_counter()
+            result = machine.run(trace, backend=backend)
+            elapsed = time.perf_counter() - start
+            sample = {"wall_seconds": elapsed,
+                      "uops_per_sec": result.retired_uops / elapsed}
+            if best is None or sample["wall_seconds"] < best["wall_seconds"]:
+                best = sample
+        assert best is not None
+        return best
+
+    out: Dict[str, object] = {}
+    for name in schemes:
+        ref = timed("reference", name)
+        vec = timed("vectorized", name)
+        speedup = ref["wall_seconds"] / vec["wall_seconds"]
+        out[name] = {
+            "reference_uops_per_sec": ref["uops_per_sec"],
+            "vectorized_uops_per_sec": vec["uops_per_sec"],
+            "speedup": speedup,
+        }
+        print(f"  {name:14s} ref {ref['uops_per_sec']:>12,.0f}"
+              f"  vec {vec['uops_per_sec']:>12,.0f} uops/sec"
+              f"   ({speedup:.2f}x)")
+    return out
+
+
 def measure_obs_overhead(trace, scheme: str, repeats: int,
                          jsonl_path: str) -> Dict[str, float]:
     """Compare obs-disabled vs JSONL-sink-enabled wall-clock."""
@@ -233,6 +276,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--skip-obs-overhead", action="store_true")
     parser.add_argument("--skip-fastpath", action="store_true",
                         help="skip the per-backend predictor sweeps")
+    parser.add_argument("--skip-engine", action="store_true",
+                        help="skip the per-backend machine replay sweep")
     parser.add_argument("--fastpath-events", type=int,
                         default=int(os.environ.get(
                             "REPRO_BENCH_FASTPATH_EVENTS", "200000")),
@@ -274,6 +319,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    workers=args.workers,
                                    n_uops=args.uops),
     }
+    if not args.skip_engine:
+        print("engine replay backends (reference vs vectorized):")
+        report["engine"] = measure_engine_backends(trace, schemes,
+                                                   args.repeats)
     if not args.skip_fastpath:
         print("fastpath predictor sweeps "
               f"({args.fastpath_events} events each):")

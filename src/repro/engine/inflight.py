@@ -20,6 +20,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 UNKNOWN = -1
 
 
+def classify_collision(conflicting: bool, would_collide: bool,
+                       predicted_colliding: bool) -> LoadCollisionClass:
+    """The Figure 1 taxonomy for one classified load.
+
+    Shared by the scalar machine's retire path and the vectorized
+    kernel (:mod:`repro.engine.vector`) so the classification logic
+    cannot drift between backends.
+    """
+    if not conflicting:
+        return LoadCollisionClass.NOT_CONFLICTING
+    if would_collide:
+        return (LoadCollisionClass.AC_PC if predicted_colliding
+                else LoadCollisionClass.AC_PNC)
+    return (LoadCollisionClass.ANC_PC if predicted_colliding
+            else LoadCollisionClass.ANC_PNC)
+
+
 @dataclass
 class LoadInfo:
     """Per-load annotations for disambiguation and hit-miss prediction."""

@@ -24,8 +24,8 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import BASELINE_MACHINE, MachineConfig
-from repro.common.types import LoadCollisionClass, UopClass
-from repro.engine.inflight import UNKNOWN, InflightUop
+from repro.common.types import UopClass
+from repro.engine.inflight import UNKNOWN, InflightUop, classify_collision
 from repro.engine.mob import MemoryOrderBuffer
 from repro.engine.ordering import OrderingScheme, TraditionalOrdering
 from repro.engine.results import SimResult
@@ -127,20 +127,56 @@ class Machine:
 
     # ------------------------------------------------------------------
 
-    def run(self, trace: Trace, max_cycles: Optional[int] = None) -> SimResult:
+    def run(self, trace: Trace, max_cycles: Optional[int] = None,
+            backend: Optional[str] = None) -> SimResult:
         """Simulate ``trace`` to completion and return the measurements.
+
+        ``backend`` selects the engine implementation through the
+        process-wide :mod:`repro.fastpath.backend` resolution
+        (``None`` → ``set_default_backend()`` / ``REPRO_BACKEND`` /
+        ``"reference"``): ``"reference"`` is the scalar cycle loop
+        below; ``"vectorized"`` replays the same machine through the
+        event-driven array kernel (:mod:`repro.engine.vector`) with
+        bit-identical results, silently falling back to the reference
+        path when numpy is absent or the configuration uses a feature
+        the kernel does not support (instrumentation, bank policies,
+        prefetchers, non-section-3.1 schemes, saboteur subclasses).
+
+        Truncation and edge semantics are identical across backends:
+        an empty trace finishes at ``cycles == 0`` without touching the
+        ceiling; otherwise the simulation raises ``RuntimeError`` (same
+        message either way) as soon as it would pass ``max_cycles`` —
+        including mid-squash-replay, where in-flight state is simply
+        abandoned.
 
         With ``REPRO_CHECK_INVARIANTS`` set in the environment, every
         un-instrumented run is transparently wrapped in the
         :mod:`repro.robust.invariants` oracle (strict mode) — the CI
-        lever for "the whole suite runs violation-free".
+        lever for "the whole suite runs violation-free".  On the
+        vectorized backend the oracle additionally shadow-replays the
+        trace through the scalar path and demands result equality
+        (:class:`repro.engine.vector.BackendMismatch`).
         """
+        from repro.fastpath import resolve_backend
+        if resolve_backend(backend) == "vectorized":
+            from repro.engine import vector
+            if vector.unsupported_reason(self) is None:
+                try:
+                    return vector.maybe_checked_run(
+                        self, trace, max_cycles=max_cycles)
+                except vector.VectorUnsupported:
+                    pass  # trace not expressible: scalar fallback
         if self.obs is None and os.environ.get("REPRO_CHECK_INVARIANTS"):
             # Lazy import: repro.robust imports the engine at module
             # level, so the engine must not import it back eagerly.
             from repro.robust.invariants import checked_run
             result, _ = checked_run(self, trace, max_cycles=max_cycles)
             return result
+        return self._run_reference(trace, max_cycles)
+
+    def _run_reference(self, trace: Trace,
+                       max_cycles: Optional[int] = None) -> SimResult:
+        """The scalar cycle-level loop — the authoritative semantics."""
         cfg = self.config
         lat = cfg.latency
         result = SimResult(trace_name=trace.name, scheme=self.scheme.name)
@@ -601,14 +637,9 @@ class Machine:
             # Never reached a dispatch-opportunity check (should not
             # happen for an executed load, but guard anyway).
             return
-        if not info.conflicting:
-            cls = LoadCollisionClass.NOT_CONFLICTING
-        elif info.would_collide:
-            cls = (LoadCollisionClass.AC_PC if info.predicted_colliding
-                   else LoadCollisionClass.AC_PNC)
-        else:
-            cls = (LoadCollisionClass.ANC_PC if info.predicted_colliding
-                   else LoadCollisionClass.ANC_PNC)
+        cls = classify_collision(info.conflicting,
+                                 bool(info.would_collide),
+                                 info.predicted_colliding)
         info.classification = cls
         result.load_classes[cls] += 1
         self.scheme.on_retire_load(iu)

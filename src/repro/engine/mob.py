@@ -111,6 +111,15 @@ class MemoryOrderBuffer:
     def __len__(self) -> int:
         return len(self._stores)
 
+    def tracked(self) -> List[Tuple[int, Optional[int]]]:
+        """``[(sta_seq, std_seq|None), ...]`` oldest-first.
+
+        The balance view the property suite compares against the
+        vectorized kernel's :class:`repro.engine.vector.ArrayMOB`.
+        """
+        return [(r.seq, None if r.std is None else r.std.uop.seq)
+                for r in self._stores]
+
     # -- queries ------------------------------------------------------------
 
     def store_by_seq(self, seq: int) -> Optional[StoreRecord]:

@@ -166,6 +166,15 @@ class PerfectOrdering(OrderingScheme):
 SCHEME_NAMES = ("traditional", "opportunistic", "postponing", "inclusive",
                 "exclusive", "perfect")
 
+#: The exact scheme types the vectorized engine kernel implements, in
+#: kernel-kind order (:mod:`repro.engine.vector` dispatches on the
+#: tuple index).  Deliberately exact types, not isinstance checks:
+#: subclasses (e.g. the fault-injection LyingOrdering wrappers) must
+#: fall back to the scalar path so their behaviour stays observable.
+VECTOR_SCHEME_TYPES = (TraditionalOrdering, OpportunisticOrdering,
+                       PostponingOrdering, InclusiveOrdering,
+                       ExclusiveOrdering, PerfectOrdering)
+
 #: Prior-art baselines implemented in :mod:`repro.engine.alternatives`.
 ALTERNATIVE_SCHEMES = ("storesets", "barrier")
 

@@ -17,9 +17,15 @@ numpy is optional — without it the vectorized backend silently resolves
 to the reference implementation.
 
 Kernel submodules (``predictors``, ``cht``, ``hitmiss``, ``bank``,
-``tracegen``, ``indices``, ``scan``) import numpy and must only be
-imported behind a :data:`HAS_NUMPY` check — exactly what
+``tracegen``, ``indices``, ``scan``, ``uoparrays``) import numpy and
+must only be imported behind a :data:`HAS_NUMPY` check — exactly what
 :func:`enabled` is for.
+
+The same backend switch also selects the whole-machine replay kernel:
+``Machine.run(trace, backend=...)`` resolves through
+:func:`resolve_backend` and routes supported runs to the event-driven
+array engine of :mod:`repro.engine.vector` built over the
+:mod:`repro.fastpath.uoparrays` uop lanes (see ``docs/engine.md``).
 """
 
 from repro.fastpath.backend import (

@@ -46,6 +46,24 @@ from repro.fastpath import predictors as fp_predictors
 from repro.hitmiss.base import HitMissPredictor
 
 
+def uop_lanes(trace):
+    """The struct-of-arrays uop lanes for a trace — the engine-side
+    uniform encoding.
+
+    Thin caching façade over
+    :func:`repro.fastpath.uoparrays.trace_arrays`: serve handlers and
+    benches that already route batches through this module get the
+    same :class:`~repro.fastpath.uoparrays.UopArrays` the vectorized
+    machine kernel (:mod:`repro.engine.vector`) replays, decomposed at
+    most once per trace.  Raises
+    :class:`~repro.fastpath.uoparrays.UnsupportedTrace` for traces the
+    array model cannot express (the caller falls back to scalar
+    replay, exactly like ``Machine.run``).
+    """
+    from repro.fastpath.uoparrays import trace_arrays
+    return trace_arrays(trace)
+
+
 def supports_steps(family: str, predictor: object) -> bool:
     """True when ``replay_steps`` has an exact kernel for this object.
 

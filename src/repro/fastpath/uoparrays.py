@@ -1,0 +1,193 @@
+"""Shared struct-of-arrays uop model for the engine and the fastpath.
+
+The scalar engine walks a list of :class:`~repro.common.types.Uop`
+objects; every batch consumer — the vectorized machine kernel
+(:mod:`repro.engine.vector`), the throughput bench, future trace
+analytics — wants the same stream as flat ``int64`` lanes, decomposed
+exactly once per trace.  This module is that single conversion point,
+the engine-side sibling of ``EventArrayCache``
+(:mod:`repro.experiments.cht_accuracy`) and the uniform int64-lane
+encoding of :mod:`repro.fastpath.batchapi`.
+
+Lane encoding (all ``numpy.int64``, length ``len(trace)``):
+
+``seq, pc``            straight from the uop (``seq`` must be strictly
+                       increasing — the engine's program order).
+``uclass``             :class:`~repro.common.types.UopClass` value.
+``dst``                destination register, ``-1`` when none.
+``addr, size``         memory access, ``-1``/``0`` for non-memory uops.
+``sta_seq``            the owning STA's seq for STD uops, else ``-1``.
+``taken, mispredicted``  branch annotations as 0/1.
+``pool``               execution-unit pool index (:data:`POOL_NAMES`),
+                       ``-1`` for NOPs (which never occupy a unit).
+
+Each lane is also retained as the plain-``int`` Python list it was
+built from (``<lane>_l``): the event-driven engine kernel iterates
+per-uop and plain lists beat ``ndarray`` item access there, while
+batch consumers take the ndarray views.  Both views are frozen — never
+write to either.
+
+Beyond the lanes, two program-order-derived dependency structures are
+precomputed (they depend only on the trace, never on machine state —
+the rename-time ``regmap`` is append-only, so "producer of register r
+at uop i" is simply "the last earlier writer of r"):
+
+``prods``              per-uop tuple of producer *indices* (deduped).
+``consumers``          inverse mapping: per-uop list of consumer
+                       indices (every uop whose ``prods`` contains it).
+
+Like every kernel submodule this imports numpy and must only be
+imported behind a :data:`repro.fastpath.HAS_NUMPY` check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.types import UopClass
+from repro.trace.trace import Trace
+
+#: Execution-unit pool indices (order matches the scalar engine's
+#: ``unit_caps`` dict: int, mem, fp, complex).
+POOL_NAMES = ("int", "mem", "fp", "complex")
+
+#: ``UopClass`` value → pool index; ``-1`` = no unit (NOP).
+_POOL_BY_UCLASS = (0, 2, 3, 1, 1, 1, 0, -1)
+
+#: Cache attribute stashed on the Trace object itself (traces are
+#: immutable by convention once built; a slice is a new object and
+#: therefore never aliases a parent's cache).
+_CACHE_ATTR = "_repro_uop_arrays"
+
+_LOAD = int(UopClass.LOAD)
+_STA = int(UopClass.STA)
+_STD = int(UopClass.STD)
+
+
+class UnsupportedTrace(ValueError):
+    """The trace cannot be expressed in the array model (the caller
+    should fall back to the scalar object path)."""
+
+
+class UopArrays:
+    """One trace decomposed into the lanes described in the module
+    docstring.  Instances are immutable and shared — never write to
+    the arrays (or the backing lists)."""
+
+    __slots__ = ("n", "seq", "pc", "uclass", "dst", "addr", "size",
+                 "sta_seq", "taken", "mispredicted", "pool",
+                 "seq_l", "pc_l", "uclass_l", "dst_l", "addr_l",
+                 "size_l", "sta_seq_l", "taken_l", "mispredicted_l",
+                 "pool_l", "prods", "consumers")
+
+    def __init__(self, trace: Trace) -> None:
+        uops = trace.uops
+        n = self.n = len(uops)
+        # One pass extracts every lane, validates, and resolves the
+        # dependency graph (9 generator passes + numpy round-trips are
+        # measurably slower than a single Python loop).
+        seq_l: List[int] = []
+        pc_l: List[int] = []
+        uclass_l: List[int] = []
+        dst_l: List[int] = []
+        addr_l: List[int] = []
+        size_l: List[int] = []
+        sta_seq_l: List[int] = []
+        taken_l: List[int] = []
+        misp_l: List[int] = []
+        pool_l: List[int] = []
+        regmap: Dict[int, int] = {}
+        prods: List[Tuple[int, ...]] = []
+        consumers: List[List[int]] = [[] for _ in range(n)]
+        pool_by = _POOL_BY_UCLASS
+        last_seq = None
+        for i, uop in enumerate(uops):
+            s = uop.seq
+            if last_seq is not None and s <= last_seq:
+                raise UnsupportedTrace(
+                    f"trace {trace.name!r} has non-increasing uop seqs")
+            last_seq = s
+            seq_l.append(s)
+            pc_l.append(uop.pc)
+            uc = int(uop.uclass)
+            uclass_l.append(uc)
+            pool_l.append(pool_by[uc])
+            dst = uop.dst
+            dst_l.append(-1 if dst is None else dst)
+            mem = uop.mem
+            if mem is None:
+                if uc == _LOAD or uc == _STA:
+                    raise UnsupportedTrace(
+                        f"trace {trace.name!r} has a {uop.uclass.name} "
+                        f"uop without a memory access")
+                addr_l.append(-1)
+                size_l.append(0)
+            else:
+                addr_l.append(mem.address)
+                size_l.append(mem.size)
+            sta = uop.sta_seq
+            if sta is None:
+                if uc == _STD:
+                    raise UnsupportedTrace(
+                        f"trace {trace.name!r} has an STD uop without "
+                        f"an owning STA seq")
+                sta_seq_l.append(-1)
+            else:
+                sta_seq_l.append(sta)
+            taken_l.append(1 if uop.taken else 0)
+            misp_l.append(1 if uop.mispredicted else 0)
+            seen: List[int] = []
+            for reg in uop.srcs:
+                j = regmap.get(reg)
+                if j is not None and j not in seen:
+                    seen.append(j)
+                    consumers[j].append(i)
+            prods.append(tuple(seen))
+            if dst is not None:
+                regmap[dst] = i
+
+        self.seq_l = seq_l
+        self.pc_l = pc_l
+        self.uclass_l = uclass_l
+        self.dst_l = dst_l
+        self.addr_l = addr_l
+        self.size_l = size_l
+        self.sta_seq_l = sta_seq_l
+        self.taken_l = taken_l
+        self.mispredicted_l = misp_l
+        self.pool_l = pool_l
+        self.prods = prods
+        self.consumers = consumers
+        self.seq = np.array(seq_l, np.int64)
+        self.pc = np.array(pc_l, np.int64)
+        self.uclass = np.array(uclass_l, np.int64)
+        self.dst = np.array(dst_l, np.int64)
+        self.addr = np.array(addr_l, np.int64)
+        self.size = np.array(size_l, np.int64)
+        self.sta_seq = np.array(sta_seq_l, np.int64)
+        self.taken = np.array(taken_l, np.int64)
+        self.mispredicted = np.array(misp_l, np.int64)
+        self.pool = np.array(pool_l, np.int64)
+
+    def __len__(self) -> int:
+        return self.n
+
+
+def trace_arrays(trace: Trace) -> UopArrays:
+    """The (cached) :class:`UopArrays` for ``trace``.
+
+    The conversion is stashed on the trace object itself so every
+    consumer — repeated ``Machine.run`` calls, sweeps, the bench —
+    pays the Python-object decomposition once.
+    """
+    cached = getattr(trace, _CACHE_ATTR, None)
+    if cached is not None and cached.n == len(trace.uops):
+        return cached
+    arrays = UopArrays(trace)
+    try:
+        setattr(trace, _CACHE_ATTR, arrays)
+    except AttributeError:  # pragma: no cover - exotic trace stand-ins
+        pass
+    return arrays

@@ -58,7 +58,9 @@ def extract_metrics(report: Mapping[str, object]) -> Dict[str, float]:
 
     * ``repro.serve`` reports → ``serve.<side>.throughput_rps`` plus
       the per-side ``service_us.p50`` when present;
-    * throughput reports → ``schemes.<name>.uops_per_sec`` and
+    * throughput reports → ``schemes.<name>.uops_per_sec``,
+      ``engine.<scheme>.{reference,vectorized}_uops_per_sec`` (the
+      whole-machine replay backends, docs/engine.md) and
       ``fastpath.<sweep>.{reference,vectorized}_uops_per_sec``.
     """
     out: Dict[str, float] = {}
@@ -78,16 +80,18 @@ def extract_metrics(report: Mapping[str, object]) -> Dict[str, float]:
             ups = data.get("uops_per_sec")
             if isinstance(ups, (int, float)):
                 out[f"schemes.{scheme}.uops_per_sec"] = float(ups)
-        fastpath = report.get("fastpath")
-        if isinstance(fastpath, Mapping):
-            for sweep, data in fastpath.items():
+        for section in ("engine", "fastpath"):
+            table = report.get(section)
+            if not isinstance(table, Mapping):
+                continue
+            for sweep, data in table.items():
                 if not isinstance(data, Mapping):
                     continue
                 for key in ("reference_uops_per_sec",
                             "vectorized_uops_per_sec"):
                     value = data.get(key)
                     if isinstance(value, (int, float)):
-                        out[f"fastpath.{sweep}.{key}"] = float(value)
+                        out[f"{section}.{sweep}.{key}"] = float(value)
         return out
     raise ValueError(
         "unrecognised bench report: expected a repro.serve report "

@@ -7,9 +7,13 @@ callable returning a flat ``{dotted.path: number}`` mapping, e.g.
 daemon thread (so it works identically under asyncio services, sync
 benches and tests) into:
 
-* a **JSONL stream**: one ``{"t": unix_seconds, "metrics": {...}}``
-  row per sample, append-only — the substrate ``python -m repro.serve
-  top`` tails and offline analysis replays;
+* a **JSONL stream**: one ``{"t": unix_seconds, "mt":
+  monotonic_seconds, "metrics": {...}}`` row per sample, append-only —
+  the substrate ``python -m repro.serve top`` tails and offline
+  analysis replays.  ``t`` is wall time, *informational only* (humans,
+  Prometheus timestamps); ``mt`` is ``time.monotonic()`` and is what
+  rate computations must difference, since wall time can step
+  backwards under NTP correction;
 * a **Prometheus text file**, atomically rewritten per sample so a
   node-exporter-style textfile collector (or a human with ``cat``)
   always sees one consistent scrape.
@@ -100,9 +104,13 @@ class TimeSeriesExporter:
     def sample_once(self) -> Dict[str, object]:
         """Take one sample, write it to the configured outputs, and
         return the row."""
+        # Wall time is informational (display, Prometheus stamps);
+        # consumers compute rates from the monotonic stamp, which a
+        # stepping system clock cannot run backwards.
         t = time.time()
+        mt = time.monotonic()
         metrics = dict(self.source())
-        row = {"t": t, "metrics": metrics}
+        row = {"t": t, "mt": mt, "metrics": metrics}
         if self.jsonl_path is not None:
             if self._jsonl is None:
                 self._jsonl = open(self.jsonl_path, "a", encoding="utf-8")

@@ -65,10 +65,19 @@ async def _dispatch(service: PredictionService, request: PredictRequest,
             # Data path: the span rides the queue with the request and
             # the owning shard closes it at reply time.
             return await service.request(request, span=span)
+    except asyncio.CancelledError:
+        # Connection teardown mid-request: propagate — turning the
+        # cancellation into an in-band error would both hide it from
+        # the handler task and write to a dying socket.
+        raise
     except Exception as exc:
+        detail = f"{type(exc).__name__}: {exc}"
+        cause = exc.__cause__
+        if cause is not None:
+            detail += f" (caused by {type(cause).__name__}: {cause})"
         response = PredictResponse(
             session_id=sid, seq=request.seq, ok=False,
-            error=f"{ERR_BAD_REQUEST}: {type(exc).__name__}: {exc}")
+            error=f"{ERR_BAD_REQUEST}: {detail}")
     # Control ops never reach a shard; close their spans here.
     if span is not None and service.tracer is not None:
         span.mark("reply")

@@ -150,34 +150,66 @@ class Shard:
         loop = asyncio.get_running_loop()
         delay_s = self.config.max_delay_us / 1e6
         draining = False
-        while not draining:
-            batch: List[object] = [await self.queue.get()]
-            if delay_s > 0 and self.config.max_batch > 1:
-                deadline = loop.time() + delay_s
-                while len(batch) < self.config.max_batch:
-                    try:
-                        batch.append(self.queue.get_nowait())
-                        continue
-                    except asyncio.QueueEmpty:
-                        pass
-                    remaining = deadline - loop.time()
-                    if remaining <= 0:
-                        break
-                    try:
-                        batch.append(await asyncio.wait_for(
-                            self.queue.get(), remaining))
-                    except asyncio.TimeoutError:
-                        break
-            draining = self._execute(batch)
-        # Drain residue: everything admitted before the drain barrier.
-        residue: List[object] = []
-        while True:
-            try:
-                residue.append(self.queue.get_nowait())
-            except asyncio.QueueEmpty:
-                break
-        if residue:
-            self._execute(residue)
+        batch: List[object] = []
+        try:
+            while not draining:
+                batch = [await self.queue.get()]
+                if delay_s > 0 and self.config.max_batch > 1:
+                    deadline = loop.time() + delay_s
+                    while len(batch) < self.config.max_batch:
+                        try:
+                            batch.append(self.queue.get_nowait())
+                            continue
+                        except asyncio.QueueEmpty:
+                            pass
+                        remaining = deadline - loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            batch.append(await asyncio.wait_for(
+                                self.queue.get(), remaining))
+                        except asyncio.TimeoutError:
+                            break
+                draining = self._execute(batch)
+                batch = []
+            # Drain residue: everything admitted before the barrier.
+            residue: List[object] = []
+            while True:
+                try:
+                    residue.append(self.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            if residue:
+                self._execute(residue)
+        except asyncio.CancelledError:
+            # Hard cancellation (no drain barrier): every admitted
+            # request — mid-coalesce or still queued — must still get
+            # an answer, or its submitter awaits a future that can
+            # never resolve.  Fail them all, then propagate.
+            self._abort_pending(batch)
+            raise
+
+    def _abort_pending(self, batch: List[object]) -> None:
+        """Resolve every in-flight future after a hard cancellation:
+        data items get an in-band internal error, control barriers are
+        cancelled so their awaiters see the cancellation."""
+        pending = list(batch)
+        if self.queue is not None:
+            while True:
+                try:
+                    pending.append(self.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+        for entry in pending:
+            if isinstance(entry, _Item):
+                if not entry.future.done():
+                    entry.future.set_result(PredictResponse(
+                        session_id=entry.request.session_id,
+                        seq=entry.request.seq, ok=False,
+                        error=f"{ERR_INTERNAL}: shard cancelled"))
+                self._finish_span(entry)
+            elif not entry.future.done():
+                entry.future.cancel()
 
     def _execute(self, batch: List[object]) -> bool:
         """Run one flushed batch; returns True when draining started."""
@@ -257,14 +289,24 @@ class Shard:
                 run = []
                 self._apply_single(session, item)
             used_kernel |= self._flush_run(session, run, backend)
+        except asyncio.CancelledError:
+            # Never convert a cancellation into an in-band error: the
+            # task-level handler resolves the outstanding futures and
+            # the cancellation must keep propagating.
+            raise
         except Exception as exc:  # surface, don't kill the shard
+            detail = f"{type(exc).__name__}: {exc}"
+            cause = exc.__cause__
+            if cause is not None:
+                # The in-band error string is all the client ever
+                # sees — keep the causal chain instead of dropping it.
+                detail += f" (caused by {type(cause).__name__}: {cause})"
             for item in group:
                 if not item.future.done():
                     item.future.set_result(PredictResponse(
                         session_id=session.session_id,
                         seq=item.request.seq, ok=False,
-                        error=f"{ERR_INTERNAL}: {type(exc).__name__}: "
-                              f"{exc}"))
+                        error=f"{ERR_INTERNAL}: {detail}"))
                 self._finish_span(item)
         return used_kernel
 
@@ -360,7 +402,11 @@ class Shard:
                 entry.future.set_result(None)
             else:
                 raise ValueError(f"unknown control op {entry.op!r}")
+        except asyncio.CancelledError:
+            raise  # cancellation is the task's to handle, not a result
         except Exception as exc:
+            # set_exception keeps the full traceback chain for the
+            # awaiter (unlike stringified in-band errors).
             entry.future.set_exception(exc)
 
     def stats(self) -> Dict[str, int]:

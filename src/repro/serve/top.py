@@ -34,10 +34,20 @@ _CLEAR = "\x1b[H\x1b[J"
 
 def _rate(prev: Optional[Dict[str, object]],
           curr: Dict[str, object], key: str) -> Optional[float]:
-    """Per-second rate of a monotone counter between two samples."""
+    """Per-second rate of a monotone counter between two samples.
+
+    Sample spacing comes from the exporter's monotonic stamp (``mt``)
+    so a backwards wall-clock step (NTP correction) cannot produce a
+    negative or wildly inflated interval; the wall stamp ``t`` is only
+    a fallback for streams recorded before ``mt`` existed.
+    """
     if prev is None:
         return None
-    dt = float(curr["t"]) - float(prev["t"])
+    p_mt, c_mt = prev.get("mt"), curr.get("mt")
+    if p_mt is not None and c_mt is not None:
+        dt = float(c_mt) - float(p_mt)
+    else:
+        dt = float(curr["t"]) - float(prev["t"])
     if dt <= 0:
         return None
     now = curr["metrics"].get(key)

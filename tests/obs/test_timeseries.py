@@ -109,3 +109,38 @@ class TestReader:
                         + "\n\n")
         rows = read_timeseries(str(path))
         assert len(rows) == 1 and rows[0]["metrics"]["a"] == 2
+
+
+class TestMonotonicStamps:
+    """Rates must come from the monotonic stamp: wall time can step
+    backwards (NTP correction) and used to poison every consumer that
+    differenced ``t``."""
+
+    def test_rows_carry_both_stamps(self, tmp_path):
+        jsonl = tmp_path / "m.jsonl"
+        exporter = TimeSeriesExporter(lambda: {"x": 1.0},
+                                      interval_ms=10_000,
+                                      jsonl_path=str(jsonl))
+        exporter.sample_once()
+        exporter.sample_once()
+        rows = read_timeseries(str(jsonl))
+        assert all("t" in r and "mt" in r for r in rows)
+        assert rows[1]["mt"] > rows[0]["mt"]
+
+    def test_backwards_wall_step_keeps_monotonic_ordered(
+            self, tmp_path, monkeypatch):
+        jsonl = tmp_path / "m.jsonl"
+        walls = iter([1000.0, 400.0])  # the clock steps back 10 min
+        monkeypatch.setattr("repro.obs.timeseries.time.time",
+                            lambda: next(walls))
+        exporter = TimeSeriesExporter(lambda: {"serve.served": 7.0},
+                                      interval_ms=10_000,
+                                      jsonl_path=str(jsonl))
+        first = exporter.sample_once()
+        second = exporter.sample_once()
+        # Wall time is recorded as-is (informational)...
+        assert second["t"] < first["t"]
+        # ...but the monotonic stamp still advances.
+        assert second["mt"] > first["mt"]
+        rows = read_timeseries(str(jsonl))
+        assert rows[1]["mt"] > rows[0]["mt"]

@@ -1,0 +1,201 @@
+"""ArrayMOB vs MemoryOrderBuffer: the lane MOB is the same machine.
+
+The vectorized kernel's :class:`repro.engine.vector.ArrayMOB` must be
+observationally identical to the reference
+:class:`repro.engine.mob.MemoryOrderBuffer` — same balance view
+(``tracked()``) through arbitrary insert/attach/prune lifecycles (the
+prune floors play the role of random squash masks: any retirement
+frontier the squash machinery can produce), and same answers to every
+scheme query.  On top of that, ``unblock_at`` must be an *exact* flip
+time: the scheme predicate is false just before it and true at it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import MemAccess, Uop, UopClass
+from repro.engine.inflight import UNKNOWN, InflightUop
+from repro.engine.mob import MemoryOrderBuffer
+from repro.engine.vector import ArrayMOB
+
+#: Small pools force frequent address overlap and timing coincidence.
+addresses = st.integers(min_value=0, max_value=7).map(lambda s: 0x100 + 4 * s)
+sizes = st.sampled_from([1, 2, 4, 8])
+cycles = st.one_of(st.just(UNKNOWN), st.integers(min_value=0, max_value=12))
+
+#: (address, size, sta_done, std_done, std_attached)
+store_specs = st.lists(
+    st.tuples(addresses, sizes, cycles, cycles, st.booleans()),
+    min_size=0, max_size=8)
+
+nows = st.integers(min_value=0, max_value=12)
+
+
+def build_pair(specs, load_address=0x100, load_size=4):
+    """The same store population in both MOB implementations.
+
+    Store *i* is an STA at seq ``2 i`` (+ an STD at seq ``2 i + 1``
+    when attached); the probe load sits at seq ``2 n``, younger than
+    every store.  For the ArrayMOB, index == seq, exactly as in the
+    kernel's lane layout.
+    """
+    n = len(specs)
+    seq = list(range(2 * n + 1))
+    addr = [0] * (2 * n + 1)
+    size = [0] * (2 * n + 1)
+    dr = [UNKNOWN] * (2 * n + 1)
+
+    ref = MemoryOrderBuffer()
+    arr = ArrayMOB(seq, addr, size, dr)
+    for i, (address, st_size, sta_done, std_done, attached) in \
+            enumerate(specs):
+        s = 2 * i
+        addr[s], size[s], dr[s] = address, st_size, sta_done
+        sta = InflightUop(Uop(seq=s, pc=0x1000 + s, uclass=UopClass.STA,
+                              mem=MemAccess(address, st_size)), [])
+        sta.data_ready = sta_done
+        ref.insert_sta(sta)
+        arr.insert_sta(s)
+        if attached:
+            dr[s + 1] = std_done
+            std = InflightUop(Uop(seq=s + 1, pc=0x1001 + s,
+                                  uclass=UopClass.STD, sta_seq=s), [])
+            std.data_ready = std_done
+            ref.attach_std(std)
+            arr.attach_std(s + 1, s)
+    load = 2 * n
+    addr[load], size[load] = load_address, load_size
+    return ref, arr, load
+
+
+class TestBalance:
+    @given(store_specs)
+    @settings(max_examples=120, deadline=None)
+    def test_tracked_identical_after_build(self, specs):
+        ref, arr, _ = build_pair(specs)
+        assert arr.tracked() == ref.tracked()
+        assert len(arr) == len(ref)
+
+    @given(store_specs,
+           st.lists(st.integers(min_value=0, max_value=20),
+                    min_size=1, max_size=6))
+    @settings(max_examples=120, deadline=None)
+    def test_tracked_identical_under_random_retire_floors(
+            self, specs, floors):
+        """Any sequence of retirement frontiers — including the
+        non-monotone ones a squash replay revisits — prunes both MOBs
+        to the same population."""
+        ref, arr, _ = build_pair(specs)
+        for floor in floors:
+            ref.remove_retired(floor)
+            arr.remove_retired(floor)
+            assert arr.tracked() == ref.tracked()
+            assert len(arr) == len(ref)
+
+    @given(store_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_attach_to_missing_sta_raises_same_message(self, specs):
+        ref, arr, _ = build_pair(specs)
+        ghost_seq = 2 * len(specs) + 40
+        std = InflightUop(Uop(seq=ghost_seq + 1, pc=0x2000,
+                              uclass=UopClass.STD, sta_seq=ghost_seq), [])
+        messages = []
+        for attach in (lambda: ref.attach_std(std),
+                       lambda: arr.attach_std(0, ghost_seq)):
+            try:
+                attach()
+            except KeyError as exc:
+                messages.append(str(exc))
+            else:  # pragma: no cover - would be the bug itself
+                messages.append("<no error>")
+        assert messages[0] == messages[1]
+        assert f"no STA with seq {ghost_seq}" in messages[0]
+
+
+class TestQueryEquivalence:
+    @given(store_specs, addresses, sizes, nows)
+    @settings(max_examples=150, deadline=None)
+    def test_scheme_queries_agree(self, specs, load_address, load_size,
+                                  now):
+        ref, arr, load = build_pair(specs, load_address, load_size)
+        load_seq = 2 * len(specs)
+        mem = MemAccess(load_address, load_size)
+        assert arr.has_unknown_sta(load, now) \
+            == ref.has_unknown_sta(load_seq, now)
+        assert arr.all_older_complete(load, now) \
+            == ref.all_older_complete(load_seq, now)
+        assert arr.all_older_stds_done(load, now) \
+            == ref.all_older_stds_done(load_seq, now)
+        for distance in (1, 2, 3, 5):
+            assert arr.complete_beyond_distance(load, now, distance) \
+                == ref.complete_beyond_distance(load_seq, now, distance)
+
+    @given(store_specs, addresses, sizes, nows)
+    @settings(max_examples=150, deadline=None)
+    def test_collision_and_forwarding_agree(self, specs, load_address,
+                                            load_size, now):
+        ref, arr, load = build_pair(specs, load_address, load_size)
+        load_seq = 2 * len(specs)
+        mem = MemAccess(load_address, load_size)
+        ref_rec, ref_d = ref.colliding_store(load_seq, mem, now)
+        arr_s, arr_d = arr.colliding_store(load, now)
+        if ref_rec is None:
+            assert arr_s == -1 and arr_d is None
+        else:
+            assert arr.seq[arr_s] == ref_rec.seq and arr_d == ref_d
+        ref_fwd = ref.forwarding_store(load_seq, mem, now)
+        arr_fwd = arr.forwarding_store(load, now)
+        if ref_fwd is None:
+            assert arr_fwd == -1
+        else:
+            assert arr.seq[arr_fwd] == ref_fwd.seq
+
+
+def _predicate(ref, load_seq, mem, t, kind, predicted_colliding,
+               predicted_distance):
+    """The scheme-``kind`` dispatch predicate, evaluated at cycle ``t``
+    entirely through the *reference* MOB (the model ``unblock_at`` must
+    flip exactly against)."""
+    if kind in (0, 2):
+        ok = not ref.has_unknown_sta(load_seq, t)
+        if kind == 2 and predicted_colliding:
+            ok = ok and ref.all_older_stds_done(load_seq, t)
+        return ok
+    if kind == 4 and predicted_distance is not None:
+        return ref.complete_beyond_distance(load_seq, t, predicted_distance)
+    if kind in (3, 4):
+        return ref.all_older_complete(load_seq, t)
+    # kind 5 (perfect): no older overlapping store incomplete.
+    return ref.colliding_store(load_seq, mem, t)[0] is None
+
+
+class TestUnblockHints:
+    @given(store_specs, addresses, sizes, nows,
+           st.sampled_from([0, 2, 3, 4, 5]), st.booleans(),
+           st.one_of(st.none(), st.integers(min_value=1, max_value=6)))
+    @settings(max_examples=250, deadline=None)
+    def test_unblock_at_is_exact_flip_time(self, specs, load_address,
+                                           load_size, now, kind,
+                                           predicted_colliding,
+                                           predicted_distance):
+        ref, arr, load = build_pair(specs, load_address, load_size)
+        load_seq = 2 * len(specs)
+        mem = MemAccess(load_address, load_size)
+        hint = arr.unblock_at(load, now, kind, predicted_colliding,
+                              predicted_distance)
+        if hint is None:
+            # Some required store event has not executed yet: the
+            # predicate must stay false at every probeable cycle.
+            for t in range(now, 14):
+                assert not _predicate(ref, load_seq, mem, t, kind,
+                                      predicted_colliding,
+                                      predicted_distance)
+            return
+        assert hint > now
+        assert _predicate(ref, load_seq, mem, hint, kind,
+                          predicted_colliding, predicted_distance)
+        if hint > now + 1:
+            # Exact, not merely sound: one cycle earlier is too early.
+            assert not _predicate(ref, load_seq, mem, hint - 1, kind,
+                                  predicted_colliding,
+                                  predicted_distance)

@@ -1,0 +1,93 @@
+"""Hard shard cancellation must never strand admitted requests.
+
+A shard task dying at an ``await`` (service teardown without a drain
+barrier, a crashing supervisor) used to leave every future already
+admitted to its queue — and the one mid-coalesce — unresolved, hanging
+their submitters forever.  The shard now fails all of them in-band and
+re-raises the cancellation.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import spec_for
+from repro.serve import ERR_INTERNAL, PredictRequest, ServeConfig
+from repro.serve.shard import Shard
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _slow_flush_config() -> ServeConfig:
+    # A 10 s coalesce window parks the shard in its mid-batch await
+    # with the first item already dequeued — the exact state a hard
+    # cancellation used to strand.
+    return ServeConfig(n_shards=1, max_batch=64, max_delay_us=10_000_000,
+                       queue_depth=8, telemetry=False)
+
+
+def test_cancel_mid_batch_resolves_every_admitted_future():
+    async def main():
+        shard = Shard(0, _slow_flush_config())
+        shard.start()
+        loop = asyncio.get_running_loop()
+        futures = [loop.create_future() for _ in range(3)]
+        for i, future in enumerate(futures):
+            assert shard.try_submit(
+                PredictRequest("s", op="step", pc=0x40, outcome=1, seq=i),
+                future)
+        await asyncio.sleep(0.05)  # first item is now mid-coalesce
+        shard.task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await shard.task
+        for future in futures:
+            assert future.done()
+            response = future.result()
+            assert not response.ok
+            assert ERR_INTERNAL in response.error
+            assert "cancelled" in response.error
+    run(main())
+
+
+def test_cancel_propagates_to_pending_control_barriers():
+    async def main():
+        shard = Shard(0, _slow_flush_config())
+        shard.start()
+        loop = asyncio.get_running_loop()
+        item_future = loop.create_future()
+        assert shard.try_submit(
+            PredictRequest("s", op="step", pc=0x40, outcome=1, seq=0),
+            item_future)
+        barrier = asyncio.ensure_future(shard.control("snapshot"))
+        await asyncio.sleep(0.05)
+        shard.task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await shard.task
+        # The awaiter of the queued barrier sees the cancellation, not
+        # a silent hang.
+        with pytest.raises(asyncio.CancelledError):
+            await barrier
+        assert item_future.done() and not item_future.result().ok
+    run(main())
+
+
+def test_drain_still_answers_everything_after_cancel_support():
+    # The happy path is untouched: a drain barrier processes all
+    # admitted work and every future resolves ok.
+    async def main():
+        config = ServeConfig(n_shards=1, max_batch=8, max_delay_us=100,
+                             telemetry=False)
+        shard = Shard(0, config)
+        shard.start()
+        await shard.control("open", ("s", spec_for("hmp.local")))
+        loop = asyncio.get_running_loop()
+        futures = [loop.create_future() for _ in range(4)]
+        for i, future in enumerate(futures):
+            assert shard.try_submit(
+                PredictRequest("s", op="step", pc=0x40, outcome=1, seq=i),
+                future)
+        await shard.drain()
+        assert all(f.result().ok for f in futures)
+    run(main())

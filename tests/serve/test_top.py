@@ -75,3 +75,31 @@ class TestRunTop:
     def test_once_with_missing_file_fails(self, tmp_path):
         assert run_top(str(tmp_path / "none.jsonl"), once=True,
                        out=io.StringIO()) == 1
+
+
+class TestMonotonicRates:
+    def test_rate_survives_backwards_wall_clock_step(self):
+        # Wall time stepped back 10 minutes between samples (NTP);
+        # the monotonic stamps are 2 s apart and must win.
+        prev = {"t": 1000.0, "mt": 50.0,
+                "metrics": {"serve.served": 1000.0}}
+        curr = {"t": 400.0, "mt": 52.0,
+                "metrics": {"serve.served": 5000.0}}
+        frame = render_frame(prev, curr)
+        assert "2,000" in frame  # (5000-1000)/2s, not "-"
+
+    def test_rate_falls_back_to_wall_time_for_old_streams(self):
+        # Streams recorded before the `mt` field existed still render.
+        prev = {"t": 100.0, "metrics": {"serve.served": 1000.0}}
+        curr = {"t": 102.0, "metrics": {"serve.served": 5000.0}}
+        frame = render_frame(prev, curr)
+        assert "2,000" in frame
+
+    def test_forward_wall_step_cannot_deflate_rate(self):
+        # Wall jumped forward an hour; monotonic says 1 s elapsed.
+        prev = {"t": 100.0, "mt": 10.0,
+                "metrics": {"serve.served": 0.0}}
+        curr = {"t": 3700.0, "mt": 11.0,
+                "metrics": {"serve.served": 500.0}}
+        frame = render_frame(prev, curr)
+        assert "500" in frame
