@@ -41,9 +41,17 @@ DEFAULT_TOLERANCE = 0.4
 
 
 def metric_higher_is_better(name: str) -> bool:
-    """Gate direction by metric name (module docstring)."""
+    """Gate direction by metric name (module docstring).
+
+    Latency quantiles regress *up*; so do the fleet's loss/error
+    counters, whose baseline is zero — with a zero baseline the
+    lower-is-better rule makes *any* lost request a violation, which
+    is exactly the chaos guarantee the gate exists to hold.
+    """
     leaf = name.rsplit(".", 1)[-1]
     if leaf.endswith("_us") or leaf.startswith(("p50", "p90", "p99")):
+        return False
+    if leaf in ("lost", "errors"):
         return False
     return True
 
@@ -57,7 +65,12 @@ def extract_metrics(report: Mapping[str, object]) -> Dict[str, float]:
     """Flat gateable metrics from a bench report.
 
     * ``repro.serve`` reports → ``serve.<side>.throughput_rps`` plus
-      the per-side ``service_us.p50`` when present;
+      the per-side ``service_us.p50`` when present; schema-3 reports
+      with a ``fleet`` section additionally yield
+      ``fleet.speedup_vs_single_process``,
+      ``fleet.aggregate_steps_rps``, ``fleet.capacity_rps`` and, per
+      scenario, ``fleet.<scenario>.{achieved_rps,lost,errors}`` and
+      ``fleet.<scenario>.latency_us.p99``;
     * throughput reports → ``schemes.<name>.uops_per_sec``,
       ``engine.<scheme>.{reference,vectorized}_uops_per_sec`` (the
       whole-machine replay backends, docs/engine.md) and
@@ -74,6 +87,9 @@ def extract_metrics(report: Mapping[str, object]) -> Dict[str, float]:
                 p50 = service.get("p50")
                 if isinstance(p50, (int, float)):
                     out[f"serve.{side}.service_us.p50"] = float(p50)
+        fleet = report.get("fleet")
+        if isinstance(fleet, Mapping):
+            out.update(_extract_fleet_metrics(fleet))
         return out
     if report.get("benchmark") == "throughput":
         for scheme, data in dict(report.get("schemes", {})).items():
@@ -97,6 +113,38 @@ def extract_metrics(report: Mapping[str, object]) -> Dict[str, float]:
         "unrecognised bench report: expected a repro.serve report "
         "(bench='repro.serve') or a throughput report "
         "(benchmark='throughput')")
+
+
+def _extract_fleet_metrics(fleet: Mapping[str, object]) -> Dict[str, float]:
+    """Gateable metrics from a schema-3 ``fleet`` bench section.
+
+    The headline is the acceptance comparison (speedup vs the
+    single-process scalar service, in steps/s); each scenario
+    contributes its throughput, its tail latency and its loss/error
+    counters — the latter gate at a zero baseline, so a single lost
+    request under chaos fails the gate.
+    """
+    out: Dict[str, float] = {}
+    for key, name in (("speedup_vs_single_process",
+                       "fleet.speedup_vs_single_process"),
+                      ("aggregate_steps_rps", "fleet.aggregate_steps_rps"),
+                      ("fleet_capacity_rps", "fleet.capacity_rps")):
+        value = fleet.get(key)
+        if isinstance(value, (int, float)):
+            out[name] = float(value)
+    for scenario, data in dict(fleet.get("scenarios", {})).items():
+        if not isinstance(data, Mapping):
+            continue
+        for leaf in ("achieved_rps", "lost", "errors"):
+            value = data.get(leaf)
+            if isinstance(value, (int, float)):
+                out[f"fleet.{scenario}.{leaf}"] = float(value)
+        latency = data.get("latency_us")
+        if isinstance(latency, Mapping):
+            p99 = latency.get("p99")
+            if isinstance(p99, (int, float)):
+                out[f"fleet.{scenario}.latency_us.p99"] = float(p99)
+    return out
 
 
 def report_kind(report: Mapping[str, object]) -> str:

@@ -145,6 +145,67 @@ class FaultPlan:
         return out
 
 
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """A seeded, deterministic schedule of *serve-fleet* faults.
+
+    Where :class:`FaultPlan` perturbs batch simulation jobs, this plan
+    perturbs the long-lived worker processes of
+    :class:`repro.serve.fleet.ServeFleet`: it travels to each worker
+    over the spawn handshake (it is a frozen picklable value) and the
+    worker evaluates it locally, so a chaos run kills and stalls the
+    same workers at the same points on every execution of the same
+    seed.
+
+    Attributes
+    ----------
+    seed:
+        Folded into :func:`_roll` for the fraction-based decisions.
+    kill_workers:
+        Worker indices whose process dies (``os._exit``) exactly once.
+    kill_after_served:
+        How many requests a doomed worker executes before dying.  The
+        check runs *inside* batch execution, so the death lands
+        mid-batch — the hardest point for the WAL-replay recovery.
+    kill_fraction:
+        Alternative to ``kill_workers``: each worker independently
+        doomed with this probability (seeded, deterministic).
+    stall_ms:
+        Milliseconds a doomed-to-stall worker sleeps before each batch
+        (long-tail latency chaos; the router must absorb it without
+        losing requests).
+    stall_workers:
+        Worker indices that stall.
+    """
+
+    seed: int = 0
+    kill_workers: Tuple[int, ...] = ()
+    kill_after_served: int = 64
+    kill_fraction: float = 0.0
+    stall_ms: int = 0
+    stall_workers: Tuple[int, ...] = ()
+
+    def kill_point(self, worker_index: int) -> Optional[int]:
+        """Served-request count at which ``worker_index`` dies, or
+        ``None`` when this plan never kills it."""
+        doomed = worker_index in self.kill_workers
+        if not doomed and self.kill_fraction > 0.0:
+            doomed = (_roll(self.seed, "fleet-kill", worker_index)
+                      < self.kill_fraction)
+        return self.kill_after_served if doomed else None
+
+    def stall_seconds(self, worker_index: int) -> float:
+        if self.stall_ms and worker_index in self.stall_workers:
+            return self.stall_ms / 1000.0
+        return 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        out["kill_workers"] = list(self.kill_workers)
+        out["stall_workers"] = list(self.stall_workers)
+        return out
+
+
 def parse_chaos_spec(spec: str, seed: int = 0) -> FaultPlan:
     """Build a :class:`FaultPlan` from a CLI ``--chaos`` spec.
 

@@ -7,6 +7,13 @@ scalar reference fallback, bounded queues reject with ``retry-after``
 under load, and session state snapshots/restores through the
 :mod:`repro.parallel.cache` envelope machinery.
 
+Past one process, :class:`ServeFleet` consistent-hashes sessions onto
+N worker subprocesses (each a full ``PredictionService``) behind a
+router with a write-ahead log: worker death recovers by snapshot +
+WAL replay, ``resize`` migrates only the sessions whose ring owner
+changes, and :mod:`repro.serve.loadgen` offers Zipf/Poisson open-loop
+traffic to either topology.
+
 Entry points::
 
     from repro.serve import PredictionService, ServeConfig
@@ -22,6 +29,13 @@ or from a shell: ``python -m repro.serve serve`` / ``bench``.
 
 from repro.serve.batch import ServeInvariantViolation, invariants_enabled
 from repro.serve.config import ServeConfig
+from repro.serve.fleet import FleetError, ServeFleet
+from repro.serve.loadgen import (
+    LoadModel,
+    build_schedule,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.serve.net import JsonlClient, serve_stdio, serve_tcp
 from repro.serve.protocol import (
     ERR_BAD_REQUEST,
@@ -34,8 +48,10 @@ from repro.serve.protocol import (
     ProtocolError,
     RetryAfter,
 )
+from repro.serve.ring import HashRing
 from repro.serve.service import PredictionService, stable_shard_hash
 from repro.serve.snapshot import load_snapshot, save_snapshot, snapshot_key
+from repro.serve.wal import WriteAheadLog
 
 __all__ = [
     "ERR_BAD_REQUEST",
@@ -43,15 +59,23 @@ __all__ = [
     "ERR_INTERNAL",
     "ERR_RETRY",
     "ERR_UNKNOWN_SESSION",
+    "FleetError",
+    "HashRing",
     "JsonlClient",
+    "LoadModel",
     "PredictRequest",
     "PredictResponse",
     "PredictionService",
     "ProtocolError",
     "RetryAfter",
     "ServeConfig",
+    "ServeFleet",
     "ServeInvariantViolation",
+    "WriteAheadLog",
+    "build_schedule",
     "invariants_enabled",
+    "run_closed_loop",
+    "run_open_loop",
     "load_snapshot",
     "save_snapshot",
     "serve_stdio",

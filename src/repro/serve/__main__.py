@@ -1,16 +1,20 @@
 """CLI for the prediction service.
 
 ``python -m repro.serve serve``  — run the JSONL service over TCP
-(default) or stdio.  With ``--metrics-dir DIR`` a background
+(default) or stdio.  With ``--workers N`` (N > 1) the listener fronts
+a multi-process :class:`~repro.serve.fleet.ServeFleet` instead of a
+single in-process service.  With ``--metrics-dir DIR`` a background
 :class:`~repro.obs.timeseries.TimeSeriesExporter` samples the live
 metrics registry into ``DIR/metrics.jsonl`` (one JSON object per
 sample) and ``DIR/metrics.prom`` (Prometheus text exposition).
 
-``python -m repro.serve bench``  — closed-loop load generator; writes
+``python -m repro.serve bench``  — load generator; writes
 ``BENCH_serve.json`` comparing scalar per-request execution against
 vectorized micro-batching, with queue-sojourn/service-time separation
 and a telemetry on/off overhead comparison (see
-:mod:`repro.serve.bench`).
+:mod:`repro.serve.bench`).  ``--fleet`` adds the schema-3 ``fleet``
+section: open-loop Zipf/Poisson scenarios (steady, overload,
+rebalance, kill-a-worker chaos) against an N-process fleet.
 
 ``python -m repro.serve top``    — live terminal dashboard over the
 exported metrics stream (rps, queue depth, batch-size distribution,
@@ -48,7 +52,12 @@ async def _run_serve(args: "argparse.Namespace") -> int:
         max_delay_us=args.max_delay_us, queue_depth=args.queue_depth,
         backend=args.backend, telemetry=not args.no_telemetry,
         trace_sample_shift=args.trace_sample_shift)
-    service = PredictionService(config)
+    if args.workers and args.workers > 1:
+        from repro.serve.fleet import ServeFleet
+        service = ServeFleet(n_workers=args.workers, config=config,
+                             state_dir=args.state_dir)
+    else:
+        service = PredictionService(config)
     exporter = None
     if args.metrics_dir:
         from repro.obs.timeseries import TimeSeriesExporter
@@ -105,6 +114,12 @@ def main(argv=None) -> int:
                         help="export metrics.jsonl + metrics.prom here")
     serve_p.add_argument("--metrics-interval-ms", type=int, default=500,
                         help="time-series sampling period")
+    serve_p.add_argument("--workers", type=int, default=1,
+                        help="worker processes; >1 serves a ServeFleet "
+                             "(consistent-hash routed, WAL-recovered)")
+    serve_p.add_argument("--state-dir", default=None,
+                        help="fleet durable state (WALs, snapshots, "
+                             "manifest); default: a fresh temp dir")
     _add_config_flags(serve_p)
 
     bench_p = sub.add_parser("bench", help="closed-loop load generator")
@@ -131,6 +146,24 @@ def main(argv=None) -> int:
                          help="skip the extra telemetry-off side")
     bench_p.add_argument("--out", default="BENCH_serve.json",
                          help="report path")
+    bench_p.add_argument("--fleet", action="store_true",
+                         help="also run the multi-process fleet "
+                              "scenarios (schema-3 `fleet` section)")
+    bench_p.add_argument("--fleet-workers", type=int, default=4,
+                         help="worker processes in the fleet section")
+    bench_p.add_argument("--fleet-seconds", type=float, default=None,
+                         help="wall-clock budget of the fleet section "
+                              "(default: --seconds)")
+    bench_p.add_argument("--fleet-only", action="store_true",
+                         help="run only the fleet section (sides are "
+                              "skipped; implies --fleet)")
+    bench_p.add_argument("--fleet-metrics", default=None,
+                         help="export fleet metrics.jsonl time series "
+                              "to this path during the fleet run")
+    bench_p.add_argument("--fleet-spec", default="hmp.gshare",
+                         help="PredictorSpec kind for the fleet "
+                              "scenarios (compact state recommended; "
+                              "see repro.serve.bench.run_fleet_bench)")
 
     top_p = sub.add_parser("top", help="live metrics dashboard")
     top_p.add_argument("--metrics-dir", default=None,
@@ -152,13 +185,35 @@ def main(argv=None) -> int:
                                          "metrics.jsonl")
         return run_top(path, interval_s=args.interval, once=args.once)
 
-    report = run_bench(
-        seconds=args.seconds, clients=args.clients, window=args.window,
-        spec_kind=args.spec, n_shards=args.shards,
-        max_batch=args.max_batch, max_delay_us=args.max_delay_us,
-        queue_depth=args.queue_depth, sides=args.backend,
-        warmup_frac=args.warmup,
-        telemetry_compare=not args.no_telemetry_compare)
+    if args.fleet_only:
+        from repro.obs.provenance import collect_provenance
+        from repro.serve.bench import BENCH_SCHEMA
+        import time as _time
+        report = {"bench": "repro.serve", "schema": BENCH_SCHEMA,
+                  "generated_unix": int(_time.time()),
+                  "provenance": collect_provenance(), "sides": {}}
+    else:
+        report = run_bench(
+            seconds=args.seconds, clients=args.clients,
+            window=args.window, spec_kind=args.spec,
+            n_shards=args.shards, max_batch=args.max_batch,
+            max_delay_us=args.max_delay_us,
+            queue_depth=args.queue_depth, sides=args.backend,
+            warmup_frac=args.warmup,
+            telemetry_compare=not args.no_telemetry_compare)
+    if args.fleet or args.fleet_only:
+        from repro.serve.bench import run_fleet_bench
+        fleet_params = ((("history", 7),)
+                        if args.fleet_spec == "hmp.gshare" else ())
+        report["fleet"] = run_fleet_bench(
+            workers=args.fleet_workers,
+            seconds=(args.fleet_seconds if args.fleet_seconds is not None
+                     else args.seconds),
+            clients=args.clients, spec_kind=args.fleet_spec,
+            spec_params=fleet_params,
+            n_shards=args.shards, max_batch=args.max_batch,
+            max_delay_us=args.max_delay_us,
+            metrics_jsonl=args.fleet_metrics)
     path = write_report(report, args.out)
     print(json.dumps(report, indent=2, sort_keys=True))
     print(f"wrote {path}", file=sys.stderr)

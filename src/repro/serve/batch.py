@@ -27,8 +27,10 @@ counterpart of :mod:`repro.robust`'s engine oracle.
 from __future__ import annotations
 
 import copy
+import hashlib
 import os
 import pickle
+import struct
 from typing import List, Optional, Sequence, Tuple
 
 from repro.serve.protocol import PredictRequest
@@ -137,12 +139,24 @@ def execute_steps(session, requests: Sequence[PredictRequest],
     under ``REPRO_CHECK_INVARIANTS=1`` it is shadow-checked against
     :func:`scalar_steps` on a deep copy of the pre-batch state.
     """
-    n = len(requests)
     pcs = [r.pc for r in requests]
     outcomes = [0 if r.outcome is None else int(r.outcome)
                 for r in requests]
     distances = [-1 if r.distance is None else int(r.distance)
                  for r in requests]
+    return execute_step_arrays(session, pcs, outcomes, distances,
+                               backend, min_kernel_run)
+
+
+def execute_step_arrays(session, pcs: Sequence[int],
+                        outcomes: Sequence[int],
+                        distances: Sequence[int], backend: str,
+                        min_kernel_run: int = 8
+                        ) -> Tuple[List[int], bool]:
+    """The array-form core of :func:`execute_steps` (``-1`` distance =
+    none) — also the execution path of ``replay`` windows, which arrive
+    as arrays and never materialise per-step request objects."""
+    n = len(pcs)
     use_kernel = (n >= max(1, min_kernel_run)
                   and _kernel_eligible(session.family, session.predictor,
                                        backend))
@@ -186,3 +200,41 @@ def _state_bytes(predictor: object) -> Optional[bytes]:
         return pickle.dumps(predictor, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception:  # pragma: no cover - exotic predictor state
         return None
+
+
+# --------------------------------------------------------------------------
+# Replay windows (batched-RPC trace chunks)
+# --------------------------------------------------------------------------
+
+
+def replay_digest(results: Sequence[int]) -> int:
+    """Order-sensitive 64-bit digest of a replay window's per-step
+    results — the ``result`` of a ``replay`` response.
+
+    A deterministic function of the result sequence alone, so any two
+    topologies (single process / fleet, scalar / kernel) serving the
+    same window must answer the same digest; the differential suite
+    compares digests where per-step streams would be too bulky to
+    ship back."""
+    n = len(results)
+    packed = struct.pack(f"<{n}q", *(int(r) for r in results))
+    return int.from_bytes(
+        hashlib.blake2b(packed, digest_size=8).digest(), "big")
+
+
+def execute_replay(session, request: PredictRequest, backend: str,
+                   min_kernel_run: int = 8) -> Tuple[int, int, bool]:
+    """Execute one ``replay`` request's trace window.
+
+    Returns ``(digest, n_steps, used_kernel)``.  Exactly equivalent to
+    submitting the window as individual ``step`` requests (same kernel
+    dispatch rules, same invariant shadow-check via
+    :func:`execute_step_arrays`), but the window is one admission unit:
+    one future, one WAL record, one wire round trip."""
+    pcs = request.pcs or ()
+    outcomes = request.outcomes or ()
+    distances = (request.distances if request.distances is not None
+                 else [-1] * len(pcs))
+    results, used_kernel = execute_step_arrays(
+        session, pcs, outcomes, distances, backend, min_kernel_run)
+    return replay_digest(results), len(results), used_kernel

@@ -47,6 +47,7 @@ Latency accounting (the report's JSON schema, ``schema: 2``):
 from __future__ import annotations
 
 import json
+import os
 import random
 import statistics
 import time
@@ -62,8 +63,11 @@ from repro.serve.protocol import ERR_RETRY, PredictRequest
 from repro.serve.service import PredictionService
 
 #: Report schema: 2 adds queue/service separation, warmup exclusion,
-#: provenance and the telemetry on/off comparison.
-BENCH_SCHEMA = 2
+#: provenance and the telemetry on/off comparison; 3 adds the
+#: multi-process ``fleet`` section (open-loop scenarios: steady /
+#: overload / rebalance / chaos-kill, and the fleet-vs-single-process
+#: aggregate comparison).
+BENCH_SCHEMA = 3
 
 #: Distinct load PCs per client session (enough to exercise tables,
 #: few enough that predictors warm up within a short run).
@@ -329,6 +333,280 @@ def run_bench(seconds: float = 10.0, clients: int = 64,
         report["speedup"] = (vector_rps / scalar_rps
                              if scalar_rps > 0 else 0.0)
     return report
+
+
+# --------------------------------------------------------------------------
+# The fleet section (schema 3)
+# --------------------------------------------------------------------------
+
+
+def _loadgen_summary(rep: Dict[str, object]) -> Dict[str, object]:
+    """The open-loop numbers worth keeping per scenario."""
+    latency = dict(rep["latency_us"])
+    for key, value in list(latency.items()):
+        if isinstance(value, float):
+            latency[key] = round(value, 1)
+    out = {
+        "arrivals": rep["arrivals"],
+        "sessions_touched": rep["sessions_touched"],
+        "ok": rep["ok"],
+        "rejected": rep["rejected"],
+        "errors": rep["errors"],
+        "lost": rep["lost"],
+        "offered_rps": round(rep["offered_rps"], 1),
+        "achieved_rps": round(rep["achieved_rps"], 1),
+        "latency_us": latency,
+    }
+    if rep.get("chunk_steps", 1) != 1:
+        out["chunk_steps"] = rep["chunk_steps"]
+        out["achieved_steps_rps"] = round(rep["achieved_steps_rps"], 1)
+    return out
+
+
+async def _run_fleet_comparison(workers: int, seconds: float,
+                                clients: int, n_shards: int,
+                                max_batch: int, max_delay_us: int,
+                                seed: int, state_dir: str,
+                                chunk_steps: int,
+                                comparison_spec: str
+                                ) -> Dict[str, object]:
+    """The acceptance comparison: single-process scalar per-request
+    serving vs the N-worker fleet, identical trace-window workload.
+
+    Arrivals are ``replay`` windows of ``chunk_steps`` consecutive
+    steps (the unit trace-driven clients produce); the scalar baseline
+    pays the full per-step scalar cost while the fleet's vectorized
+    workers execute each window as one kernel run — which is the whole
+    point being measured: micro-batch amortisation surviving the hop
+    across process boundaries.  Everything shares this machine's
+    cores, so the speedup is per-request CPU efficiency, not
+    parallelism (see provenance.cpu_count)."""
+    from repro.serve.fleet import ServeFleet
+    from repro.serve.loadgen import (
+        LoadModel,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    worker_config = ServeConfig(
+        n_shards=n_shards, max_batch=max_batch,
+        max_delay_us=max_delay_us, backend="vectorized")
+    scalar_config = ServeConfig(
+        n_shards=n_shards, max_batch=1, max_delay_us=0,
+        queue_depth=65536, backend="reference")
+
+    def model(rate: float, slice_seconds: float, tag: int) -> LoadModel:
+        return LoadModel(
+            n_sessions=2000, zipf_s=1.1, spec_kind=comparison_spec,
+            chunk_steps=chunk_steps, arrival="poisson", rate_rps=rate,
+            seconds=slice_seconds, clients=clients, seed=seed + tag)
+
+    async with PredictionService(scalar_config) as probe:
+        probe_rep = await run_closed_loop(
+            probe, model(100.0, min(seconds, 1.0), tag=90), window=2)
+    capacity = max(probe_rep["achieved_rps"], 10.0)
+    overload_rate = 4.0 * capacity
+
+    async with PredictionService(scalar_config) as single:
+        single_rep = await run_open_loop(
+            single, model(overload_rate, seconds, tag=91))
+
+    async with ServeFleet(n_workers=workers, config=worker_config,
+                          state_dir=state_dir,
+                          outstanding_limit=4096,
+                          wal_limit=400_000) as fleet:
+        fleet_rep = await run_open_loop(
+            fleet, model(overload_rate, seconds, tag=91))
+
+    single_steps = max(single_rep["achieved_steps_rps"], 1e-9)
+    return {
+        "spec": spec_for(comparison_spec).to_json_dict(),
+        "chunk_steps": chunk_steps,
+        "n_sessions": 2000,
+        "single_process_capacity_rps": round(capacity, 1),
+        "offered_rps": round(overload_rate, 1),
+        "single_process": _loadgen_summary(single_rep),
+        "fleet": _loadgen_summary(fleet_rep),
+        "aggregate_steps_rps": round(fleet_rep["achieved_steps_rps"], 1),
+        "speedup_vs_single_process": round(
+            fleet_rep["achieved_steps_rps"] / single_steps, 3),
+        "comparison_note": (
+            "speedup compares the fleet (vectorized micro-batching "
+            "workers) against the single-process scalar per-request "
+            "service, in steps/s, under identical open-loop trace-"
+            "window overload; all processes share this machine's "
+            "cores (see provenance.cpu_count)"),
+    }
+
+
+async def _run_fleet_section(workers: int, seconds: float, clients: int,
+                             spec_kind: str, spec_params,
+                             n_shards: int,
+                             max_batch: int, max_delay_us: int,
+                             seed: int, state_dir: Optional[str],
+                             metrics_jsonl: Optional[str],
+                             chunk_steps: int = 512,
+                             comparison_spec: str = "hmp.hybrid"
+                             ) -> Dict[str, object]:
+    import tempfile
+
+    from repro.obs.timeseries import TimeSeriesExporter
+    from repro.serve.fleet import ServeFleet
+    from repro.serve.loadgen import (
+        LoadModel,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    worker_config = ServeConfig(
+        n_shards=n_shards, max_batch=max_batch,
+        max_delay_us=max_delay_us, backend="vectorized")
+    state_dir = state_dir or tempfile.mkdtemp(prefix="bench-fleet-")
+    slice_s = max(seconds / 5.0, 0.2)
+
+    def model(rate: float, slice_seconds: float, tag: int,
+              arrival: str = "poisson") -> LoadModel:
+        return LoadModel(
+            n_sessions=1_000_000, zipf_s=1.1, spec_kind=spec_kind,
+            spec_params=spec_params, arrival=arrival, rate_rps=rate,
+            seconds=slice_seconds, clients=clients, seed=seed + tag)
+
+    section: Dict[str, object] = {
+        "workers": workers,
+        "worker_config": {
+            "n_shards": n_shards, "max_batch": max_batch,
+            "max_delay_us": max_delay_us, "backend": "vectorized"},
+        "spec": spec_for(spec_kind, **dict(spec_params)).to_json_dict(),
+        "clients": clients,
+        "seed": seed,
+        "scenarios": {},
+    }
+
+    # The acceptance comparison runs against its own fleet instance so
+    # its (heavier-state) sessions never bloat the scenario snapshots.
+    section["comparison"] = await _run_fleet_comparison(
+        workers, max(slice_s, 2.0), clients, n_shards, max_batch,
+        max_delay_us, seed, os.path.join(state_dir, "cmp"),
+        chunk_steps, comparison_spec)
+
+    fleet = ServeFleet(n_workers=workers, config=worker_config,
+                       state_dir=os.path.join(state_dir, "scen"),
+                       outstanding_limit=4096,
+                       wal_limit=65536)
+    await fleet.start(recover=False)
+    exporter = None
+    if metrics_jsonl is not None:
+        exporter = TimeSeriesExporter(fleet.metrics_snapshot,
+                                      interval_ms=250,
+                                      jsonl_path=metrics_jsonl)
+        exporter.start()
+    try:
+        # Calibrate scenario rates against the *fleet's* own capacity
+        # (closed-loop probe) so "steady" really is under the knee and
+        # "overload" really is past it.
+        probe_rep = await run_closed_loop(
+            fleet, model(1000.0, min(slice_s, 1.0), tag=99), window=64)
+        fleet_capacity = max(probe_rep["achieved_rps"], 500.0)
+        steady_rate = 0.6 * fleet_capacity
+        overload_rate = 3.0 * fleet_capacity
+        section["fleet_capacity_rps"] = round(fleet_capacity, 1)
+
+        steady = await run_open_loop(
+            fleet, model(steady_rate, slice_s, tag=2))
+        section["scenarios"]["steady"] = _loadgen_summary(steady)
+
+        overload = await run_open_loop(
+            fleet, model(overload_rate, slice_s, tag=3,
+                         arrival="bursty"))
+        section["scenarios"]["overload"] = _loadgen_summary(overload)
+
+        # Rebalance under load: resize mid-run; admission pauses show
+        # up as retry-after, never as lost requests.
+        resize_task = None
+
+        async def _resize_mid_run() -> Dict[str, int]:
+            await asyncio.sleep(slice_s / 3.0)
+            return await fleet.resize(workers + 1)
+
+        resize_task = asyncio.ensure_future(_resize_mid_run())
+        rebalance = await run_open_loop(
+            fleet, model(steady_rate, slice_s, tag=4))
+        moves = await resize_task
+        summary = _loadgen_summary(rebalance)
+        summary["resize"] = moves
+        section["scenarios"]["rebalance"] = summary
+
+        # Kill-a-worker chaos under load: recovery replays the WAL and
+        # every accepted request still gets its answer (lost == 0).
+        async def _kill_mid_run() -> str:
+            await asyncio.sleep(slice_s / 3.0)
+            victim = fleet.worker_names[0]
+            await fleet.kill_worker(victim)
+            return victim
+
+        kill_task = asyncio.ensure_future(_kill_mid_run())
+        chaos = await run_open_loop(
+            fleet, model(steady_rate, slice_s, tag=5))
+        victim = await kill_task
+        await fleet.wait_all_live()
+        summary = _loadgen_summary(chaos)
+        summary["killed_worker"] = victim
+        section["scenarios"]["chaos_kill"] = summary
+
+        section["fleet_stats"] = fleet.stats()["totals"]
+    finally:
+        if exporter is not None:
+            exporter.stop()
+        await fleet.stop()
+
+    section["aggregate_rps"] = section["comparison"]["fleet"][
+        "achieved_rps"]
+    section["aggregate_steps_rps"] = section["comparison"][
+        "aggregate_steps_rps"]
+    section["speedup_vs_single_process"] = section["comparison"][
+        "speedup_vs_single_process"]
+    return section
+
+
+def run_fleet_bench(workers: int = 4, seconds: float = 10.0,
+                    clients: int = 64, spec_kind: str = "hmp.gshare",
+                    spec_params=(("history", 7),),
+                    n_shards: int = 2, max_batch: int = 4096,
+                    max_delay_us: int = 2000, seed: int = 2024,
+                    state_dir: Optional[str] = None,
+                    metrics_jsonl: Optional[str] = None,
+                    chunk_steps: int = 512,
+                    comparison_spec: str = "hmp.hybrid"
+                    ) -> Dict[str, object]:
+    """The schema-3 ``fleet`` section: the acceptance comparison plus
+    open-loop scenarios against an N-worker
+    :class:`~repro.serve.fleet.ServeFleet`.
+
+    Two workloads, deliberately different:
+
+    * The **comparison** (``comparison_spec``/``chunk_steps``) offers
+      trace windows — ``replay`` requests of ``chunk_steps``
+      consecutive steps — to both the single-process scalar
+      per-request service and the fleet, and reports the steps/s
+      speedup.  It defaults to the bench's headline ``hmp.hybrid``
+      spec, whose scalar step is expensive and whose kernel amortises
+      hard, because that is the serving regime the fleet exists for.
+    * The **scenarios** (``spec_kind``/``spec_params``) stress routing
+      and recovery: a Zipf model over a million nameable sessions,
+      per-step requests, steady/overload/rebalance/kill-a-worker.
+      The default spec is a *compact* hit-miss gshare (~4 KB of
+      pickled state per session, vs ~100 KB for ``hmp.hybrid``): the
+      model touches tens of thousands of sessions per slice and
+      snapshot/rebalance cost scales with state size, so per-session
+      compactness is part of the scenario, not a shortcut.
+
+    ``seconds`` is split across the probes, the comparison arms and
+    the four scenarios."""
+    return asyncio.run(_run_fleet_section(
+        workers, seconds, clients, spec_kind, tuple(spec_params),
+        n_shards, max_batch, max_delay_us, seed, state_dir,
+        metrics_jsonl, chunk_steps=chunk_steps,
+        comparison_spec=comparison_spec))
 
 
 def write_report(report: Dict[str, object],

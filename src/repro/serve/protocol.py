@@ -17,6 +17,17 @@ a *session* (an isolated predictor instance, built from a
     predict-then-update — the per-load streaming op the paper's
     predictors live on, and the one micro-batches coalesce onto the
     :mod:`repro.fastpath` kernels.
+``replay``
+    A *trace window*: ``pcs``/``outcomes`` (and optionally
+    ``distances``) carry one run of consecutive steps for the session
+    in a single request, the unit trace-driven clients naturally
+    produce.  Semantically identical to submitting the steps one by
+    one; the response's ``result`` is the order-sensitive digest of
+    the per-step results (:func:`repro.serve.batch.replay_digest`), so
+    two topologies serving the same window must answer the same digest.
+    One replay request pays one admission + one WAL record + one wire
+    round trip for the whole window — the batched-RPC form that keeps
+    kernel amortisation alive across process boundaries.
 ``ping``
     Liveness/roundtrip probe.
 
@@ -35,11 +46,13 @@ honour (see ``docs/serving.md``).
 from __future__ import annotations
 
 import json
+import pickle
+import struct
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Ops that address predictor state through a pc.
-DATA_OPS = ("predict", "update", "step")
+DATA_OPS = ("predict", "update", "step", "replay")
 #: Session/service control ops.
 CONTROL_OPS = ("open", "close", "ping")
 OPS = DATA_OPS + CONTROL_OPS
@@ -73,6 +86,11 @@ class PredictRequest:
     address: Optional[int] = None
     spec: Optional[Mapping] = field(default=None, compare=False)
     seq: int = -1
+    #: ``replay`` only: the trace window, parallel tuples of ints
+    #: (``distances`` optional, ``-1`` = none).
+    pcs: Optional[Tuple[int, ...]] = None
+    outcomes: Optional[Tuple[int, ...]] = None
+    distances: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -80,10 +98,29 @@ class PredictRequest:
                                 f"of {OPS}")
         if not self.session_id:
             raise ProtocolError("session_id must be non-empty")
+        if self.op == "replay":
+            if not self.pcs:
+                raise ProtocolError("replay requires a non-empty pcs "
+                                    "window")
+            if self.outcomes is None or (len(self.outcomes)
+                                         != len(self.pcs)):
+                raise ProtocolError("replay outcomes must parallel pcs")
+            if self.distances is not None and (len(self.distances)
+                                               != len(self.pcs)):
+                raise ProtocolError("replay distances must parallel pcs")
+        elif self.pcs is not None or self.outcomes is not None:
+            raise ProtocolError(f"op {self.op!r} does not carry a "
+                                f"trace window")
 
     def to_json_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {"session_id": self.session_id,
                                   "op": self.op, "seq": self.seq}
+        if self.op == "replay":
+            out["pcs"] = list(self.pcs or ())
+            out["outcomes"] = list(self.outcomes or ())
+            if self.distances is not None:
+                out["distances"] = list(self.distances)
+            return out
         if self.op in DATA_OPS:
             out["pc"] = self.pc
         for name in ("outcome", "distance", "address"):
@@ -114,6 +151,9 @@ class PredictRequest:
                 address=_opt_int(payload.get("address")),
                 spec=payload.get("spec"),
                 seq=int(payload.get("seq", -1)),
+                pcs=_opt_window(payload.get("pcs")),
+                outcomes=_opt_window(payload.get("outcomes")),
+                distances=_opt_window(payload.get("distances")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed request {payload!r}: {exc}"
@@ -187,6 +227,110 @@ def _opt_int(value: object) -> Optional[int]:
     if isinstance(value, (int, float)) and int(value) == value:
         return int(value)
     raise ProtocolError(f"expected an integer, got {value!r}")
+
+
+def _opt_window(value: object) -> Optional[Tuple[int, ...]]:
+    if value is None:
+        return None
+    if isinstance(value, (list, tuple)):
+        return tuple(int(v) for v in value)
+    raise ProtocolError(f"expected an integer list, got {value!r}")
+
+
+# --------------------------------------------------------------------------
+# Worker handoff: binary frames + compact wire tuples
+# --------------------------------------------------------------------------
+#
+# The router ⇄ worker link (:mod:`repro.serve.fleet` /
+# :mod:`repro.serve.worker`) is an internal, same-program, same-host
+# channel, so it does not pay the JSONL text tax: messages are
+# length-prefixed pickled tuples, and requests/responses travel as
+# positional tuples rather than dataclasses (tuple pickling is several
+# times cheaper, which matters when one router core fans out every
+# request).  Pickle is safe here by construction — both ends are
+# subprocesses of one program, the listener is loopback-only and every
+# connection must present the router's random hello token before any
+# frame is processed.
+
+#: Frame length prefix: one unsigned 32-bit big-endian byte count.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames (corrupt stream / wrong peer) before allocating.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def encode_frame(payload: object) -> bytes:
+    """One wire frame: length prefix + pickled payload."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return FRAME_HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader) -> object:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Raises ``asyncio.IncompleteReadError`` at EOF (connection gone) and
+    :class:`ProtocolError` on a corrupt length prefix.
+    """
+    header = await reader.readexactly(FRAME_HEADER.size)
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte bound")
+    return pickle.loads(await reader.readexactly(length))
+
+
+def request_to_wire(request: "PredictRequest") -> Tuple:
+    """Positional tuple form of a data request (handoff hot path).
+
+    Scalar ops travel as 7-tuples; ``replay`` appends its window as an
+    8th element so the common case pays nothing for it.
+    """
+    base = (request.session_id, request.op, request.pc, request.outcome,
+            request.distance, request.address, request.seq)
+    if request.op == "replay":
+        return base + ((request.pcs, request.outcomes,
+                        request.distances),)
+    return base
+
+
+def request_from_wire(wire: Sequence) -> "PredictRequest":
+    """Inverse of :func:`request_to_wire` (7- or 8-tuple)."""
+    if len(wire) == 8:
+        session_id, op, pc, outcome, distance, address, seq, win = wire
+        pcs, outcomes, distances = win
+        return PredictRequest(session_id=session_id, op=op, pc=pc,
+                              outcome=outcome, distance=distance,
+                              address=address, seq=seq, pcs=pcs,
+                              outcomes=outcomes, distances=distances)
+    session_id, op, pc, outcome, distance, address, seq = wire
+    return PredictRequest(session_id=session_id, op=op, pc=pc,
+                          outcome=outcome, distance=distance,
+                          address=address, seq=seq)
+
+
+def response_to_wire(response: "PredictResponse") -> Tuple:
+    """Positional 6-tuple form of a response (handoff hot path)."""
+    return (response.session_id, response.seq, response.ok,
+            response.result, response.error, response.retry_after_us)
+
+
+def response_from_wire(wire: Sequence) -> "PredictResponse":
+    """Inverse of :func:`response_to_wire`."""
+    session_id, seq, ok, result, error, retry_after_us = wire
+    return PredictResponse(session_id=session_id, seq=seq, ok=ok,
+                           result=result, error=error,
+                           retry_after_us=retry_after_us)
+
+
+def requests_to_wire(requests: Sequence["PredictRequest"]) -> List[Tuple]:
+    """Batch form of :func:`request_to_wire`, one tuple per request."""
+    return [request_to_wire(r) for r in requests]
+
+
+def responses_from_wire(wires: Sequence[Sequence]
+                        ) -> List["PredictResponse"]:
+    """Batch form of :func:`response_from_wire`."""
+    return [response_from_wire(w) for w in wires]
 
 
 class RetryAfter(Exception):

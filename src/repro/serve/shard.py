@@ -26,7 +26,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.stats import StreamingHistogram
 from repro.obs.events import EventKind
-from repro.serve.batch import apply_predict, apply_update, execute_steps
+from repro.serve.batch import (
+    apply_predict,
+    apply_update,
+    execute_replay,
+    execute_steps,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import (
     ERR_BAD_REQUEST,
@@ -287,7 +292,10 @@ class Shard:
                     continue
                 used_kernel |= self._flush_run(session, run, backend)
                 run = []
-                self._apply_single(session, item)
+                if item.request.op == "replay":
+                    used_kernel |= self._apply_replay(session, item)
+                else:
+                    self._apply_single(session, item)
             used_kernel |= self._flush_run(session, run, backend)
         except asyncio.CancelledError:
             # Never convert a cancellation into an in-band error: the
@@ -371,6 +379,25 @@ class Shard:
         item.future.set_result(PredictResponse(
             session_id=session.session_id, seq=request.seq, result=result))
         self._finish_span(item)
+
+    def _apply_replay(self, session: Session, item: _Item) -> bool:
+        """One trace-window request: the whole window executes as a
+        single run (kernel rules of :func:`~repro.serve.batch.
+        execute_replay`); ``served`` counts its steps."""
+        if item.span is not None:
+            item.span.mark("batch")
+        digest, n_steps, used_kernel = execute_replay(
+            session, item.request, self._backend_name(),
+            self.config.min_kernel_run)
+        if item.span is not None:
+            item.span.mark("kernel" if used_kernel else "predict")
+        session.served += n_steps
+        self.served += n_steps
+        item.future.set_result(PredictResponse(
+            session_id=session.session_id, seq=item.request.seq,
+            result=digest))
+        self._finish_span(item)
+        return used_kernel
 
     # -- control ops ---------------------------------------------------------
 

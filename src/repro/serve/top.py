@@ -84,12 +84,32 @@ def _stage_rows(metrics: Dict[str, float]) -> List[Tuple[str, Dict[str, float]]]
     return ordered
 
 
+def _worker_rows(metrics: Dict[str, float]) -> List[Tuple[str, Dict[str, float]]]:
+    """Collect ``fleet.workers.<index>.*`` leaves into per-worker
+    dicts, ordered by worker index."""
+    workers: Dict[str, Dict[str, float]] = {}
+    for path, value in metrics.items():
+        if not path.startswith("fleet.workers."):
+            continue
+        rest = path[len("fleet.workers."):]
+        if "." not in rest:
+            continue
+        index, leaf = rest.split(".", 1)
+        workers.setdefault(index, {})[leaf] = value
+    def _order(item: Tuple[str, Dict[str, float]]):
+        index = item[0]
+        return (0, int(index)) if index.isdigit() else (1, index)
+    return sorted(workers.items(), key=_order)
+
+
 def render_frame(prev: Optional[Dict[str, object]],
                  curr: Dict[str, object]) -> str:
     """Render one dashboard frame from two consecutive samples.
 
     ``prev`` may be ``None`` (first frame: rates show ``-``).  Pure —
-    no I/O, no clock — so it is directly unit-testable.
+    no I/O, no clock — so it is directly unit-testable.  Single-process
+    streams render the ``serve.*`` view; fleet streams additionally get
+    the per-worker table from the ``fleet.workers.*`` tree.
     """
     metrics = curr["metrics"]
     lines: List[str] = []
@@ -128,6 +148,33 @@ def render_frame(prev: Optional[Dict[str, object]],
                 + _fmt(leaves.get("mean"), "us")
                 + _fmt(leaves.get("p50"), "us")
                 + _fmt(leaves.get("p99"), "us"))
+    if "fleet.workers" in metrics or any(
+            k.startswith("fleet.") for k in metrics):
+        lines.append("")
+        lines.append(
+            "  fleet        workers"
+            + _fmt(metrics.get("fleet.workers_alive"), "", 6)
+            + "/" + str(int(metrics.get("fleet.workers", 0)))
+            + "   deaths" + _fmt(metrics.get("fleet.worker_deaths"), "", 4)
+            + "   rebalances"
+            + _fmt(metrics.get("fleet.rebalances"), "", 4)
+            + "   moved"
+            + _fmt(metrics.get("fleet.sessions_moved"), "", 8))
+        workers = _worker_rows(metrics)
+        if workers:
+            lines.append("  worker   alive         rps  outstanding"
+                         "     sessions          wal       deaths")
+            for index, leaves in workers:
+                alive = leaves.get("alive")
+                lines.append(
+                    f"  w{index:<6} "
+                    + ("  up " if alive else " DOWN").rjust(6)
+                    + _fmt(_rate(prev, curr,
+                                 f"fleet.workers.{index}.served"))
+                    + _fmt(leaves.get("outstanding"))
+                    + _fmt(leaves.get("sessions"))
+                    + _fmt(leaves.get("wal_records"))
+                    + _fmt(leaves.get("deaths")))
     lines.append("")
     return "\n".join(lines)
 

@@ -1,0 +1,143 @@
+"""Bounded write-ahead log of accepted fleet requests.
+
+The router (:mod:`repro.serve.fleet`) appends every accepted record —
+session opens/closes and data requests — to its target worker's WAL
+*before* forwarding it.  That single ordering rule is the whole
+durability story: a worker's in-memory predictor state is always
+``last persisted snapshot + the WAL suffix``, so a dead worker is
+rebuilt by restoring the snapshot and replaying the suffix, and a
+restarted router recovers every worker the same way.  "Accepted"
+therefore means *recorded*: an accepted request can be re-answered
+after any crash, and zero accepted requests are ever lost.
+
+The log is bounded by the snapshot protocol, not by dropping records:
+when ``records`` grows past the fleet's ``wal_limit`` the router
+snapshots the worker and calls :meth:`truncate` with the :meth:`mark`
+taken at the snapshot barrier — every truncated record's effect is in
+the snapshot, every surviving record's is not, so replay applies each
+accepted update exactly once (the no-duplicate-training invariant the
+chaos tests assert bit-for-bit).
+
+On-disk format: length-prefixed pickled *batches* of records (the
+:data:`~repro.serve.protocol.FRAME_HEADER` framing of the worker
+link), appended and flushed per admission flush.  Records are plain
+tuples::
+
+    ("open",  session_id, spec_json_dict)
+    ("close", session_id)
+    ("req",   request_wire_tuple)       # protocol.request_to_wire
+
+A torn final frame (a crash mid-append) is detected by the length
+prefix and discarded on open — recovery never feeds a half-written
+record to a worker.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import List, Sequence, Tuple
+
+from repro.serve.protocol import FRAME_HEADER, MAX_FRAME_BYTES
+
+Record = Tuple
+
+
+def _read_batches(path: str) -> Tuple[List[List[Record]], int]:
+    """All complete record batches in ``path`` plus the byte offset of
+    the first incomplete/corrupt frame (== file size when clean)."""
+    batches: List[List[Record]] = []
+    clean_end = 0
+    if not os.path.exists(path):
+        return batches, clean_end
+    with open(path, "rb") as handle:
+        while True:
+            header = handle.read(FRAME_HEADER.size)
+            if len(header) < FRAME_HEADER.size:
+                break
+            (length,) = FRAME_HEADER.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                break
+            body = handle.read(length)
+            if len(body) < length:
+                break
+            try:
+                batch = pickle.loads(body)
+            except Exception:
+                break
+            batches.append(list(batch))
+            clean_end = handle.tell()
+    return batches, clean_end
+
+
+class WriteAheadLog:
+    """Append-only record log for one worker (module docstring)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        batches, clean_end = _read_batches(path)
+        if os.path.exists(path) and clean_end < os.path.getsize(path):
+            # Torn tail from a crash mid-append: drop it before the
+            # next append could concatenate garbage with a new frame.
+            with open(path, "rb+") as handle:
+                handle.truncate(clean_end)
+        #: Records currently in the log (survivors of truncation).
+        self.records = sum(len(batch) for batch in batches)
+        self._handle = open(path, "ab")
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, records: Sequence[Record]) -> None:
+        """Durably append one batch of records (write-ahead: callers
+        must append before forwarding)."""
+        if not records:
+            return
+        body = pickle.dumps(list(records),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        self._handle.write(FRAME_HEADER.pack(len(body)))
+        self._handle.write(body)
+        self._handle.flush()
+        self.records += len(records)
+
+    def mark(self) -> int:
+        """The current record count — take it at a snapshot barrier,
+        hand it back to :meth:`truncate` once the snapshot persisted."""
+        return self.records
+
+    def truncate(self, upto: int) -> None:
+        """Drop the first ``upto`` records (their effects are now in a
+        persisted snapshot).  Atomic: rewrite-then-rename, so a crash
+        mid-truncate leaves the old log, which merely replays more."""
+        if upto <= 0:
+            return
+        self._handle.close()
+        batches, _ = _read_batches(self.path)
+        flat = [record for batch in batches for record in batch]
+        survivors = flat[upto:]
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as handle:
+            if survivors:
+                body = pickle.dumps(survivors,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(FRAME_HEADER.pack(len(body)))
+                handle.write(body)
+        os.replace(tmp, self.path)
+        self.records = len(survivors)
+        self._handle = open(self.path, "ab")
+
+    # -- reading ------------------------------------------------------------
+
+    def replay(self) -> List[Record]:
+        """Every surviving record, in append order."""
+        self._handle.flush()
+        batches, _ = _read_batches(self.path)
+        return [record for batch in batches for record in batch]
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

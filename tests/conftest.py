@@ -1,0 +1,40 @@
+"""Repo-wide test hygiene.
+
+The serve fleet (and a few benches) spawn worker subprocesses that
+import from ``src/``; without a guard each spawn scatters
+``__pycache__`` directories into the source tree, where stale bytecode
+can mask real edits in later runs.  Three layers keep the tree clean:
+
+* this process writes no bytecode (``sys.dont_write_bytecode``);
+* every child it spawns inherits ``PYTHONDONTWRITEBYTECODE`` (the
+  fleet's spawn env sets it explicitly too — this covers everything
+  else);
+* any ``__pycache__`` that slipped into ``src/`` earlier (pre-guard
+  checkouts) is purged once at session start, so it cannot shadow the
+  current sources.
+
+``.gitignore`` keeps ``__pycache__/`` out of commits; this keeps it
+out of the working tree in the first place.
+"""
+
+import os
+import shutil
+import sys
+
+sys.dont_write_bytecode = True
+os.environ["PYTHONDONTWRITEBYTECODE"] = "1"
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _purge_src_pycache() -> None:
+    src = os.path.join(_REPO_ROOT, "src")
+    for dirpath, dirnames, _files in os.walk(src):
+        if "__pycache__" in dirnames:
+            dirnames.remove("__pycache__")
+            shutil.rmtree(os.path.join(dirpath, "__pycache__"),
+                          ignore_errors=True)
+
+
+def pytest_configure(config):
+    _purge_src_pycache()

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.serve.bench import (
     BENCH_SCHEMA,
     make_windows,
@@ -59,6 +61,7 @@ def test_bench_separates_queue_sojourn_from_service_time():
     assert "queue sojourn" in side["latency_note"]
 
 
+@pytest.mark.slow
 def test_bench_telemetry_overhead_comparison():
     report = run_bench(seconds=0.2, clients=2, window=32,
                        spec_kind="hmp.local", n_shards=1,

@@ -75,3 +75,51 @@ def test_retry_after_exception_carries_backoff():
     exc = RetryAfter(1500)
     assert exc.retry_after_us == 1500
     assert "1500" in str(exc)
+
+
+class TestReplayOp:
+    """The trace-window op: validation, JSON and compact wire forms."""
+
+    def _window(self, n=5):
+        return dict(pcs=tuple(0x400 + 4 * i for i in range(n)),
+                    outcomes=tuple(i % 2 for i in range(n)))
+
+    def test_json_round_trip(self):
+        req = PredictRequest(session_id="s", op="replay", seq=9,
+                             distances=(1, -1, 2, -1, -1),
+                             **self._window())
+        again = PredictRequest.from_json(req.to_json())
+        assert again == req
+        assert again.pcs == req.pcs and isinstance(again.pcs, tuple)
+
+    def test_wire_round_trip(self):
+        from repro.serve.protocol import (request_from_wire,
+                                          request_to_wire)
+        req = PredictRequest(session_id="s", op="replay", seq=3,
+                             **self._window())
+        assert request_from_wire(request_to_wire(req)) == req
+        # Non-replay requests keep the compact 7-tuple wire form.
+        step = PredictRequest(session_id="s", op="step", pc=4, outcome=1)
+        assert len(request_to_wire(step)) == 7
+        assert request_from_wire(request_to_wire(step)) == step
+
+    def test_replay_requires_a_window(self):
+        with pytest.raises(ProtocolError):
+            PredictRequest(session_id="s", op="replay")
+        with pytest.raises(ProtocolError):
+            PredictRequest(session_id="s", op="replay", pcs=(),
+                           outcomes=())
+
+    def test_window_arrays_must_be_parallel(self):
+        with pytest.raises(ProtocolError):
+            PredictRequest(session_id="s", op="replay",
+                           pcs=(4, 8), outcomes=(1,))
+        with pytest.raises(ProtocolError):
+            PredictRequest(session_id="s", op="replay",
+                           pcs=(4, 8), outcomes=(1, 0),
+                           distances=(1,))
+
+    def test_non_replay_ops_reject_windows(self):
+        with pytest.raises(ProtocolError):
+            PredictRequest(session_id="s", op="step", pc=4, outcome=1,
+                           **self._window())

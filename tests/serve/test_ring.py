@@ -1,0 +1,81 @@
+"""Consistent-hash ring unit tests.
+
+The ring is the fleet's placement function: these tests pin its
+contract — deterministic, process-independent mapping; coverage and
+rough balance over a uniform keyset; and minimal movement under node
+churn (the property tests in ``tests/property/test_ring_properties.py``
+push the same claims through hypothesis-generated topologies).
+"""
+
+import pytest
+
+from repro.serve.ring import DEFAULT_REPLICAS, HashRing
+
+KEYS = [f"sess-{i:05d}" for i in range(4000)]
+
+
+def test_mapping_is_deterministic_across_instances():
+    a = HashRing(["w0", "w1", "w2"])
+    b = HashRing(["w2", "w0", "w1"])  # insertion order must not matter
+    assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+
+def test_membership_and_errors():
+    ring = HashRing()
+    with pytest.raises(ValueError):
+        ring.node_for("anything")  # empty ring
+    ring.add_node("w0")
+    assert "w0" in ring and len(ring) == 1
+    with pytest.raises(ValueError):
+        ring.add_node("w0")  # duplicate
+    with pytest.raises(ValueError):
+        ring.add_node("")  # empty name
+    with pytest.raises(ValueError):
+        ring.remove_node("w9")  # absent
+    with pytest.raises(ValueError):
+        HashRing(replicas=0)
+    ring.remove_node("w0")
+    assert len(ring) == 0
+
+
+def test_nodes_property_is_sorted():
+    ring = HashRing(["w2", "w10", "w1"])
+    assert ring.nodes == ("w1", "w10", "w2")
+
+
+def test_distribution_covers_all_nodes_roughly_evenly():
+    ring = HashRing([f"w{i}" for i in range(4)])
+    counts = ring.distribution(KEYS)
+    assert set(counts) == {f"w{i}" for i in range(4)}
+    mean = len(KEYS) / 4
+    # The documented vnode balance bound (ring.py: max/mean < ~1.35).
+    assert max(counts.values()) < 1.35 * mean
+    assert min(counts.values()) > 0
+
+
+def test_add_node_moves_keys_only_to_the_new_node():
+    ring = HashRing(["w0", "w1", "w2"])
+    before = {k: ring.node_for(k) for k in KEYS}
+    ring.add_node("w3")
+    after = {k: ring.node_for(k) for k in KEYS}
+    moved = [k for k in KEYS if before[k] != after[k]]
+    assert all(after[k] == "w3" for k in moved), (
+        "a key moved between two surviving nodes")
+    # Roughly 1/4 of keys should land on the newcomer, never "most".
+    assert 0 < len(moved) < 0.5 * len(KEYS)
+
+
+def test_remove_node_moves_only_the_removed_nodes_keys():
+    ring = HashRing(["w0", "w1", "w2", "w3"])
+    before = {k: ring.node_for(k) for k in KEYS}
+    ring.remove_node("w1")
+    after = {k: ring.node_for(k) for k in KEYS}
+    for key in KEYS:
+        if before[key] != "w1":
+            assert after[key] == before[key], (
+                "a key not owned by the removed node moved")
+
+
+def test_single_node_owns_everything():
+    ring = HashRing(["only"], replicas=DEFAULT_REPLICAS)
+    assert all(ring.node_for(k) == "only" for k in KEYS[:100])

@@ -103,3 +103,52 @@ class TestMonotonicRates:
                 "metrics": {"serve.served": 500.0}}
         frame = render_frame(prev, curr)
         assert "500" in frame
+
+
+class TestFleetSection:
+    def test_single_process_stream_has_no_fleet_section(self):
+        frame = render_frame(None, sample(5.0, **{"serve.served": 9.0}))
+        assert "fleet" not in frame
+        assert "worker" not in frame
+
+    def test_fleet_summary_and_per_worker_rows(self):
+        prev = sample(10.0, **{
+            "fleet.workers": 2.0, "fleet.workers_alive": 2.0,
+            "fleet.workers.0.served": 1000.0,
+            "fleet.workers.1.served": 400.0,
+        })
+        curr = sample(12.0, **{
+            "fleet.workers": 2.0, "fleet.workers_alive": 1.0,
+            "fleet.worker_deaths": 1.0, "fleet.rebalances": 2.0,
+            "fleet.sessions_moved": 37.0,
+            "fleet.workers.0.alive": 1.0,
+            "fleet.workers.0.served": 5000.0,
+            "fleet.workers.0.outstanding": 4.0,
+            "fleet.workers.0.sessions": 12.0,
+            "fleet.workers.0.wal_records": 88.0,
+            "fleet.workers.0.deaths": 0.0,
+            "fleet.workers.1.alive": 0.0,
+            "fleet.workers.1.served": 400.0,
+            "fleet.workers.1.outstanding": 0.0,
+            "fleet.workers.1.sessions": 8.0,
+            "fleet.workers.1.wal_records": 12.0,
+            "fleet.workers.1.deaths": 1.0,
+        })
+        frame = render_frame(prev, curr)
+        assert "fleet" in frame
+        assert "w0" in frame and "w1" in frame
+        assert "2,000" in frame    # w0 rate: (5000-1000)/2s
+        assert "DOWN" in frame     # w1 is dead in this sample
+        assert "up" in frame
+        assert "37" in frame       # sessions moved
+
+    def test_worker_rows_sort_numerically(self):
+        metrics = {}
+        for index in (0, 2, 10):
+            metrics[f"fleet.workers.{index}.alive"] = 1.0
+            metrics[f"fleet.workers.{index}.served"] = 1.0
+        frame = render_frame(None, sample(1.0, **{
+            "fleet.workers": 3.0, **metrics}))
+        lines = [l for l in frame.splitlines() if l.strip().startswith("w")]
+        names = [l.split()[0] for l in lines if l.split()[0] != "worker"]
+        assert names == ["w0", "w2", "w10"]

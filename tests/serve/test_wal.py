@@ -1,0 +1,89 @@
+"""Write-ahead log unit tests.
+
+The WAL's contract is small but every fleet durability claim leans on
+it: append order is replay order, reopen sees exactly the flushed
+records, truncation drops exactly the snapshotted prefix, and a torn
+tail from a crash mid-append is discarded instead of being replayed as
+garbage.
+"""
+
+import os
+
+from repro.serve.protocol import FRAME_HEADER
+from repro.serve.wal import WriteAheadLog
+
+
+def _records(n, tag="r"):
+    return [("req", (f"s{i % 7}", "step", 0x400 + i, i % 2, tag))
+            for i in range(n)]
+
+
+def test_append_replay_roundtrip_preserves_order(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with WriteAheadLog(path) as wal:
+        wal.append(_records(5))
+        wal.append(_records(3, tag="later"))
+        assert wal.records == 8
+        assert wal.replay() == _records(5) + _records(3, tag="later")
+
+
+def test_reopen_recovers_counts_and_records(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with WriteAheadLog(path) as wal:
+        wal.append(_records(10))
+    with WriteAheadLog(path) as wal:
+        assert wal.records == 10
+        assert wal.replay() == _records(10)
+        wal.append(_records(2, tag="post"))
+        assert wal.records == 12
+
+
+def test_truncate_drops_exactly_the_prefix(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with WriteAheadLog(path) as wal:
+        wal.append(_records(6))
+        mark = wal.mark()
+        assert mark == 6
+        wal.append(_records(4, tag="suffix"))
+        wal.truncate(mark)
+        assert wal.records == 4
+        assert wal.replay() == _records(4, tag="suffix")
+        # Appends continue cleanly on the rewritten file.
+        wal.append(_records(1, tag="tail"))
+        assert wal.replay() == (_records(4, tag="suffix")
+                                + _records(1, tag="tail"))
+    assert not os.path.exists(path + ".tmp")
+
+
+def test_truncate_of_nothing_is_a_noop(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with WriteAheadLog(path) as wal:
+        wal.append(_records(3))
+        wal.truncate(0)
+        assert wal.records == 3
+
+
+def test_torn_tail_is_discarded_on_open(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with WriteAheadLog(path) as wal:
+        wal.append(_records(4))
+    size = os.path.getsize(path)
+    with open(path, "ab") as handle:
+        # A crash mid-append: a frame header promising more bytes than
+        # were ever written.
+        handle.write(FRAME_HEADER.pack(1 << 20))
+        handle.write(b"half a record")
+    with WriteAheadLog(path) as wal:
+        assert wal.records == 4
+        assert wal.replay() == _records(4)
+    # The torn bytes are physically gone, not just skipped.
+    assert os.path.getsize(path) == size
+
+
+def test_empty_batch_append_is_free(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with WriteAheadLog(path) as wal:
+        wal.append([])
+        assert wal.records == 0
+        assert wal.replay() == []
+    assert os.path.getsize(path) == 0
