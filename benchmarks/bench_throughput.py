@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.api import ExecutionPolicy  # noqa: E402
 from repro.engine.machine import Machine  # noqa: E402
 from repro.engine.ordering import make_scheme  # noqa: E402
 from repro.obs import EventBus, JsonlSink, instrument  # noqa: E402
@@ -125,7 +126,8 @@ def measure_engine_backends(trace, schemes, repeats: int) -> Dict[str, object]:
         for _ in range(max(1, repeats)):
             machine = Machine(scheme=make_scheme(scheme))
             start = time.perf_counter()
-            result = machine.run(trace, backend=backend)
+            result = machine.run(
+                trace, policy=ExecutionPolicy(backend=backend))
             elapsed = time.perf_counter() - start
             sample = {"wall_seconds": elapsed,
                       "uops_per_sec": result.retired_uops / elapsed}

@@ -11,6 +11,9 @@ The one construction path every consumer shares::
     key = spec.cache_key()                       # SHA-256, version-scoped
 
 * :mod:`repro.api.spec` — :class:`PredictorSpec` and the registry core;
+* :mod:`repro.api.policy` — :class:`ExecutionPolicy`, the frozen
+  backend / hot-trace / invariant-mode bundle accepted by
+  ``Machine.run``, the serve tier and the bench CLIs;
 * :mod:`repro.api.registry` — the kind catalogue (importing this
   package registers every kind);
 * :mod:`repro.api.adapters` — family APIs projected onto the
@@ -19,6 +22,13 @@ The one construction path every consumer shares::
   out-of-tree callers (in-repo code is warning-clean by CI decree).
 """
 
+from repro.api.policy import (
+    ExecutionPolicy,
+    INVARIANT_MODES,
+    POLICY_BACKENDS,
+    coerce_policy,
+    legacy_policy,
+)
 from repro.api.spec import (
     PredictorSpec,
     RegisteredKind,
@@ -39,6 +49,11 @@ from repro.api.adapters import (
 )
 
 __all__ = [
+    "ExecutionPolicy",
+    "INVARIANT_MODES",
+    "POLICY_BACKENDS",
+    "coerce_policy",
+    "legacy_policy",
     "PredictorSpec",
     "RegisteredKind",
     "SERVABLE_FAMILIES",

@@ -1,0 +1,203 @@
+"""ExecutionPolicy: one value object for "how should this run".
+
+Three execution paths now coexist — the scalar reference loops, the
+vectorized numpy kernels (PR 7), and the hot-trace memoized replay
+(:mod:`repro.fastpath.hottrace`) — and before this module the choice
+was scattered across ``backend=`` strings, the ``REPRO_BACKEND``
+environment variable and the ``REPRO_CHECK_INVARIANTS`` oracle switch.
+:class:`ExecutionPolicy` bundles the whole decision into a frozen,
+JSON-round-trippable, picklable object accepted end-to-end::
+
+    from repro.api import ExecutionPolicy
+
+    policy = ExecutionPolicy(backend="vectorized", hottrace=True)
+    machine.run(trace, policy=policy)                  # engine
+    ServeConfig(policy=policy)                         # serve tier
+    python -m repro.serve bench --policy '{"backend": "auto"}'
+
+Legacy spellings keep working through deprecation shims (the PR 5
+pattern): ``backend="vectorized"`` string arguments route through
+:func:`legacy_policy` (which warns and names the replacement), and the
+environment variables stay authoritative for the *deferred* modes —
+``backend="auto"`` resolves through :func:`repro.fastpath.backend.
+resolve_backend` (``set_default_backend()`` / ``REPRO_BACKEND`` /
+``"reference"``) and ``check_invariants="auto"`` consults
+``REPRO_CHECK_INVARIANTS`` — so a default-constructed policy is
+behaviour-identical to the pre-policy code paths.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+#: Accepted ``backend`` values.  ``"auto"`` defers to the process-wide
+#: default of :mod:`repro.fastpath.backend` at use time.
+POLICY_BACKENDS = ("reference", "vectorized", "auto")
+
+#: Accepted ``check_invariants`` modes.  ``"auto"`` defers to the
+#: ``REPRO_CHECK_INVARIANTS`` environment variable at use time.
+INVARIANT_MODES = ("off", "on", "auto")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Frozen bundle of execution choices.
+
+    Attributes
+    ----------
+    backend:
+        ``"reference"`` | ``"vectorized"`` | ``"auto"``.  ``"auto"``
+        resolves through the process default (``set_default_backend``
+        / ``REPRO_BACKEND`` / ``"reference"``); an explicit
+        ``"vectorized"`` still degrades to reference when numpy is
+        missing (the fast path is an accelerator, not a capability).
+    hottrace:
+        Enable the memoized-replay speculative fast path
+        (:mod:`repro.fastpath.hottrace`) in the serve tier.
+    hot_threshold:
+        Occurrences of a (session, window) pattern before it is
+        considered hot and captured.  Must be >= 1.
+    min_trace_len:
+        Shortest step window worth memoizing; shorter runs never enter
+        the heat table (capture/guard bookkeeping would cost more than
+        the replay saves).
+    max_traces:
+        Per-session cap on captured traces; oldest entries are evicted
+        first.
+    check_invariants:
+        ``"on"`` arms the shadow oracles unconditionally, ``"off"``
+        disarms them, ``"auto"`` defers to ``REPRO_CHECK_INVARIANTS``.
+    """
+
+    backend: str = "auto"
+    hottrace: bool = False
+    hot_threshold: int = 3
+    min_trace_len: int = 8
+    max_traces: int = 512
+    check_invariants: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.backend not in POLICY_BACKENDS:
+            raise ValueError(
+                f"unknown policy backend {self.backend!r}; expected one "
+                f"of {POLICY_BACKENDS}")
+        if self.check_invariants not in INVARIANT_MODES:
+            raise ValueError(
+                f"unknown invariant mode {self.check_invariants!r}; "
+                f"expected one of {INVARIANT_MODES}")
+        if self.hot_threshold < 1:
+            raise ValueError("hot_threshold must be >= 1")
+        if self.min_trace_len < 1:
+            raise ValueError("min_trace_len must be >= 1")
+        if self.max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+
+    # -- resolution ------------------------------------------------------
+
+    def resolved_backend(self) -> str:
+        """The concrete backend name ("reference"/"vectorized") this
+        policy selects *right now* (env + numpy availability applied)."""
+        from repro.fastpath.backend import resolve_backend
+        return resolve_backend(
+            None if self.backend == "auto" else self.backend)
+
+    def invariants_active(self) -> bool:
+        """Whether the shadow oracles are armed under this policy."""
+        if self.check_invariants == "on":
+            return True
+        if self.check_invariants == "off":
+            return False
+        import os
+        return os.environ.get("REPRO_CHECK_INVARIANTS", "") not in ("", "0")
+
+    def replace(self, **changes: object) -> "ExecutionPolicy":
+        """A copy with fields replaced (frozen-dataclass convenience)."""
+        return replace(self, **changes)
+
+    # -- JSON round trip -------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {"backend": self.backend,
+                "hottrace": self.hottrace,
+                "hot_threshold": self.hot_threshold,
+                "min_trace_len": self.min_trace_len,
+                "max_traces": self.max_traces,
+                "check_invariants": self.check_invariants}
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "ExecutionPolicy":
+        known = {f: data[f] for f in
+                 ("backend", "hottrace", "hot_threshold", "min_trace_len",
+                  "max_traces", "check_invariants") if f in data}
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"unknown ExecutionPolicy fields: {sorted(unknown)}")
+        return cls(**known)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionPolicy":
+        return cls.from_json_dict(json.loads(text))
+
+    # -- legacy mapping (pure half of the shim) --------------------------
+
+    @classmethod
+    def from_legacy(cls, backend: Optional[str] = None,
+                    check_invariants: Optional[bool] = None,
+                    ) -> "ExecutionPolicy":
+        """Map the pre-policy spellings onto a policy, without warning.
+
+        ``backend=None`` (the legacy "defer to env/process default")
+        becomes ``"auto"``; an explicit legacy string is kept verbatim.
+        ``check_invariants=None`` becomes ``"auto"`` (defer to
+        ``REPRO_CHECK_INVARIANTS``).  Pickle/equality contract: the
+        mapping is pure, so two calls with equal legacy inputs produce
+        equal (and pickle-equal) policies.
+        """
+        return cls(
+            backend="auto" if backend is None else backend,
+            check_invariants=("auto" if check_invariants is None
+                              else ("on" if check_invariants else "off")))
+
+
+def legacy_policy(backend: Optional[str],
+                  owner: str, stacklevel: int = 3) -> ExecutionPolicy:
+    """The warning half of the ``backend=`` string shim.
+
+    Called by policy-accepting entry points (``Machine.run``, the serve
+    constructors, the bench CLIs) when a caller still passes the
+    deprecated ``backend=`` string: warns once per call site, naming
+    the replacement, and returns the equivalent policy.
+    """
+    warnings.warn(
+        f"{owner}: backend= strings are deprecated; pass "
+        f"policy=ExecutionPolicy(backend={backend!r}) instead",
+        DeprecationWarning, stacklevel=stacklevel)
+    return ExecutionPolicy.from_legacy(backend=backend)
+
+
+def coerce_policy(policy: Optional[ExecutionPolicy],
+                  backend: Optional[str], owner: str,
+                  stacklevel: int = 4) -> ExecutionPolicy:
+    """Resolve the (policy=, backend=) argument pair of a migrated API.
+
+    Exactly one of the two may be given; a lone legacy ``backend``
+    string routes through :func:`legacy_policy` (DeprecationWarning),
+    and neither means the default policy (behaviour-identical to the
+    pre-policy default resolution chain).
+    """
+    if policy is not None:
+        if backend is not None:
+            raise ValueError(
+                f"{owner}: pass either policy= or the deprecated "
+                f"backend=, not both")
+        return policy
+    if backend is not None:
+        return legacy_policy(backend, owner, stacklevel=stacklevel)
+    return ExecutionPolicy()

@@ -20,7 +20,6 @@ is delayed until the store's STD completes, plus the collision penalty.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import BASELINE_MACHINE, MachineConfig
@@ -120,6 +119,10 @@ class Machine:
         #: point and emits nothing; wire a bus (and the hierarchy's /
         #: predictors' hooks) with :func:`repro.obs.instrument`.
         self.obs = obs
+        #: Why the most recent :meth:`run` fell back from a requested
+        #: vectorized backend to the scalar loop (``None`` = it did not
+        #: degrade).  The obs-event counterpart is ``BACKEND_DEGRADE``.
+        self.last_degrade_reason: Optional[str] = None
         #: The MOB class :meth:`run` instantiates.  Fault-injection
         #: tests substitute :class:`repro.robust.faults.SabotagedMOB`
         #: to prove the invariant oracle catches MOB defects.
@@ -128,19 +131,28 @@ class Machine:
     # ------------------------------------------------------------------
 
     def run(self, trace: Trace, max_cycles: Optional[int] = None,
-            backend: Optional[str] = None) -> SimResult:
+            backend: Optional[str] = None, policy=None) -> SimResult:
         """Simulate ``trace`` to completion and return the measurements.
 
-        ``backend`` selects the engine implementation through the
-        process-wide :mod:`repro.fastpath.backend` resolution
-        (``None`` → ``set_default_backend()`` / ``REPRO_BACKEND`` /
-        ``"reference"``): ``"reference"`` is the scalar cycle loop
-        below; ``"vectorized"`` replays the same machine through the
-        event-driven array kernel (:mod:`repro.engine.vector`) with
-        bit-identical results, silently falling back to the reference
-        path when numpy is absent or the configuration uses a feature
-        the kernel does not support (instrumentation, bank policies,
-        prefetchers, non-section-3.1 schemes, saboteur subclasses).
+        ``policy`` — a :class:`repro.api.ExecutionPolicy` — selects the
+        engine implementation; its default (``backend="auto"``)
+        resolves through the process-wide
+        :mod:`repro.fastpath.backend` chain (``set_default_backend()``
+        → ``REPRO_BACKEND`` → ``"reference"``): ``"reference"`` is the
+        scalar cycle loop below; ``"vectorized"`` replays the same
+        machine through the event-driven array kernel
+        (:mod:`repro.engine.vector`) with bit-identical results,
+        falling back to the reference path when numpy is absent or the
+        configuration uses a feature the kernel does not support
+        (instrumentation, bank policies, prefetchers, non-section-3.1
+        schemes, saboteur subclasses).  The fallback is no longer
+        silent: an attached obs bus receives a structured
+        ``BACKEND_DEGRADE`` event naming the reason, and
+        ``self.last_degrade_reason`` records it either way.
+
+        ``backend=`` strings are the deprecated spelling of
+        ``policy=ExecutionPolicy(backend=...)`` and warn
+        (:mod:`repro.api.policy` shims).
 
         Truncation and edge semantics are identical across backends:
         an empty trace finishes at ``cycles == 0`` without touching the
@@ -149,30 +161,46 @@ class Machine:
         including mid-squash-replay, where in-flight state is simply
         abandoned.
 
-        With ``REPRO_CHECK_INVARIANTS`` set in the environment, every
-        un-instrumented run is transparently wrapped in the
+        With the invariant oracle armed (``policy.check_invariants``,
+        which in ``"auto"`` mode defers to ``REPRO_CHECK_INVARIANTS``),
+        every un-instrumented run is transparently wrapped in the
         :mod:`repro.robust.invariants` oracle (strict mode) — the CI
         lever for "the whole suite runs violation-free".  On the
         vectorized backend the oracle additionally shadow-replays the
         trace through the scalar path and demands result equality
         (:class:`repro.engine.vector.BackendMismatch`).
         """
-        from repro.fastpath import resolve_backend
-        if resolve_backend(backend) == "vectorized":
+        from repro.api.policy import coerce_policy
+        policy = coerce_policy(policy, backend, "Machine.run")
+        self.last_degrade_reason = None
+        resolved = policy.resolved_backend()
+        if resolved == "vectorized":
             from repro.engine import vector
-            if vector.unsupported_reason(self) is None:
+            reason = vector.unsupported_reason(self)
+            if reason is None:
                 try:
                     return vector.maybe_checked_run(
                         self, trace, max_cycles=max_cycles)
-                except vector.VectorUnsupported:
-                    pass  # trace not expressible: scalar fallback
-        if self.obs is None and os.environ.get("REPRO_CHECK_INVARIANTS"):
+                except vector.VectorUnsupported as exc:
+                    reason = str(exc)  # trace not expressible
+            self._note_backend_degrade(reason)
+        elif policy.backend == "vectorized":  # pragma: no cover
+            # Resolution itself degraded (numpy missing).
+            self._note_backend_degrade("numpy unavailable")
+        if self.obs is None and policy.invariants_active():
             # Lazy import: repro.robust imports the engine at module
             # level, so the engine must not import it back eagerly.
             from repro.robust.invariants import checked_run
             result, _ = checked_run(self, trace, max_cycles=max_cycles)
             return result
         return self._run_reference(trace, max_cycles)
+
+    def _note_backend_degrade(self, reason: str) -> None:
+        """A vectorized run request fell back to the scalar loop:
+        record why, and tell the obs bus when one is attached."""
+        self.last_degrade_reason = reason
+        if self.obs is not None:
+            self.obs.emit(EventKind.BACKEND_DEGRADE, -1, reason=reason)
 
     def _run_reference(self, trace: Trace,
                        max_cycles: Optional[int] = None) -> SimResult:

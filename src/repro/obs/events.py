@@ -50,7 +50,17 @@ class EventKind:
         ``SERVE_REJECT`` — admission control turned a request away
         with a retry-after (fields: ``shard``, ``depth``);
         ``SERVE_DRAIN`` — a shard finished draining at shutdown
-        (fields: ``shard``, ``served``).
+        (fields: ``shard``, ``served``);
+        ``SERVE_DEGRADE`` — a vectorized-eligible run landed on the
+        scalar loop (fields: ``shard``, ``session``, ``reason``) —
+        emitted once per (session, reason) per shard, with the full
+        count in shard stats;
+        ``HOTTRACE_ABORT`` — a hot-trace guard failed and the window
+        fell back to the normal path (fields: ``shard``, ``session``,
+        ``guard``).
+    Backend selection (:meth:`repro.engine.machine.Machine.run`)
+        ``BACKEND_DEGRADE`` — a vectorized run request fell back to the
+        scalar reference loop (fields: ``reason``).
     """
 
     RENAME = "rename"
@@ -70,12 +80,16 @@ class EventKind:
     SERVE_FLUSH = "serve-flush"
     SERVE_REJECT = "serve-reject"
     SERVE_DRAIN = "serve-drain"
+    SERVE_DEGRADE = "serve-degrade"
+    HOTTRACE_ABORT = "hottrace-abort"
+    BACKEND_DEGRADE = "backend-degrade"
 
     #: Every kind, in a stable presentation order.
     ALL = (RENAME, ISSUE, RETIRE, SQUASH, COLLISION, VIOLATION,
            BANK_CONFLICT, FORWARD, MISS, STORE_TRACKED, STORE_DATA,
            PREDICTOR_UPDATE, FAULT, SERVE_ENQUEUE, SERVE_FLUSH,
-           SERVE_REJECT, SERVE_DRAIN)
+           SERVE_REJECT, SERVE_DRAIN, SERVE_DEGRADE, HOTTRACE_ABORT,
+           BACKEND_DEGRADE)
 
 
 class Event:

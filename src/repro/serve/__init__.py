@@ -30,6 +30,13 @@ or from a shell: ``python -m repro.serve serve`` / ``bench``.
 from repro.serve.batch import ServeInvariantViolation, invariants_enabled
 from repro.serve.config import ServeConfig
 from repro.serve.fleet import FleetError, ServeFleet
+from repro.serve.handle import (
+    JsonlHandle,
+    ServeHandle,
+    as_handle,
+    close_handle,
+    connect_handle,
+)
 from repro.serve.loadgen import (
     LoadModel,
     build_schedule,
@@ -62,7 +69,12 @@ __all__ = [
     "FleetError",
     "HashRing",
     "JsonlClient",
+    "JsonlHandle",
     "LoadModel",
+    "ServeHandle",
+    "as_handle",
+    "close_handle",
+    "connect_handle",
     "PredictRequest",
     "PredictResponse",
     "PredictionService",

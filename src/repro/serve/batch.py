@@ -15,13 +15,22 @@ splits each session's run at non-``step`` ops:
   :func:`scalar_steps` / the per-op appliers below, which *are* the
   semantics.
 
+A third path sits in front of both when the shard's
+:class:`~repro.api.ExecutionPolicy` enables it: the hot-trace memoized
+replay (:mod:`repro.fastpath.hottrace`), which answers a recurring
+(state, window) pair from a guarded capture and aborts to the paths
+below on any guard failure.  The ``*_ex`` variants report which path
+answered (``via`` in ``{"scalar", "kernel", "hottrace"}``); the
+two-tuple forms are kept for compatibility and say ``used_kernel``.
+
 The service's correctness invariant is the package-wide one: batched
 results and post-batch predictor state bit-identical to the sequential
 scalar replay of the same per-session request stream.  Under
 ``REPRO_CHECK_INVARIANTS=1`` every kernel dispatch is shadowed by a
 scalar replay on a deep copy and both results and state are compared
 (:class:`ServeInvariantViolation` on any mismatch) — the serving
-counterpart of :mod:`repro.robust`'s engine oracle.
+counterpart of :mod:`repro.robust`'s engine oracle.  Hot-trace hits
+carry the same oracle inside :mod:`repro.fastpath.hottrace`.
 """
 
 from __future__ import annotations
@@ -119,6 +128,12 @@ def scalar_steps(family: str, predictor: object, pcs: Sequence[int],
 # --------------------------------------------------------------------------
 
 
+#: The ``via`` vocabulary of the ``*_ex`` executors.
+VIA_SCALAR = "scalar"
+VIA_KERNEL = "kernel"
+VIA_HOTTRACE = "hottrace"
+
+
 def _kernel_eligible(family: str, predictor: object,
                      backend: str) -> bool:
     if backend != "vectorized":
@@ -130,6 +145,24 @@ def _kernel_eligible(family: str, predictor: object,
     return batchapi.supports_steps(family, predictor)
 
 
+def degrade_reason(session, backend: str) -> Optional[str]:
+    """Why a vectorized-backend session would execute scalar, or None.
+
+    The structured counterpart of the silent fallback inside
+    :func:`execute_step_arrays`: shards use it to count (and emit) a
+    degrade exactly when a long-enough run lands on the scalar loop
+    despite the vectorized backend being requested."""
+    if backend != "vectorized":
+        return None
+    import repro.fastpath as fastpath
+    if not fastpath.HAS_NUMPY:
+        return "no_numpy"
+    from repro.fastpath import batchapi
+    if not batchapi.supports_steps(session.family, session.predictor):
+        return "no_kernel"
+    return None
+
+
 def execute_steps(session, requests: Sequence[PredictRequest],
                   backend: str, min_kernel_run: int = 8) -> Tuple[List[int], bool]:
     """Execute one same-session run of ``step`` requests.
@@ -139,13 +172,22 @@ def execute_steps(session, requests: Sequence[PredictRequest],
     under ``REPRO_CHECK_INVARIANTS=1`` it is shadow-checked against
     :func:`scalar_steps` on a deep copy of the pre-batch state.
     """
+    results, via = execute_steps_ex(session, requests, backend,
+                                    min_kernel_run)
+    return results, via == VIA_KERNEL
+
+
+def execute_steps_ex(session, requests: Sequence[PredictRequest],
+                     backend: str, min_kernel_run: int = 8,
+                     hottrace=None) -> Tuple[List[int], str]:
+    """:func:`execute_steps` reporting the executing path (``via``)."""
     pcs = [r.pc for r in requests]
     outcomes = [0 if r.outcome is None else int(r.outcome)
                 for r in requests]
     distances = [-1 if r.distance is None else int(r.distance)
                  for r in requests]
-    return execute_step_arrays(session, pcs, outcomes, distances,
-                               backend, min_kernel_run)
+    return execute_step_arrays_ex(session, pcs, outcomes, distances,
+                                  backend, min_kernel_run, hottrace)
 
 
 def execute_step_arrays(session, pcs: Sequence[int],
@@ -156,13 +198,45 @@ def execute_step_arrays(session, pcs: Sequence[int],
     """The array-form core of :func:`execute_steps` (``-1`` distance =
     none) — also the execution path of ``replay`` windows, which arrive
     as arrays and never materialise per-step request objects."""
+    results, via = execute_step_arrays_ex(session, pcs, outcomes,
+                                          distances, backend,
+                                          min_kernel_run)
+    return results, via == VIA_KERNEL
+
+
+def execute_step_arrays_ex(session, pcs: Sequence[int],
+                           outcomes: Sequence[int],
+                           distances: Sequence[int], backend: str,
+                           min_kernel_run: int = 8,
+                           hottrace=None) -> Tuple[List[int], str]:
+    """:func:`execute_step_arrays` with the hot-trace layer in front.
+
+    ``hottrace`` is the shard's :class:`repro.fastpath.hottrace.
+    HotTraceEngine` (or None).  A guarded memo hit answers the window
+    without executing a step; otherwise the window runs through the
+    kernel/scalar paths below and — when hot — is offered back to the
+    recorder, which also keeps the state-digest chain honest for runs
+    too short to memoize.
+    """
     n = len(pcs)
+    pre_digest = None
+    if hottrace is not None:
+        cached = hottrace.try_replay(session, pcs, outcomes, distances)
+        if cached is not None:
+            return cached, VIA_HOTTRACE
+        st = getattr(session, "hottrace", None)
+        pre_digest = st.state_digest if st is not None else None
+
     use_kernel = (n >= max(1, min_kernel_run)
                   and _kernel_eligible(session.family, session.predictor,
                                        backend))
     if not use_kernel:
-        return scalar_steps(session.family, session.predictor, pcs,
-                            outcomes, distances), False
+        results = scalar_steps(session.family, session.predictor, pcs,
+                               outcomes, distances)
+        if hottrace is not None:
+            hottrace.record(session, pcs, outcomes, distances, results,
+                            pre_digest)
+        return results, VIA_SCALAR
 
     check = invariants_enabled()
     shadow = copy.deepcopy(session.predictor) if check else None
@@ -191,7 +265,10 @@ def execute_step_arrays(session, pcs: Sequence[int],
                 f"session {session.session_id!r} ({session.spec.kind}): "
                 f"kernel batch left different predictor state than the "
                 f"scalar replay ({n} steps)")
-    return results, True
+    if hottrace is not None:
+        hottrace.record(session, pcs, outcomes, distances, results,
+                        pre_digest)
+    return results, VIA_KERNEL
 
 
 def _state_bytes(predictor: object) -> Optional[bytes]:
@@ -231,10 +308,22 @@ def execute_replay(session, request: PredictRequest, backend: str,
     dispatch rules, same invariant shadow-check via
     :func:`execute_step_arrays`), but the window is one admission unit:
     one future, one WAL record, one wire round trip."""
+    digest, n, via = execute_replay_ex(session, request, backend,
+                                       min_kernel_run)
+    return digest, n, via == VIA_KERNEL
+
+
+def execute_replay_ex(session, request: PredictRequest, backend: str,
+                      min_kernel_run: int = 8,
+                      hottrace=None) -> Tuple[int, int, str]:
+    """:func:`execute_replay` reporting the executing path — the op
+    where hot-trace amortization pays most (whole windows arrive
+    pre-packed as the exact lanes the memo is keyed on)."""
     pcs = request.pcs or ()
     outcomes = request.outcomes or ()
     distances = (request.distances if request.distances is not None
                  else [-1] * len(pcs))
-    results, used_kernel = execute_step_arrays(
-        session, pcs, outcomes, distances, backend, min_kernel_run)
-    return replay_digest(results), len(results), used_kernel
+    results, via = execute_step_arrays_ex(
+        session, pcs, outcomes, distances, backend, min_kernel_run,
+        hottrace)
+    return replay_digest(results), len(results), via

@@ -137,6 +137,10 @@ class _Worker:
         self.replay_drops = 0
         self.session_count = 0
         self.final_stats: Optional[Dict] = None
+        #: Last ``("stats",)`` poll result (service totals) — refreshed
+        #: by :meth:`ServeFleet.poll_stats`, superseded by
+        #: ``final_stats`` once the worker says bye.
+        self.live_stats: Optional[Dict] = None
         self.log_handle = None
 
     @property
@@ -168,12 +172,18 @@ class ServeFleet:
                  wal_limit: int = 8192,
                  outstanding_limit: int = 1024,
                  fault_plan=None,
-                 hello_timeout_s: float = 60.0) -> None:
+                 hello_timeout_s: float = 60.0,
+                 policy=None) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if wal_limit < 1 or outstanding_limit < 1:
             raise ValueError("wal_limit / outstanding_limit must be >= 1")
         self.config = config if config is not None else ServeConfig()
+        if policy is not None:
+            # Same contract as PredictionService(policy=...): the
+            # ExecutionPolicy rides the pickled config frame to every
+            # worker subprocess.
+            self.config = self.config.with_policy(policy)
         self.n_workers = n_workers
         self.state_dir = state_dir or tempfile.mkdtemp(prefix="fleet-")
         os.makedirs(self.state_dir, exist_ok=True)
@@ -898,6 +908,22 @@ class ServeFleet:
 
     # -- observability ------------------------------------------------------
 
+    async def poll_stats(self) -> None:
+        """Refresh each live worker's service totals over the link.
+
+        Worker-side counters (hottrace hit/abort, backend degrades,
+        batch histograms) otherwise only reach the router in the
+        ``bye`` frame at drain; bench and ``serve top`` call this so
+        :meth:`stats` reflects a *running* fleet."""
+        for worker in list(self.workers.values()):
+            if not worker.alive:
+                continue
+            try:
+                worker.live_stats = await self._transient_control(
+                    worker, ("stats",))
+            except (FleetError, ConnectionError, RuntimeError):
+                pass  # mid-death poll: recovery owns this worker now
+
     def stats(self) -> Dict[str, object]:
         per_worker = {}
         for name in sorted(self.workers):
@@ -931,13 +957,26 @@ class ServeFleet:
             "replay_drops": sum(w.replay_drops
                                 for w in self.workers.values()),
         }
+        # Worker-service counters (freshest of live poll vs bye frame):
+        # degrade totals always, hottrace block when speculation is on.
+        from repro.serve.service import aggregate_hottrace
+        reports = [w.final_stats or w.live_stats
+                   for w in self.workers.values()]
+        reports = [r for r in reports if r is not None]
+        totals["degraded"] = sum(int(r.get("degraded", 0))
+                                 for r in reports)
+        hottrace = aggregate_hottrace(reports)
+        if hottrace is not None:
+            totals["hottrace"] = hottrace
         return {"config": {
                     "n_workers": len(self.workers),
                     "wal_limit": self.wal_limit,
                     "outstanding_limit": self.outstanding_limit,
                     "serve": {"n_shards": self.config.n_shards,
                               "max_batch": self.config.max_batch,
-                              "backend": self.config.backend},
+                              "backend": self.config.backend,
+                              "policy": self.config.effective_policy()
+                                            .to_json_dict()},
                 },
                 "totals": totals, "workers": per_worker}
 
@@ -947,7 +986,11 @@ class ServeFleet:
         reg = MetricsRegistry("fleet")
         stats = self.stats()
         for key, value in stats["totals"].items():
-            reg.set(f"fleet.{key}", value)
+            if isinstance(value, dict):
+                for sub, subval in value.items():
+                    reg.set(f"fleet.{key}.{sub}", subval)
+            else:
+                reg.set(f"fleet.{key}", value)
         for name, wstats in stats["workers"].items():
             prefix = f"fleet.workers.{wstats['index']}"
             reg.set(f"{prefix}.alive", int(wstats["alive"]))

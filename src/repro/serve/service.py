@@ -48,12 +48,30 @@ def stable_shard_hash(session_id: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def aggregate_hottrace(per_shard: List[Dict[str, object]]
+                       ) -> Optional[Dict[str, int]]:
+    """Sum the ``hottrace`` counter blocks of shard/worker stats
+    (None when no contributor ran a hot-trace engine)."""
+    blocks = [s["hottrace"] for s in per_shard if "hottrace" in s]
+    if not blocks:
+        return None
+    out: Dict[str, int] = {}
+    for block in blocks:
+        for key, value in block.items():
+            out[key] = out.get(key, 0) + int(value)
+    return out
+
+
 class PredictionService:
     """Sharded, micro-batching prediction service (module docstring)."""
 
     def __init__(self, config: Optional[ServeConfig] = None,
-                 obs=None) -> None:
+                 obs=None, policy=None) -> None:
         self.config = config if config is not None else ServeConfig()
+        if policy is not None:
+            # Convenience: ExecutionPolicy accepted directly, without
+            # the caller spelling out a config replace.
+            self.config = self.config.with_policy(policy)
         self.obs = obs
         #: Per-request span tracer (``None`` when telemetry is off).
         #: Spans are minted here for in-process callers and at protocol
@@ -205,15 +223,20 @@ class PredictionService:
         per_shard = [shard.stats() for shard in self.shards]
         totals = {key: sum(s[key] for s in per_shard)
                   for key in ("sessions", "served", "batches",
-                              "kernel_batches", "rejected")}
+                              "kernel_batches", "rejected", "degraded")}
         totals["max_batch"] = max((s["max_batch"] for s in per_shard),
                                   default=0)
+        hot = aggregate_hottrace(per_shard)
+        if hot is not None:
+            totals["hottrace"] = hot
         return {"config": {
                     "n_shards": self.config.n_shards,
                     "max_batch": self.config.max_batch,
                     "max_delay_us": self.config.max_delay_us,
                     "queue_depth": self.config.queue_depth,
                     "backend": self.config.backend,
+                    "policy": self.config.effective_policy()
+                                         .to_json_dict(),
                 },
                 "totals": totals, "shards": per_shard}
 
@@ -230,7 +253,11 @@ class PredictionService:
         reg = MetricsRegistry("serve")
         stats = self.stats()
         for key, value in stats["totals"].items():
-            reg.set(f"serve.{key}", value)
+            if isinstance(value, dict):  # hottrace counter block
+                for sub, subvalue in value.items():
+                    reg.set(f"serve.{key}.{sub}", subvalue)
+            else:
+                reg.set(f"serve.{key}", value)
         reg.set("serve.queue_depth",
                 sum(s["depth"] for s in stats["shards"]))
         for i, shard_stats in enumerate(stats["shards"]):

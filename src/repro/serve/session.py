@@ -15,7 +15,8 @@ from repro.api import PredictorSpec, SERVABLE_FAMILIES, build_predictor
 class Session:
     """One client's predictor, built from its spec."""
 
-    __slots__ = ("session_id", "spec", "family", "predictor", "served")
+    __slots__ = ("session_id", "spec", "family", "predictor", "served",
+                 "hottrace")
 
     def __init__(self, session_id: str, spec: PredictorSpec,
                  backend: Optional[str] = None,
@@ -31,6 +32,12 @@ class Session:
         self.predictor = (predictor if predictor is not None
                           else build_predictor(spec, backend=backend))
         self.served = served
+        #: Hot-trace recording state (:class:`repro.fastpath.hottrace.
+        #: SessionTraceState`), lazily attached by the shard's engine.
+        #: Deliberately *not* part of ``state_dict``: captures are
+        #: process-local speculation state, re-learned after restore or
+        #: migration rather than trusted across a move.
+        self.hottrace = None
 
     def state_dict(self) -> Dict[str, object]:
         """The picklable snapshot payload of this session."""

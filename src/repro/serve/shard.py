@@ -25,12 +25,17 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.stats import StreamingHistogram
+from repro.fastpath.hottrace import HotTraceEngine
 from repro.obs.events import EventKind
 from repro.serve.batch import (
+    VIA_HOTTRACE,
+    VIA_KERNEL,
+    VIA_SCALAR,
     apply_predict,
     apply_update,
-    execute_replay,
-    execute_steps,
+    degrade_reason,
+    execute_replay_ex,
+    execute_steps_ex,
 )
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import (
@@ -98,6 +103,19 @@ class Shard:
         self.kernel_batches = 0
         self.rejected = 0
         self.max_batch_seen = 0
+        #: The execution policy all runs on this shard follow; the
+        #: hot-trace engine exists only when the policy enables it.
+        self.policy = config.effective_policy()
+        self.hottrace: Optional[HotTraceEngine] = (
+            HotTraceEngine(self.policy) if self.policy.hottrace else None)
+        self.hottrace_batches = 0
+        self._hottrace_aborts_seen = 0
+        #: Vectorized-eligible runs that landed on the scalar loop
+        #: (satellite of docs/serving.md: capacity numbers must not be
+        #: quietly off).  The obs event fires once per (session,
+        #: reason); the counter counts every degraded run.
+        self.degraded = 0
+        self._degrade_announced: set = set()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -276,8 +294,39 @@ class Shard:
         return used_kernel
 
     def _backend_name(self) -> str:
-        from repro.fastpath.backend import resolve_backend
-        return resolve_backend(self.config.backend)
+        return self.policy.resolved_backend()
+
+    def _note_degrade(self, session: Session, n: int,
+                      backend: str) -> None:
+        """Account a long-enough run that fell off the vectorized path
+        (counter always, obs event once per (session, reason))."""
+        if backend != "vectorized" or n < self.config.min_kernel_run:
+            return
+        reason = degrade_reason(session, backend)
+        if reason is None:  # pragma: no cover - raced eligibility
+            return
+        self.degraded += 1
+        key = (session.session_id, reason)
+        if self.obs is not None and key not in self._degrade_announced:
+            self._degrade_announced.add(key)
+            self.obs.emit(EventKind.SERVE_DEGRADE, _now_us(),
+                          shard=self.index, session=session.session_id,
+                          reason=reason)
+
+    def _note_hottrace(self, session: Session) -> None:
+        """Surface hot-trace guard aborts as obs events (the counters
+        themselves live on the engine and flow out via stats)."""
+        engine = self.hottrace
+        if engine is None:
+            return
+        aborts = engine.counters.aborts
+        if aborts > self._hottrace_aborts_seen:
+            if self.obs is not None:
+                self.obs.emit(EventKind.HOTTRACE_ABORT, _now_us(),
+                              shard=self.index,
+                              session=session.session_id,
+                              guard=engine.last_abort or "unknown")
+            self._hottrace_aborts_seen = aborts
 
     def _execute_session(self, session: Session, group: List[_Item],
                          backend: str) -> bool:
@@ -332,10 +381,17 @@ class Shard:
         spans = [item.span for item in run if item.span is not None]
         for span in spans:
             span.mark("batch")
-        results, used_kernel = execute_steps(
+        results, via = execute_steps_ex(
             session, [item.request for item in run], backend,
-            self.config.min_kernel_run)
-        stage = "kernel" if used_kernel else "predict"
+            self.config.min_kernel_run, self.hottrace)
+        used_kernel = via == VIA_KERNEL
+        if via == VIA_SCALAR:
+            self._note_degrade(session, len(run), backend)
+        elif via == VIA_HOTTRACE:
+            self.hottrace_batches += 1
+        self._note_hottrace(session)
+        stage = ("kernel" if used_kernel
+                 else "hottrace" if via == VIA_HOTTRACE else "predict")
         for span in spans:
             span.mark(stage)
         session.served += len(run)
@@ -365,6 +421,10 @@ class Shard:
             apply_update(session.family, session.predictor, request.pc,
                          int(request.outcome), distance=request.distance,
                          address=request.address)
+            if self.hottrace is not None:
+                # Out-of-band mutation: break the hot-trace digest
+                # chain so stale captures can never guard-pass.
+                HotTraceEngine.note_mutation(session)
             result = None
         else:  # pragma: no cover - op validation happens at decode
             item.future.set_result(PredictResponse(
@@ -386,11 +446,20 @@ class Shard:
         execute_replay`); ``served`` counts its steps."""
         if item.span is not None:
             item.span.mark("batch")
-        digest, n_steps, used_kernel = execute_replay(
-            session, item.request, self._backend_name(),
-            self.config.min_kernel_run)
+        backend = self._backend_name()
+        digest, n_steps, via = execute_replay_ex(
+            session, item.request, backend,
+            self.config.min_kernel_run, self.hottrace)
+        used_kernel = via == VIA_KERNEL
+        if via == VIA_SCALAR:
+            self._note_degrade(session, n_steps, backend)
+        elif via == VIA_HOTTRACE:
+            self.hottrace_batches += 1
+        self._note_hottrace(session)
         if item.span is not None:
-            item.span.mark("kernel" if used_kernel else "predict")
+            item.span.mark("kernel" if used_kernel
+                           else "hottrace" if via == VIA_HOTTRACE
+                           else "predict")
         session.served += n_steps
         self.served += n_steps
         item.future.set_result(PredictResponse(
@@ -412,7 +481,8 @@ class Shard:
                         f"different spec ({existing.spec.kind})")
                 if existing is None:
                     self.sessions[session_id] = Session(
-                        session_id, spec, backend=self.config.backend)
+                        session_id, spec,
+                        backend=self.config.backend_arg())
                 entry.future.set_result(None)
             elif entry.op == "close":
                 session = self.sessions.pop(entry.payload, None)
@@ -436,10 +506,16 @@ class Shard:
             # awaiter (unlike stringified in-band errors).
             entry.future.set_exception(exc)
 
-    def stats(self) -> Dict[str, int]:
-        return {"sessions": len(self.sessions), "served": self.served,
-                "batches": self.batches,
-                "kernel_batches": self.kernel_batches,
-                "rejected": self.rejected,
-                "max_batch": self.max_batch_seen,
-                "depth": self.queue.qsize() if self.queue else 0}
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "sessions": len(self.sessions), "served": self.served,
+            "batches": self.batches,
+            "kernel_batches": self.kernel_batches,
+            "rejected": self.rejected,
+            "max_batch": self.max_batch_seen,
+            "degraded": self.degraded,
+            "depth": self.queue.qsize() if self.queue else 0}
+        if self.hottrace is not None:
+            out["hottrace"] = dict(self.hottrace.counters.as_dict(),
+                                   batches=self.hottrace_batches)
+        return out

@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.obs.timeseries import read_timeseries
 
 #: Stage rows shown in canonical pipeline order (present ones only).
-_STAGE_ORDER = ("decode", "queue", "batch", "kernel", "predict", "reply")
+_STAGE_ORDER = ("decode", "queue", "batch", "hottrace", "kernel",
+                "predict", "reply")
 
 #: ANSI: cursor home + clear to end of screen (not full clear — less
 #: flicker than ``\x1b[2J`` on every refresh).
@@ -136,6 +137,35 @@ def render_frame(prev: Optional[Dict[str, object]],
                      + "   mean" + _fmt(batch.get("mean"), "", 8)
                      + "   p50" + _fmt(batch.get("p50"), "", 8)
                      + "   p99" + _fmt(batch.get("p99"), "", 8))
+    # Speculation + degrade health (single-process serve.* stream or
+    # the fleet.* aggregate, whichever is present).
+    prefix = None
+    for candidate in ("serve.hottrace", "fleet.hottrace"):
+        if f"{candidate}.windows" in metrics:
+            prefix = candidate
+            break
+    if prefix is not None:
+        windows_rate = _rate(prev, curr, f"{prefix}.windows")
+        hits_rate = _rate(prev, curr, f"{prefix}.hits")
+        hit_pct = (100.0 * hits_rate / windows_rate
+                   if hits_rate is not None and windows_rate else None)
+        lines.append("")
+        lines.append(
+            "  hottrace      hits" + _fmt(hits_rate, "/s", 10)
+            + "   hit%" + _fmt(hit_pct, "", 8)
+            + "   aborts" + _fmt(metrics.get(f"{prefix}.aborts"), "", 8)
+            + "   mismatch"
+            + _fmt(metrics.get(f"{prefix}.abort_mismatch"), "", 4)
+            + "   saved"
+            + _fmt(_rate(prev, curr, f"{prefix}.steps_saved"), "/s"))
+    degraded = metrics.get("serve.degraded",
+                           metrics.get("fleet.degraded"))
+    if degraded:
+        # Only shown when nonzero: a vectorized/hottrace policy that
+        # is silently running scalar should be loud, not a log line.
+        lines.append("")
+        lines.append("  DEGRADED batches (backend fell back to scalar)"
+                     + _fmt(degraded, "", 8))
     stages = _stage_rows(metrics)
     if stages:
         lines.append("")

@@ -21,6 +21,9 @@ router → worker        worker → router
                        ``("snap_done", tok, schema)`` — state ships in
                        bounded chunks; one frame per ~1k sessions
 ``("ping",)``          ``("pong",)``
+``("stats",)``         ``("ctl", totals)`` — live service totals (the
+                       hottrace / degrade counters ``fleet.stats`` and
+                       ``serve top`` surface without waiting for drain)
 ``("drain",)``         ``("bye",)`` then a clean exit
 ====================  =====================================================
 
@@ -185,6 +188,8 @@ async def _worker(host: str, port: int, token: str, name: str) -> int:
                                  payload.get("schema", 1)))
             elif kind == "ping":
                 await gate.send(("pong",))
+            elif kind == "stats":
+                await gate.send(("ctl", service.stats()["totals"]))
             elif kind == "drain":
                 if pending:
                     await asyncio.gather(*pending, return_exceptions=True)

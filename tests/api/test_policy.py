@@ -1,0 +1,197 @@
+"""ExecutionPolicy: validation, JSON round trip, legacy shims.
+
+The policy object is the single "how should this run" value the whole
+stack now accepts (Machine.run, PredictionService, ServeFleet, the
+bench CLIs).  These tests pin the contract pieces the rest of the repo
+leans on: frozen-ness, strict JSON round trip, the pure
+``from_legacy`` mapping (pickle-equal to explicit construction, per
+the PR 5 shim discipline), and ``coerce_policy``'s deprecation
+behaviour for callers still passing ``backend=`` strings.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.api import ExecutionPolicy
+from repro.api.policy import coerce_policy, legacy_policy
+from repro.serve.config import ServeConfig
+
+
+# -- construction and validation -----------------------------------------
+
+
+def test_defaults_are_the_deferred_modes():
+    policy = ExecutionPolicy()
+    assert policy.backend == "auto"
+    assert policy.check_invariants == "auto"
+    assert policy.hottrace is False
+
+
+def test_frozen():
+    policy = ExecutionPolicy()
+    with pytest.raises(Exception):
+        policy.backend = "vectorized"
+
+
+def test_replace_returns_modified_copy():
+    base = ExecutionPolicy()
+    fast = base.replace(backend="vectorized", hottrace=True)
+    assert fast.backend == "vectorized" and fast.hottrace
+    assert base.backend == "auto" and not base.hottrace
+
+
+@pytest.mark.parametrize("bad", [
+    {"backend": "cuda"},
+    {"check_invariants": "maybe"},
+    {"hot_threshold": 0},
+    {"min_trace_len": 0},
+    {"max_traces": 0},
+])
+def test_validation_rejects(bad):
+    with pytest.raises(ValueError):
+        ExecutionPolicy(**bad)
+
+
+# -- JSON round trip ------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", [
+    ExecutionPolicy(),
+    ExecutionPolicy(backend="vectorized", hottrace=True),
+    ExecutionPolicy(backend="reference", hot_threshold=1,
+                    min_trace_len=4, max_traces=7,
+                    check_invariants="on"),
+])
+def test_json_round_trip(policy):
+    assert ExecutionPolicy.from_json(policy.to_json()) == policy
+    # And via the dict form, which the serve stats/report embedding
+    # uses.
+    assert ExecutionPolicy.from_json_dict(policy.to_json_dict()) == policy
+
+
+def test_to_json_is_plain_sorted_json():
+    text = ExecutionPolicy().to_json()
+    data = json.loads(text)
+    assert data["backend"] == "auto"
+    assert list(data) == sorted(data)
+
+
+def test_from_json_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown ExecutionPolicy"):
+        ExecutionPolicy.from_json('{"backend": "auto", "turbo": true}')
+
+
+def test_partial_json_fills_defaults():
+    policy = ExecutionPolicy.from_json('{"hottrace": true}')
+    assert policy == ExecutionPolicy(hottrace=True)
+
+
+# -- legacy mapping + pickle equality (the shim contract) -----------------
+
+
+def test_from_legacy_is_pickle_equal_to_explicit():
+    pairs = [
+        (ExecutionPolicy.from_legacy(), ExecutionPolicy()),
+        (ExecutionPolicy.from_legacy(backend="vectorized"),
+         ExecutionPolicy(backend="vectorized")),
+        (ExecutionPolicy.from_legacy(check_invariants=True),
+         ExecutionPolicy(check_invariants="on")),
+        (ExecutionPolicy.from_legacy(check_invariants=False),
+         ExecutionPolicy(check_invariants="off")),
+    ]
+    for shimmed, explicit in pairs:
+        assert shimmed == explicit
+        assert pickle.dumps(shimmed) == pickle.dumps(explicit)
+
+
+def test_policy_survives_pickle():
+    # The fleet ships the policy to worker subprocesses inside the
+    # pickled ServeConfig frame.
+    policy = ExecutionPolicy(backend="reference", hottrace=True,
+                             hot_threshold=2)
+    assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+def test_legacy_policy_warns_and_maps():
+    with pytest.warns(DeprecationWarning, match="Machine.run"):
+        policy = legacy_policy("vectorized", "Machine.run")
+    assert policy == ExecutionPolicy(backend="vectorized")
+
+
+def test_coerce_policy_passthrough_and_default():
+    explicit = ExecutionPolicy(hottrace=True)
+    assert coerce_policy(explicit, None, "owner") is explicit
+    assert coerce_policy(None, None, "owner") == ExecutionPolicy()
+
+
+def test_coerce_policy_lone_backend_warns():
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        policy = coerce_policy(None, "reference", "owner")
+    assert policy == ExecutionPolicy(backend="reference")
+
+
+def test_coerce_policy_rejects_both():
+    with pytest.raises(ValueError, match="not both"):
+        coerce_policy(ExecutionPolicy(), "reference", "owner")
+
+
+# -- deferred resolution --------------------------------------------------
+
+
+def test_resolved_backend_explicit_reference():
+    assert ExecutionPolicy(
+        backend="reference").resolved_backend() == "reference"
+
+
+def test_resolved_backend_auto_follows_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "reference")
+    assert ExecutionPolicy().resolved_backend() == "reference"
+
+
+def test_invariants_active_modes(monkeypatch):
+    assert ExecutionPolicy(check_invariants="on").invariants_active()
+    assert not ExecutionPolicy(check_invariants="off").invariants_active()
+    monkeypatch.delenv("REPRO_CHECK_INVARIANTS", raising=False)
+    assert not ExecutionPolicy().invariants_active()
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    assert ExecutionPolicy().invariants_active()
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "0")
+    assert not ExecutionPolicy().invariants_active()
+
+
+# -- ServeConfig interplay ------------------------------------------------
+
+
+def test_serve_config_rejects_policy_plus_backend():
+    with pytest.raises(ValueError, match="not both"):
+        ServeConfig(policy=ExecutionPolicy(), backend="reference")
+
+
+def test_serve_config_with_policy_clears_backend():
+    config = ServeConfig(backend="reference")
+    policy = ExecutionPolicy(backend="vectorized", hottrace=True)
+    updated = config.with_policy(policy)
+    assert updated.policy is policy and updated.backend is None
+    assert updated.effective_policy() is policy
+    assert updated.backend_arg() == "vectorized"
+
+
+def test_serve_config_with_backend_clears_policy():
+    config = ServeConfig(policy=ExecutionPolicy(backend="vectorized"))
+    updated = config.with_backend("reference")
+    assert updated.policy is None and updated.backend == "reference"
+    assert updated.effective_policy() == ExecutionPolicy(
+        backend="reference")
+
+
+def test_serve_config_effective_policy_legacy_mapping():
+    # backend=None -> the deferred default chain, identical to a
+    # default-constructed policy.
+    assert ServeConfig().effective_policy() == ExecutionPolicy()
+    assert ServeConfig().backend_arg() is None
+    legacy = ServeConfig(backend="reference")
+    assert legacy.effective_policy() == ExecutionPolicy(
+        backend="reference")
+    assert legacy.backend_arg() == "reference"

@@ -9,6 +9,7 @@ path, so the switch can never change results, only speed.
 
 import pytest
 
+from repro.api import ExecutionPolicy
 from repro.common.config import BASELINE_MACHINE
 from repro.engine.machine import Machine
 from repro.engine.mob import MemoryOrderBuffer
@@ -198,9 +199,11 @@ class TestRoutingAndFallback:
         m.record_timeline = True
         assert vector.unsupported_reason(m) is not None
         trace = MicroTrace().alu(dst=1).build("one")
-        # Still runs (scalar path) even when vectorized is requested.
-        result = m.run(trace, backend="vectorized")
+        # Still runs (scalar path) even when vectorized is requested,
+        # and the degrade is recorded instead of silent.
+        result = m.run(trace, policy=ExecutionPolicy(backend="vectorized"))
         assert result.retired_uops == 1 and result.timeline is not None
+        assert m.last_degrade_reason is not None
 
     def test_scheme_subclass_falls_back(self):
         from repro.engine import vector

@@ -1,0 +1,176 @@
+"""ServeHandle: one client surface across topologies.
+
+Conformance (service / fleet / JsonlHandle all satisfy the protocol),
+the ``as_handle`` adaptation contract, and the TCP handle's pipelining
++ teardown semantics: futures correlated by ``(session_id, seq)``,
+responses identical to in-process submission, and a lost server
+resolving every in-flight future *in-band* instead of stranding
+awaiters.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import spec_for
+from repro.serve import (
+    ERR_INTERNAL,
+    PredictRequest,
+    PredictionService,
+    ServeConfig,
+    ServeHandle,
+    as_handle,
+    close_handle,
+    connect_handle,
+)
+from repro.serve.fleet import ServeFleet
+from repro.serve.loadgen import LoadModel, run_open_loop
+from repro.serve.net import serve_tcp
+
+SPEC = spec_for("binary.gshare", history=4)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _tcp_pair(service):
+    """(server, port) for a service bound to an ephemeral port."""
+    server = await serve_tcp(service, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    return server, port
+
+
+# -- conformance ----------------------------------------------------------
+
+
+def test_service_and_fleet_conform(tmp_path):
+    service = PredictionService(ServeConfig(n_shards=1))
+    fleet = ServeFleet(n_workers=1, state_dir=str(tmp_path))
+    assert isinstance(service, ServeHandle)
+    assert isinstance(fleet, ServeHandle)
+    assert as_handle(service) is service
+    assert as_handle(fleet) is fleet
+
+
+def test_as_handle_rejects_non_handles():
+    with pytest.raises(TypeError, match="ServeHandle"):
+        as_handle(object())
+    with pytest.raises(TypeError, match="ServeHandle"):
+        as_handle("127.0.0.1:7199")
+
+
+def test_close_handle_is_a_noop_for_local_objects():
+    service = PredictionService(ServeConfig(n_shards=1))
+    run(close_handle(service))  # no aclose attribute: nothing to do
+
+
+# -- the TCP handle -------------------------------------------------------
+
+
+def test_jsonl_handle_pipelines_and_matches_in_process():
+    async def main():
+        async with PredictionService(ServeConfig(n_shards=2)) as service:
+            server, port = await _tcp_pair(service)
+            handle = await connect_handle(port=port, host="127.0.0.1")
+            assert isinstance(handle, ServeHandle)
+            assert as_handle(handle) is handle
+            try:
+                await handle.open_session("remote", SPEC)
+                # In-process twin session for the oracle.
+                await service.open_session("local", SPEC)
+                futures = [handle.submit(PredictRequest(
+                    "remote", op="step", pc=0x40 + 4 * (i % 4),
+                    outcome=i % 2, seq=i)) for i in range(64)]
+                remote = [r.result
+                          for r in await asyncio.gather(*futures)]
+                local = []
+                for i in range(64):
+                    r = await service.request(PredictRequest(
+                        "local", op="step", pc=0x40 + 4 * (i % 4),
+                        outcome=i % 2, seq=i))
+                    local.append(r.result)
+                assert remote == local
+                assert await handle.close_session("remote") == 64
+                await handle.ping()
+            finally:
+                await close_handle(handle)
+                server.close()
+                await server.wait_closed()
+    run(main())
+
+
+def test_handle_open_session_surfaces_server_errors():
+    async def main():
+        async with PredictionService(ServeConfig(n_shards=1)) as service:
+            server, port = await _tcp_pair(service)
+            handle = await connect_handle("127.0.0.1", port)
+            try:
+                await handle.open_session("s", SPEC)
+                with pytest.raises(RuntimeError, match="open"):
+                    await handle.open_session(
+                        "s", spec_for("binary.gshare", history=6))
+            finally:
+                await close_handle(handle)
+                server.close()
+                await server.wait_closed()
+    run(main())
+
+
+def test_loadgen_drives_a_remote_handle():
+    async def main():
+        async with PredictionService(ServeConfig(n_shards=2)) as service:
+            server, port = await _tcp_pair(service)
+            handle = await connect_handle("127.0.0.1", port)
+            try:
+                model = LoadModel(n_sessions=8, spec_kind="binary.gshare",
+                                  spec_params=(("history", 4),),
+                                  rate_rps=2000.0, seconds=0.3,
+                                  clients=4, seed=7)
+                report = await run_open_loop(as_handle(handle), model)
+                assert report["ok"] > 0
+                assert report["lost"] == 0
+                assert report["errors"] == 0
+            finally:
+                await close_handle(handle)
+                server.close()
+                await server.wait_closed()
+    run(main())
+
+
+def test_lost_server_resolves_pending_in_band():
+    async def main():
+        service = PredictionService(ServeConfig(n_shards=1))
+        await service.start()
+        server, port = await _tcp_pair(service)
+        handle = await connect_handle("127.0.0.1", port)
+        await handle.open_session("s", SPEC)
+        # Drop the server out from under the handle.
+        server.close()
+        await server.wait_closed()
+        await service.stop()
+        response = await asyncio.wait_for(handle.submit(PredictRequest(
+            "s", op="step", pc=0x40, outcome=1, seq=0)), timeout=10)
+        # The awaiter is never stranded: the future resolves in-band,
+        # either with the dying server's last "closed" reply or with
+        # the handle's own transport-error synthesis after EOF.
+        assert not response.ok
+        assert response.error == "closed" or response.error.startswith(
+            ERR_INTERNAL)
+        await close_handle(handle)
+    run(main())
+
+
+def test_submit_after_close_is_in_band():
+    async def main():
+        async with PredictionService(ServeConfig(n_shards=1)) as service:
+            server, port = await _tcp_pair(service)
+            handle = await connect_handle("127.0.0.1", port)
+            await close_handle(handle)
+            response = await handle.submit(PredictRequest(
+                "s", op="step", pc=0x40, outcome=1, seq=0))
+            assert not response.ok
+            assert "handle closed" in response.error
+            server.close()
+            await server.wait_closed()
+    run(main())
