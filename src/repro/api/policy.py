@@ -80,6 +80,11 @@ class ExecutionPolicy:
     check_invariants: str = "auto"
 
     def __post_init__(self) -> None:
+        # Values arrive from JSON (--policy on the CLIs) as well as
+        # code, so types are validated, not assumed: a str never passes
+        # for a bool ('{"hottrace": "no"}' must not enable the fast
+        # path via truthiness) and thresholds must be real ints so the
+        # ordering comparisons below mean what they say.
         if self.backend not in POLICY_BACKENDS:
             raise ValueError(
                 f"unknown policy backend {self.backend!r}; expected one "
@@ -88,12 +93,23 @@ class ExecutionPolicy:
             raise ValueError(
                 f"unknown invariant mode {self.check_invariants!r}; "
                 f"expected one of {INVARIANT_MODES}")
-        if self.hot_threshold < 1:
-            raise ValueError("hot_threshold must be >= 1")
-        if self.min_trace_len < 1:
-            raise ValueError("min_trace_len must be >= 1")
-        if self.max_traces < 1:
-            raise ValueError("max_traces must be >= 1")
+        if isinstance(self.hottrace, int) and not isinstance(self.hottrace,
+                                                             bool):
+            # 0/1 from hand-written JSON: coerce, anything else rejects.
+            if self.hottrace not in (0, 1):
+                raise ValueError(
+                    f"hottrace must be a bool, got {self.hottrace!r}")
+            object.__setattr__(self, "hottrace", bool(self.hottrace))
+        elif not isinstance(self.hottrace, bool):
+            raise ValueError(
+                f"hottrace must be a bool, got {self.hottrace!r}")
+        for name in ("hot_threshold", "min_trace_len", "max_traces"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(
+                    f"{name} must be an int, got {value!r}")
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1")
 
     # -- resolution ------------------------------------------------------
 

@@ -188,13 +188,18 @@ class SessionTraceState:
     #: One-shot window-digest memo between a try_replay miss and its
     #: paired record() for the *same* lane objects (identity token) —
     #: halves digest work on the miss path.  The lane tuples stay alive
-    #: in the caller across the pair, so ids cannot be recycled.
+    #: in the caller across the pair, so ids cannot be recycled; the
+    #: memo is cleared on every other exit (hit, invalidate) so a
+    #: *later* call with recycled list ids can never reuse it.
     wd_token: Optional[Tuple[int, int, int]] = None
     wd_cache: Optional[bytes] = None
 
     def invalidate(self) -> None:
-        """Forget the chained state digest (out-of-band mutation)."""
+        """Forget the chained state digest (out-of-band mutation) and
+        any in-flight window-digest memo."""
         self.state_digest = None
+        self.wd_token = None
+        self.wd_cache = None
 
 
 class HotTraceEngine:
@@ -208,8 +213,14 @@ class HotTraceEngine:
         self.policy = policy
         self.counters = HotTraceCounters()
         #: Guard class of the most recent abort ("state" / "lanes" /
-        #: "spec" / "commit") — what the shard's obs event reports.
+        #: "spec" / "commit").
         self.last_abort: Optional[str] = None
+        #: Undrained ``(session_id, guard)`` abort records, one per
+        #: abort, in order — the shard drains these into obs events so
+        #: every abort is attributed to the session that aborted.
+        #: Bounded in case no one drains (engine used standalone).
+        self.abort_events: List[Tuple[str, str]] = []
+        self.max_abort_events = 1024
         #: Bound heat-table size per session: window digests tracked
         #: before old cold entries are dropped (heat, unlike captures,
         #: is approximate bookkeeping — dropping a cold entry only
@@ -281,16 +292,16 @@ class HotTraceEngine:
 
         # -- guards (any failure: abort, drop the stale capture) --------
         if trace.spec_kind != session.spec.kind:
-            self._abort(st, (pre, wd), "spec")
+            self._abort(session, st, (pre, wd), "spec")
             return None
         if trace.pre_digest != pre:  # pragma: no cover - keyed by pre
-            self._abort(st, (pre, wd), "state")
+            self._abort(session, st, (pre, wd), "state")
             return None
         lanes = (tuple(int(p) for p in pcs),
                  tuple(int(o) for o in outcomes),
                  tuple(int(d) for d in distances))
         if trace.lanes != lanes:
-            self._abort(st, (pre, wd), "lanes")
+            self._abort(session, st, (pre, wd), "lanes")
             return None
 
         # -- commit (atomic: build fully, then one reference swap) ------
@@ -301,7 +312,7 @@ class HotTraceEngine:
                 new_predictor = pickle.loads(trace.post_state)
             except Exception:
                 # Mid-commit squash: session state untouched.
-                self._abort(st, (pre, wd), "commit")
+                self._abort(session, st, (pre, wd), "commit")
                 return None
 
         if self.policy.invariants_active():
@@ -309,6 +320,10 @@ class HotTraceEngine:
 
         session.predictor = new_predictor
         st.state_digest = trace.post_digest
+        # A hit never reaches record(): retire the window-digest memo
+        # here so a later record() with recycled lane-list ids cannot
+        # reuse it.
+        st.wd_token = st.wd_cache = None
         trace.hits += 1
         c.hits += 1
         c.steps_saved += n
@@ -362,12 +377,20 @@ class HotTraceEngine:
 
     # -- internals -------------------------------------------------------
 
-    def _abort(self, st: SessionTraceState, key: Tuple[bytes, bytes],
-               kind: str) -> None:
+    def drain_abort_events(self) -> List[Tuple[str, str]]:
+        """Return (and clear) the undrained ``(session_id, guard)``
+        abort records accumulated since the last drain."""
+        events, self.abort_events = self.abort_events, []
+        return events
+
+    def _abort(self, session, st: SessionTraceState,
+               key: Tuple[bytes, bytes], kind: str) -> None:
         c = self.counters
         c.aborts += 1
         setattr(c, f"abort_{kind}", getattr(c, f"abort_{kind}") + 1)
         self.last_abort = kind
+        if len(self.abort_events) < self.max_abort_events:
+            self.abort_events.append((session.session_id, kind))
         st.traces.pop(key, None)  # stale capture: re-learn
 
     def _shed_heat(self, st: SessionTraceState) -> None:

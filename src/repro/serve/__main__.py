@@ -55,9 +55,8 @@ async def _run_serve(args: "argparse.Namespace") -> int:
         max_delay_us=args.max_delay_us, queue_depth=args.queue_depth,
         backend=args.backend, telemetry=not args.no_telemetry,
         trace_sample_shift=args.trace_sample_shift)
-    if args.policy:
-        from repro.api import ExecutionPolicy
-        config = config.with_policy(ExecutionPolicy.from_json(args.policy))
+    if args.parsed_policy is not None:
+        config = config.with_policy(args.parsed_policy)
     if args.workers and args.workers > 1:
         from repro.serve.fleet import ServeFleet
         service = ServeFleet(n_workers=args.workers, config=config,
@@ -203,6 +202,18 @@ def main(argv=None) -> int:
         if args.policy and args.backend:
             parser.error("--policy and --backend are mutually "
                          "exclusive (policy.backend wins)")
+        if args.policy:
+            # Usage-error contract (docs/robustness.md): malformed
+            # JSON or bad field values exit 2 with a clean error line,
+            # they never reach the service as a traceback.
+            from repro.api import ExecutionPolicy
+            try:
+                args.parsed_policy = ExecutionPolicy.from_json(
+                    args.policy)
+            except ValueError as exc:
+                parser.error(f"--policy: {exc}")
+        else:
+            args.parsed_policy = None
         return asyncio.run(_run_serve(args))
     if args.command == "top":
         from repro.serve.top import run_top

@@ -230,45 +230,55 @@ def execute_step_arrays_ex(session, pcs: Sequence[int],
     use_kernel = (n >= max(1, min_kernel_run)
                   and _kernel_eligible(session.family, session.predictor,
                                        backend))
-    if not use_kernel:
-        results = scalar_steps(session.family, session.predictor, pcs,
-                               outcomes, distances)
+    try:
+        if not use_kernel:
+            results = scalar_steps(session.family, session.predictor,
+                                   pcs, outcomes, distances)
+            via = VIA_SCALAR
+        else:
+            check = invariants_enabled()
+            shadow = copy.deepcopy(session.predictor) if check else None
+
+            from repro.fastpath import batchapi
+            import numpy as np
+            results = batchapi.replay_steps(
+                session.family, session.predictor,
+                np.asarray(pcs, dtype=np.int64),
+                np.asarray(outcomes, dtype=np.int64),
+                np.asarray(distances, dtype=np.int64)).tolist()
+
+            if check:
+                expect = scalar_steps(session.family, shadow, pcs,
+                                      outcomes, distances)
+                if results != expect:
+                    raise ServeInvariantViolation(
+                        f"session {session.session_id!r} ({session.spec.kind}): "
+                        f"kernel batch results diverge from scalar replay at "
+                        f"index {next(i for i, (a, b) in enumerate(zip(results, expect)) if a != b)} "
+                        f"of {n}")
+                state, shadow_state = (_state_bytes(session.predictor),
+                                       _state_bytes(shadow))
+                if (state is not None and shadow_state is not None
+                        and state != shadow_state):
+                    raise ServeInvariantViolation(
+                        f"session {session.session_id!r} ({session.spec.kind}): "
+                        f"kernel batch left different predictor state than the "
+                        f"scalar replay ({n} steps)")
+            via = VIA_KERNEL
+    except BaseException:
+        # A mid-window exception (bad op arguments, a kernel fault, a
+        # cancellation) leaves the predictor partially mutated with
+        # record() never reached.  The chained state digest would then
+        # describe the *pre-window* state: break the chain so a later
+        # hot window re-fingerprints the true (drifted) state instead
+        # of guard-passing against a stale capture.
         if hottrace is not None:
-            hottrace.record(session, pcs, outcomes, distances, results,
-                            pre_digest)
-        return results, VIA_SCALAR
-
-    check = invariants_enabled()
-    shadow = copy.deepcopy(session.predictor) if check else None
-
-    from repro.fastpath import batchapi
-    import numpy as np
-    results = batchapi.replay_steps(
-        session.family, session.predictor,
-        np.asarray(pcs, dtype=np.int64),
-        np.asarray(outcomes, dtype=np.int64),
-        np.asarray(distances, dtype=np.int64)).tolist()
-
-    if check:
-        expect = scalar_steps(session.family, shadow, pcs, outcomes,
-                              distances)
-        if results != expect:
-            raise ServeInvariantViolation(
-                f"session {session.session_id!r} ({session.spec.kind}): "
-                f"kernel batch results diverge from scalar replay at "
-                f"index {next(i for i, (a, b) in enumerate(zip(results, expect)) if a != b)} "
-                f"of {n}")
-        state, shadow_state = _state_bytes(session.predictor), _state_bytes(shadow)
-        if (state is not None and shadow_state is not None
-                and state != shadow_state):
-            raise ServeInvariantViolation(
-                f"session {session.session_id!r} ({session.spec.kind}): "
-                f"kernel batch left different predictor state than the "
-                f"scalar replay ({n} steps)")
+            hottrace.note_mutation(session)
+        raise
     if hottrace is not None:
         hottrace.record(session, pcs, outcomes, distances, results,
                         pre_digest)
-    return results, VIA_KERNEL
+    return results, via
 
 
 def _state_bytes(predictor: object) -> Optional[bytes]:

@@ -76,7 +76,12 @@ class JsonlHandle:
         self.writer = writer
         self._pending: Dict[Tuple[str, int],
                             Deque["asyncio.Future[PredictResponse]"]] = {}
-        self._in_flight = 0
+        #: Responses whose (session_id, seq) matched no pending future
+        #: (duplicate or misaddressed server replies).  They are
+        #: counted, not silently dropped, and never touch the in-flight
+        #: accounting — which is derived from the pending map so it
+        #: cannot drift.
+        self.unmatched = 0
         self._pump: Optional["asyncio.Task"] = None
         self._drainer: Optional["asyncio.Task"] = None
         self._closed = False
@@ -104,7 +109,6 @@ class JsonlHandle:
             return future
         key = (request.session_id, request.seq)
         self._pending.setdefault(key, deque()).append(future)
-        self._in_flight += 1
         self.writer.write((request.to_json() + "\n").encode("utf-8"))
         if self._drainer is None or self._drainer.done():
             # Backpressure without blocking submit: one lazy drainer
@@ -134,6 +138,13 @@ class JsonlHandle:
     async def ping(self) -> None:
         await self.request(PredictRequest("?", op="ping"))
 
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet answered — derived from the
+        pending map, so no reply (matched, duplicate or misaddressed)
+        can ever skew it."""
+        return sum(len(queue) for queue in self._pending.values())
+
     # -- plumbing --------------------------------------------------------
 
     async def _drain(self) -> None:
@@ -158,9 +169,10 @@ class JsonlHandle:
                     if not queue:
                         del self._pending[(response.session_id,
                                            response.seq)]
-                    self._in_flight -= 1
                     if not future.done():
                         future.set_result(response)
+                else:
+                    self.unmatched += 1
         except asyncio.CancelledError:
             error = "handle closed"
         except Exception as exc:  # pragma: no cover - transport fault
@@ -179,7 +191,6 @@ class JsonlHandle:
                         session_id=session_id, seq=seq, ok=False,
                         error=f"{ERR_INTERNAL}: {error}"))
         self._pending.clear()
-        self._in_flight = 0
 
     async def aclose(self) -> None:
         self._closed = True

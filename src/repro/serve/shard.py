@@ -109,7 +109,6 @@ class Shard:
         self.hottrace: Optional[HotTraceEngine] = (
             HotTraceEngine(self.policy) if self.policy.hottrace else None)
         self.hottrace_batches = 0
-        self._hottrace_aborts_seen = 0
         #: Vectorized-eligible runs that landed on the scalar loop
         #: (satellite of docs/serving.md: capacity numbers must not be
         #: quietly off).  The obs event fires once per (session,
@@ -313,20 +312,20 @@ class Shard:
                           shard=self.index, session=session.session_id,
                           reason=reason)
 
-    def _note_hottrace(self, session: Session) -> None:
+    def _note_hottrace(self) -> None:
         """Surface hot-trace guard aborts as obs events (the counters
-        themselves live on the engine and flow out via stats)."""
+        themselves live on the engine and flow out via stats).  The
+        engine records one ``(session_id, guard)`` entry per abort, so
+        every abort gets its own event, attributed to the session that
+        actually aborted — not the session executing at drain time."""
         engine = self.hottrace
         if engine is None:
             return
-        aborts = engine.counters.aborts
-        if aborts > self._hottrace_aborts_seen:
+        for session_id, guard in engine.drain_abort_events():
             if self.obs is not None:
                 self.obs.emit(EventKind.HOTTRACE_ABORT, _now_us(),
-                              shard=self.index,
-                              session=session.session_id,
-                              guard=engine.last_abort or "unknown")
-            self._hottrace_aborts_seen = aborts
+                              shard=self.index, session=session_id,
+                              guard=guard)
 
     def _execute_session(self, session: Session, group: List[_Item],
                          backend: str) -> bool:
@@ -389,7 +388,7 @@ class Shard:
             self._note_degrade(session, len(run), backend)
         elif via == VIA_HOTTRACE:
             self.hottrace_batches += 1
-        self._note_hottrace(session)
+        self._note_hottrace()
         stage = ("kernel" if used_kernel
                  else "hottrace" if via == VIA_HOTTRACE else "predict")
         for span in spans:
@@ -455,7 +454,7 @@ class Shard:
             self._note_degrade(session, n_steps, backend)
         elif via == VIA_HOTTRACE:
             self.hottrace_batches += 1
-        self._note_hottrace(session)
+        self._note_hottrace()
         if item.span is not None:
             item.span.mark("kernel" if used_kernel
                            else "hottrace" if via == VIA_HOTTRACE

@@ -54,6 +54,28 @@ def test_validation_rejects(bad):
         ExecutionPolicy(**bad)
 
 
+@pytest.mark.parametrize("bad", [
+    # A malformed --policy JSON must fail loudly, not misconfigure the
+    # serve tier via truthiness: "no" is NOT an enabled hottrace.
+    {"hottrace": "no"},
+    {"hottrace": "true"},
+    {"hottrace": 2},
+    {"hot_threshold": "3"},
+    {"hot_threshold": 2.5},
+    {"min_trace_len": True},
+    {"max_traces": "512"},
+])
+def test_validation_rejects_wrong_types(bad):
+    with pytest.raises(ValueError):
+        ExecutionPolicy(**bad)
+
+
+def test_json_zero_one_coerce_to_bool():
+    # Hand-written JSON often spells booleans 0/1; that stays legal.
+    assert ExecutionPolicy.from_json('{"hottrace": 1}').hottrace is True
+    assert ExecutionPolicy.from_json('{"hottrace": 0}').hottrace is False
+
+
 # -- JSON round trip ------------------------------------------------------
 
 

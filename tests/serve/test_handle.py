@@ -161,6 +161,52 @@ def test_lost_server_resolves_pending_in_band():
     run(main())
 
 
+def test_unmatched_replies_are_counted_and_do_not_skew_in_flight():
+    # A duplicate or misaddressed server reply must neither strand the
+    # accounting nor be silently dropped: it is counted, and the
+    # in-flight gauge (derived from the pending map) stays exact.
+    from repro.serve.handle import JsonlHandle
+    from repro.serve.protocol import PredictResponse
+
+    async def main():
+        async def rogue(reader, writer):
+            line = await reader.readline()
+            request = PredictRequest.from_json(line.decode("utf-8"))
+            for response in (
+                # Misaddressed: no such pending key.
+                PredictResponse(session_id="ghost", seq=99, result=0),
+                # The real reply...
+                PredictResponse(session_id=request.session_id,
+                                seq=request.seq, result=7),
+                # ... and a duplicate of it.
+                PredictResponse(session_id=request.session_id,
+                                seq=request.seq, result=8),
+            ):
+                writer.write((response.to_json() + "\n").encode("utf-8"))
+            await writer.drain()
+
+        server = await asyncio.start_server(rogue, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        handle = await JsonlHandle.connect("127.0.0.1", port)
+        try:
+            assert handle.in_flight == 0
+            response = await handle.submit(PredictRequest(
+                "s", op="step", pc=0x40, outcome=1, seq=0))
+            assert response.result == 7
+            # Let the pump read the trailing duplicate.
+            for _ in range(50):
+                if handle.unmatched == 2:
+                    break
+                await asyncio.sleep(0.01)
+            assert handle.unmatched == 2
+            assert handle.in_flight == 0
+        finally:
+            await close_handle(handle)
+            server.close()
+            await server.wait_closed()
+    run(main())
+
+
 def test_submit_after_close_is_in_band():
     async def main():
         async with PredictionService(ServeConfig(n_shards=1)) as service:

@@ -200,6 +200,28 @@ def test_lru_cap_evicts_oldest_traces():
     assert state_bytes(session) == state_bytes(twin)
 
 
+def test_window_digest_memo_retired_on_hit():
+    # The one-shot window-digest memo (keyed by lane-object identity)
+    # must not outlive its try_replay/record pair: a hit never reaches
+    # record(), so the hit path retires it — otherwise a later record()
+    # with recycled list ids could reuse a wrong cached digest.
+    engine = HotTraceEngine(POLICY)
+    session, _ = make_pair()
+    for _ in range(3):
+        _, via = execute(engine, session, window(1))
+    assert via == VIA_HOTTRACE
+    st = session.hottrace
+    assert st.wd_token is None and st.wd_cache is None
+    # invalidate() (out-of-band mutation, mid-window exception) drops
+    # an in-flight memo too: probe without the paired record(), then
+    # invalidate.
+    pcs, outcomes, distances = window(0, pc=0x44)
+    assert engine.try_replay(session, pcs, outcomes, distances) is None
+    assert st.wd_token is not None
+    HotTraceEngine.note_mutation(session)
+    assert st.wd_token is None and st.wd_cache is None
+
+
 def test_note_mutation_invalidates_chain():
     engine = HotTraceEngine(POLICY)
     session, _ = make_pair()

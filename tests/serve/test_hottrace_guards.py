@@ -182,6 +182,73 @@ def test_state_drift_is_a_miss_not_a_wrong_answer():
     assert engine.counters.abort_state == 0
 
 
+def _fail_update_after(predictor, n):
+    """Shadow the predictor's ``update`` with one that dies after ``n``
+    successful calls — a window that mutates partway, then raises."""
+    real = predictor.update
+    calls = {"n": 0}
+
+    def flaky(pc, outcome, *args, **kwargs):
+        if calls["n"] >= n:
+            raise RuntimeError("window died mid-flight")
+        calls["n"] += 1
+        return real(pc, outcome, *args, **kwargs)
+
+    predictor.update = flaky
+
+
+def test_mid_window_exception_breaks_digest_chain():
+    # Regression: a window that raises partway through execution (after
+    # mutating the predictor) never reaches record(), so the chained
+    # digest used to keep describing the *pre-window* state.  The next
+    # occurrence of a hot window then guard-passed against the stale
+    # capture and answered stale results from drifted state.  The
+    # executor must break the chain on ANY mid-window exception.
+    engine = HotTraceEngine(POLICY)
+    session, twin = Session("s", SPEC), Session("t", SPEC)
+    converge(engine, session, twin, lambda: window(1))
+    assert session.hottrace.state_digest is not None
+
+    for sess in (session, twin):
+        _fail_update_after(sess.predictor, 3)
+    lanes = window(0, pc=0x44)
+    with pytest.raises(RuntimeError, match="mid-flight"):
+        execute(engine, session, lanes)
+    with pytest.raises(RuntimeError, match="mid-flight"):
+        shadow_execute(twin, lanes)
+    for sess in (session, twin):
+        del sess.predictor.update  # restore the real bound method
+
+    # The fix: the chain is broken, so the engine re-fingerprints the
+    # true (drifted) state instead of trusting the stale digest.
+    assert session.hottrace.state_digest is None
+    for _ in range(3):
+        lanes = window(1)
+        results, via = execute(engine, session, lanes)
+        assert results == shadow_execute(twin, lanes)
+        assert state_bytes(session) == state_bytes(twin)
+    assert engine.counters.abort_mismatch == 0
+
+
+def test_abort_events_attribute_the_aborting_session():
+    # The shard drains (session_id, guard) records into obs events:
+    # one per abort, attributed to the session that aborted — not the
+    # session that happened to be executing at drain time.
+    engine = HotTraceEngine(POLICY)
+    pairs = [(Session("a", SPEC), Session("ta", SPEC)),
+             (Session("b", SPEC), Session("tb", SPEC))]
+    for session, twin in pairs:
+        converge(engine, session, twin, lambda: window(1))
+        hitting_trace(session).spec_kind = "binary.bimodal"
+    for session, twin in pairs:
+        lanes = window(1)
+        results, via = execute(engine, session, lanes)
+        assert via != VIA_HOTTRACE
+        assert results == shadow_execute(twin, lanes)
+    assert engine.drain_abort_events() == [("a", "spec"), ("b", "spec")]
+    assert engine.drain_abort_events() == []
+
+
 def test_unpicklable_predictor_never_speculates():
     engine = HotTraceEngine(POLICY)
     session, twin = Session("s", SPEC), Session("t", SPEC)
